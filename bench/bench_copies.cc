@@ -1,0 +1,120 @@
+// Experiment E5 / F6: the Corollary 3 / Theorem 5 copies test is O(1) in
+// the number of copies d (it only inspects the syntax of T), while the
+// exact checker blows up with d; plus the k-ring sweep behind the Fig. 6
+// phenomenon.
+#include <benchmark/benchmark.h>
+
+#include "analysis/copies_analyzer.h"
+#include "analysis/deadlock_checker.h"
+#include "analysis/multi_analyzer.h"
+#include "gen/system_gen.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+Transaction CoveredTransaction(const Database* db) {
+  return testutil::MakeSeq(
+      db, "T", {"Lx", "Ly", "Uy", "Lz", "Uz", "Ux"});
+}
+
+void BM_CopiesTest_Theorem5(benchmark::State& state) {
+  auto db = testutil::MakeDb({{"s1", {"x", "y"}}, {"s2", {"z"}}});
+  Transaction t = CoveredTransaction(db.get());
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CopiesVerdict v = CheckCopies(t, d);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CopiesTest_Theorem5)->RangeMultiplier(4)->Range(2, 512);
+
+void BM_CopiesExactChecker(benchmark::State& state) {
+  auto db = testutil::MakeDb({{"s1", {"x", "y"}}, {"s2", {"z"}}});
+  Transaction t = CoveredTransaction(db.get());
+  const int d = static_cast<int>(state.range(0));
+  auto sys = MakeCopies(t, d);
+  if (!sys.ok()) {
+    state.SkipWithError("copies failed");
+    return;
+  }
+  DeadlockCheckOptions opts;
+  opts.max_states = 20'000'000;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*sys, opts);
+    if (!report.ok()) {
+      state.SkipWithError("state budget exhausted");
+      return;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CopiesExactChecker)->DenseRange(2, 5, 1);
+
+// Rings (k transactions, circular wait possible): static Theorem 4 test
+// and exact checker side by side.
+void BM_RingMultiTest(benchmark::State& state) {
+  auto ring = GenerateRingSystem(static_cast<int>(state.range(0)));
+  if (!ring.ok()) {
+    state.SkipWithError("ring failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto report = CheckSystemSafeAndDeadlockFree(*ring->system);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RingMultiTest)->DenseRange(3, 10, 1);
+
+void BM_RingExactChecker(benchmark::State& state) {
+  auto ring = GenerateRingSystem(static_cast<int>(state.range(0)));
+  if (!ring.ok()) {
+    state.SkipWithError("ring failed");
+    return;
+  }
+  DeadlockCheckOptions opts;
+  opts.max_states = 20'000'000;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*ring->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("state budget exhausted");
+      return;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RingExactChecker)->DenseRange(3, 7, 1);
+
+// Syntactic Corollary 3 test as a function of transaction size.
+void BM_TwoCopiesSyntacticTest(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  auto db = std::make_unique<Database>();
+  TransactionBuilder* b = nullptr;
+  TransactionBuilder builder(db.get(), "T");
+  b = &builder;
+  std::vector<int> seq;
+  for (int e = 0; e < entities; ++e) {
+    db->AddEntityAtSite("e" + std::to_string(e), "s").ValueOrDie();
+  }
+  // Latch discipline: e0 first and held to the end.
+  seq.push_back(b->LockId(0));
+  for (int e = 1; e < entities; ++e) {
+    seq.push_back(b->LockId(e));
+    seq.push_back(b->UnlockId(e));
+  }
+  seq.push_back(b->UnlockId(0));
+  for (size_t s = 0; s + 1 < seq.size(); ++s) b->Arc(seq[s], seq[s + 1]);
+  Transaction t = std::move(*b->Build());
+  for (auto _ : state) {
+    CopiesVerdict v = CheckTwoCopies(t);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetComplexityN(t.num_steps());
+}
+BENCHMARK(BM_TwoCopiesSyntacticTest)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,113 @@
+// Experiment E4: Theorem 4's system test runs in time polynomial in the
+// number of interaction-graph cycles (chord sweep at fixed k), with an
+// ~n^2 per-cycle factor (size sweep at fixed cycle structure).
+#include <benchmark/benchmark.h>
+
+#include "analysis/multi_analyzer.h"
+#include "core/transaction_builder.h"
+#include "gen/system_gen.h"
+
+namespace wydb {
+namespace {
+
+// Certified systems check EVERY interaction-graph cycle (no early exit):
+// the latch discipline makes the interaction graph complete, so the cycle
+// count grows combinatorially with the transaction count while the time
+// per cycle stays bounded — Theorem 4's "polynomial in the number of
+// cycles".
+void BM_MultiTest_CycleSweep(benchmark::State& state) {
+  SafeSystemOptions gopts;
+  gopts.num_transactions = static_cast<int>(state.range(0));
+  gopts.num_sites = 2;
+  gopts.entities_per_site = 6;
+  gopts.entities_per_txn = 3;
+  gopts.seed = 3;
+  auto sys = GenerateSafeSystem(gopts);
+  if (!sys.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  uint64_t cycles = 0, variants = 0;
+  MultiCheckOptions opts;
+  opts.max_cycles = 5'000'000;
+  for (auto _ : state) {
+    auto report = CheckSystemSafeAndDeadlockFree(*sys->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("cycle budget");
+      return;
+    }
+    cycles = report->cycles_checked;
+    variants = report->variants_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+  state.counters["variants"] = static_cast<double>(variants);
+}
+BENCHMARK(BM_MultiTest_CycleSweep)->DenseRange(3, 8, 1);
+
+// Fixed number of transactions (3-ring), growing transaction size: the
+// O(n^2)-for-fixed-k claim of Corollary 4. Ring transactions are padded
+// with private entities to reach the target step count.
+void BM_MultiTest_SizeSweep(benchmark::State& state) {
+  const int pad = static_cast<int>(state.range(0));
+  auto db = std::make_unique<Database>();
+  std::vector<EntityId> ring(3);
+  for (int i = 0; i < 3; ++i) {
+    ring[i] = *db->AddEntityAtSite("e" + std::to_string(i),
+                                   "s" + std::to_string(i));
+  }
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 3; ++i) {
+    TransactionBuilder b(db.get(), "T" + std::to_string(i));
+    std::vector<int> seq;
+    seq.push_back(b.LockId(ring[i]));
+    seq.push_back(b.LockId(ring[(i + 1) % 3]));
+    for (int p = 0; p < pad; ++p) {
+      EntityId priv = *db->AddEntityAtSite(
+          "p" + std::to_string(i) + "_" + std::to_string(p),
+          "sp" + std::to_string(i) + "_" + std::to_string(p));
+      seq.push_back(b.LockId(priv));
+      seq.push_back(b.UnlockId(priv));
+    }
+    seq.push_back(b.UnlockId(ring[(i + 1) % 3]));
+    seq.push_back(b.UnlockId(ring[i]));
+    for (size_t s = 0; s + 1 < seq.size(); ++s) b.Arc(seq[s], seq[s + 1]);
+    txns.push_back(std::move(*b.Build()));
+  }
+  auto sys = TransactionSystem::Create(db.get(), std::move(txns));
+  for (auto _ : state) {
+    auto report = CheckSystemSafeAndDeadlockFree(*sys);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetComplexityN(4 + 2 * pad);
+}
+BENCHMARK(BM_MultiTest_SizeSweep)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+// All-pairs stage alone (the part that runs even on cycle-free systems).
+void BM_MultiTest_AcyclicInteraction(benchmark::State& state) {
+  SafeSystemOptions opts;
+  opts.num_transactions = static_cast<int>(state.range(0));
+  opts.entities_per_site = 8;
+  opts.num_sites = 4;
+  opts.entities_per_txn = 4;
+  opts.seed = 9;
+  auto sys = GenerateSafeSystem(opts);
+  if (!sys.ok()) {
+    state.SkipWithError("generator failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto report = CheckSystemSafeAndDeadlockFree(*sys->system);
+    benchmark::DoNotOptimize(report);
+  }
+}
+// The latch discipline makes the interaction graph complete, so the cycle
+// count (and hence Theorem 4's bound) grows quickly with the transaction
+// count: K6 already has 197 simple cycles.
+BENCHMARK(BM_MultiTest_AcyclicInteraction)->DenseRange(2, 6, 2);
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,82 @@
+// Extension ablation ([W2] early unlocking): cost of the optimizer, the
+// holding-time reduction it achieves, and the simulated makespan payoff
+// of shorter lock windows.
+#include <benchmark/benchmark.h>
+
+#include "analysis/early_unlock.h"
+#include "gen/system_gen.h"
+#include "runtime/simulation.h"
+
+namespace wydb {
+namespace {
+
+OwnedSystem CertifiedSystem(int txns, int entities_per_txn, uint64_t seed) {
+  SafeSystemOptions opts;
+  opts.num_sites = 1;  // Total orders so the optimizer can act.
+  opts.entities_per_site = 2 * entities_per_txn;
+  opts.num_transactions = txns;
+  opts.entities_per_txn = entities_per_txn;
+  opts.seed = seed;
+  auto sys = GenerateSafeSystem(opts);
+  if (!sys.ok()) std::abort();
+  return std::move(*sys);
+}
+
+void BM_EarlyUnlockOptimizer(benchmark::State& state) {
+  OwnedSystem sys = CertifiedSystem(static_cast<int>(state.range(0)), 4, 3);
+  int64_t before = 0, after = 0;
+  for (auto _ : state) {
+    auto opt = OptimizeEarlyUnlock(*sys.system);
+    if (!opt.ok()) {
+      state.SkipWithError("optimizer failed");
+      return;
+    }
+    before = opt->holding_cost_before;
+    after = opt->holding_cost_after;
+    benchmark::DoNotOptimize(opt);
+  }
+  state.counters["cost_before"] = static_cast<double>(before);
+  state.counters["cost_after"] = static_cast<double>(after);
+}
+BENCHMARK(BM_EarlyUnlockOptimizer)->DenseRange(2, 6, 1);
+
+// Simulated makespan with and without the optimization.
+void BM_SimulateUnoptimized(benchmark::State& state) {
+  OwnedSystem sys = CertifiedSystem(4, 4, 9);
+  uint64_t seed = 1;
+  double makespan = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    SimOptions opts;
+    opts.seed = seed++;
+    auto res = RunSimulation(*sys.system, opts);
+    makespan += static_cast<double>(res->makespan);
+    ++runs;
+  }
+  state.counters["avg_makespan"] = runs ? makespan / runs : 0;
+}
+BENCHMARK(BM_SimulateUnoptimized);
+
+void BM_SimulateOptimized(benchmark::State& state) {
+  OwnedSystem sys = CertifiedSystem(4, 4, 9);
+  auto opt = OptimizeEarlyUnlock(*sys.system);
+  if (!opt.ok()) {
+    state.SkipWithError("optimizer failed");
+    return;
+  }
+  uint64_t seed = 1;
+  double makespan = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    SimOptions opts;
+    opts.seed = seed++;
+    auto res = RunSimulation(opt->system, opts);
+    makespan += static_cast<double>(res->makespan);
+    ++runs;
+  }
+  state.counters["avg_makespan"] = runs ? makespan / runs : 0;
+}
+BENCHMARK(BM_SimulateOptimized);
+
+}  // namespace
+}  // namespace wydb

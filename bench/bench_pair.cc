@@ -1,0 +1,98 @@
+// Experiment E3: the Theorem 3 pair test scales ~n^2 (given transitively
+// closed transactions) while the minimal-prefix variant scales ~n^3, and
+// both stay exact. Also measures the closure-construction cost the paper
+// brackets out ("assuming the transactions are given in transitively
+// closed form").
+#include <benchmark/benchmark.h>
+
+#include "analysis/pair_analyzer.h"
+#include "common/random.h"
+#include "gen/txn_gen.h"
+
+namespace wydb {
+namespace {
+
+// A pair of random transactions sharing all `m` entities, ~2m steps each.
+struct PairInput {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Transaction> t1, t2;
+};
+
+PairInput MakePair(int entities, uint64_t seed, bool safe_shape) {
+  PairInput in;
+  in.db = MakeUniformDatabase(4, (entities + 3) / 4);
+  Rng rng(seed);
+  TxnGenOptions opts;
+  for (EntityId e = 0; e < entities; ++e) opts.entities.push_back(e);
+  opts.extra_arc_prob = 2.0 / entities;  // Sparse partial order.
+  if (safe_shape) {
+    opts.dominating_first = true;
+    opts.hold_first_to_end = true;
+  }
+  auto t1 = GenerateTransaction(in.db.get(), "T1", opts, &rng);
+  auto t2 = GenerateTransaction(in.db.get(), "T2", opts, &rng);
+  in.t1 = std::make_unique<Transaction>(std::move(*t1));
+  in.t2 = std::make_unique<Transaction>(std::move(*t2));
+  return in;
+}
+
+void BM_PairTheorem3(benchmark::State& state) {
+  PairInput in = MakePair(static_cast<int>(state.range(0)), 7,
+                          /*safe_shape=*/true);
+  for (auto _ : state) {
+    auto v = CheckPairTheorem3(*in.t1, *in.t2);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetComplexityN(in.t1->num_steps());
+}
+BENCHMARK(BM_PairTheorem3)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_PairMinimalPrefix(benchmark::State& state) {
+  PairInput in = MakePair(static_cast<int>(state.range(0)), 7,
+                          /*safe_shape=*/true);
+  for (auto _ : state) {
+    auto v = CheckPairMinimalPrefix(*in.t1, *in.t2);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetComplexityN(in.t1->num_steps());
+}
+BENCHMARK(BM_PairMinimalPrefix)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity();
+
+// Unsafe-shaped inputs exit early on condition (1); measures the
+// short-circuit path the paper's two-stage structure gives for free.
+void BM_PairTheorem3_UnsafeShape(benchmark::State& state) {
+  PairInput in = MakePair(static_cast<int>(state.range(0)), 7,
+                          /*safe_shape=*/false);
+  for (auto _ : state) {
+    auto v = CheckPairTheorem3(*in.t1, *in.t2);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PairTheorem3_UnsafeShape)->RangeMultiplier(2)->Range(8, 512);
+
+// Cost of building a transaction (validation + transitive closure): the
+// "given in transitively closed form" caveat of Corollaries 2 and 4.
+void BM_TransactionClosureConstruction(benchmark::State& state) {
+  const int entities = static_cast<int>(state.range(0));
+  auto db = MakeUniformDatabase(4, (entities + 3) / 4);
+  Rng rng(11);
+  TxnGenOptions opts;
+  for (EntityId e = 0; e < entities; ++e) opts.entities.push_back(e);
+  opts.extra_arc_prob = 2.0 / entities;
+  for (auto _ : state) {
+    Rng local = rng;
+    auto t = GenerateTransaction(db.get(), "T", opts, &local);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(2 * entities);
+}
+BENCHMARK(BM_TransactionClosureConstruction)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity();
+
+}  // namespace
+}  // namespace wydb

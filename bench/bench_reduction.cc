@@ -1,0 +1,107 @@
+// Experiment E2 (Theorem 2): the reduction from 3SAT' is linear-size and
+// cheap to build, witness prefixes are cheap to produce and check, while
+// the DECISION cost (here: DPLL on the formula, standing in for any exact
+// deadlock decision) grows superpolynomially — the content of
+// coNP-completeness.
+#include <benchmark/benchmark.h>
+
+#include "analysis/sat/dpll.h"
+#include "analysis/sat/reduction.h"
+#include "core/reduction_graph.h"
+
+namespace wydb {
+namespace {
+
+CnfFormula Instance(int vars, uint64_t seed) {
+  ThreeSatPrimeGenOptions opts;
+  opts.num_vars = vars;
+  opts.seed = seed;
+  auto f = GenerateThreeSatPrime(opts);
+  if (!f.ok()) std::abort();
+  return std::move(*f);
+}
+
+// A satisfiable instance (tries successive seeds; random 3SAT' is
+// satisfiable with decent probability, e.g. whenever no clause is
+// all-negative).
+CnfFormula SatInstance(int vars, uint64_t seed) {
+  for (uint64_t s = seed; s < seed + 64; ++s) {
+    CnfFormula f = Instance(vars, s);
+    auto r = SolveDpll(f);
+    if (r.ok() && r->satisfiable) return f;
+  }
+  std::abort();
+}
+
+void BM_ReductionConstruction(benchmark::State& state) {
+  CnfFormula f = Instance(static_cast<int>(state.range(0)), 3);
+  int steps = 0;
+  for (auto _ : state) {
+    auto red = SatReduction::FromFormula(f);
+    if (!red.ok()) state.SkipWithError("reduction failed");
+    steps = red->system().TotalSteps();
+    benchmark::DoNotOptimize(red);
+  }
+  state.counters["txn_steps"] = steps;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReductionConstruction)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_WitnessPrefixAndCycleCheck(benchmark::State& state) {
+  CnfFormula f = SatInstance(static_cast<int>(state.range(0)), 3);
+  auto sat = SolveDpll(f);
+  if (!sat.ok() || !sat->satisfiable) {
+    state.SkipWithError("instance unsat");
+    return;
+  }
+  auto red = SatReduction::FromFormula(f);
+  if (!red.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto prefix = red->WitnessPrefix(sat->assignment);
+    ReductionGraph rg(*prefix);
+    bool cyc = rg.HasCycle();
+    if (!cyc) state.SkipWithError("witness not cyclic");
+    benchmark::DoNotOptimize(cyc);
+  }
+}
+BENCHMARK(BM_WitnessPrefixAndCycleCheck)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_DpllDecision(benchmark::State& state) {
+  CnfFormula f = Instance(static_cast<int>(state.range(0)), 3);
+  uint64_t decisions = 0;
+  for (auto _ : state) {
+    auto r = SolveDpll(f);
+    if (!r.ok()) state.SkipWithError("budget");
+    decisions = r->decisions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decisions"] = static_cast<double>(decisions);
+}
+BENCHMARK(BM_DpllDecision)->RangeMultiplier(2)->Range(4, 256);
+
+void BM_CycleDecodeAssignment(benchmark::State& state) {
+  CnfFormula f = SatInstance(static_cast<int>(state.range(0)), 3);
+  auto sat = SolveDpll(f);
+  if (!sat.ok() || !sat->satisfiable) {
+    state.SkipWithError("instance unsat");
+    return;
+  }
+  auto red = SatReduction::FromFormula(f);
+  auto prefix = red->WitnessPrefix(sat->assignment);
+  ReductionGraph rg(*prefix);
+  auto cycle = rg.FindGlobalCycle();
+  for (auto _ : state) {
+    auto decoded = red->DecodeAssignment(cycle);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_CycleDecodeAssignment)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,43 @@
+// Identical-copy systems (Section 5, Corollary 3 and Theorem 5).
+//
+// Corollary 3: two copies of a distributed transaction T are safe and
+// deadlock-free iff some entity x has Lx preceding every other node of T,
+// and every other entity y has some z locked before Ly and unlocked after
+// Ly. Theorem 5 lifts this to ANY number of copies. (Deadlock-freedom
+// alone does NOT lift: Fig. 6 shows 3 copies that deadlock although 2
+// cannot.)
+#ifndef WYDB_ANALYSIS_COPIES_ANALYZER_H_
+#define WYDB_ANALYSIS_COPIES_ANALYZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/system.h"
+#include "core/transaction.h"
+
+namespace wydb {
+
+struct CopiesVerdict {
+  bool safe_and_deadlock_free = false;
+  /// The entity whose lock precedes everything (Corollary 3's x), or
+  /// kInvalidEntity.
+  EntityId first_entity = kInvalidEntity;
+  /// When failing: the uncovered entity, if that is the reason.
+  EntityId offending_entity = kInvalidEntity;
+  std::string explanation;
+};
+
+/// Corollary 3 test, directly on the syntax of T. O(n^2) with the closure.
+CopiesVerdict CheckTwoCopies(const Transaction& t);
+
+/// Theorem 5: d >= 2 copies are safe+DF iff two copies are. d < 2 is
+/// trivially safe+DF.
+CopiesVerdict CheckCopies(const Transaction& t, int d);
+
+/// Materializes a system of d copies of `t` (named "<name>#1".."#d") for
+/// cross-validation against the exact checkers.
+Result<TransactionSystem> MakeCopies(const Transaction& t, int d);
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_COPIES_ANALYZER_H_

@@ -1,0 +1,122 @@
+#include "analysis/deadlock_checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "core/reduction_graph.h"
+#include "core/state_space.h"
+
+namespace wydb {
+namespace {
+
+// Reconstructs the schedule leading to `state` by following parent links.
+Schedule PathTo(const ExecState& state,
+                const std::unordered_map<ExecState,
+                                         std::pair<ExecState, GlobalNode>,
+                                         ExecStateHash>& parent,
+                const ExecState& root) {
+  Schedule rev;
+  ExecState cur = state;
+  while (!(cur == root)) {
+    auto it = parent.find(cur);
+    rev.push_back(it->second.second);
+    cur = it->second.first;
+  }
+  return Schedule(rev.rbegin(), rev.rend());
+}
+
+std::vector<std::vector<NodeId>> PrefixNodesOf(const StateSpace& space,
+                                               const ExecState& s) {
+  const TransactionSystem& sys = space.system();
+  std::vector<std::vector<NodeId>> out(sys.num_transactions());
+  for (int i = 0; i < sys.num_transactions(); ++i) {
+    for (NodeId v = 0; v < sys.txn(i).num_steps(); ++v) {
+      if (space.IsExecuted(s, i, v)) out[i].push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DeadlockReport> CheckDeadlockFreedom(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  StateSpace space(&sys);
+  DeadlockReport report;
+
+  // BFS over reachable states. Reachable state <=> prefix admitting a
+  // schedule, so in kReductionGraph mode every visited state is a
+  // candidate deadlock prefix.
+  std::unordered_set<ExecState, ExecStateHash> visited;
+  std::unordered_map<ExecState, std::pair<ExecState, GlobalNode>,
+                     ExecStateHash>
+      parent;
+  std::vector<ExecState> queue;
+  ExecState root = space.EmptyState();
+  queue.push_back(root);
+  visited.insert(root);
+
+  auto make_witness = [&](const ExecState& s,
+                          std::string cycle_text) -> DeadlockWitness {
+    DeadlockWitness w;
+    w.schedule = PathTo(s, parent, root);
+    w.prefix_nodes = PrefixNodesOf(space, s);
+    w.reduction_cycle = std::move(cycle_text);
+    return w;
+  };
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    ExecState s = queue[head];
+    ++report.states_visited;
+    if (options.max_states != 0 &&
+        report.states_visited > options.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "deadlock check exceeded %llu states",
+          static_cast<unsigned long long>(options.max_states)));
+    }
+
+    std::vector<GlobalNode> moves = space.LegalMoves(s);
+
+    if (options.mode == DeadlockDetectionMode::kStuckState) {
+      if (moves.empty() && !space.IsComplete(s)) {
+        report.deadlock_free = false;
+        report.witness = make_witness(s, "");
+        return report;
+      }
+    } else {
+      ReductionGraph rg(space.ToPrefixSet(s));
+      if (rg.HasCycle()) {
+        std::vector<GlobalNode> cycle = rg.FindGlobalCycle();
+        report.deadlock_free = false;
+        report.witness = make_witness(s, rg.CycleToString(sys, cycle));
+        return report;
+      }
+    }
+
+    for (GlobalNode g : moves) {
+      ExecState next = space.Apply(s, g);
+      bool fresh = options.memoize ? visited.insert(next).second : true;
+      if (fresh) {
+        parent.emplace(next, std::make_pair(s, g));
+        queue.push_back(next);
+      }
+    }
+  }
+
+  report.deadlock_free = true;
+  return report;
+}
+
+Result<bool> IsDeadlockPrefix(const TransactionSystem& sys,
+                              const PrefixSet& prefix, uint64_t max_states) {
+  ReductionGraph rg(prefix);
+  if (!rg.HasCycle()) return false;
+  StateSpace space(&sys);
+  auto sched = space.FindScheduleBetween(space.EmptyState(),
+                                         space.StateOf(prefix), max_states);
+  if (!sched.ok()) return sched.status();
+  return sched->has_value();
+}
+
+}  // namespace wydb

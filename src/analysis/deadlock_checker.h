@@ -1,0 +1,71 @@
+// Exact deadlock-freedom decision (Theorem 1).
+//
+// Two equivalent formulations are implemented, both exploring the
+// reachable execution states (= prefixes admitting a schedule):
+//   * kStuckState:      look for a reachable, incomplete state with no
+//                       legal move — a deadlock partial schedule.
+//   * kReductionGraph:  look for a reachable prefix whose reduction graph
+//                       is cyclic — a deadlock prefix (Theorem 1). This
+//                       detects doom earlier but decides the same
+//                       predicate; the equivalence is property-tested.
+// Worst-case exponential — Theorem 2 proves this is unavoidable in general
+// (coNP-completeness even for two transactions).
+#ifndef WYDB_ANALYSIS_DEADLOCK_CHECKER_H_
+#define WYDB_ANALYSIS_DEADLOCK_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "core/prefix.h"
+#include "core/schedule.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// How DeadlockChecker recognizes a deadlock.
+enum class DeadlockDetectionMode {
+  kStuckState,
+  kReductionGraph,
+};
+
+struct DeadlockCheckOptions {
+  DeadlockDetectionMode mode = DeadlockDetectionMode::kStuckState;
+  /// Abort with ResourceExhausted after visiting this many states
+  /// (0 = unbounded).
+  uint64_t max_states = 5'000'000;
+  /// When false, skip memoization of visited states (ablation knob for the
+  /// bench suite; exponentially slower on diamond-shaped state spaces).
+  bool memoize = true;
+};
+
+/// Evidence that a system can deadlock.
+struct DeadlockWitness {
+  /// A partial schedule leading to the deadlock prefix / stuck state.
+  Schedule schedule;
+  /// The prefix executed by `schedule`.
+  std::vector<std::vector<NodeId>> prefix_nodes;
+  /// For kReductionGraph: the cycle found in R(A'), as "T.Lx -> ..." text.
+  std::string reduction_cycle;
+};
+
+struct DeadlockReport {
+  bool deadlock_free = false;
+  std::optional<DeadlockWitness> witness;
+  uint64_t states_visited = 0;
+};
+
+/// Decides deadlock-freedom of `sys` exactly.
+Result<DeadlockReport> CheckDeadlockFreedom(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options = {});
+
+/// Convenience: tests whether `prefix` is a deadlock prefix in the sense of
+/// Section 3 — it admits a schedule AND its reduction graph is cyclic.
+Result<bool> IsDeadlockPrefix(const TransactionSystem& sys,
+                              const PrefixSet& prefix,
+                              uint64_t max_states = 5'000'000);
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_DEADLOCK_CHECKER_H_

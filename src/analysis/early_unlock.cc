@@ -1,0 +1,180 @@
+#include "analysis/early_unlock.h"
+
+#include <algorithm>
+
+#include "analysis/multi_analyzer.h"
+#include "common/macros.h"
+
+namespace wydb {
+namespace {
+
+// Returns the step sequence if `t` is a total order, empty otherwise.
+std::vector<NodeId> TotalOrderOf(const Transaction& t) {
+  std::vector<NodeId> order = t.SomeLinearExtension();
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    if (!t.Precedes(order[i], order[i + 1])) return {};
+  }
+  return order;
+}
+
+Result<Transaction> RebuildSequence(const Database* db,
+                                    const std::string& name,
+                                    const std::vector<Step>& steps) {
+  std::vector<std::pair<int, int>> arcs;
+  for (int i = 0; i + 1 < static_cast<int>(steps.size()); ++i) {
+    arcs.emplace_back(i, i + 1);
+  }
+  return Transaction::Create(db, name, steps, std::move(arcs));
+}
+
+}  // namespace
+
+int64_t HoldingCost(const Transaction& t) {
+  std::vector<NodeId> order = TotalOrderOf(t);
+  if (order.empty() && t.num_steps() > 1) return -1;
+  std::vector<int64_t> pos(t.num_steps());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  int64_t cost = 0;
+  for (EntityId e : t.entities()) {
+    cost += pos[t.UnlockNode(e)] - pos[t.LockNode(e)];
+  }
+  return cost;
+}
+
+Result<EarlyUnlockResult> OptimizeEarlyUnlock(
+    const TransactionSystem& sys, const EarlyUnlockOptions& options) {
+  MultiCheckOptions mopts;
+  mopts.max_cycles = options.max_cycles;
+  {
+    WYDB_ASSIGN_OR_RETURN(MultiReport base,
+                          CheckSystemSafeAndDeadlockFree(sys, mopts));
+    if (!base.safe_and_deadlock_free) {
+      return Status::FailedPrecondition(
+          "input system is not safe+deadlock-free; early unlocking can "
+          "only preserve a certificate, not create one");
+    }
+  }
+
+  const Database* db = &sys.db();
+  const int n = sys.num_transactions();
+
+  // Working copy: per-transaction step sequences; partial orders kept as
+  // immutable Transaction copies.
+  std::vector<std::vector<Step>> seq(n);
+  std::vector<bool> is_total(n, false);
+  EarlyUnlockResult result;
+  for (int i = 0; i < n; ++i) {
+    const Transaction& t = sys.txn(i);
+    std::vector<NodeId> order = TotalOrderOf(t);
+    if (order.empty() && t.num_steps() > 1) {
+      ++result.skipped_partial;
+      continue;
+    }
+    is_total[i] = true;
+    for (NodeId v : order) seq[i].push_back(t.step(v));
+    result.holding_cost_before += HoldingCost(t);
+  }
+
+  // Materializes the current working system.
+  auto build = [&]() -> Result<TransactionSystem> {
+    std::vector<Transaction> txns;
+    for (int i = 0; i < n; ++i) {
+      if (is_total[i]) {
+        WYDB_ASSIGN_OR_RETURN(
+            Transaction t, RebuildSequence(db, sys.txn(i).name(), seq[i]));
+        txns.push_back(std::move(t));
+      } else {
+        txns.push_back(sys.txn(i));
+      }
+    }
+    return TransactionSystem::Create(db, std::move(txns));
+  };
+
+  // Holding cost of a sequence directly (positions = indices).
+  auto seq_cost = [](const std::vector<Step>& s) {
+    int64_t cost = 0;
+    std::vector<std::pair<EntityId, int>> locks;
+    for (int p = 0; p < static_cast<int>(s.size()); ++p) {
+      if (s[p].kind == StepKind::kLock) {
+        locks.emplace_back(s[p].entity, p);
+      } else {
+        for (const auto& [e, lp] : locks) {
+          if (e == s[p].entity) cost += p - lp;
+        }
+      }
+    }
+    return cost;
+  };
+
+  // Greedy: relocate each Unlock to the furthest-left position that (a)
+  // stays after its own Lock, (b) strictly decreases the transaction's
+  // holding cost, and (c) keeps the Theorem 4 certificate. Each committed
+  // move strictly decreases the total integer cost, so the loop
+  // terminates.
+  bool progress = true;
+  bool budget_hit = false;
+  while (progress && !budget_hit) {
+    progress = false;
+    for (int i = 0; i < n && !budget_hit; ++i) {
+      if (!is_total[i]) continue;
+      const int len = static_cast<int>(seq[i].size());
+      for (int q = 1; q < len && !budget_hit; ++q) {
+        if (options.max_moves != 0 &&
+            result.moves_committed >= options.max_moves) {
+          budget_hit = true;
+          break;
+        }
+        if (seq[i][q].kind != StepKind::kUnlock) continue;
+        // Own lock position bounds how far left the unlock may travel.
+        int own_lock = -1;
+        for (int p = 0; p < q; ++p) {
+          if (seq[i][p].kind == StepKind::kLock &&
+              seq[i][p].entity == seq[i][q].entity) {
+            own_lock = p;
+          }
+        }
+        const int64_t cost_now = seq_cost(seq[i]);
+        const std::vector<Step> original = seq[i];
+        bool committed = false;
+        for (int p = own_lock + 1; p < q && !committed; ++p) {
+          // Move step q to position p (shifting p..q-1 right).
+          std::vector<Step> moved = original;
+          Step u = moved[q];
+          moved.erase(moved.begin() + q);
+          moved.insert(moved.begin() + p, u);
+          if (seq_cost(moved) >= cost_now) continue;
+          seq[i] = moved;
+          auto candidate = build();
+          bool keep = false;
+          if (candidate.ok()) {
+            auto check = CheckSystemSafeAndDeadlockFree(*candidate, mopts);
+            if (!check.ok()) {
+              seq[i] = original;
+              return check.status();
+            }
+            keep = check->safe_and_deadlock_free;
+          }
+          if (keep) {
+            ++result.moves_committed;
+            progress = true;
+            committed = true;
+          } else {
+            seq[i] = original;
+            ++result.moves_rejected;
+          }
+        }
+      }
+    }
+  }
+
+  WYDB_ASSIGN_OR_RETURN(TransactionSystem final_sys, build());
+  for (int i = 0; i < n; ++i) {
+    if (is_total[i]) {
+      result.holding_cost_after += HoldingCost(final_sys.txn(i));
+    }
+  }
+  result.system = std::move(final_sys);
+  return result;
+}
+
+}  // namespace wydb

@@ -1,0 +1,175 @@
+#include "analysis/pair_analyzer.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace wydb {
+namespace {
+
+Status CheckSameDb(const Transaction& t1, const Transaction& t2) {
+  if (&t1.db() != &t2.db()) {
+    return Status::InvalidArgument(
+        "transactions are bound to different databases");
+  }
+  return Status::OK();
+}
+
+std::vector<EntityId> Shared(const Transaction& t1, const Transaction& t2) {
+  std::vector<EntityId> r;
+  std::set_intersection(t1.entities().begin(), t1.entities().end(),
+                        t2.entities().begin(), t2.entities().end(),
+                        std::back_inserter(r));
+  return r;
+}
+
+PairVerdict OkVerdict(EntityId dominating) {
+  PairVerdict v;
+  v.safe_and_deadlock_free = true;
+  v.failure = PairFailure::kNone;
+  v.dominating_entity = dominating;
+  return v;
+}
+
+PairVerdict NoDominating(const Transaction& t1, const Transaction& t2) {
+  PairVerdict v;
+  v.safe_and_deadlock_free = false;
+  v.failure = PairFailure::kNoDominatingEntity;
+  v.explanation = StrFormat(
+      "no shared entity is locked before all other shared entities in both "
+      "'%s' and '%s' (condition (1) of Theorem 3)",
+      t1.name().c_str(), t2.name().c_str());
+  return v;
+}
+
+PairVerdict Uncovered(const Transaction& t1, const Transaction& t2,
+                      EntityId x, EntityId y) {
+  PairVerdict v;
+  v.safe_and_deadlock_free = false;
+  v.failure = PairFailure::kUncoveredEntity;
+  v.dominating_entity = x;
+  v.offending_entity = y;
+  v.explanation = StrFormat(
+      "shared entity '%s' is uncovered between '%s' and '%s' "
+      "(condition (2) of Theorem 3)",
+      t1.db().EntityName(y).c_str(), t1.name().c_str(), t2.name().c_str());
+  return v;
+}
+
+}  // namespace
+
+EntityId FindDominatingEntity(const Transaction& t1, const Transaction& t2) {
+  std::vector<EntityId> r = Shared(t1, t2);
+  for (EntityId x : r) {
+    bool dominates = true;
+    for (EntityId y : r) {
+      if (y == x) continue;
+      if (!t1.Precedes(t1.LockNode(x), t1.LockNode(y)) ||
+          !t2.Precedes(t2.LockNode(x), t2.LockNode(y))) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) return x;  // Unique if it exists (locks are a poset).
+  }
+  return kInvalidEntity;
+}
+
+Result<PairVerdict> CheckPairTheorem3(const Transaction& t1,
+                                      const Transaction& t2) {
+  WYDB_RETURN_IF_ERROR(CheckSameDb(t1, t2));
+  std::vector<EntityId> r = Shared(t1, t2);
+  if (r.empty()) return OkVerdict(kInvalidEntity);
+  if (r.size() == 1) {
+    // A single shared entity trivially dominates and needs no cover.
+    return OkVerdict(r[0]);
+  }
+
+  EntityId x = FindDominatingEntity(t1, t2);
+  if (x == kInvalidEntity) return NoDominating(t1, t2);
+
+  // Condition (2): z covers y in (T, T') if T unlocks z only after Ly
+  // while not necessarily locking it first (z in L_T(Ly)), and T' locks z
+  // before Ly (z in R_{T'}(Ly)).
+  auto covered = [&](const Transaction& ta, const Transaction& tb,
+                     EntityId y) {
+    NodeId lya = ta.LockNode(y);
+    NodeId lyb = tb.LockNode(y);
+    for (EntityId z : r) {
+      if (z == y) continue;
+      bool in_l_ta = ta.Precedes(lya, ta.UnlockNode(z)) &&
+                     !ta.Precedes(lya, ta.LockNode(z));
+      if (!in_l_ta) continue;
+      if (tb.Precedes(tb.LockNode(z), lyb)) return true;
+    }
+    return false;
+  };
+
+  for (EntityId y : r) {
+    if (y == x) continue;
+    if (!covered(t1, t2, y) || !covered(t2, t1, y)) {
+      return Uncovered(t1, t2, x, y);
+    }
+  }
+  return OkVerdict(x);
+}
+
+Result<PairVerdict> CheckPairMinimalPrefix(const Transaction& t1,
+                                           const Transaction& t2) {
+  WYDB_RETURN_IF_ERROR(CheckSameDb(t1, t2));
+  std::vector<EntityId> r = Shared(t1, t2);
+  if (r.empty()) return OkVerdict(kInvalidEntity);
+  if (r.size() == 1) return OkVerdict(r[0]);
+
+  EntityId x = FindDominatingEntity(t1, t2);
+  if (x == kInvalidEntity) return NoDominating(t1, t2);
+
+  // For each shared y != x and each side (ta, tb): compute the minimal
+  // prefix of ta that (a) contains every strict predecessor of Ly in ta and
+  // (b) for each z locked before Ly in tb, contains Uz whenever it
+  // contains Lz. If that prefix avoids Ly, a violating extension pair
+  // exists for this y.
+  auto side_violates = [&](const Transaction& ta, const Transaction& tb,
+                           EntityId y) {
+    NodeId lya = ta.LockNode(y);
+    NodeId lyb = tb.LockNode(y);
+    const int n = ta.num_steps();
+    std::vector<bool> in_prefix(n, false);
+    for (NodeId u = 0; u < n; ++u) {
+      if (ta.Precedes(u, lya)) in_prefix[u] = true;
+    }
+    // Entities z with Lz preceding Ly in tb (R_{T2}(Ly) for the minimal
+    // extension of tb).
+    std::vector<EntityId> r_tb;
+    for (EntityId z : r) {
+      if (z != y && tb.Precedes(tb.LockNode(z), lyb)) r_tb.push_back(z);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (EntityId z : r_tb) {
+        NodeId lz = ta.LockNode(z);
+        NodeId uz = ta.UnlockNode(z);
+        if (in_prefix[lz] && !in_prefix[uz]) {
+          in_prefix[uz] = true;
+          for (NodeId u = 0; u < n; ++u) {
+            if (ta.Precedes(u, uz)) in_prefix[u] = true;
+          }
+          changed = true;
+        }
+      }
+    }
+    return !in_prefix[lya];
+  };
+
+  for (EntityId y : r) {
+    if (y == x) continue;
+    if (side_violates(t1, t2, y) || side_violates(t2, t1, y)) {
+      return Uncovered(t1, t2, x, y);
+    }
+  }
+  return OkVerdict(x);
+}
+
+}  // namespace wydb

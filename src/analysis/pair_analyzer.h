@@ -1,0 +1,62 @@
+// Safety + deadlock-freedom of a PAIR of distributed transactions in
+// polynomial time (Section 5, Theorem 3 and Corollary 2).
+//
+// Even though safety alone and deadlock-freedom alone are coNP-complete
+// for two distributed transactions ([KP2] and Theorem 2 respectively),
+// their conjunction is decidable in O(n^2):
+//   (1) some shared entity x is locked before every other shared entity
+//       in both transactions, and
+//   (2) for every other shared y, L_{T1}(Ly) ∩ R_{T2}(Ly) and
+//       L_{T2}(Ly) ∩ R_{T1}(Ly) are nonempty,
+// where R_T(s) = entities locked before s in T, and L_T(s) = entities z
+// with s preceding Uz but not Lz.
+//
+// The O(n^3) minimal-prefix algorithm the paper develops first is kept as
+// CheckPairMinimalPrefix — an independent oracle and the ablation baseline
+// for bench_pair.
+#ifndef WYDB_ANALYSIS_PAIR_ANALYZER_H_
+#define WYDB_ANALYSIS_PAIR_ANALYZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/transaction.h"
+
+namespace wydb {
+
+/// Why a pair failed (or passed) the test.
+enum class PairFailure {
+  kNone,                ///< Safe and deadlock-free.
+  kNoDominatingEntity,  ///< Condition (1) fails.
+  kUncoveredEntity,     ///< Condition (2) fails for some y.
+};
+
+struct PairVerdict {
+  bool safe_and_deadlock_free = false;
+  PairFailure failure = PairFailure::kNone;
+  /// The dominating first-locked shared entity x (kInvalidEntity when the
+  /// transactions share nothing or condition (1) fails).
+  EntityId dominating_entity = kInvalidEntity;
+  /// For kUncoveredEntity: the y whose cover sets came up empty.
+  EntityId offending_entity = kInvalidEntity;
+  std::string explanation;
+};
+
+/// Theorem 3 test, O(n^2) given transitively-closed transactions.
+/// Requires t1, t2 bound to the same database.
+Result<PairVerdict> CheckPairTheorem3(const Transaction& t1,
+                                      const Transaction& t2);
+
+/// The O(n^3) minimal-prefix variant from Section 5. Decides the same
+/// predicate (the per-entity diagnostics may differ; only the verdict and
+/// condition-(1) outputs are guaranteed to match Theorem 3).
+Result<PairVerdict> CheckPairMinimalPrefix(const Transaction& t1,
+                                           const Transaction& t2);
+
+/// Condition (1) helper, exposed for MultiAnalyzer: the unique shared
+/// entity locked first in both transactions, or kInvalidEntity.
+EntityId FindDominatingEntity(const Transaction& t1, const Transaction& t2);
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_PAIR_ANALYZER_H_

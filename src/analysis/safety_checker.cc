@@ -1,0 +1,200 @@
+#include "analysis/safety_checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "core/state_space.h"
+#include "graph/algorithms.h"
+
+namespace wydb {
+namespace {
+
+// Search state: executed steps plus the arc set of D(S') packed as an
+// n*n bitmask appended to the exec words (arc i->j at bit i*n + j).
+struct LemmaState {
+  std::vector<uint64_t> words;
+  bool operator==(const LemmaState&) const = default;
+};
+
+struct LemmaStateHash {
+  size_t operator()(const LemmaState& s) const {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (uint64_t w : s.words) {
+      h ^= w;
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+class LemmaSearch {
+ public:
+  LemmaSearch(const TransactionSystem& sys, const SafetyCheckOptions& options,
+              bool require_complete)
+      : sys_(sys),
+        options_(options),
+        require_complete_(require_complete),
+        space_(&sys),
+        n_(sys.num_transactions()),
+        exec_words_(space_.words_per_state()),
+        arc_words_((n_ * n_ + 63) / 64) {}
+
+  Result<SafetyReport> Run();
+
+ private:
+  LemmaState Root() const {
+    LemmaState s;
+    s.words.assign(exec_words_ + arc_words_, 0);
+    return s;
+  }
+
+  ExecState ExecOf(const LemmaState& s) const {
+    ExecState e;
+    e.words.assign(s.words.begin(), s.words.begin() + exec_words_);
+    return e;
+  }
+
+  bool ArcSet(const LemmaState& s, int i, int j) const {
+    int bit = i * n_ + j;
+    return (s.words[exec_words_ + bit / 64] >> (bit % 64)) & 1;
+  }
+
+  void AddArc(LemmaState* s, int i, int j) const {
+    int bit = i * n_ + j;
+    s->words[exec_words_ + bit / 64] |= 1ULL << (bit % 64);
+  }
+
+  Digraph ArcsDigraph(const LemmaState& s) const {
+    Digraph d(n_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        if (i != j && ArcSet(s, i, j)) d.AddArc(i, j);
+      }
+    }
+    return d;
+  }
+
+  // Applies `g`, updating arcs per the partial-schedule digraph D(S')
+  // definition of Section 5.
+  LemmaState Apply(const LemmaState& s, GlobalNode g) const {
+    LemmaState next = s;
+    ExecState exec = ExecOf(s);
+    ExecState exec_next = space_.Apply(exec, g);
+    for (int w = 0; w < exec_words_; ++w) next.words[w] = exec_next.words[w];
+
+    const Step& st = sys_.txn(g.txn).step(g.node);
+    if (st.kind == StepKind::kLock) {
+      EntityId x = st.entity;
+      for (int j : sys_.AccessorsOf(x)) {
+        if (j == g.txn) continue;
+        NodeId lj = sys_.txn(j).LockNode(x);
+        if (space_.IsExecuted(exec, j, lj)) {
+          AddArc(&next, j, g.txn);  // Tj locked x earlier in S'.
+        } else {
+          AddArc(&next, g.txn, j);  // Ti locks first, even if Lx of Tj
+                                    // never executes in S'.
+        }
+      }
+    }
+    return next;
+  }
+
+  const TransactionSystem& sys_;
+  const SafetyCheckOptions& options_;
+  const bool require_complete_;
+  StateSpace space_;
+  const int n_;
+  const int exec_words_;
+  const int arc_words_;
+};
+
+Result<SafetyReport> LemmaSearch::Run() {
+  SafetyReport report;
+  std::unordered_set<LemmaState, LemmaStateHash> visited;
+  std::unordered_map<LemmaState, std::pair<LemmaState, GlobalNode>,
+                     LemmaStateHash>
+      parent;
+  std::vector<LemmaState> queue;
+  LemmaState root = Root();
+  queue.push_back(root);
+  visited.insert(root);
+
+  auto path_to = [&](const LemmaState& state) {
+    Schedule rev;
+    LemmaState cur = state;
+    while (!(cur == root)) {
+      auto it = parent.find(cur);
+      rev.push_back(it->second.second);
+      cur = it->second.first;
+    }
+    return Schedule(rev.rbegin(), rev.rend());
+  };
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    LemmaState s = queue[head];
+    ++report.states_visited;
+    if (options_.max_states != 0 &&
+        report.states_visited > options_.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "safety check exceeded %llu states",
+          static_cast<unsigned long long>(options_.max_states)));
+    }
+
+    Digraph arcs = ArcsDigraph(s);
+    std::vector<NodeId> cycle = FindCycle(arcs);
+    if (!cycle.empty()) {
+      Schedule sched = path_to(s);
+      if (!require_complete_) {
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      // Safety alone: the cyclic partial schedule only matters if it can
+      // be extended to a complete schedule. Arc sets only grow, so the
+      // completed schedule is also cyclic.
+      auto completion =
+          space_.FindCompletion(ExecOf(s), options_.max_states);
+      if (!completion.ok()) return completion.status();
+      if (completion->has_value()) {
+        sched.insert(sched.end(), (*completion)->begin(),
+                     (*completion)->end());
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      // Not completable: neither this state nor any descendant can reach a
+      // complete schedule — prune the subtree.
+      continue;
+    }
+
+    for (GlobalNode g : space_.LegalMoves(ExecOf(s))) {
+      LemmaState next = Apply(s, g);
+      if (visited.insert(next).second) {
+        parent.emplace(next, std::make_pair(s, g));
+        queue.push_back(next);
+      }
+    }
+  }
+
+  report.holds = true;
+  return report;
+}
+
+}  // namespace
+
+Result<SafetyReport> CheckSafeAndDeadlockFree(
+    const TransactionSystem& sys, const SafetyCheckOptions& options) {
+  LemmaSearch search(sys, options, /*require_complete=*/false);
+  return search.Run();
+}
+
+Result<SafetyReport> CheckSafety(const TransactionSystem& sys,
+                                 const SafetyCheckOptions& options) {
+  LemmaSearch search(sys, options, /*require_complete=*/true);
+  return search.Run();
+}
+
+}  // namespace wydb

@@ -1,0 +1,53 @@
+// Exact safety and safety+deadlock-freedom decisions (Lemma 1).
+//
+// Lemma 1: a system is safe AND deadlock-free iff the conflict digraph
+// D(S') of every partial schedule S' is acyclic. The checker explores
+// reachable (state, conflict-arc-set) pairs; a reachable cyclic D(S') is a
+// violation witness. Pure safety additionally requires the violating
+// schedule to be completable.
+//
+// Exponential in the worst case; the polynomial algorithms of Section 5
+// (PairAnalyzer, MultiAnalyzer) are the paper's contribution — this module
+// is their ground-truth oracle at small sizes.
+#ifndef WYDB_ANALYSIS_SAFETY_CHECKER_H_
+#define WYDB_ANALYSIS_SAFETY_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "core/schedule.h"
+#include "core/system.h"
+
+namespace wydb {
+
+struct SafetyCheckOptions {
+  uint64_t max_states = 5'000'000;  ///< 0 = unbounded.
+};
+
+struct SafetyViolation {
+  /// A partial (for safe+DF) or complete (for safety) schedule whose
+  /// conflict digraph is cyclic.
+  Schedule schedule;
+  /// The D(S') cycle, as transaction indices.
+  std::vector<int> txn_cycle;
+};
+
+struct SafetyReport {
+  bool holds = false;  ///< The checked property (see function) holds.
+  std::optional<SafetyViolation> violation;
+  uint64_t states_visited = 0;
+};
+
+/// Decides "safe and deadlock-free" exactly via Lemma 1.
+Result<SafetyReport> CheckSafeAndDeadlockFree(
+    const TransactionSystem& sys, const SafetyCheckOptions& options = {});
+
+/// Decides safety alone: every *complete* schedule serializable.
+Result<SafetyReport> CheckSafety(const TransactionSystem& sys,
+                                 const SafetyCheckOptions& options = {});
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SAFETY_CHECKER_H_

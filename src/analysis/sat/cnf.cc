@@ -1,0 +1,52 @@
+#include "analysis/sat/cnf.h"
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+bool CnfFormula::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (const Literal& l : clause) {
+      if (assignment[l.var] == l.positive) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Status CnfFormula::Validate() const {
+  for (int i = 0; i < num_clauses(); ++i) {
+    if (clauses_[i].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("clause %d is empty (trivially unsatisfiable)", i));
+    }
+    for (const Literal& l : clauses_[i]) {
+      if (l.var < 0 || l.var >= num_vars_) {
+        return Status::InvalidArgument(
+            StrFormat("clause %d references variable %d out of range", i,
+                      l.var));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (const auto& clause : clauses_) {
+    out += "(";
+    for (size_t i = 0; i < clause.size(); ++i) {
+      if (i) out += " + ";
+      if (!clause[i].positive) out += "!";
+      out += StrFormat("x%d", clause[i].var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace wydb

@@ -1,0 +1,59 @@
+// Minimal CNF formula model used by the Theorem 2 reduction and its DPLL
+// oracle.
+#ifndef WYDB_ANALYSIS_SAT_CNF_H_
+#define WYDB_ANALYSIS_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wydb {
+
+/// A literal: variable index (0-based) and polarity.
+struct Literal {
+  int var;
+  bool positive;
+
+  bool operator==(const Literal&) const = default;
+};
+
+/// \brief CNF formula: conjunction of clauses, each a disjunction of
+/// literals.
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  CnfFormula(int num_vars, std::vector<std::vector<Literal>> clauses)
+      : num_vars_(num_vars), clauses_(std::move(clauses)) {}
+
+  int num_vars() const { return num_vars_; }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  const std::vector<std::vector<Literal>>& clauses() const {
+    return clauses_;
+  }
+  const std::vector<Literal>& clause(int i) const { return clauses_[i]; }
+
+  void AddClause(std::vector<Literal> lits) {
+    for (const Literal& l : lits) {
+      if (l.var >= num_vars_) num_vars_ = l.var + 1;
+    }
+    clauses_.push_back(std::move(lits));
+  }
+
+  /// True iff `assignment` (one bool per variable) satisfies the formula.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// Well-formedness: in-range variables, nonempty clauses.
+  Status Validate() const;
+
+  /// "(x0 + !x1)(x2)" style rendering.
+  std::string ToString() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::vector<Literal>> clauses_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SAT_CNF_H_

@@ -1,0 +1,150 @@
+#include "analysis/sat/dpll.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wydb {
+namespace {
+
+enum class Value : uint8_t { kUnset, kTrue, kFalse };
+
+class Solver {
+ public:
+  Solver(const CnfFormula& f, const DpllOptions& options)
+      : f_(f), options_(options), value_(f.num_vars(), Value::kUnset) {}
+
+  Result<DpllResult> Run() {
+    DpllResult res;
+    bool sat = Search(&res);
+    if (exhausted_) {
+      return Status::ResourceExhausted(
+          StrFormat("DPLL exceeded %llu decisions",
+                    static_cast<unsigned long long>(options_.max_decisions)));
+    }
+    res.satisfiable = sat;
+    if (sat) {
+      res.assignment.resize(f_.num_vars());
+      for (int v = 0; v < f_.num_vars(); ++v) {
+        res.assignment[v] = value_[v] != Value::kFalse;
+      }
+    }
+    res.decisions = decisions_;
+    return res;
+  }
+
+ private:
+  bool LitTrue(const Literal& l) const {
+    return value_[l.var] == (l.positive ? Value::kTrue : Value::kFalse);
+  }
+  bool LitFalse(const Literal& l) const {
+    return value_[l.var] == (l.positive ? Value::kFalse : Value::kTrue);
+  }
+
+  // Returns kUnsat / kSat / kUnknown-style: 0 conflict, 1 all satisfied,
+  // 2 undecided. Fills `unit` with a forced literal if found.
+  int Inspect(std::optional<Literal>* unit) const {
+    bool all_sat = true;
+    for (const auto& clause : f_.clauses()) {
+      bool sat = false;
+      int unassigned = 0;
+      Literal last{0, true};
+      for (const Literal& l : clause) {
+        if (LitTrue(l)) {
+          sat = true;
+          break;
+        }
+        if (!LitFalse(l)) {
+          ++unassigned;
+          last = l;
+        }
+      }
+      if (sat) continue;
+      if (unassigned == 0) return 0;
+      all_sat = false;
+      if (unassigned == 1 && !unit->has_value()) *unit = last;
+    }
+    return all_sat ? 1 : 2;
+  }
+
+  bool Search(DpllResult* res) {
+    if (exhausted_) return false;
+    // Unit propagation to fixpoint.
+    std::vector<int> trail;
+    for (;;) {
+      std::optional<Literal> unit;
+      int state = Inspect(&unit);
+      if (state == 0) {
+        for (int v : trail) value_[v] = Value::kUnset;
+        return false;
+      }
+      if (state == 1) return true;
+      if (!unit.has_value()) break;
+      value_[unit->var] = unit->positive ? Value::kTrue : Value::kFalse;
+      trail.push_back(unit->var);
+    }
+
+    // Branch on the most frequently occurring unset variable.
+    std::vector<int> freq(f_.num_vars(), 0);
+    for (const auto& clause : f_.clauses()) {
+      bool sat = false;
+      for (const Literal& l : clause) {
+        if (LitTrue(l)) {
+          sat = true;
+          break;
+        }
+      }
+      if (sat) continue;
+      for (const Literal& l : clause) {
+        if (value_[l.var] == Value::kUnset) freq[l.var]++;
+      }
+    }
+    int var = -1;
+    for (int v = 0; v < f_.num_vars(); ++v) {
+      if (value_[v] == Value::kUnset && (var == -1 || freq[v] > freq[var])) {
+        var = v;
+      }
+    }
+    if (var == -1) {
+      // All assigned and no conflict => satisfied (Inspect said undecided
+      // only because of empty frequency; defensive).
+      for (int v : trail) value_[v] = Value::kUnset;
+      return true;
+    }
+
+    ++decisions_;
+    if (options_.max_decisions != 0 &&
+        decisions_ > options_.max_decisions) {
+      exhausted_ = true;
+      for (int v : trail) value_[v] = Value::kUnset;
+      return false;
+    }
+
+    for (Value val : {Value::kTrue, Value::kFalse}) {
+      value_[var] = val;
+      if (Search(res)) return true;
+      value_[var] = Value::kUnset;
+      if (exhausted_) break;
+    }
+    for (int v : trail) value_[v] = Value::kUnset;
+    return false;
+  }
+
+  const CnfFormula& f_;
+  const DpllOptions& options_;
+  std::vector<Value> value_;
+  uint64_t decisions_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<DpllResult> SolveDpll(const CnfFormula& formula,
+                             const DpllOptions& options) {
+  Status valid = formula.Validate();
+  if (!valid.ok()) return valid;
+  Solver solver(formula, options);
+  return solver.Run();
+}
+
+}  // namespace wydb

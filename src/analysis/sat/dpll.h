@@ -1,0 +1,35 @@
+// DPLL satisfiability solver: the oracle used to cross-validate the
+// Theorem 2 reduction (formula satisfiable <=> reduced pair has a
+// deadlock).
+#ifndef WYDB_ANALYSIS_SAT_DPLL_H_
+#define WYDB_ANALYSIS_SAT_DPLL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/sat/cnf.h"
+#include "common/result.h"
+
+namespace wydb {
+
+struct DpllOptions {
+  /// Give up (ResourceExhausted) after this many decisions (0 = unbounded).
+  uint64_t max_decisions = 50'000'000;
+};
+
+struct DpllResult {
+  bool satisfiable = false;
+  /// A satisfying assignment when satisfiable.
+  std::vector<bool> assignment;
+  uint64_t decisions = 0;
+};
+
+/// Decides satisfiability with unit propagation, pure-literal elimination
+/// and most-frequent-variable branching.
+Result<DpllResult> SolveDpll(const CnfFormula& formula,
+                             const DpllOptions& options = {});
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SAT_DPLL_H_

@@ -1,0 +1,188 @@
+#include "analysis/sat/reduction.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/transaction_builder.h"
+
+namespace wydb {
+namespace {
+
+// Builds one of the two reduction transactions. `arc` pairs are
+// (lock-entity, unlock-entity): an arc from L<first> to U<second>.
+Result<Transaction> BuildTxn(
+    const Database* db, const std::string& name,
+    const std::vector<EntityId>& entities,
+    const std::vector<std::pair<EntityId, EntityId>>& arcs,
+    std::vector<NodeId>* lock_step, std::vector<NodeId>* unlock_step) {
+  TransactionBuilder b(db, name);
+  b.set_auto_site_chain(false);
+  lock_step->assign(db->num_entities(), kInvalidNode);
+  unlock_step->assign(db->num_entities(), kInvalidNode);
+  for (EntityId e : entities) {
+    (*lock_step)[e] = b.LockId(e);
+    (*unlock_step)[e] = b.UnlockId(e);
+  }
+  for (const auto& [from, to] : arcs) {
+    b.Arc((*lock_step)[from], (*unlock_step)[to]);
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+Result<SatReduction> SatReduction::FromFormula(const CnfFormula& formula) {
+  SatReduction red;
+  red.formula_ = formula;
+  WYDB_ASSIGN_OR_RETURN(red.occ_, ValidateThreeSatPrime(formula));
+
+  const int r = formula.num_clauses();
+  const int n = formula.num_vars();
+  red.db_ = std::make_unique<Database>();
+
+  auto add_entity = [&](const std::string& name) -> Result<EntityId> {
+    // One site per entity: both transactions stay genuine partial orders.
+    return red.db_->AddEntityAtSite(name, "site_" + name);
+  };
+  for (int i = 0; i < r; ++i) {
+    WYDB_ASSIGN_OR_RETURN(EntityId e, add_entity(StrFormat("c%d", i)));
+    red.c_.push_back(e);
+    WYDB_ASSIGN_OR_RETURN(EntityId ep, add_entity(StrFormat("c'%d", i)));
+    red.cp_.push_back(ep);
+  }
+  for (int j = 0; j < n; ++j) {
+    WYDB_ASSIGN_OR_RETURN(EntityId e, add_entity(StrFormat("x%d", j)));
+    red.x_.push_back(e);
+    WYDB_ASSIGN_OR_RETURN(EntityId ep, add_entity(StrFormat("x'%d", j)));
+    red.xp_.push_back(ep);
+    WYDB_ASSIGN_OR_RETURN(EntityId epp, add_entity(StrFormat("x''%d", j)));
+    red.xpp_.push_back(epp);
+  }
+
+  std::vector<EntityId> all;
+  for (int i = 0; i < r; ++i) {
+    all.push_back(red.c_[i]);
+    all.push_back(red.cp_[i]);
+  }
+  for (int j = 0; j < n; ++j) {
+    all.push_back(red.x_[j]);
+    all.push_back(red.xp_[j]);
+    all.push_back(red.xpp_[j]);
+  }
+
+  auto next = [&](int i) { return (i + 1) % r; };
+
+  // Arc lists (Lfrom -> Uto); see DESIGN.md experiment F4/F5 and the
+  // cycle-component commentary in the header.
+  std::vector<std::pair<EntityId, EntityId>> arcs1, arcs2;
+  for (int i = 0; i < r; ++i) {
+    arcs1.emplace_back(red.cp_[i], red.c_[i]);  // L c'_i -> U c_i
+    arcs2.emplace_back(red.cp_[i], red.c_[i]);
+  }
+  for (int j = 0; j < n; ++j) {
+    const int h = red.occ_.first_positive[j];
+    const int k = red.occ_.second_positive[j];
+    const int l = red.occ_.negative[j];
+    // T1 gadgets.
+    arcs1.emplace_back(red.x_[j], red.xpp_[j]);      // Lx_j   -> Ux''_j
+    arcs1.emplace_back(red.c_[h], red.x_[j]);        // Lc_h   -> Ux_j
+    arcs1.emplace_back(red.c_[k], red.xp_[j]);       // Lc_k   -> Ux'_j
+    arcs1.emplace_back(red.xp_[j], red.c_[next(l)]);   // Lx'_j -> Uc_{l+1}
+    arcs1.emplace_back(red.xp_[j], red.cp_[next(l)]);  // Lx'_j -> Uc'_{l+1}
+    // T2 gadgets.
+    arcs2.emplace_back(red.xpp_[j], red.xp_[j]);     // Lx''_j -> Ux'_j
+    arcs2.emplace_back(red.c_[l], red.x_[j]);        // Lc_l   -> Ux_j
+    arcs2.emplace_back(red.x_[j], red.c_[next(h)]);    // Lx_j  -> Uc_{h+1}
+    arcs2.emplace_back(red.x_[j], red.cp_[next(h)]);   // Lx_j  -> Uc'_{h+1}
+    arcs2.emplace_back(red.xp_[j], red.c_[next(k)]);   // Lx'_j -> Uc_{k+1}
+    arcs2.emplace_back(red.xp_[j], red.cp_[next(k)]);  // Lx'_j -> Uc'_{k+1}
+  }
+
+  std::vector<NodeId> lock1, unlock1, lock2, unlock2;
+  WYDB_ASSIGN_OR_RETURN(
+      Transaction t1,
+      BuildTxn(red.db_.get(), "T1", all, arcs1, &lock1, &unlock1));
+  WYDB_ASSIGN_OR_RETURN(
+      Transaction t2,
+      BuildTxn(red.db_.get(), "T2", all, arcs2, &lock2, &unlock2));
+
+  std::vector<Transaction> txns;
+  txns.push_back(std::move(t1));
+  txns.push_back(std::move(t2));
+  WYDB_ASSIGN_OR_RETURN(TransactionSystem sys,
+                        TransactionSystem::Create(red.db_.get(),
+                                                  std::move(txns)));
+  red.system_ = std::make_unique<TransactionSystem>(std::move(sys));
+  return red;
+}
+
+Result<PrefixSet> SatReduction::WitnessPrefix(
+    const std::vector<bool>& assignment) const {
+  if (static_cast<int>(assignment.size()) != formula_.num_vars()) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  if (!formula_.IsSatisfiedBy(assignment)) {
+    return Status::FailedPrecondition(
+        "assignment does not satisfy the formula");
+  }
+  const Transaction& t1 = system_->txn(0);
+  const Transaction& t2 = system_->txn(1);
+  std::vector<std::vector<NodeId>> nodes(2);
+
+  auto hold1 = [&](EntityId e) { nodes[0].push_back(t1.LockNode(e)); };
+  auto hold2 = [&](EntityId e) { nodes[1].push_back(t2.LockNode(e)); };
+
+  for (int i = 0; i < formula_.num_clauses(); ++i) {
+    // Choose a literal z_i of clause i satisfied by the assignment.
+    const Literal* z = nullptr;
+    for (const Literal& l : formula_.clause(i)) {
+      if (assignment[l.var] == l.positive) {
+        z = &l;
+        break;
+      }
+    }
+    if (z == nullptr) {
+      return Status::Internal("satisfied formula with unsatisfied clause");
+    }
+    const int j = z->var;
+    if (z->positive) {
+      // Z_i = {L1 x_j, L1 x'_j, L2 c_i, L1 c'_i}.
+      hold1(x_[j]);
+      hold1(xp_[j]);
+      hold2(c_[i]);
+      hold1(cp_[i]);
+    } else {
+      // Z_i = {L2 x_j, L2 x'_j, L1 x''_j, L1 c_i, L2 c'_i}.
+      hold2(x_[j]);
+      hold2(xp_[j]);
+      hold1(xpp_[j]);
+      hold1(c_[i]);
+      hold2(cp_[i]);
+    }
+  }
+  return PrefixSet::FromNodeSets(system_.get(), nodes);
+}
+
+std::vector<bool> SatReduction::DecodeAssignment(
+    const std::vector<GlobalNode>& cycle) const {
+  const Transaction& t1 = system_->txn(0);
+  const Transaction& t2 = system_->txn(1);
+  std::vector<bool> assignment(formula_.num_vars(), true);
+  for (int j = 0; j < formula_.num_vars(); ++j) {
+    for (GlobalNode g : cycle) {
+      const Transaction& t = g.txn == 0 ? t1 : t2;
+      const Step& s = t.step(g.node);
+      if (s.kind != StepKind::kUnlock) continue;
+      if (g.txn == 0 && (s.entity == x_[j] || s.entity == xp_[j])) {
+        assignment[j] = true;
+        break;
+      }
+      if (g.txn == 1 && s.entity == x_[j]) {
+        assignment[j] = false;
+        break;
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace wydb

@@ -1,0 +1,66 @@
+// The Theorem 2 reduction: 3SAT' formula -> two distributed transactions
+// {T1, T2} such that the formula is satisfiable iff {T1, T2} has a
+// deadlock (i.e. the pair is NOT deadlock-free).
+//
+// Entities (each residing at its own site, so both transactions are
+// genuine partial orders): c_i, c'_i per clause; x_j, x'_j, x''_j per
+// variable. Both transactions lock and unlock every entity. The precedence
+// arcs are the Fig. 4 gadgets; see reduction.cc for the exact arc lists
+// and the correspondence to the paper's cycle components.
+#ifndef WYDB_ANALYSIS_SAT_REDUCTION_H_
+#define WYDB_ANALYSIS_SAT_REDUCTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/sat/cnf.h"
+#include "analysis/sat/threesat_prime.h"
+#include "common/result.h"
+#include "core/prefix.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// \brief The reduced instance plus the bookkeeping needed to map
+/// witnesses back and forth.
+class SatReduction {
+ public:
+  /// Performs the reduction. Fails unless `formula` is 3SAT'.
+  static Result<SatReduction> FromFormula(const CnfFormula& formula);
+
+  const TransactionSystem& system() const { return *system_; }
+  const Database& db() const { return *db_; }
+  const CnfFormula& formula() const { return formula_; }
+
+  /// Entity handles (indices follow the formula's clause/variable order).
+  EntityId c(int i) const { return c_[i]; }
+  EntityId cp(int i) const { return cp_[i]; }
+  EntityId x(int j) const { return x_[j]; }
+  EntityId xp(int j) const { return xp_[j]; }
+  EntityId xpp(int j) const { return xpp_[j]; }
+
+  /// Builds the deadlock-prefix witness from a satisfying assignment (the
+  /// Z_i sets of the completeness proof). The returned prefix consists of
+  /// Lock nodes only, admits a schedule trivially, and has a cyclic
+  /// reduction graph.
+  Result<PrefixSet> WitnessPrefix(const std::vector<bool>& assignment) const;
+
+  /// Decodes a reduction-graph cycle into a truth assignment per the
+  /// soundness proof: U1 x_j or U1 x'_j on the cycle => x_j true;
+  /// U2 x_j => false; untouched variables default to true.
+  std::vector<bool> DecodeAssignment(
+      const std::vector<GlobalNode>& cycle) const;
+
+ private:
+  SatReduction() = default;
+
+  CnfFormula formula_;
+  ThreeSatPrimeOccurrences occ_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TransactionSystem> system_;
+  std::vector<EntityId> c_, cp_, x_, xp_, xpp_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SAT_REDUCTION_H_

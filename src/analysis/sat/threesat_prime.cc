@@ -1,0 +1,143 @@
+#include "analysis/sat/threesat_prime.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+Result<ThreeSatPrimeOccurrences> ValidateThreeSatPrime(
+    const CnfFormula& formula) {
+  Status valid = formula.Validate();
+  if (!valid.ok()) return valid;
+
+  const int n = formula.num_vars();
+  ThreeSatPrimeOccurrences occ;
+  occ.first_positive.assign(n, -1);
+  occ.second_positive.assign(n, -1);
+  occ.negative.assign(n, -1);
+
+  for (int i = 0; i < formula.num_clauses(); ++i) {
+    const auto& clause = formula.clause(i);
+    if (clause.size() > 3) {
+      return Status::InvalidArgument(
+          StrFormat("clause %d has more than 3 literals", i));
+    }
+    for (size_t a = 0; a < clause.size(); ++a) {
+      for (size_t b = a + 1; b < clause.size(); ++b) {
+        if (clause[a].var == clause[b].var) {
+          return Status::InvalidArgument(StrFormat(
+              "clause %d mentions variable x%d twice", i, clause[a].var));
+        }
+      }
+    }
+    for (const Literal& l : clause) {
+      if (l.positive) {
+        if (occ.first_positive[l.var] == -1) {
+          occ.first_positive[l.var] = i;
+        } else if (occ.second_positive[l.var] == -1) {
+          occ.second_positive[l.var] = i;
+        } else {
+          return Status::InvalidArgument(StrFormat(
+              "variable x%d occurs positively more than twice", l.var));
+        }
+      } else {
+        if (occ.negative[l.var] != -1) {
+          return Status::InvalidArgument(StrFormat(
+              "variable x%d occurs negatively more than once", l.var));
+        }
+        occ.negative[l.var] = i;
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    if (occ.second_positive[j] == -1 || occ.negative[j] == -1) {
+      return Status::InvalidArgument(StrFormat(
+          "variable x%d does not occur exactly twice positively and once "
+          "negatively",
+          j));
+    }
+  }
+  return occ;
+}
+
+Result<CnfFormula> GenerateThreeSatPrime(
+    const ThreeSatPrimeGenOptions& opts) {
+  const int n = opts.num_vars;
+  if (n < 1) return Status::InvalidArgument("need at least one variable");
+  int r = opts.num_clauses == 0 ? (3 * n + 1) / 2 : opts.num_clauses;
+  if (r < n || r > 3 * n) {
+    return Status::InvalidArgument(StrFormat(
+        "num_clauses must lie in [%d, %d] for %d variables", n, 3 * n, n));
+  }
+
+  Rng rng(opts.seed);
+  // Tokens: (var, positive). Each variable contributes + + -.
+  struct Token {
+    int var;
+    bool positive;
+  };
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<Token> tokens;
+    tokens.reserve(3 * n);
+    for (int j = 0; j < n; ++j) {
+      tokens.push_back({j, true});
+      tokens.push_back({j, true});
+      tokens.push_back({j, false});
+    }
+    rng.Shuffle(&tokens);
+
+    std::vector<std::vector<Literal>> clauses(r);
+    auto fits = [&](int c, const Token& t) {
+      if (clauses[c].size() >= 3) return false;
+      for (const Literal& l : clauses[c]) {
+        if (l.var == t.var) return false;
+      }
+      return true;
+    };
+
+    bool ok = true;
+    size_t next = 0;
+    // Seed every clause with one token so none stays empty.
+    for (int c = 0; c < r && ok; ++c) {
+      bool placed = false;
+      for (size_t probe = next; probe < tokens.size(); ++probe) {
+        if (fits(c, tokens[probe])) {
+          std::swap(tokens[next], tokens[probe]);
+          clauses[c].push_back(
+              Literal{tokens[next].var, tokens[next].positive});
+          ++next;
+          placed = true;
+          break;
+        }
+      }
+      ok = placed;
+    }
+    // Distribute the rest.
+    for (size_t i = next; i < tokens.size() && ok; ++i) {
+      bool placed = false;
+      for (int tries = 0; tries < 4 * r && !placed; ++tries) {
+        int c = static_cast<int>(rng.NextBelow(r));
+        if (fits(c, tokens[i])) {
+          clauses[c].push_back(Literal{tokens[i].var, tokens[i].positive});
+          placed = true;
+        }
+      }
+      for (int c = 0; c < r && !placed; ++c) {
+        if (fits(c, tokens[i])) {
+          clauses[c].push_back(Literal{tokens[i].var, tokens[i].positive});
+          placed = true;
+        }
+      }
+      ok = placed;
+    }
+    if (!ok) continue;
+
+    CnfFormula f(n, std::move(clauses));
+    if (ValidateThreeSatPrime(f).ok()) return f;
+  }
+  return Status::Internal(
+      "failed to pack a 3SAT' instance after 64 attempts");
+}
+
+}  // namespace wydb

@@ -1,0 +1,45 @@
+// 3SAT' — the NP-complete fragment Theorem 2 reduces from: CNF with at
+// most 3 literals per clause where every variable occurs exactly twice
+// positively and exactly once negatively.
+#ifndef WYDB_ANALYSIS_SAT_THREESAT_PRIME_H_
+#define WYDB_ANALYSIS_SAT_THREESAT_PRIME_H_
+
+#include <cstdint>
+
+#include "analysis/sat/cnf.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace wydb {
+
+/// Per-variable occurrence map of a 3SAT' formula.
+struct ThreeSatPrimeOccurrences {
+  /// first_positive[j], second_positive[j], negative[j]: clause indices of
+  /// variable j's three occurrences (the paper's c_h, c_k, c_l).
+  std::vector<int> first_positive;
+  std::vector<int> second_positive;
+  std::vector<int> negative;
+};
+
+/// Checks the 3SAT' shape: <= 3 literals per clause, no clause mentioning
+/// a variable twice, each variable exactly twice positive + once negative.
+/// Returns the occurrence map on success.
+Result<ThreeSatPrimeOccurrences> ValidateThreeSatPrime(
+    const CnfFormula& formula);
+
+struct ThreeSatPrimeGenOptions {
+  int num_vars = 8;
+  /// Number of clauses; 0 picks ceil(3n/2). Must satisfy
+  /// num_vars <= num_clauses <= 3 * num_vars when nonzero.
+  int num_clauses = 0;
+  uint64_t seed = 1;
+};
+
+/// Generates a random 3SAT' instance by distributing each variable's three
+/// occurrence tokens over clause bins (capacity 3, distinct variables per
+/// clause, no empty clause).
+Result<CnfFormula> GenerateThreeSatPrime(const ThreeSatPrimeGenOptions& opts);
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SAT_THREESAT_PRIME_H_

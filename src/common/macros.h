@@ -1,0 +1,24 @@
+#ifndef WYDB_COMMON_MACROS_H_
+#define WYDB_COMMON_MACROS_H_
+
+// Propagates a non-OK Status out of the current function.
+#define WYDB_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::wydb::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+// Evaluates `rexpr` (a Result<T>), propagating the error or binding the
+// value to `lhs`.
+#define WYDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define WYDB_CONCAT_INNER(a, b) a##b
+#define WYDB_CONCAT(a, b) WYDB_CONCAT_INNER(a, b)
+
+#define WYDB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WYDB_ASSIGN_OR_RETURN_IMPL(WYDB_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#endif  // WYDB_COMMON_MACROS_H_

@@ -1,0 +1,53 @@
+// Seeded random number generation for reproducible workloads and searches.
+#ifndef WYDB_COMMON_RANDOM_H_
+#define WYDB_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wydb {
+
+/// \brief Deterministic 64-bit RNG (splitmix64 state advance + xorshift
+/// output). Same seed => same stream on every platform; unlike
+/// std::mt19937 the stream is also stable across standard library
+/// implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// A fresh generator whose seed is derived from this one's stream.
+  Rng Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_RANDOM_H_

@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#ifndef WYDB_COMMON_RESULT_H_
+#define WYDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace wydb {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construction from a non-OK Status yields the error state; construction
+/// from a T (or anything convertible) yields the value state. Constructing
+/// from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK Status");
+  }
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `fallback` when in the error state.
+  T ValueOr(T fallback) && {
+    return ok() ? std::get<T>(std::move(rep_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_RESULT_H_

@@ -1,0 +1,112 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow / RocksDB. A Status is either OK (cheap, no allocation) or carries a
+// code and a message.
+#ifndef WYDB_COMMON_STATUS_H_
+#define WYDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace wydb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kInvalidModel,      ///< A transaction/system violates the paper's model.
+  kNotFound,          ///< Lookup of an entity/node/transaction failed.
+  kAlreadyExists,     ///< Duplicate insertion into a catalog.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kResourceExhausted, ///< A configured search/step budget was exceeded.
+  kInternal,          ///< Invariant violation inside the library (a bug).
+  kUnimplemented,     ///< Feature intentionally not provided.
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation: OK or an error code plus message.
+///
+/// The OK state stores no heap data; error states allocate one small
+/// struct. Statuses are cheap to move and to test for OK-ness.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InvalidModel(std::string msg) {
+    return Status(StatusCode::kInvalidModel, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsInvalidModel() const { return code() == StatusCode::kInvalidModel; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_STATUS_H_

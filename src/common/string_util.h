@@ -1,0 +1,20 @@
+// Small string helpers shared by diagnostic dumps.
+#ifndef WYDB_COMMON_STRING_UTIL_H_
+#define WYDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace wydb {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_STRING_UTIL_H_

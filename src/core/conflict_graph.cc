@@ -1,0 +1,73 @@
+#include "core/conflict_graph.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "graph/algorithms.h"
+
+namespace wydb {
+
+Result<ConflictGraph> ConflictGraph::FromSchedule(
+    const TransactionSystem& sys, const Schedule& s) {
+  Status valid = ValidateSchedule(sys, s, /*require_complete=*/false);
+  if (!valid.ok()) return valid;
+
+  ConflictGraph cg;
+  cg.graph_.Resize(sys.num_transactions());
+
+  // Per entity: the transactions that executed its Lock step, in schedule
+  // order.
+  std::map<EntityId, std::vector<int>> lock_order;
+  for (GlobalNode g : s) {
+    const Step& st = sys.txn(g.txn).step(g.node);
+    if (st.kind == StepKind::kLock) lock_order[st.entity].push_back(g.txn);
+  }
+
+  auto add_arc = [&](int from, int to, EntityId e) {
+    if (!cg.graph_.HasArc(from, to)) {
+      cg.graph_.AddArc(from, to);
+    }
+    cg.arcs_.push_back({from, to, e});
+  };
+
+  for (const auto& [e, lockers] : lock_order) {
+    // Arcs among transactions that both locked e, in lock order.
+    for (size_t i = 0; i < lockers.size(); ++i) {
+      for (size_t j = i + 1; j < lockers.size(); ++j) {
+        add_arc(lockers[i], lockers[j], e);
+      }
+    }
+    // Arcs to accessors of e that have not locked it in S'.
+    for (int t : sys.AccessorsOf(e)) {
+      bool locked_in_s = false;
+      for (int l : lockers) {
+        if (l == t) {
+          locked_in_s = true;
+          break;
+        }
+      }
+      if (locked_in_s) continue;
+      for (int l : lockers) add_arc(l, t, e);
+    }
+  }
+  return cg;
+}
+
+bool ConflictGraph::IsAcyclic() const { return !HasCycle(graph_); }
+
+std::vector<int> ConflictGraph::FindTransactionCycle() const {
+  std::vector<NodeId> cyc = FindCycle(graph_);
+  return std::vector<int>(cyc.begin(), cyc.end());
+}
+
+std::string ConflictGraph::DebugString(const TransactionSystem& sys) const {
+  std::vector<std::string> parts;
+  for (const LabelledArc& a : arcs_) {
+    parts.push_back(StrFormat("%s -%s-> %s", sys.txn(a.from).name().c_str(),
+                              sys.db().EntityName(a.entity).c_str(),
+                              sys.txn(a.to).name().c_str()));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace wydb

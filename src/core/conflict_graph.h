@@ -1,0 +1,53 @@
+// The conflict digraph D(S) of a (partial) schedule (Sections 2 and 5).
+//
+// For a complete schedule S, D(S) has a node per transaction and an arc
+// Ti -> Tj labelled x when both access x and Ti acts on (locks) x first;
+// S is serializable iff D(S) is acyclic [EGLT]. For a partial schedule S'
+// the paper's Lemma 1 refinement also adds Ti -> Tj when Ti locked x in S'
+// and Tj accesses x but has not locked it yet in S'.
+#ifndef WYDB_CORE_CONFLICT_GRAPH_H_
+#define WYDB_CORE_CONFLICT_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schedule.h"
+#include "core/system.h"
+#include "graph/digraph.h"
+
+namespace wydb {
+
+/// \brief D(S') for a legal (partial) schedule.
+class ConflictGraph {
+ public:
+  /// Builds D(S'); fails if `s` is not a legal partial schedule.
+  static Result<ConflictGraph> FromSchedule(const TransactionSystem& sys,
+                                            const Schedule& s);
+
+  /// One node per transaction.
+  const Digraph& digraph() const { return graph_; }
+
+  /// Arc list with labels: (from txn, to txn, entity).
+  struct LabelledArc {
+    int from;
+    int to;
+    EntityId entity;
+  };
+  const std::vector<LabelledArc>& arcs() const { return arcs_; }
+
+  bool IsAcyclic() const;
+
+  /// A cycle as transaction indices (empty when acyclic).
+  std::vector<int> FindTransactionCycle() const;
+
+  std::string DebugString(const TransactionSystem& sys) const;
+
+ private:
+  Digraph graph_;
+  std::vector<LabelledArc> arcs_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_CONFLICT_GRAPH_H_

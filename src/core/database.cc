@@ -1,0 +1,58 @@
+#include "core/database.h"
+
+namespace wydb {
+
+Result<SiteId> Database::AddSite(const std::string& name) {
+  if (site_by_name_.count(name)) {
+    return Status::AlreadyExists("site '" + name + "' already exists");
+  }
+  SiteId id = static_cast<SiteId>(site_names_.size());
+  site_names_.push_back(name);
+  site_by_name_[name] = id;
+  return id;
+}
+
+Result<EntityId> Database::AddEntity(const std::string& name, SiteId site) {
+  if (site < 0 || site >= num_sites()) {
+    return Status::InvalidArgument("site id out of range");
+  }
+  if (entity_by_name_.count(name)) {
+    return Status::AlreadyExists("entity '" + name + "' already exists");
+  }
+  EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(name);
+  entity_site_.push_back(site);
+  entity_by_name_[name] = id;
+  return id;
+}
+
+Result<EntityId> Database::AddEntityAtSite(const std::string& entity_name,
+                                           const std::string& site_name) {
+  SiteId site = FindSite(site_name);
+  if (site == kInvalidSite) {
+    auto added = AddSite(site_name);
+    if (!added.ok()) return added.status();
+    site = *added;
+  }
+  return AddEntity(entity_name, site);
+}
+
+EntityId Database::FindEntity(const std::string& name) const {
+  auto it = entity_by_name_.find(name);
+  return it == entity_by_name_.end() ? kInvalidEntity : it->second;
+}
+
+SiteId Database::FindSite(const std::string& name) const {
+  auto it = site_by_name_.find(name);
+  return it == site_by_name_.end() ? kInvalidSite : it->second;
+}
+
+std::vector<EntityId> Database::EntitiesAt(SiteId site) const {
+  std::vector<EntityId> out;
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    if (entity_site_[e] == site) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace wydb

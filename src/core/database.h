@@ -1,0 +1,68 @@
+// The distributed database of Section 2: a finite set of entities
+// partitioned into pairwise disjoint sites.
+#ifndef WYDB_CORE_DATABASE_H_
+#define WYDB_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wydb {
+
+/// Dense id of an entity within a Database.
+using EntityId = int32_t;
+/// Dense id of a site within a Database.
+using SiteId = int32_t;
+
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr SiteId kInvalidSite = -1;
+
+/// \brief Catalog of named entities, each assigned to exactly one site.
+///
+/// Replication is deliberately absent, matching the paper: copies of the
+/// same logical item at different sites are modelled as distinct entities
+/// whose equality is the transactions' concern.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a site and returns its id. `name` must be unique.
+  Result<SiteId> AddSite(const std::string& name);
+
+  /// Adds entity `name` at `site`. `name` must be globally unique (the
+  /// paper's sites are disjoint subsets of one entity set).
+  Result<EntityId> AddEntity(const std::string& name, SiteId site);
+
+  /// Convenience: creates the site on first use, then the entity.
+  Result<EntityId> AddEntityAtSite(const std::string& entity_name,
+                                   const std::string& site_name);
+
+  int num_sites() const { return static_cast<int>(site_names_.size()); }
+  int num_entities() const { return static_cast<int>(entity_site_.size()); }
+
+  SiteId SiteOf(EntityId e) const { return entity_site_[e]; }
+  const std::string& EntityName(EntityId e) const { return entity_names_[e]; }
+  const std::string& SiteName(SiteId s) const { return site_names_[s]; }
+
+  /// Id lookup by name; kInvalidEntity / kInvalidSite if absent.
+  EntityId FindEntity(const std::string& name) const;
+  SiteId FindSite(const std::string& name) const;
+
+  /// All entities residing at `site`.
+  std::vector<EntityId> EntitiesAt(SiteId site) const;
+
+ private:
+  std::vector<std::string> site_names_;
+  std::vector<std::string> entity_names_;
+  std::vector<SiteId> entity_site_;
+  std::unordered_map<std::string, SiteId> site_by_name_;
+  std::unordered_map<std::string, EntityId> entity_by_name_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_DATABASE_H_

@@ -1,0 +1,188 @@
+#include "core/prefix.h"
+
+#include "common/string_util.h"
+
+namespace wydb {
+namespace {
+
+int WordsFor(int steps) { return (steps + 63) / 64; }
+
+}  // namespace
+
+PrefixSet::PrefixSet(const TransactionSystem* sys) : sys_(sys) {
+  masks_.resize(sys->num_transactions());
+  for (int i = 0; i < sys->num_transactions(); ++i) {
+    masks_[i].assign(std::max(1, WordsFor(sys->txn(i).num_steps())), 0);
+  }
+}
+
+PrefixSet PrefixSet::Full(const TransactionSystem* sys) {
+  PrefixSet p(sys);
+  for (int i = 0; i < sys->num_transactions(); ++i) {
+    for (NodeId v = 0; v < sys->txn(i).num_steps(); ++v) {
+      bitmask::Set(&p.masks_[i], v);
+    }
+  }
+  return p;
+}
+
+Result<PrefixSet> PrefixSet::FromNodeSets(
+    const TransactionSystem* sys,
+    const std::vector<std::vector<NodeId>>& nodes) {
+  if (static_cast<int>(nodes.size()) != sys->num_transactions()) {
+    return Status::InvalidArgument("one node list per transaction required");
+  }
+  PrefixSet p(sys);
+  for (int i = 0; i < sys->num_transactions(); ++i) {
+    for (NodeId v : nodes[i]) {
+      if (v < 0 || v >= sys->txn(i).num_steps()) {
+        return Status::InvalidArgument(
+            StrFormat("node %d out of range for transaction %d", v, i));
+      }
+      bitmask::Set(&p.masks_[i], v);
+    }
+  }
+  // Downward closure check: every predecessor of an included node is
+  // included.
+  for (int i = 0; i < sys->num_transactions(); ++i) {
+    const Transaction& t = sys->txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (!p.Contains(i, v)) continue;
+      for (NodeId u = 0; u < t.num_steps(); ++u) {
+        if (t.Precedes(u, v) && !p.Contains(i, u)) {
+          return Status::InvalidArgument(StrFormat(
+              "node set of transaction %d is not downward-closed: %s in, "
+              "predecessor %s out",
+              i, t.StepLabel(v).c_str(), t.StepLabel(u).c_str()));
+        }
+      }
+    }
+  }
+  return p;
+}
+
+void PrefixSet::AddWithPredecessors(int txn, NodeId v) {
+  const Transaction& t = sys_->txn(txn);
+  bitmask::Set(&masks_[txn], v);
+  for (NodeId u = 0; u < t.num_steps(); ++u) {
+    if (t.Precedes(u, v)) bitmask::Set(&masks_[txn], u);
+  }
+}
+
+int PrefixSet::SizeOf(int txn) const {
+  int count = 0;
+  for (uint64_t w : masks_[txn]) count += __builtin_popcountll(w);
+  return count;
+}
+
+int PrefixSet::TotalSize() const {
+  int total = 0;
+  for (int i = 0; i < sys_->num_transactions(); ++i) total += SizeOf(i);
+  return total;
+}
+
+bool PrefixSet::IsComplete() const {
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    if (!IsFull(i)) return false;
+  }
+  return true;
+}
+
+std::vector<EntityId> PrefixSet::LockedNotUnlocked(int txn) const {
+  const Transaction& t = sys_->txn(txn);
+  std::vector<EntityId> out;
+  for (EntityId e : t.entities()) {
+    if (Contains(txn, t.LockNode(e)) && !Contains(txn, t.UnlockNode(e))) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+int PrefixSet::HolderOf(EntityId e) const {
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    if (!t.Accesses(e)) continue;
+    if (Contains(i, t.LockNode(e)) && !Contains(i, t.UnlockNode(e))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::vector<NodeId> PrefixSet::RemainingFrontier(int txn) const {
+  const Transaction& t = sys_->txn(txn);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < t.num_steps(); ++v) {
+    if (Contains(txn, v)) continue;
+    bool ready = true;
+    for (NodeId u : t.graph().InNeighbors(v)) {
+      if (!Contains(txn, u)) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) out.push_back(v);
+  }
+  return out;
+}
+
+std::string PrefixSet::DebugString() const {
+  std::string out;
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    out += t.name() + "': {";
+    bool first = true;
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (!Contains(i, v)) continue;
+      if (!first) out += ", ";
+      out += t.StepLabel(v);
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<uint64_t> MaximalPrefixAvoiding(
+    const Transaction& t, const std::vector<EntityId>& avoid) {
+  const int n = t.num_steps();
+  std::vector<uint64_t> keep(std::max(1, (n + 63) / 64), 0);
+  // A node survives unless some Ly (y in avoid) equals it or precedes it.
+  std::vector<NodeId> banned_roots;
+  for (EntityId y : avoid) {
+    NodeId ly = t.LockNode(y);
+    if (ly != kInvalidNode) banned_roots.push_back(ly);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    bool banned = false;
+    for (NodeId root : banned_roots) {
+      if (root == v || t.Precedes(root, v)) {
+        banned = true;
+        break;
+      }
+    }
+    if (!banned) bitmask::Set(&keep, v);
+  }
+  return keep;
+}
+
+std::vector<EntityId> RemainingEntities(const Transaction& t,
+                                        const std::vector<uint64_t>& prefix) {
+  std::vector<EntityId> out;
+  for (EntityId e : t.entities()) {
+    if (!bitmask::Test(prefix, t.UnlockNode(e))) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EntityId> AccessedEntities(const Transaction& t,
+                                       const std::vector<uint64_t>& prefix) {
+  std::vector<EntityId> out;
+  for (EntityId e : t.entities()) {
+    if (bitmask::Test(prefix, t.LockNode(e))) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace wydb

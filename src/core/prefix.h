@@ -1,0 +1,120 @@
+// Prefixes of transactions and of transaction systems (Section 3).
+//
+// A prefix of a DAG is a downward-closed node subset (no arcs from outside
+// into the subset). A prefix A' of a system A picks one prefix per
+// transaction; deadlock analysis revolves around which prefixes admit a
+// legal schedule and what their reduction graphs look like.
+#ifndef WYDB_CORE_PREFIX_H_
+#define WYDB_CORE_PREFIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// Multi-word bitmask helpers shared by prefix and state-space code.
+namespace bitmask {
+inline bool Test(const std::vector<uint64_t>& m, int bit) {
+  return (m[bit / 64] >> (bit % 64)) & 1;
+}
+inline void Set(std::vector<uint64_t>* m, int bit) {
+  (*m)[bit / 64] |= 1ULL << (bit % 64);
+}
+inline void Clear(std::vector<uint64_t>* m, int bit) {
+  (*m)[bit / 64] &= ~(1ULL << (bit % 64));
+}
+/// a ⊆ b
+inline bool IsSubset(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] & ~b[i]) return false;
+  }
+  return true;
+}
+}  // namespace bitmask
+
+/// \brief One prefix per transaction of a system (the paper's A').
+///
+/// Invariant (enforced by the mutators here): each per-transaction node
+/// set is downward-closed w.r.t. that transaction's partial order.
+class PrefixSet {
+ public:
+  /// Empty prefix of every transaction.
+  explicit PrefixSet(const TransactionSystem* sys);
+
+  /// Prefix containing all nodes of every transaction.
+  static PrefixSet Full(const TransactionSystem* sys);
+
+  /// Builds from explicit node lists; fails unless each set is
+  /// downward-closed.
+  static Result<PrefixSet> FromNodeSets(
+      const TransactionSystem* sys,
+      const std::vector<std::vector<NodeId>>& nodes);
+
+  const TransactionSystem& system() const { return *sys_; }
+
+  bool Contains(int txn, NodeId v) const {
+    return bitmask::Test(masks_[txn], v);
+  }
+
+  /// Adds v and all its predecessors in transaction `txn`.
+  void AddWithPredecessors(int txn, NodeId v);
+
+  /// Number of nodes in transaction txn's prefix.
+  int SizeOf(int txn) const;
+  /// Total nodes over all prefixes.
+  int TotalSize() const;
+
+  bool IsFull(int txn) const { return SizeOf(txn) == sys_->txn(txn).num_steps(); }
+  bool IsComplete() const;
+
+  /// Entities locked but not unlocked by transaction txn's prefix.
+  std::vector<EntityId> LockedNotUnlocked(int txn) const;
+
+  /// The transaction holding a lock on e (locked-but-not-unlocked), or -1.
+  /// In any prefix that admits a schedule, at most one holder exists.
+  int HolderOf(EntityId e) const;
+
+  /// Nodes of txn's *remaining* part with no predecessor in the remaining
+  /// part (candidates for execution next).
+  std::vector<NodeId> RemainingFrontier(int txn) const;
+
+  /// Raw per-transaction bitmasks (words of 64 nodes each).
+  const std::vector<std::vector<uint64_t>>& masks() const { return masks_; }
+  std::vector<std::vector<uint64_t>>* mutable_masks() { return &masks_; }
+
+  bool operator==(const PrefixSet& other) const {
+    return masks_ == other.masks_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  const TransactionSystem* sys_;
+  std::vector<std::vector<uint64_t>> masks_;
+};
+
+/// \brief Maximal prefix of `t` accessing no entity in `avoid`
+/// (the T* operator of Section 5, Theorem 4): obtained by removing every
+/// Ly with y ∈ avoid together with all of Ly's successors.
+///
+/// Returns the kept nodes as a bitmask (downward-closed by construction).
+std::vector<uint64_t> MaximalPrefixAvoiding(const Transaction& t,
+                                            const std::vector<EntityId>& avoid);
+
+/// Entities y accessed by `t` such that Uy is NOT in the prefix — the set
+/// Y(T') of Section 5 ("entities mentioned in the remaining steps").
+std::vector<EntityId> RemainingEntities(const Transaction& t,
+                                        const std::vector<uint64_t>& prefix);
+
+/// Entities whose Lock node IS in the prefix — the set R(T').
+std::vector<EntityId> AccessedEntities(const Transaction& t,
+                                       const std::vector<uint64_t>& prefix);
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_PREFIX_H_

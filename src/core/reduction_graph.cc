@@ -1,0 +1,79 @@
+#include "core/reduction_graph.h"
+
+#include "common/string_util.h"
+#include "graph/algorithms.h"
+
+namespace wydb {
+
+ReductionGraph::ReductionGraph(const PrefixSet& prefix) {
+  const TransactionSystem& sys = prefix.system();
+  const int n = sys.num_transactions();
+  local_.resize(n);
+
+  // Collect remaining nodes.
+  for (int i = 0; i < n; ++i) {
+    const Transaction& t = sys.txn(i);
+    local_[i].assign(t.num_steps(), kInvalidNode);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (!prefix.Contains(i, v)) {
+        local_[i][v] = static_cast<NodeId>(nodes_.size());
+        nodes_.push_back(GlobalNode{i, v});
+      }
+    }
+  }
+  graph_.Resize(static_cast<int>(nodes_.size()));
+
+  // Remaining precedence arcs.
+  for (int i = 0; i < n; ++i) {
+    const Transaction& t = sys.txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (local_[i][v] == kInvalidNode) continue;
+      for (NodeId w : t.graph().OutNeighbors(v)) {
+        if (local_[i][w] != kInvalidNode) {
+          graph_.AddArc(local_[i][v], local_[i][w]);
+        }
+      }
+    }
+  }
+
+  // Lock-release ordering arcs: Ti holds x => U_i x -> remaining L_j x.
+  for (int i = 0; i < n; ++i) {
+    const Transaction& ti = sys.txn(i);
+    for (EntityId x : prefix.LockedNotUnlocked(i)) {
+      NodeId ui = local_[i][ti.UnlockNode(x)];
+      // U_i x is remaining by definition (locked-but-not-unlocked).
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Transaction& tj = sys.txn(j);
+        NodeId lj_step = tj.LockNode(x);
+        if (lj_step == kInvalidNode) continue;
+        NodeId lj = local_[j][lj_step];
+        if (lj != kInvalidNode) graph_.AddArc(ui, lj);
+      }
+    }
+  }
+  graph_.DeduplicateArcs();
+}
+
+NodeId ReductionGraph::ToLocal(GlobalNode g) const {
+  return local_[g.txn][g.node];
+}
+
+bool ReductionGraph::HasCycle() const { return wydb::HasCycle(graph_); }
+
+std::vector<GlobalNode> ReductionGraph::FindGlobalCycle() const {
+  std::vector<GlobalNode> out;
+  for (NodeId v : FindCycle(graph_)) out.push_back(nodes_[v]);
+  return out;
+}
+
+std::string ReductionGraph::CycleToString(
+    const TransactionSystem& sys,
+    const std::vector<GlobalNode>& cycle) const {
+  std::vector<std::string> parts;
+  parts.reserve(cycle.size());
+  for (GlobalNode g : cycle) parts.push_back(sys.NodeLabel(g));
+  return Join(parts, " -> ");
+}
+
+}  // namespace wydb

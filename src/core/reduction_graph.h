@@ -1,0 +1,56 @@
+// The reduction graph R(A') of a prefix (Section 3).
+//
+// Nodes: the remaining (unexecuted) steps of all transactions.
+// Arcs:   the transactions' own precedence arcs among remaining steps, plus
+//         for every entity x locked-but-not-unlocked by Ti in A', arcs from
+//         U_i x to the remaining L_j x of every other transaction.
+// A prefix with a schedule whose reduction graph is cyclic is a *deadlock
+// prefix*; Theorem 1 proves a system is deadlock-free iff it has none.
+#ifndef WYDB_CORE_REDUCTION_GRAPH_H_
+#define WYDB_CORE_REDUCTION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prefix.h"
+#include "core/system.h"
+#include "graph/digraph.h"
+
+namespace wydb {
+
+/// \brief R(A') with a mapping between its local node ids and the
+/// system's GlobalNodes.
+class ReductionGraph {
+ public:
+  /// Builds R(A') for the given prefix. The prefix need not have a
+  /// schedule; whether it does is a separate question (see Theorem 1 and
+  /// DeadlockChecker).
+  explicit ReductionGraph(const PrefixSet& prefix);
+
+  const Digraph& digraph() const { return graph_; }
+
+  int num_nodes() const { return graph_.num_nodes(); }
+
+  GlobalNode ToGlobal(NodeId local) const { return nodes_[local]; }
+
+  /// kInvalidNode if that step was executed (not part of R).
+  NodeId ToLocal(GlobalNode g) const;
+
+  bool HasCycle() const;
+
+  /// A cycle as GlobalNodes (empty when acyclic).
+  std::vector<GlobalNode> FindGlobalCycle() const;
+
+  /// Renders a cycle like "T1.Lz -> T1.Uy -> T2.Ly -> ...".
+  std::string CycleToString(const TransactionSystem& sys,
+                            const std::vector<GlobalNode>& cycle) const;
+
+ private:
+  std::vector<GlobalNode> nodes_;           // local -> global
+  std::vector<std::vector<NodeId>> local_;  // [txn][node] -> local id
+  Digraph graph_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_REDUCTION_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "core/schedule.h"
+
+#include "common/string_util.h"
+#include "core/state_space.h"
+
+namespace wydb {
+
+Status ValidateSchedule(const TransactionSystem& sys, const Schedule& s,
+                        bool require_complete) {
+  StateSpace space(&sys);
+  ExecState state = space.EmptyState();
+  for (size_t i = 0; i < s.size(); ++i) {
+    GlobalNode g = s[i];
+    if (g.txn < 0 || g.txn >= sys.num_transactions() || g.node < 0 ||
+        g.node >= sys.txn(g.txn).num_steps()) {
+      return Status::InvalidArgument(
+          StrFormat("step %zu out of range", i));
+    }
+    if (space.IsExecuted(state, g.txn, g.node)) {
+      return Status::InvalidArgument(StrFormat(
+          "step %zu (%s) appears twice", i, sys.NodeLabel(g).c_str()));
+    }
+    if (!space.IsLegal(state, g)) {
+      return Status::InvalidArgument(StrFormat(
+          "step %zu (%s) violates precedence or locks", i,
+          sys.NodeLabel(g).c_str()));
+    }
+    state = space.Apply(state, g);
+  }
+  if (require_complete && !space.IsComplete(state)) {
+    return Status::InvalidArgument("schedule is not complete");
+  }
+  return Status::OK();
+}
+
+PrefixSet PrefixOf(const TransactionSystem& sys, const Schedule& s) {
+  PrefixSet p(&sys);
+  for (GlobalNode g : s) {
+    bitmask::Set(&(*p.mutable_masks())[g.txn], g.node);
+  }
+  return p;
+}
+
+bool IsSerial(const TransactionSystem& sys, const Schedule& s) {
+  (void)sys;
+  int current = -1;
+  std::vector<bool> seen(sys.num_transactions(), false);
+  for (GlobalNode g : s) {
+    if (g.txn != current) {
+      if (seen[g.txn]) return false;  // Transaction resumed: interleaving.
+      seen[g.txn] = true;
+      current = g.txn;
+    }
+  }
+  return true;
+}
+
+Result<std::optional<Schedule>> TryComplete(const TransactionSystem& sys,
+                                            const Schedule& s,
+                                            uint64_t max_states) {
+  Status valid = ValidateSchedule(sys, s, /*require_complete=*/false);
+  if (!valid.ok()) return valid;
+  StateSpace space(&sys);
+  ExecState from = space.StateOf(PrefixOf(sys, s));
+  auto tail = space.FindCompletion(from, max_states);
+  if (!tail.ok()) return tail.status();
+  if (!tail->has_value()) return std::optional<Schedule>(std::nullopt);
+  Schedule full = s;
+  full.insert(full.end(), (*tail)->begin(), (*tail)->end());
+  return std::optional<Schedule>(std::move(full));
+}
+
+std::string ScheduleToString(const TransactionSystem& sys,
+                             const Schedule& s) {
+  std::vector<std::string> parts;
+  parts.reserve(s.size());
+  for (GlobalNode g : s) parts.push_back(sys.NodeLabel(g));
+  return Join(parts, " ");
+}
+
+}  // namespace wydb

@@ -1,0 +1,50 @@
+// Schedules and partial schedules (Section 2/3): lock-respecting merges of
+// linear extensions of transaction (prefixes).
+#ifndef WYDB_CORE_SCHEDULE_H_
+#define WYDB_CORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/prefix.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// A (partial) schedule: a sequence of steps of the system's transactions.
+using Schedule = std::vector<GlobalNode>;
+
+/// \brief Checks that `s` is a legal partial schedule of `sys`:
+///  * no step repeats;
+///  * each transaction's steps respect its partial order; and
+///  * between any two Lock x operations there is an Unlock x (equivalently,
+///    a Lock x only executes while no other transaction holds x).
+/// With `require_complete`, additionally every step of every transaction
+/// must appear.
+Status ValidateSchedule(const TransactionSystem& sys, const Schedule& s,
+                        bool require_complete);
+
+/// The prefix A' executed by partial schedule `s` (assumed legal).
+PrefixSet PrefixOf(const TransactionSystem& sys, const Schedule& s);
+
+/// True iff the schedule is serial: each transaction's steps consecutive.
+bool IsSerial(const TransactionSystem& sys, const Schedule& s);
+
+/// \brief Tries to extend legal partial schedule `s` to a complete
+/// schedule. Returns the complete schedule, nullopt if `s` cannot be
+/// completed (it is doomed: some extension of it deadlocks — Theorem 1's
+/// "every partial schedule is a prefix of a complete schedule" fails), or
+/// ResourceExhausted on budget overrun.
+Result<std::optional<Schedule>> TryComplete(const TransactionSystem& sys,
+                                            const Schedule& s,
+                                            uint64_t max_states = 0);
+
+/// Human-readable one-line rendering, e.g. "T1.Lx T2.Ly T1.Ux".
+std::string ScheduleToString(const TransactionSystem& sys, const Schedule& s);
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_SCHEDULE_H_

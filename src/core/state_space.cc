@@ -1,0 +1,177 @@
+#include "core/state_space.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+StateSpace::StateSpace(const TransactionSystem* sys) : sys_(sys) {
+  const int n = sys->num_transactions();
+  offset_.resize(n);
+  pred_mask_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    offset_[i] = total_words_;
+    const Transaction& t = sys->txn(i);
+    int words = std::max(1, (t.num_steps() + 63) / 64);
+    total_words_ += words;
+    pred_mask_[i].assign(t.num_steps(), std::vector<uint64_t>(words, 0));
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      for (NodeId u = 0; u < t.num_steps(); ++u) {
+        if (t.Precedes(u, v)) bitmask::Set(&pred_mask_[i][v], u);
+      }
+    }
+  }
+}
+
+ExecState StateSpace::EmptyState() const {
+  ExecState s;
+  s.words.assign(total_words_, 0);
+  return s;
+}
+
+ExecState StateSpace::FullState() const {
+  ExecState s = EmptyState();
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    for (NodeId v = 0; v < sys_->txn(i).num_steps(); ++v) {
+      bitmask::Set(&s.words, offset_[i] * 64 + v);
+    }
+  }
+  return s;
+}
+
+ExecState StateSpace::StateOf(const PrefixSet& prefix) const {
+  ExecState s = EmptyState();
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const auto& m = prefix.masks()[i];
+    for (size_t w = 0; w < m.size(); ++w) {
+      s.words[offset_[i] + static_cast<int>(w)] = m[w];
+    }
+  }
+  return s;
+}
+
+PrefixSet StateSpace::ToPrefixSet(const ExecState& s) const {
+  PrefixSet p(sys_);
+  auto* masks = p.mutable_masks();
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    auto& m = (*masks)[i];
+    for (size_t w = 0; w < m.size(); ++w) {
+      m[w] = s.words[offset_[i] + static_cast<int>(w)];
+    }
+  }
+  return p;
+}
+
+bool StateSpace::IsComplete(const ExecState& s) const {
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (!IsExecuted(s, i, v)) return false;
+    }
+  }
+  return true;
+}
+
+bool StateSpace::IsLegal(const ExecState& s, GlobalNode g) const {
+  const Transaction& t = sys_->txn(g.txn);
+  if (IsExecuted(s, g.txn, g.node)) return false;
+  // Predecessors within the transaction must all be executed.
+  const auto& pred = pred_mask_[g.txn][g.node];
+  for (size_t w = 0; w < pred.size(); ++w) {
+    if (pred[w] & ~s.words[offset_[g.txn] + static_cast<int>(w)]) {
+      return false;
+    }
+  }
+  if (t.step(g.node).kind == StepKind::kLock) {
+    EntityId e = t.step(g.node).entity;
+    // Some other transaction holding e (locked, not yet unlocked) blocks.
+    for (int j = 0; j < sys_->num_transactions(); ++j) {
+      if (j == g.txn) continue;
+      const Transaction& tj = sys_->txn(j);
+      NodeId lj = tj.LockNode(e);
+      if (lj == kInvalidNode) continue;
+      if (IsExecuted(s, j, lj) && !IsExecuted(s, j, tj.UnlockNode(e))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<GlobalNode> StateSpace::LegalMoves(const ExecState& s) const {
+  std::vector<GlobalNode> moves;
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      GlobalNode g{i, v};
+      if (IsLegal(s, g)) moves.push_back(g);
+    }
+  }
+  return moves;
+}
+
+ExecState StateSpace::Apply(const ExecState& s, GlobalNode move) const {
+  ExecState next = s;
+  bitmask::Set(&next.words, offset_[move.txn] * 64 + move.node);
+  return next;
+}
+
+std::vector<EntityId> StateSpace::Held(const ExecState& s, int i) const {
+  const Transaction& t = sys_->txn(i);
+  std::vector<EntityId> out;
+  for (EntityId e : t.entities()) {
+    if (IsExecuted(s, i, t.LockNode(e)) &&
+        !IsExecuted(s, i, t.UnlockNode(e))) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Result<std::optional<std::vector<GlobalNode>>>
+StateSpace::FindScheduleBetween(const ExecState& from, const ExecState& target,
+                                uint64_t max_states) const {
+  if (!bitmask::IsSubset(from.words, target.words)) {
+    return Status::InvalidArgument("target is not a superset of the start");
+  }
+  // DFS with a dead-state memo: a state is dead if no in-target move
+  // sequence from it reaches the target.
+  std::unordered_set<ExecState, ExecStateHash> dead;
+  std::vector<GlobalNode> path;
+  uint64_t expanded = 0;
+  bool exhausted = false;
+
+  auto in_target = [&](GlobalNode g) {
+    return bitmask::Test(target.words, offset_[g.txn] * 64 + g.node);
+  };
+
+  std::function<bool(const ExecState&)> dfs = [&](const ExecState& s) -> bool {
+    if (s.words == target.words) return true;
+    if (dead.count(s)) return false;
+    if (max_states != 0 && ++expanded > max_states) {
+      exhausted = true;
+      return false;
+    }
+    for (const GlobalNode& g : LegalMoves(s)) {
+      if (!in_target(g)) continue;
+      path.push_back(g);
+      if (dfs(Apply(s, g))) return true;
+      path.pop_back();
+      if (exhausted) return false;
+    }
+    dead.insert(s);
+    return false;
+  };
+
+  bool found = dfs(from);
+  if (exhausted) {
+    return Status::ResourceExhausted(
+        StrFormat("schedule search exceeded %llu states",
+                  static_cast<unsigned long long>(max_states)));
+  }
+  if (!found) return std::optional<std::vector<GlobalNode>>(std::nullopt);
+  return std::optional<std::vector<GlobalNode>>(std::move(path));
+}
+
+}  // namespace wydb

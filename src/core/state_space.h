@@ -1,0 +1,105 @@
+// Execution state space of a transaction system: states are the prefixes
+// reached by legal partial schedules; moves are single lock-respecting
+// steps. The exact (exponential-time) checkers and the schedule-completion
+// search are all built on this engine.
+#ifndef WYDB_CORE_STATE_SPACE_H_
+#define WYDB_CORE_STATE_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/prefix.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// \brief A point in the execution: for each transaction, the set of steps
+/// already executed (always downward-closed). Hashable, cheap to copy.
+struct ExecState {
+  /// Concatenation of per-transaction node bitmasks.
+  std::vector<uint64_t> words;
+
+  bool operator==(const ExecState&) const = default;
+};
+
+struct ExecStateHash {
+  size_t operator()(const ExecState& s) const {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (uint64_t w : s.words) {
+      h ^= w;
+      h *= 0x100000001B3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Legal-move engine over a TransactionSystem.
+///
+/// Precomputes per-step predecessor masks and per-entity lock/unlock step
+/// positions so that LegalMoves runs in O(total steps).
+class StateSpace {
+ public:
+  explicit StateSpace(const TransactionSystem* sys);
+
+  const TransactionSystem& system() const { return *sys_; }
+
+  ExecState EmptyState() const;
+  ExecState FullState() const;
+
+  /// State in which exactly the nodes of `prefix` are executed.
+  ExecState StateOf(const PrefixSet& prefix) const;
+
+  /// PrefixSet view of a state (for diagnostics / reduction graphs).
+  PrefixSet ToPrefixSet(const ExecState& s) const;
+
+  bool IsExecuted(const ExecState& s, int txn, NodeId v) const {
+    return bitmask::Test(s.words, offset_[txn] * 64 + v) != 0;
+  }
+
+  bool IsComplete(const ExecState& s) const;
+
+  /// Steps executable next: per-transaction frontier nodes whose lock
+  /// acquisition (if any) is permitted by the current lock table.
+  std::vector<GlobalNode> LegalMoves(const ExecState& s) const;
+
+  /// Executes `move`; the caller guarantees it is legal.
+  ExecState Apply(const ExecState& s, GlobalNode move) const;
+
+  /// True iff the Lock/step `g` is permitted in `s` (predecessors executed
+  /// and, for a Lock, no other transaction currently holds the entity).
+  bool IsLegal(const ExecState& s, GlobalNode g) const;
+
+  /// Entity currently held (locked-not-unlocked) by txn `i` in `s`.
+  std::vector<EntityId> Held(const ExecState& s, int i) const;
+
+  /// Searches for a legal schedule from `from` that executes exactly the
+  /// nodes of `target` (a superset state). Returns the move sequence, or
+  /// nullopt if no such schedule exists, or ResourceExhausted if more than
+  /// `max_states` distinct states were expanded (0 = unbounded).
+  Result<std::optional<std::vector<GlobalNode>>> FindScheduleBetween(
+      const ExecState& from, const ExecState& target,
+      uint64_t max_states = 0) const;
+
+  /// Searches for any completion from `from` to the full state.
+  Result<std::optional<std::vector<GlobalNode>>> FindCompletion(
+      const ExecState& from, uint64_t max_states = 0) const {
+    return FindScheduleBetween(from, FullState(), max_states);
+  }
+
+  int words_per_state() const { return total_words_; }
+
+ private:
+  const TransactionSystem* sys_;
+  /// offset_[i] = first word of transaction i's mask inside ExecState.
+  std::vector<int> offset_;
+  int total_words_ = 0;
+  /// pred_mask_[i][v] = bitmask (in state coordinates) of v's strict
+  /// predecessors within transaction i.
+  std::vector<std::vector<std::vector<uint64_t>>> pred_mask_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_STATE_SPACE_H_

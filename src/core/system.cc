@@ -1,0 +1,62 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+Result<TransactionSystem> TransactionSystem::Create(
+    const Database* db, std::vector<Transaction> txns) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  for (const Transaction& t : txns) {
+    if (&t.db() != db) {
+      return Status::InvalidArgument(
+          "transaction '" + t.name() + "' is bound to a different database");
+    }
+  }
+  TransactionSystem sys;
+  sys.db_ = db;
+  sys.txns_ = std::move(txns);
+  return sys;
+}
+
+std::vector<EntityId> TransactionSystem::SharedEntities(int i, int j) const {
+  const auto& a = txns_[i].entities();
+  const auto& b = txns_[j].entities();
+  std::vector<EntityId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+UndirectedGraph TransactionSystem::InteractionGraph() const {
+  UndirectedGraph g(num_transactions());
+  for (int i = 0; i < num_transactions(); ++i) {
+    for (int j = i + 1; j < num_transactions(); ++j) {
+      if (!SharedEntities(i, j).empty()) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+std::vector<int> TransactionSystem::AccessorsOf(EntityId e) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_transactions(); ++i) {
+    if (txns_[i].Accesses(e)) out.push_back(i);
+  }
+  return out;
+}
+
+int TransactionSystem::TotalSteps() const {
+  int total = 0;
+  for (const Transaction& t : txns_) total += t.num_steps();
+  return total;
+}
+
+std::string TransactionSystem::NodeLabel(GlobalNode g) const {
+  return StrFormat("%s.%s", txns_[g.txn].name().c_str(),
+                   txns_[g.txn].StepLabel(g.node).c_str());
+}
+
+}  // namespace wydb

@@ -1,0 +1,59 @@
+// Transaction systems: a finite set of transactions over one database.
+#ifndef WYDB_CORE_SYSTEM_H_
+#define WYDB_CORE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "core/transaction.h"
+#include "graph/undirected.h"
+
+namespace wydb {
+
+/// Address of a step inside a TransactionSystem.
+struct GlobalNode {
+  int txn;      ///< index into TransactionSystem
+  NodeId node;  ///< step index within that transaction
+
+  bool operator==(const GlobalNode&) const = default;
+};
+
+/// \brief An immutable set of transactions {T1, ..., Tn} over a common
+/// Database, as analyzed by the paper.
+class TransactionSystem {
+ public:
+  /// All transactions must reference `db`.
+  static Result<TransactionSystem> Create(const Database* db,
+                                          std::vector<Transaction> txns);
+
+  const Database& db() const { return *db_; }
+  int num_transactions() const { return static_cast<int>(txns_.size()); }
+  const Transaction& txn(int i) const { return txns_[i]; }
+  const std::vector<Transaction>& transactions() const { return txns_; }
+
+  /// R(Ti) ∩ R(Tj), ascending.
+  std::vector<EntityId> SharedEntities(int i, int j) const;
+
+  /// The interaction graph G(A) of Section 5: one node per transaction, an
+  /// edge whenever two transactions access a common entity.
+  UndirectedGraph InteractionGraph() const;
+
+  /// Indices of transactions accessing entity e.
+  std::vector<int> AccessorsOf(EntityId e) const;
+
+  /// Total number of steps over all transactions.
+  int TotalSteps() const;
+
+  /// Label like "T2.Lx" for diagnostics.
+  std::string NodeLabel(GlobalNode g) const;
+
+ private:
+  const Database* db_ = nullptr;
+  std::vector<Transaction> txns_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_SYSTEM_H_

@@ -1,0 +1,104 @@
+#include "core/transaction_builder.h"
+
+#include <unordered_map>
+
+namespace wydb {
+
+int TransactionBuilder::Lock(const std::string& entity) {
+  EntityId e = db_->FindEntity(entity);
+  if (e == kInvalidEntity) {
+    if (first_error_.ok()) {
+      first_error_ = Status::NotFound("unknown entity '" + entity + "'");
+    }
+    return -1;
+  }
+  return AddStep(StepKind::kLock, e);
+}
+
+int TransactionBuilder::Unlock(const std::string& entity) {
+  EntityId e = db_->FindEntity(entity);
+  if (e == kInvalidEntity) {
+    if (first_error_.ok()) {
+      first_error_ = Status::NotFound("unknown entity '" + entity + "'");
+    }
+    return -1;
+  }
+  return AddStep(StepKind::kUnlock, e);
+}
+
+int TransactionBuilder::AddStep(StepKind kind, EntityId e) {
+  steps_.push_back(Step{kind, e});
+  return static_cast<int>(steps_.size()) - 1;
+}
+
+TransactionBuilder& TransactionBuilder::Arc(int from, int to) {
+  if (from < 0 || to < 0) {
+    if (first_error_.ok()) {
+      first_error_ = Status::InvalidArgument("arc references a failed step");
+    }
+    return *this;
+  }
+  arcs_.emplace_back(from, to);
+  return *this;
+}
+
+TransactionBuilder& TransactionBuilder::Chain(
+    std::initializer_list<int> steps) {
+  int prev = -2;  // Sentinel distinct from the -1 failure marker.
+  for (int s : steps) {
+    if (prev != -2) Arc(prev, s);
+    prev = s;
+  }
+  return *this;
+}
+
+Result<Transaction> TransactionBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+
+  std::vector<std::pair<int, int>> arcs = arcs_;
+
+  // Lock -> Unlock for each entity that has both.
+  std::unordered_map<EntityId, int> lock_at, unlock_at;
+  for (int i = 0; i < static_cast<int>(steps_.size()); ++i) {
+    auto& table = steps_[i].kind == StepKind::kLock ? lock_at : unlock_at;
+    table.emplace(steps_[i].entity, i);  // Duplicates caught by Create().
+  }
+  for (const auto& [e, li] : lock_at) {
+    auto it = unlock_at.find(e);
+    if (it != unlock_at.end()) arcs.emplace_back(li, it->second);
+  }
+
+  if (auto_site_chain_) {
+    std::unordered_map<SiteId, int> last_at_site;
+    for (int i = 0; i < static_cast<int>(steps_.size()); ++i) {
+      SiteId site = db_->SiteOf(steps_[i].entity);
+      auto it = last_at_site.find(site);
+      if (it != last_at_site.end()) arcs.emplace_back(it->second, i);
+      last_at_site[site] = i;
+    }
+  }
+
+  return Transaction::Create(db_, name_, steps_, std::move(arcs));
+}
+
+Result<Transaction> TransactionBuilder::FromSequence(
+    const Database* db, const std::string& name,
+    const std::vector<std::pair<StepKind, std::string>>& seq) {
+  TransactionBuilder b(db, name);
+  b.set_auto_site_chain(false);
+  int prev = -1;
+  for (const auto& [kind, entity] : seq) {
+    EntityId e = db->FindEntity(entity);
+    int cur;
+    if (e == kInvalidEntity) {
+      cur = kind == StepKind::kLock ? b.Lock(entity) : b.Unlock(entity);
+    } else {
+      cur = kind == StepKind::kLock ? b.LockId(e) : b.UnlockId(e);
+    }
+    if (prev >= 0 && cur >= 0) b.Arc(prev, cur);
+    prev = cur;
+  }
+  return b.Build();
+}
+
+}  // namespace wydb

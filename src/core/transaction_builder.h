@@ -1,0 +1,83 @@
+// Fluent construction of transactions.
+#ifndef WYDB_CORE_TRANSACTION_BUILDER_H_
+#define WYDB_CORE_TRANSACTION_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/database.h"
+#include "core/transaction.h"
+
+namespace wydb {
+
+/// \brief Incremental builder for Transaction.
+///
+/// Typical use:
+/// \code
+///   TransactionBuilder b(&db, "T1");
+///   int lx = b.Lock("x");
+///   int ly = b.Lock("y");
+///   int ux = b.Unlock("x");
+///   b.Arc(lx, ly);        // explicit precedence
+///   b.Unlock("y");
+///   auto t = b.Build();   // Result<Transaction>
+/// \endcode
+///
+/// Conveniences:
+///  * Lock->Unlock arcs per entity are added automatically.
+///  * With auto_site_chain (default ON) steps touching the same site are
+///    chained in insertion order, which establishes the per-site total
+///    order the model requires. Turn it off to craft partial orders by
+///    hand (e.g. when every entity lives at its own site).
+///  * Errors (unknown entity, etc.) are latched and reported by Build().
+class TransactionBuilder {
+ public:
+  TransactionBuilder(const Database* db, std::string name)
+      : db_(db), name_(std::move(name)) {}
+
+  /// Enables/disables same-site insertion-order chaining (default on).
+  TransactionBuilder& set_auto_site_chain(bool on) {
+    auto_site_chain_ = on;
+    return *this;
+  }
+
+  /// Appends a Lock step on the named entity; returns its step index.
+  int Lock(const std::string& entity);
+  /// Appends an Unlock step on the named entity; returns its step index.
+  int Unlock(const std::string& entity);
+
+  /// Id-based variants.
+  int LockId(EntityId e) { return AddStep(StepKind::kLock, e); }
+  int UnlockId(EntityId e) { return AddStep(StepKind::kUnlock, e); }
+
+  /// Adds precedence arc from -> to (step indices as returned above).
+  TransactionBuilder& Arc(int from, int to);
+
+  /// Adds arcs chaining the given steps in order.
+  TransactionBuilder& Chain(std::initializer_list<int> steps);
+
+  /// Validates and produces the transaction.
+  Result<Transaction> Build();
+
+  /// Builds a *centralized-style* transaction: all steps totally ordered in
+  /// the given sequence. Each element is (kind, entity name).
+  static Result<Transaction> FromSequence(
+      const Database* db, const std::string& name,
+      const std::vector<std::pair<StepKind, std::string>>& seq);
+
+ private:
+  int AddStep(StepKind kind, EntityId e);
+
+  const Database* db_;
+  std::string name_;
+  bool auto_site_chain_ = true;
+  std::vector<Step> steps_;
+  std::vector<std::pair<int, int>> arcs_;
+  Status first_error_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_TRANSACTION_BUILDER_H_

@@ -1,0 +1,140 @@
+#include "gen/system_gen.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/transaction_builder.h"
+#include "gen/txn_gen.h"
+
+namespace wydb {
+namespace {
+
+Result<OwnedSystem> Finish(std::unique_ptr<Database> db,
+                           std::vector<Transaction> txns) {
+  WYDB_ASSIGN_OR_RETURN(TransactionSystem sys,
+                        TransactionSystem::Create(db.get(), std::move(txns)));
+  OwnedSystem out;
+  out.db = std::move(db);
+  out.system = std::make_unique<TransactionSystem>(std::move(sys));
+  return out;
+}
+
+}  // namespace
+
+Result<OwnedSystem> GenerateRandomSystem(const RandomSystemOptions& options) {
+  auto db = MakeUniformDatabase(options.num_sites, options.entities_per_site);
+  Rng rng(options.seed);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < options.num_transactions; ++i) {
+    TxnGenOptions topts;
+    topts.entities = SampleEntities(*db, options.entities_per_txn, &rng);
+    topts.extra_arc_prob = options.extra_arc_prob;
+    topts.two_phase = options.two_phase;
+    WYDB_ASSIGN_OR_RETURN(
+        Transaction t,
+        GenerateTransaction(db.get(), StrFormat("T%d", i + 1), topts, &rng));
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
+Result<OwnedSystem> GenerateSafeSystem(const SafeSystemOptions& options) {
+  auto db = MakeUniformDatabase(options.num_sites, options.entities_per_site);
+  WYDB_ASSIGN_OR_RETURN(EntityId latch, db->AddEntity("latch", 0));
+  Rng rng(options.seed);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < options.num_transactions; ++i) {
+    TxnGenOptions topts;
+    std::vector<EntityId> sample =
+        SampleEntities(*db, options.entities_per_txn, &rng);
+    sample.erase(std::remove(sample.begin(), sample.end(), latch),
+                 sample.end());
+    topts.entities.push_back(latch);
+    topts.entities.insert(topts.entities.end(), sample.begin(), sample.end());
+    topts.dominating_first = true;
+    topts.hold_first_to_end = true;
+    WYDB_ASSIGN_OR_RETURN(
+        Transaction t,
+        GenerateTransaction(db.get(), StrFormat("T%d", i + 1), topts, &rng));
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
+Result<OwnedSystem> GenerateRingSystem(int k) {
+  if (k < 2) return Status::InvalidArgument("ring needs k >= 2");
+  auto db = std::make_unique<Database>();
+  std::vector<EntityId> e(k);
+  for (int i = 0; i < k; ++i) {
+    WYDB_ASSIGN_OR_RETURN(
+        e[i], db->AddEntityAtSite(StrFormat("e%d", i), StrFormat("s%d", i)));
+  }
+  std::vector<Transaction> txns;
+  for (int i = 0; i < k; ++i) {
+    TransactionBuilder b(db.get(), StrFormat("T%d", i + 1));
+    int l1 = b.LockId(e[i]);
+    int l2 = b.LockId(e[(i + 1) % k]);
+    int u2 = b.UnlockId(e[(i + 1) % k]);
+    int u1 = b.UnlockId(e[i]);
+    b.Chain({l1, l2, u2, u1});
+    WYDB_ASSIGN_OR_RETURN(Transaction t, b.Build());
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
+Result<OwnedSystem> GenerateChordedCycleSystem(int k, int chords,
+                                               uint64_t seed) {
+  if (k < 3) return Status::InvalidArgument("chorded cycle needs k >= 3");
+  auto db = std::make_unique<Database>();
+  std::vector<EntityId> ring(k);
+  for (int i = 0; i < k; ++i) {
+    WYDB_ASSIGN_OR_RETURN(ring[i], db->AddEntityAtSite(StrFormat("e%d", i),
+                                                       StrFormat("s%d", i)));
+  }
+  // Chord entities shared between transactions two apart.
+  struct Chord {
+    EntityId entity;
+    int a;
+    int b;
+  };
+  Rng rng(seed);
+  std::vector<Chord> chord_list;
+  for (int c = 0; c < chords; ++c) {
+    // Spread chords around the ring deterministically so each one adds a
+    // new interaction edge (and thus new simple cycles); the seed only
+    // perturbs the start.
+    int a = static_cast<int>((rng.NextBelow(2) + 3 * c) % k);
+    int b = (a + 2) % k;
+    EntityId f;
+    WYDB_ASSIGN_OR_RETURN(
+        f, db->AddEntityAtSite(StrFormat("f%d", c), StrFormat("sf%d", c)));
+    chord_list.push_back({f, a, b});
+  }
+
+  std::vector<Transaction> txns;
+  for (int i = 0; i < k; ++i) {
+    TransactionBuilder b(db.get(), StrFormat("T%d", i + 1));
+    std::vector<int> seq;
+    seq.push_back(b.LockId(ring[i]));
+    seq.push_back(b.LockId(ring[(i + 1) % k]));
+    for (const Chord& ch : chord_list) {
+      if (ch.a == i || ch.b == i) seq.push_back(b.LockId(ch.entity));
+    }
+    // Two-phase: unlock everything in reverse.
+    std::vector<int> unlocks;
+    for (const Chord& ch : chord_list) {
+      if (ch.a == i || ch.b == i) unlocks.push_back(b.UnlockId(ch.entity));
+    }
+    unlocks.push_back(b.UnlockId(ring[(i + 1) % k]));
+    unlocks.push_back(b.UnlockId(ring[i]));
+    seq.insert(seq.end(), unlocks.begin(), unlocks.end());
+    for (size_t s = 0; s + 1 < seq.size(); ++s) b.Arc(seq[s], seq[s + 1]);
+    WYDB_ASSIGN_OR_RETURN(Transaction t, b.Build());
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
+}  // namespace wydb

@@ -1,0 +1,147 @@
+#include "gen/txn_gen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+Result<Transaction> GenerateTransaction(const Database* db,
+                                        const std::string& name,
+                                        const TxnGenOptions& options,
+                                        Rng* rng) {
+  if (options.entities.empty()) {
+    return Status::InvalidArgument("transaction needs at least one entity");
+  }
+  std::vector<Step> steps;
+  const int m = static_cast<int>(options.entities.size());
+
+  // Build a random global order of the 2m steps with every Lock before its
+  // Unlock (two_phase additionally forces all Locks first).
+  std::vector<int> lock_pos(m), unlock_pos(m);
+  if (options.two_phase) {
+    std::vector<int> locks(m), unlocks(m);
+    for (int i = 0; i < m; ++i) locks[i] = unlocks[i] = i;
+    rng->Shuffle(&locks);
+    rng->Shuffle(&unlocks);
+    for (int i = 0; i < m; ++i) {
+      lock_pos[locks[i]] = i;
+      unlock_pos[unlocks[i]] = m + i;
+    }
+  } else {
+    // Random interleaving: assign each entity two distinct slots.
+    std::vector<int> slots(2 * m);
+    for (int i = 0; i < 2 * m; ++i) slots[i] = i;
+    rng->Shuffle(&slots);
+    for (int i = 0; i < m; ++i) {
+      int a = slots[2 * i], b = slots[2 * i + 1];
+      lock_pos[i] = std::min(a, b);
+      unlock_pos[i] = std::max(a, b);
+    }
+  }
+  // Materialize steps sorted by global position.
+  struct Slot {
+    int pos;
+    StepKind kind;
+    EntityId entity;
+  };
+  std::vector<Slot> order;
+  order.reserve(2 * m);
+  for (int i = 0; i < m; ++i) {
+    order.push_back({lock_pos[i], StepKind::kLock, options.entities[i]});
+    order.push_back({unlock_pos[i], StepKind::kUnlock, options.entities[i]});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Slot& a, const Slot& b) { return a.pos < b.pos; });
+
+  // Moving a single Lock to the front (or Unlock to the back) preserves
+  // every entity's L-before-U ordering.
+  auto move_step = [&](StepKind kind, bool to_front) {
+    auto it = std::find_if(order.begin(), order.end(), [&](const Slot& s) {
+      return s.kind == kind && s.entity == options.entities[0];
+    });
+    Slot moved = *it;
+    order.erase(it);
+    if (to_front) {
+      order.insert(order.begin(), moved);
+    } else {
+      order.push_back(moved);
+    }
+  };
+  if (options.dominating_first) move_step(StepKind::kLock, /*to_front=*/true);
+  if (options.hold_first_to_end) {
+    move_step(StepKind::kUnlock, /*to_front=*/false);
+  }
+
+  steps.reserve(order.size());
+  for (const Slot& s : order) steps.push_back(Step{s.kind, s.entity});
+
+  std::vector<std::pair<int, int>> arcs;
+  const int total = static_cast<int>(steps.size());
+  // Per-site chains in global order.
+  std::vector<int> last_at_site(db->num_sites(), -1);
+  for (int i = 0; i < total; ++i) {
+    SiteId site = db->SiteOf(steps[i].entity);
+    if (last_at_site[site] != -1) arcs.emplace_back(last_at_site[site], i);
+    last_at_site[site] = i;
+  }
+  // Lock -> Unlock.
+  std::vector<int> lock_step(db->num_entities(), -1);
+  for (int i = 0; i < total; ++i) {
+    if (steps[i].kind == StepKind::kLock) {
+      lock_step[steps[i].entity] = i;
+    } else {
+      arcs.emplace_back(lock_step[steps[i].entity], i);
+    }
+  }
+  // Extra forward arcs.
+  for (int i = 0; i < total; ++i) {
+    for (int j = i + 1; j < total; ++j) {
+      if (rng->NextBernoulli(options.extra_arc_prob)) arcs.emplace_back(i, j);
+    }
+  }
+  if (options.two_phase) {
+    // Two-phase in the PARTIAL-ORDER sense: every Lock precedes every
+    // Unlock. Positional phases alone are not enough — cross-site steps
+    // would stay incomparable and admit non-two-phase linear extensions.
+    for (int i = 0; i < total; ++i) {
+      if (steps[i].kind != StepKind::kLock) continue;
+      for (int j = 0; j < total; ++j) {
+        if (steps[j].kind == StepKind::kUnlock) arcs.emplace_back(i, j);
+      }
+    }
+  }
+  if (options.dominating_first) {
+    // The global order already puts L(entity 0) first; pin it explicitly.
+    for (int i = 1; i < total; ++i) arcs.emplace_back(0, i);
+  }
+  if (options.hold_first_to_end) {
+    // The global order now ends with U(entity 0); pin it explicitly.
+    for (int i = 0; i < total - 1; ++i) arcs.emplace_back(i, total - 1);
+  }
+
+  return Transaction::Create(db, name, std::move(steps), std::move(arcs));
+}
+
+std::vector<EntityId> SampleEntities(const Database& db, int count,
+                                     Rng* rng) {
+  std::vector<EntityId> all(db.num_entities());
+  for (EntityId e = 0; e < db.num_entities(); ++e) all[e] = e;
+  rng->Shuffle(&all);
+  all.resize(std::min<size_t>(all.size(), static_cast<size_t>(count)));
+  return all;
+}
+
+std::unique_ptr<Database> MakeUniformDatabase(int sites,
+                                              int entities_per_site) {
+  auto db = std::make_unique<Database>();
+  for (int s = 0; s < sites; ++s) {
+    auto site = db->AddSite(StrFormat("s%d", s));
+    for (int e = 0; e < entities_per_site; ++e) {
+      db->AddEntity(StrFormat("e%d_%d", s, e), *site).ValueOrDie();
+    }
+  }
+  return db;
+}
+
+}  // namespace wydb

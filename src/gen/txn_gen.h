@@ -1,0 +1,54 @@
+// Random transaction generators for tests and benchmarks.
+#ifndef WYDB_GEN_TXN_GEN_H_
+#define WYDB_GEN_TXN_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/database.h"
+#include "core/transaction.h"
+
+namespace wydb {
+
+struct TxnGenOptions {
+  /// Entities this transaction accesses (chosen by the caller; determines
+  /// sites implicitly through the database).
+  std::vector<EntityId> entities;
+  /// Probability of an extra cross-site precedence arc between randomly
+  /// chosen step pairs (density of the partial order beyond the per-site
+  /// chains and the Lx -> Ux arcs).
+  double extra_arc_prob = 0.15;
+  /// Force two-phase locking: all Locks precede all Unlocks.
+  bool two_phase = false;
+  /// Force a *dominating first entity*: the first chosen entity's Lock
+  /// precedes every other step (Corollary 3 condition 1).
+  bool dominating_first = false;
+  /// Additionally hold the first entity to the very end: its Unlock
+  /// succeeds every other step. Together with dominating_first this yields
+  /// the "global latch" discipline that is safe+DF by Theorem 3.
+  bool hold_first_to_end = false;
+};
+
+/// Generates a random well-formed transaction over the given entities.
+/// Steps at the same site are chained in a random order; cross-site arcs
+/// are sampled per `extra_arc_prob` (only forward w.r.t. a random global
+/// order, keeping the graph acyclic).
+Result<Transaction> GenerateTransaction(const Database* db,
+                                        const std::string& name,
+                                        const TxnGenOptions& options,
+                                        Rng* rng);
+
+/// A random subset of `count` entities drawn from the database.
+std::vector<EntityId> SampleEntities(const Database& db, int count, Rng* rng);
+
+/// Builds a database with `sites` sites and `entities_per_site` entities
+/// each, named s<k> / e<k>_<m>.
+std::unique_ptr<Database> MakeUniformDatabase(int sites,
+                                              int entities_per_site);
+
+}  // namespace wydb
+
+#endif  // WYDB_GEN_TXN_GEN_H_

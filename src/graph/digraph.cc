@@ -1,0 +1,60 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace wydb {
+
+void Digraph::Resize(int n) {
+  assert(n >= num_nodes());
+  out_.resize(static_cast<size_t>(n));
+  in_.resize(static_cast<size_t>(n));
+}
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::AddArc(NodeId from, NodeId to) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_arcs_;
+}
+
+bool Digraph::HasArc(NodeId from, NodeId to) const {
+  const auto& succ = out_[from];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+void Digraph::DeduplicateArcs() {
+  num_arcs_ = 0;
+  for (auto* adj : {&out_, &in_}) {
+    for (auto& list : *adj) {
+      std::unordered_set<NodeId> seen;
+      auto it = std::remove_if(list.begin(), list.end(), [&](NodeId v) {
+        return !seen.insert(v).second;
+      });
+      list.erase(it, list.end());
+    }
+  }
+  for (const auto& list : out_) num_arcs_ += static_cast<int>(list.size());
+}
+
+std::string Digraph::DebugString() const {
+  std::string s;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    s += StrFormat("%d ->", v);
+    for (NodeId w : out_[v]) s += StrFormat(" %d", w);
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace wydb

@@ -1,0 +1,62 @@
+// Compact directed graph used as the backbone of transactions, conflict
+// graphs and reduction graphs.
+#ifndef WYDB_GRAPH_DIGRAPH_H_
+#define WYDB_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wydb {
+
+/// Index of a node inside a Digraph. Dense, 0-based.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// \brief Adjacency-list directed graph over nodes 0..n-1.
+///
+/// Parallel arcs are tolerated on insertion and deduplicated lazily where
+/// algorithms require it. The graph never stores payloads; callers keep a
+/// side table indexed by NodeId.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes) { Resize(num_nodes); }
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_arcs() const { return num_arcs_; }
+
+  /// Grows the node set to `n` nodes (never shrinks).
+  void Resize(int n);
+
+  /// Appends a fresh node and returns its id.
+  NodeId AddNode();
+
+  /// Adds arc from -> to. Both ids must be in range.
+  void AddArc(NodeId from, NodeId to);
+
+  /// True if an arc from -> to exists (linear in out-degree of `from`).
+  bool HasArc(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+
+  int OutDegree(NodeId v) const { return static_cast<int>(out_[v].size()); }
+  int InDegree(NodeId v) const { return static_cast<int>(in_[v].size()); }
+
+  /// Removes duplicate arcs; preserves relative order of first occurrences.
+  void DeduplicateArcs();
+
+  /// Multi-line "v -> a b c" dump for debugging.
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  int num_arcs_ = 0;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_GRAPH_DIGRAPH_H_

@@ -1,0 +1,77 @@
+#include "graph/undirected.h"
+
+#include <algorithm>
+
+#include "graph/johnson.h"
+
+namespace wydb {
+
+void UndirectedGraph::AddEdge(NodeId u, NodeId v) {
+  if (u == v || HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool UndirectedGraph::HasEdge(NodeId u, NodeId v) const {
+  const auto& nb = adj_[u];
+  return std::find(nb.begin(), nb.end(), v) != nb.end();
+}
+
+int UndirectedGraph::CycleSpaceDimension() const {
+  const int n = num_nodes();
+  std::vector<bool> seen(n, false);
+  int components = 0;
+  for (NodeId root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    ++components;
+    std::vector<NodeId> stack{root};
+    seen[root] = true;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : adj_[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return num_edges_ - n + components;
+}
+
+std::vector<std::vector<NodeId>> UndirectedGraph::SimpleCycles(
+    uint64_t max_cycles) const {
+  // Run Johnson on the symmetric digraph; each undirected cycle of length
+  // >= 3 appears exactly twice (once per orientation), and every edge
+  // {u,v} yields the spurious directed 2-cycle u->v->u. Filter and
+  // canonicalize.
+  Digraph sym = ToSymmetricDigraph();
+  std::vector<std::vector<NodeId>> out;
+  CycleEnumOptions opts;
+  // Each kept cycle is seen twice, plus one 2-cycle per edge is discarded.
+  opts.max_cycles = max_cycles == 0
+                        ? 0
+                        : 2 * max_cycles + static_cast<uint64_t>(num_edges_);
+  EnumerateElementaryCycles(sym, opts, [&](const std::vector<NodeId>& c) {
+    if (c.size() < 3) return;
+    // Johnson roots every cycle at its minimal vertex, so c[0] is the
+    // smallest. Keep the orientation whose second vertex is smaller than
+    // the last; the reverse orientation is the duplicate.
+    if (c[1] < c.back()) {
+      if (max_cycles == 0 || out.size() < max_cycles) out.push_back(c);
+    }
+  });
+  return out;
+}
+
+Digraph UndirectedGraph::ToSymmetricDigraph() const {
+  Digraph g(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adj_[u]) g.AddArc(u, v);
+  }
+  return g;
+}
+
+}  // namespace wydb

@@ -1,0 +1,134 @@
+#include "io/text_format.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/transaction_builder.h"
+
+namespace wydb {
+namespace {
+
+Status LineError(int line, const std::string& msg) {
+  return Status::InvalidArgument(StrFormat("line %d: %s", line, msg.c_str()));
+}
+
+std::vector<std::string> Tokens(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+Result<OwnedSystem> ParseSystem(const std::string& text) {
+  OwnedSystem out;
+  out.db = std::make_unique<Database>();
+  struct PendingTxn {
+    std::string name;
+    std::vector<std::vector<std::string>> segments;  // Step tokens.
+    int line;
+  };
+  std::vector<PendingTxn> pending;
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> toks = Tokens(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "site") {
+      if (toks.size() < 2 || toks[1].back() != ':') {
+        return LineError(lineno, "expected 'site <name>: <entities...>'");
+      }
+      std::string site = toks[1].substr(0, toks[1].size() - 1);
+      if (site.empty()) return LineError(lineno, "empty site name");
+      if (out.db->FindSite(site) != kInvalidSite) {
+        return LineError(lineno, "duplicate site '" + site + "'");
+      }
+      for (size_t i = 2; i < toks.size(); ++i) {
+        auto added = out.db->AddEntityAtSite(toks[i], site);
+        if (!added.ok()) return LineError(lineno, added.status().message());
+      }
+    } else if (toks[0] == "txn") {
+      if (toks.size() < 2 || toks[1].back() != ':') {
+        return LineError(lineno, "expected 'txn <name>: <steps...>'");
+      }
+      PendingTxn t;
+      t.name = toks[1].substr(0, toks[1].size() - 1);
+      t.line = lineno;
+      if (t.name.empty()) return LineError(lineno, "empty transaction name");
+      t.segments.emplace_back();
+      for (size_t i = 2; i < toks.size(); ++i) {
+        if (toks[i] == ";") {
+          t.segments.emplace_back();
+        } else {
+          t.segments.back().push_back(toks[i]);
+        }
+      }
+      pending.push_back(std::move(t));
+    } else {
+      return LineError(lineno, "unknown directive '" + toks[0] + "'");
+    }
+  }
+
+  std::vector<Transaction> txns;
+  for (const PendingTxn& p : pending) {
+    TransactionBuilder b(out.db.get(), p.name);
+    b.set_auto_site_chain(false);
+    bool any = false;
+    for (const auto& segment : p.segments) {
+      int prev = -1;
+      for (const std::string& tok : segment) {
+        if (tok.size() < 2 || (tok[0] != 'L' && tok[0] != 'U')) {
+          return LineError(p.line, "bad step token '" + tok +
+                                       "' (want L<entity> or U<entity>)");
+        }
+        std::string entity = tok.substr(1);
+        int cur = tok[0] == 'L' ? b.Lock(entity) : b.Unlock(entity);
+        if (prev >= 0) b.Arc(prev, cur);
+        prev = cur;
+        any = true;
+      }
+    }
+    if (!any) return LineError(p.line, "transaction with no steps");
+    auto built = b.Build();
+    if (!built.ok()) {
+      return LineError(
+          p.line, "transaction '" + p.name + "': " + built.status().message());
+    }
+    txns.push_back(std::move(*built));
+  }
+
+  WYDB_ASSIGN_OR_RETURN(
+      TransactionSystem sys,
+      TransactionSystem::Create(out.db.get(), std::move(txns)));
+  out.system = std::make_unique<TransactionSystem>(std::move(sys));
+  return out;
+}
+
+std::string SerializeSystem(const TransactionSystem& sys) {
+  const Database& db = sys.db();
+  std::string out;
+  for (SiteId s = 0; s < db.num_sites(); ++s) {
+    out += "site " + db.SiteName(s) + ":";
+    for (EntityId e : db.EntitiesAt(s)) out += " " + db.EntityName(e);
+    out += "\n";
+  }
+  for (int i = 0; i < sys.num_transactions(); ++i) {
+    const Transaction& t = sys.txn(i);
+    out += "txn " + t.name() + ":";
+    for (NodeId v : t.SomeLinearExtension()) out += " " + t.StepLabel(v);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wydb

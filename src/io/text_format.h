@@ -1,0 +1,36 @@
+// A small line-oriented text format for transaction systems, so workloads
+// can be authored, versioned and fed to the analyzer CLI without writing
+// C++.
+//
+//   # comment / blank lines ignored
+//   site <site-name>: <entity> <entity> ...
+//   txn <txn-name>: <step> <step> ...          (totally ordered)
+//   txn <txn-name>: <step> ... ; <step> ...    ( ';' separates per-site
+//                                                unordered segments: steps
+//                                                within a segment are
+//                                                chained, segments are
+//                                                mutually unordered )
+//
+// A step is 'L<entity>' or 'U<entity>', e.g. "Lx" "Uaccount_7".
+#ifndef WYDB_IO_TEXT_FORMAT_H_
+#define WYDB_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "gen/system_gen.h"
+
+namespace wydb {
+
+/// Parses the text format into a database plus transaction system.
+/// Errors carry 1-based line numbers.
+Result<OwnedSystem> ParseSystem(const std::string& text);
+
+/// Renders a system back into the text format (totally-ordered
+/// transactions round-trip exactly; partial orders are emitted as one
+/// segment per maximal chain of a topological order and may gain order).
+std::string SerializeSystem(const TransactionSystem& sys);
+
+}  // namespace wydb
+
+#endif  // WYDB_IO_TEXT_FORMAT_H_

@@ -1,0 +1,89 @@
+#include "runtime/lock_manager.h"
+
+namespace wydb {
+
+void LockManager::Request(int txn, EntityId entity,
+                          std::function<void()> on_grant) {
+  LockState& state = table_[entity];
+  if (state.holder == -1 && state.queue.empty()) {
+    state.holder = txn;
+    ++grants_;
+    on_grant();
+    return;
+  }
+  state.queue.push_back(Waiter{txn, std::move(on_grant)});
+  if (on_block_ && state.holder != -1) {
+    on_block_(txn, state.holder, entity);
+  }
+}
+
+void LockManager::Release(int txn, EntityId entity) {
+  auto it = table_.find(entity);
+  if (it == table_.end() || it->second.holder != txn) return;
+  it->second.holder = -1;
+  Grant(entity, &it->second);
+}
+
+void LockManager::Grant(EntityId entity, LockState* state) {
+  while (state->holder == -1 && !state->queue.empty()) {
+    Waiter next = std::move(state->queue.front());
+    state->queue.pop_front();
+    state->holder = next.txn;
+    ++grants_;
+    next.on_grant();
+    if (!on_block_) return;
+    // Holdership changed: re-apply the conflict policy for the remaining
+    // waiters against the NEW holder. Without this, wound-wait admits
+    // wait cycles: an old transaction queued behind a young one inherits
+    // an old->young wait edge when the young waiter is granted first.
+    const int holder = state->holder;
+    std::vector<int> waiters;
+    waiters.reserve(state->queue.size());
+    for (const Waiter& w : state->queue) waiters.push_back(w.txn);
+    for (int w : waiters) {
+      if (state->holder != holder) break;  // Holder wounded meanwhile.
+      on_block_(w, holder, entity);
+    }
+    if (state->holder != -1) return;
+    // The new holder was wounded and released; grant the next waiter.
+  }
+}
+
+void LockManager::Abort(int txn) {
+  for (auto& [entity, state] : table_) {
+    for (auto it = state.queue.begin(); it != state.queue.end();) {
+      it = it->txn == txn ? state.queue.erase(it) : std::next(it);
+    }
+    if (state.holder == txn) {
+      state.holder = -1;
+      Grant(entity, &state);
+    }
+  }
+}
+
+int LockManager::HolderOf(EntityId entity) const {
+  auto it = table_.find(entity);
+  return it == table_.end() ? -1 : it->second.holder;
+}
+
+bool LockManager::IsWaiting(int txn) const {
+  for (const auto& [entity, state] : table_) {
+    for (const Waiter& w : state.queue) {
+      if (w.txn == txn) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<LockManager::WaitEdge> LockManager::WaitForEdges() const {
+  std::vector<WaitEdge> edges;
+  for (const auto& [entity, state] : table_) {
+    if (state.holder == -1) continue;
+    for (const Waiter& w : state.queue) {
+      edges.push_back(WaitEdge{w.txn, state.holder, entity});
+    }
+  }
+  return edges;
+}
+
+}  // namespace wydb

@@ -1,0 +1,81 @@
+// Per-site exclusive lock table with FIFO wait queues — the substrate a
+// 1985 distributed DBMS would run at each site.
+#ifndef WYDB_RUNTIME_LOCK_MANAGER_H_
+#define WYDB_RUNTIME_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+
+namespace wydb {
+
+/// \brief Exclusive locks for the entities of one site.
+///
+/// The manager is purely mechanical: grant if free, queue if held. Policy
+/// (wound-wait etc.) is applied by the caller through the `on_block` hook
+/// and the Abort operation.
+class LockManager {
+ public:
+  explicit LockManager(SiteId site) : site_(site) {}
+
+  SiteId site() const { return site_; }
+
+  /// Called when `requester` blocks behind `holder` on `entity`.
+  using BlockHook = std::function<void(int requester, int holder,
+                                       EntityId entity)>;
+  void set_on_block(BlockHook hook) { on_block_ = std::move(hook); }
+
+  /// Requests an exclusive lock for transaction `txn`; `on_grant` runs
+  /// when the lock is granted (possibly immediately, synchronously).
+  void Request(int txn, EntityId entity, std::function<void()> on_grant);
+
+  /// Releases `entity` if `txn` holds it (no-op otherwise — stale release
+  /// messages from aborted attempts are tolerated). Grants the next
+  /// waiter, if any.
+  void Release(int txn, EntityId entity);
+
+  /// Aborts `txn` at this site: drops its queued requests and releases all
+  /// locks it holds (granting waiters).
+  void Abort(int txn);
+
+  /// The transaction holding `entity`, or -1.
+  int HolderOf(EntityId entity) const;
+
+  bool IsWaiting(int txn) const;
+
+  /// (waiter, holder, entity) edges of this site's wait-for relation.
+  struct WaitEdge {
+    int waiter;
+    int holder;
+    EntityId entity;
+  };
+  std::vector<WaitEdge> WaitForEdges() const;
+
+  uint64_t grants() const { return grants_; }
+
+ private:
+  struct Waiter {
+    int txn;
+    std::function<void()> on_grant;
+  };
+  struct LockState {
+    int holder = -1;
+    std::deque<Waiter> queue;
+  };
+
+  void Grant(EntityId entity, LockState* state);
+
+  SiteId site_;
+  std::unordered_map<EntityId, LockState> table_;
+  BlockHook on_block_;
+  uint64_t grants_ = 0;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_LOCK_MANAGER_H_

@@ -1,0 +1,37 @@
+#include "runtime/scheduler.h"
+
+namespace wydb {
+
+const char* ConflictPolicyName(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kBlock:
+      return "block";
+    case ConflictPolicy::kWoundWait:
+      return "wound-wait";
+    case ConflictPolicy::kWaitDie:
+      return "wait-die";
+    case ConflictPolicy::kDetect:
+      return "detect";
+  }
+  return "unknown";
+}
+
+ConflictAction ResolveConflict(ConflictPolicy policy, uint64_t ts_requester,
+                               uint64_t ts_holder) {
+  switch (policy) {
+    case ConflictPolicy::kBlock:
+    case ConflictPolicy::kDetect:
+      return ConflictAction::kWait;
+    case ConflictPolicy::kWoundWait:
+      // Older requester wounds the younger holder.
+      return ts_requester < ts_holder ? ConflictAction::kAbortHolder
+                                      : ConflictAction::kWait;
+    case ConflictPolicy::kWaitDie:
+      // Older requester may wait; younger requester dies.
+      return ts_requester < ts_holder ? ConflictAction::kWait
+                                      : ConflictAction::kAbortRequester;
+  }
+  return ConflictAction::kWait;
+}
+
+}  // namespace wydb

@@ -1,0 +1,45 @@
+// Deadlock-handling policies for the runtime, including the classic
+// timestamp baselines of Rosenkrantz, Stearns & Lewis [RSL] that the
+// paper's static approach is an alternative to.
+#ifndef WYDB_RUNTIME_SCHEDULER_H_
+#define WYDB_RUNTIME_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wydb {
+
+/// What the runtime does when a lock request conflicts.
+enum class ConflictPolicy {
+  /// Pure blocking: wait in FIFO order. Deadlocks can happen; a system
+  /// statically certified safe+DF by the paper's algorithms never
+  /// deadlocks under this policy.
+  kBlock,
+  /// Wound-wait [RSL]: an older requester wounds (aborts) a younger
+  /// holder; a younger requester waits. Deadlock-free, restarts instead.
+  kWoundWait,
+  /// Wait-die [RSL]: an older requester waits; a younger requester dies
+  /// (aborts itself). Deadlock-free, restarts instead.
+  kWaitDie,
+  /// Block, but run a global wait-for-graph cycle detector whenever the
+  /// system quiesces, aborting the youngest transaction on a cycle.
+  kDetect,
+};
+
+const char* ConflictPolicyName(ConflictPolicy policy);
+
+/// Resolution of a single conflict under a timestamp policy.
+enum class ConflictAction {
+  kWait,
+  kAbortRequester,
+  kAbortHolder,
+};
+
+/// Applies the policy given the transactions' (immutable, assigned-once)
+/// timestamps. Smaller timestamp = older transaction.
+ConflictAction ResolveConflict(ConflictPolicy policy, uint64_t ts_requester,
+                               uint64_t ts_holder);
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,30 @@
+#include "runtime/sim/event_queue.h"
+
+#include <utility>
+
+namespace wydb {
+
+void EventQueue::At(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; moving out right before pop() is
+  // safe because pop() only needs the element to be in a valid state.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t count = 0;
+  while ((max_events == 0 || count < max_events) && RunOne()) ++count;
+  return count;
+}
+
+}  // namespace wydb

@@ -1,0 +1,60 @@
+// Discrete-event simulation kernel: a clock plus a stable min-heap of
+// callbacks. Ties break by insertion order, so runs are fully
+// deterministic for a fixed seed.
+#ifndef WYDB_RUNTIME_SIM_EVENT_QUEUE_H_
+#define WYDB_RUNTIME_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wydb {
+
+/// Simulated time in abstract microseconds.
+using SimTime = uint64_t;
+
+/// \brief Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  uint64_t processed() const { return processed_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now()).
+  void At(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + delay.
+  void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  /// Pops and runs the earliest event. Returns false when empty.
+  bool RunOne();
+
+  /// Runs until empty or `max_events` processed (0 = unbounded).
+  /// Returns the number of events processed by this call.
+  uint64_t RunAll(uint64_t max_events = 0);
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,19 @@
+#include "runtime/sim/network.h"
+
+#include <utility>
+
+namespace wydb {
+
+void Network::Send(SiteId from, SiteId to, EventQueue::Callback deliver) {
+  ++messages_sent_;
+  SimTime latency;
+  if (from == to) {
+    latency = model_.local;
+  } else {
+    latency = model_.base;
+    if (model_.jitter > 0) latency += rng_->NextBelow(model_.jitter + 1);
+  }
+  queue_->After(latency, std::move(deliver));
+}
+
+}  // namespace wydb

@@ -1,0 +1,52 @@
+// Simulated site-to-site messaging with a configurable latency model.
+//
+// Substitution note (DESIGN.md §6): the paper's model has no timing; the
+// network exists so that runtime interleavings vary per seed and lock
+// grants arrive in adversarial orders, which is what deadlock formation
+// depends on.
+#ifndef WYDB_RUNTIME_SIM_NETWORK_H_
+#define WYDB_RUNTIME_SIM_NETWORK_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "runtime/sim/event_queue.h"
+
+namespace wydb {
+
+/// Message latency distribution.
+struct LatencyModel {
+  /// Minimum one-way latency between distinct sites.
+  SimTime base = 10;
+  /// Uniform extra latency in [0, jitter] sampled per message. Nonzero
+  /// jitter allows reordering of in-flight messages.
+  SimTime jitter = 5;
+  /// Latency for a message from a site to itself (local call).
+  SimTime local = 1;
+};
+
+/// \brief Delivers callbacks between sites with simulated latency.
+class Network {
+ public:
+  Network(EventQueue* queue, int num_sites, LatencyModel model, Rng* rng)
+      : queue_(queue), num_sites_(num_sites), model_(model), rng_(rng) {}
+
+  /// Schedules `deliver` to run at the destination after the sampled
+  /// latency.
+  void Send(SiteId from, SiteId to, EventQueue::Callback deliver);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  int num_sites() const { return num_sites_; }
+
+ private:
+  EventQueue* queue_;
+  int num_sites_;
+  LatencyModel model_;
+  Rng* rng_;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_SIM_NETWORK_H_

@@ -1,0 +1,49 @@
+#include "runtime/txn_runtime.h"
+
+namespace wydb {
+
+void TxnExecutor::Reset() {
+  ++attempt_;
+  issued_.assign(txn_->num_steps(), false);
+  completed_.assign(txn_->num_steps(), false);
+  completion_order_.clear();
+  completed_count_ = 0;
+}
+
+std::vector<NodeId> TxnExecutor::ReadySteps() const {
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < txn_->num_steps(); ++v) {
+    if (issued_[v]) continue;
+    bool ok = true;
+    for (NodeId u : txn_->graph().InNeighbors(v)) {
+      if (!completed_[u]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ready.push_back(v);
+  }
+  return ready;
+}
+
+void TxnExecutor::MarkCompleted(NodeId v) {
+  if (!completed_[v]) {
+    completed_[v] = true;
+    completion_order_.push_back(v);
+    ++completed_count_;
+  }
+}
+
+std::vector<EntityId> TxnExecutor::HeldEntities() const {
+  std::vector<EntityId> held;
+  for (EntityId e : txn_->entities()) {
+    if (completed_[txn_->LockNode(e)] && !completed_[txn_->UnlockNode(e)]) {
+      held.push_back(e);
+    }
+  }
+  return held;
+}
+
+void TxnExecutor::Restart() { Reset(); }
+
+}  // namespace wydb

@@ -1,0 +1,73 @@
+// Per-transaction execution state: walks the transaction DAG, issuing each
+// step once all its predecessors have completed, with per-site sequencing
+// inherited from the partial order.
+#ifndef WYDB_RUNTIME_TXN_RUNTIME_H_
+#define WYDB_RUNTIME_TXN_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace wydb {
+
+/// \brief Tracks which steps of one transaction attempt have been issued
+/// and completed, and computes the next issuable steps.
+///
+/// The executor is passive: the Simulation drives it, sending the issued
+/// steps to lock managers over the network and reporting completions back.
+class TxnExecutor {
+ public:
+  TxnExecutor(int index, const Transaction* txn)
+      : index_(index), txn_(txn) { Reset(); }
+
+  int index() const { return index_; }
+  const Transaction& txn() const { return *txn_; }
+
+  /// Current attempt number (starts at 1; bumped by Restart).
+  int attempt() const { return attempt_; }
+
+  bool started() const { return started_; }
+  void MarkStarted() { started_ = true; }
+
+  bool IsDone() const { return completed_count_ == txn_->num_steps(); }
+
+  /// Steps whose predecessors are all complete and which have not been
+  /// issued yet in this attempt.
+  std::vector<NodeId> ReadySteps() const;
+
+  void MarkIssued(NodeId v) { issued_[v] = true; }
+  void MarkCompleted(NodeId v);
+
+  bool IsIssued(NodeId v) const { return issued_[v]; }
+  bool IsCompleted(NodeId v) const { return completed_[v]; }
+
+  /// Entities whose Lock completed but whose Unlock has not (locks held by
+  /// the current attempt, assuming grants are recorded as completions).
+  std::vector<EntityId> HeldEntities() const;
+
+  /// Abort bookkeeping: clears all progress and bumps the attempt counter.
+  void Restart();
+
+  /// Completion order of this attempt's steps (for history extraction).
+  const std::vector<NodeId>& completion_order() const {
+    return completion_order_;
+  }
+
+ private:
+  void Reset();
+
+  int index_;
+  const Transaction* txn_;
+  int attempt_ = 0;
+  bool started_ = false;
+  std::vector<bool> issued_;
+  std::vector<bool> completed_;
+  std::vector<NodeId> completion_order_;
+  int completed_count_ = 0;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_TXN_RUNTIME_H_

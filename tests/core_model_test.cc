@@ -1,0 +1,326 @@
+// Tests for core/: Database, Transaction validation and queries,
+// TransactionBuilder, TransactionSystem.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/database.h"
+#include "core/system.h"
+#include "core/transaction.h"
+#include "core/transaction_builder.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSpreadDb;
+using testutil::MakeSystem;
+
+TEST(DatabaseTest, SitesAndEntities) {
+  Database db;
+  auto s1 = db.AddSite("s1");
+  ASSERT_TRUE(s1.ok());
+  auto x = db.AddEntity("x", *s1);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(db.num_sites(), 1);
+  EXPECT_EQ(db.num_entities(), 1);
+  EXPECT_EQ(db.SiteOf(*x), *s1);
+  EXPECT_EQ(db.EntityName(*x), "x");
+  EXPECT_EQ(db.FindEntity("x"), *x);
+  EXPECT_EQ(db.FindEntity("nope"), kInvalidEntity);
+  EXPECT_EQ(db.FindSite("nope"), kInvalidSite);
+}
+
+TEST(DatabaseTest, DuplicateNamesRejected) {
+  Database db;
+  ASSERT_TRUE(db.AddSite("s").ok());
+  EXPECT_TRUE(db.AddSite("s").status().code() == StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.AddEntity("x", 0).ok());
+  EXPECT_FALSE(db.AddEntity("x", 0).ok());
+}
+
+TEST(DatabaseTest, EntityAtUnknownSiteRejected) {
+  Database db;
+  EXPECT_FALSE(db.AddEntity("x", 3).ok());
+}
+
+TEST(DatabaseTest, AddEntityAtSiteCreatesSite) {
+  Database db;
+  auto x = db.AddEntityAtSite("x", "fresh");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(db.FindSite("fresh"), db.SiteOf(*x));
+}
+
+TEST(DatabaseTest, EntitiesAt) {
+  auto db = MakeDb({{"s1", {"x", "y"}}, {"s2", {"z"}}});
+  EXPECT_EQ(db->EntitiesAt(db->FindSite("s1")).size(), 2u);
+  EXPECT_EQ(db->EntitiesAt(db->FindSite("s2")).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Transaction validation (the Section 2 model constraints).
+
+TEST(TransactionTest, ValidSequenceBuilds) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ly", "Ux", "Uy"});
+  EXPECT_EQ(t.num_steps(), 4);
+  EXPECT_EQ(t.entities().size(), 2u);
+  EXPECT_TRUE(t.Accesses(db->FindEntity("x")));
+}
+
+TEST(TransactionTest, DoubleLockRejected) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  auto t = TransactionBuilder::FromSequence(
+      db.get(), "T",
+      {{StepKind::kLock, "x"}, {StepKind::kLock, "x"}, {StepKind::kUnlock, "x"}});
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(TransactionTest, MissingUnlockRejected) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  auto t = TransactionBuilder::FromSequence(db.get(), "T",
+                                            {{StepKind::kLock, "x"}});
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(TransactionTest, UnlockWithoutLockRejected) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  auto t = TransactionBuilder::FromSequence(db.get(), "T",
+                                            {{StepKind::kUnlock, "x"}});
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(TransactionTest, UnlockBeforeLockRejected) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  int u = b.Unlock("x");
+  int l = b.Lock("x");
+  b.Arc(u, l);
+  // The builder auto-adds L->U, creating a cycle with the explicit U->L.
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(TransactionTest, SameSiteStepsMustBeOrdered) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);  // Leave Lx and Ly unordered: both at s1.
+  b.Lock("x");
+  b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  auto t = b.Build();
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(TransactionTest, CrossSiteStepsMayBeUnordered) {
+  auto db = MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  b.Lock("x");
+  b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  ASSERT_TRUE(b.Build().ok());
+}
+
+TEST(TransactionTest, UnknownEntityReported) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  TransactionBuilder b(db.get(), "T");
+  b.Lock("ghost");
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(TransactionTest, PrecedenceQueries) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  NodeId lx = t.LockNode(db->FindEntity("x"));
+  NodeId ux = t.UnlockNode(db->FindEntity("x"));
+  NodeId ly = t.LockNode(db->FindEntity("y"));
+  EXPECT_TRUE(t.Precedes(lx, ux));
+  EXPECT_TRUE(t.Precedes(lx, ly));
+  EXPECT_FALSE(t.Precedes(ux, lx));
+  EXPECT_TRUE(t.Comparable(lx, ly));
+  EXPECT_EQ(t.LockNode(999), kInvalidNode);
+}
+
+TEST(TransactionTest, EntitiesLockedBeforeAndHeldAt) {
+  auto db = MakeDb({{"s1", {"x", "y", "z"}}});
+  // Lx Ly Ux Lz ... at Lz: locked-before = {x, y}; held = {y} (x unlocked).
+  Transaction t =
+      MakeSeq(db.get(), "T", {"Lx", "Ly", "Ux", "Lz", "Uy", "Uz"});
+  NodeId lz = t.LockNode(db->FindEntity("z"));
+  auto before = t.EntitiesLockedBefore(lz);
+  EXPECT_EQ(std::set<EntityId>(before.begin(), before.end()),
+            (std::set<EntityId>{db->FindEntity("x"), db->FindEntity("y")}));
+  auto held = t.EntitiesHeldAt(lz);
+  EXPECT_EQ(std::set<EntityId>(held.begin(), held.end()),
+            (std::set<EntityId>{db->FindEntity("y")}));
+}
+
+// L_T(s) on a partial order uses the *laziest* extension: entities whose
+// Unlock must come after s even though their Lock may be unordered w.r.t.
+// s are included.
+TEST(TransactionTest, HeldAtOnPartialOrder) {
+  auto db = MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  int lx = b.Lock("x");
+  int ly = b.Lock("y");
+  int ux = b.Unlock("x");
+  int uy = b.Unlock("y");
+  b.Arc(lx, ux).Arc(ly, uy).Arc(ly, ux);  // Ly -> Ux; Lx unordered with Ly.
+  Transaction t = *b.Build();
+  // At Ly: x's unlock is after Ly, x's lock is NOT after Ly (unordered) =>
+  // x is in L_T(Ly).
+  auto held = t.EntitiesHeldAt(t.LockNode(db->FindEntity("y")));
+  EXPECT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0], db->FindEntity("x"));
+}
+
+TEST(TransactionTest, LinearExtensionsOfChainIsOne) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  EXPECT_EQ(t.AllLinearExtensions().size(), 1u);
+}
+
+TEST(TransactionTest, LinearExtensionsOfParallelPairs) {
+  auto db = MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  b.Lock("x");
+  b.Unlock("x");
+  b.Lock("y");
+  b.Unlock("y");
+  Transaction t = *b.Build();
+  // Two independent 2-chains: C(4,2) = 6 interleavings.
+  EXPECT_EQ(t.AllLinearExtensions().size(), 6u);
+}
+
+TEST(TransactionTest, AllExtensionsAreValidTopologicalOrders) {
+  auto db = MakeSpreadDb({"x", "y", "z"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  int lx = b.Lock("x");
+  int ly = b.Lock("y");
+  int lz = b.Lock("z");
+  b.Unlock("x");
+  b.Unlock("y");
+  b.Unlock("z");
+  b.Arc(lx, ly).Arc(lx, lz);
+  Transaction t = *b.Build();
+  for (const auto& ext : t.AllLinearExtensions()) {
+    ASSERT_EQ(ext.size(), static_cast<size_t>(t.num_steps()));
+    std::vector<int> pos(t.num_steps());
+    for (int i = 0; i < t.num_steps(); ++i) pos[ext[i]] = i;
+    for (NodeId u = 0; u < t.num_steps(); ++u) {
+      for (NodeId v = 0; v < t.num_steps(); ++v) {
+        if (t.Precedes(u, v)) EXPECT_LT(pos[u], pos[v]);
+      }
+    }
+  }
+}
+
+TEST(TransactionTest, SampleExtensionRespectsOrder) {
+  auto db = MakeDb({{"s1", {"x", "y", "z"}}});
+  Transaction t =
+      MakeSeq(db.get(), "T", {"Lx", "Ly", "Lz", "Uz", "Uy", "Ux"});
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    auto ext = t.SampleLinearExtension(&rng);
+    EXPECT_EQ(ext, t.SomeLinearExtension());  // Chain: unique extension.
+  }
+}
+
+TEST(TransactionTest, HasseDiagramDropsRedundantArcs) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  Digraph hasse = t.HasseDiagram();
+  // A 4-chain has exactly 3 Hasse arcs.
+  EXPECT_EQ(hasse.num_arcs(), 3);
+}
+
+TEST(TransactionTest, StepLabelAndDebugString) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ux"});
+  EXPECT_EQ(t.StepLabel(0), "Lx");
+  EXPECT_EQ(t.StepLabel(1), "Ux");
+  EXPECT_NE(t.DebugString().find("Lx"), std::string::npos);
+}
+
+TEST(BuilderTest, ChainAddsSequentialArcs) {
+  auto db = MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  int lx = b.Lock("x");
+  int ly = b.Lock("y");
+  int ux = b.Unlock("x");
+  int uy = b.Unlock("y");
+  b.Chain({lx, ly, ux, uy});
+  Transaction t = *b.Build();
+  EXPECT_TRUE(t.Precedes(lx, uy));
+}
+
+TEST(BuilderTest, AutoSiteChainOrdersSameSiteSteps) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  TransactionBuilder b(db.get(), "T");  // auto chain default on
+  int lx = b.Lock("x");
+  int ly = b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  Transaction t = *b.Build();
+  EXPECT_TRUE(t.Precedes(lx, ly));
+}
+
+TEST(BuilderTest, ArcOnFailedStepLatchesError) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  TransactionBuilder b(db.get(), "T");
+  int bad = b.Lock("ghost");
+  int lx = b.Lock("x");
+  b.Arc(bad, lx);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+// ---------------------------------------------------------------------
+// TransactionSystem.
+
+TEST(SystemTest, SharedEntitiesAndInteractionGraph) {
+  auto db = MakeDb({{"s1", {"x", "y"}}, {"s2", {"z"}}});
+  Transaction t1 = MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"});
+  Transaction t2 = MakeSeq(db.get(), "T2", {"Ly", "Lz", "Uy", "Uz"});
+  Transaction t3 = MakeSeq(db.get(), "T3", {"Lz", "Uz"});
+  TransactionSystem sys = MakeSystem(db.get(), {});
+  std::vector<Transaction> txns;
+  txns.push_back(std::move(t1));
+  txns.push_back(std::move(t2));
+  txns.push_back(std::move(t3));
+  sys = MakeSystem(db.get(), std::move(txns));
+
+  EXPECT_EQ(sys.SharedEntities(0, 1),
+            std::vector<EntityId>{db->FindEntity("y")});
+  EXPECT_TRUE(sys.SharedEntities(0, 2).empty());
+
+  UndirectedGraph g = sys.InteractionGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+
+  EXPECT_EQ(sys.AccessorsOf(db->FindEntity("z")),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(sys.TotalSteps(), 10);
+  EXPECT_EQ(sys.NodeLabel(GlobalNode{0, 0}), "T1.Lx");
+}
+
+TEST(SystemTest, ForeignTransactionRejected) {
+  auto db1 = MakeDb({{"s1", {"x"}}});
+  auto db2 = MakeDb({{"s1", {"x"}}});
+  Transaction t = MakeSeq(db1.get(), "T", {"Lx", "Ux"});
+  std::vector<Transaction> txns;
+  txns.push_back(std::move(t));
+  EXPECT_FALSE(TransactionSystem::Create(db2.get(), std::move(txns)).ok());
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,260 @@
+// Parameterized cross-validation sweeps tying the layers together:
+// static analysis vs exact oracles vs the simulated runtime.
+#include <gtest/gtest.h>
+
+#include "analysis/copies_analyzer.h"
+#include "analysis/deadlock_checker.h"
+#include "analysis/multi_analyzer.h"
+#include "analysis/pair_analyzer.h"
+#include "analysis/safety_checker.h"
+#include "core/conflict_graph.h"
+#include "core/state_space.h"
+#include "core/transaction_builder.h"
+#include "gen/system_gen.h"
+#include "gen/txn_gen.h"
+#include "runtime/simulation.h"
+
+namespace wydb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Sweep 1: per-seed random systems; Theorem 4 == Lemma 1 oracle ==
+// (deadlock-free => no runtime deadlock under blocking).
+class RandomSystemSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSystemSweep, StaticAnalysesAgreeAndRuntimeRespectsThem) {
+  const uint64_t seed = GetParam();
+  RandomSystemOptions opts;
+  opts.num_sites = 2;
+  opts.entities_per_site = 2;
+  opts.num_transactions = 3;
+  opts.entities_per_txn = 2;
+  opts.seed = seed;
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+  const TransactionSystem& s = *sys->system;
+
+  auto thm4 = CheckSystemSafeAndDeadlockFree(s);
+  auto oracle = CheckSafeAndDeadlockFree(s);
+  auto df = CheckDeadlockFreedom(s);
+  ASSERT_TRUE(thm4.ok());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(df.ok());
+
+  EXPECT_EQ(thm4->safe_and_deadlock_free, oracle->holds);
+
+  if (df->deadlock_free) {
+    SimOptions sim;
+    sim.policy = ConflictPolicy::kBlock;
+    sim.seed = seed * 977 + 1;
+    auto agg = RunMany(s, sim, 10);
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg->deadlocked_runs, 0);
+    EXPECT_EQ(agg->committed_runs, 10);
+  }
+
+  if (oracle->holds) {
+    // Safe+DF systems produce serializable histories under every policy.
+    for (auto policy :
+         {ConflictPolicy::kBlock, ConflictPolicy::kWoundWait,
+          ConflictPolicy::kWaitDie, ConflictPolicy::kDetect}) {
+      SimOptions sim;
+      sim.policy = policy;
+      sim.seed = seed * 31 + 7;
+      auto res = RunSimulation(s, sim);
+      ASSERT_TRUE(res.ok());
+      EXPECT_TRUE(res->all_committed) << ConflictPolicyName(policy);
+      EXPECT_TRUE(res->history_serializable) << ConflictPolicyName(policy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemSweep,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// ---------------------------------------------------------------------
+// Sweep 2: deadlock-free systems satisfy the paper's alternative
+// characterization — EVERY partial schedule extends to a complete one —
+// sampled by random walks; and in safe+DF systems every sampled partial
+// schedule has an acyclic conflict digraph (Lemma 1).
+class WalkSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalkSweep, ReachableStatesBehaveAccordingToTheVerdicts) {
+  const uint64_t seed = GetParam();
+  RandomSystemOptions opts;
+  opts.num_transactions = 2;
+  opts.entities_per_txn = 3;
+  opts.num_sites = 3;
+  opts.entities_per_site = 2;
+  opts.seed = seed;
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+  const TransactionSystem& s = *sys->system;
+
+  auto df = CheckDeadlockFreedom(s);
+  auto safedf = CheckSafeAndDeadlockFree(s);
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(safedf.ok());
+
+  StateSpace space(&s);
+  Rng rng(seed ^ 0xABCDEF);
+  for (int walk = 0; walk < 15; ++walk) {
+    ExecState st = space.EmptyState();
+    Schedule sched;
+    // Random walk of random length.
+    int steps = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(s.TotalSteps() + 1)));
+    for (int i = 0; i < steps; ++i) {
+      auto moves = space.LegalMoves(st);
+      if (moves.empty()) break;
+      GlobalNode g = moves[rng.NextBelow(moves.size())];
+      st = space.Apply(st, g);
+      sched.push_back(g);
+    }
+    if (df->deadlock_free) {
+      auto completion = TryComplete(s, sched, 500'000);
+      ASSERT_TRUE(completion.ok());
+      EXPECT_TRUE(completion->has_value())
+          << "walk " << walk << ": partial schedule not completable in a "
+          << "deadlock-free system (contradicts Theorem 1)";
+    }
+    if (safedf->holds) {
+      auto cg = ConflictGraph::FromSchedule(s, sched);
+      ASSERT_TRUE(cg.ok());
+      EXPECT_TRUE(cg->IsAcyclic())
+          << "walk " << walk << ": cyclic D(S') in a safe+DF system "
+          << "(contradicts Lemma 1)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------
+// Sweep 3: pair-analyzer agreement across generator shapes.
+struct PairShapeParam {
+  int sites;
+  int entities_per_site;
+  int entities_per_txn;
+  bool two_phase;
+  double arc_prob;
+};
+
+class PairShapeSweep : public ::testing::TestWithParam<PairShapeParam> {};
+
+TEST_P(PairShapeSweep, Theorem3MatchesOracleAcrossSeeds) {
+  const PairShapeParam& p = GetParam();
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed * 131);
+    auto db = MakeUniformDatabase(p.sites, p.entities_per_site);
+    TxnGenOptions topts;
+    topts.entities = SampleEntities(*db, p.entities_per_txn, &rng);
+    topts.two_phase = p.two_phase;
+    topts.extra_arc_prob = p.arc_prob;
+    auto t1 = GenerateTransaction(db.get(), "T1", topts, &rng);
+    TxnGenOptions topts2 = topts;
+    topts2.entities = SampleEntities(*db, p.entities_per_txn, &rng);
+    auto t2 = GenerateTransaction(db.get(), "T2", topts2, &rng);
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE(t2.ok());
+
+    auto fast = CheckPairTheorem3(*t1, *t2);
+    auto slow = CheckPairMinimalPrefix(*t1, *t2);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast->safe_and_deadlock_free, slow->safe_and_deadlock_free)
+        << "seed " << seed;
+
+    std::vector<Transaction> txns;
+    txns.push_back(std::move(*t1));
+    txns.push_back(std::move(*t2));
+    auto sys = TransactionSystem::Create(db.get(), std::move(txns));
+    ASSERT_TRUE(sys.ok());
+    auto oracle = CheckSafeAndDeadlockFree(*sys);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(fast->safe_and_deadlock_free, oracle->holds)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PairShapeSweep,
+    ::testing::Values(PairShapeParam{2, 2, 3, false, 0.2},
+                      PairShapeParam{3, 1, 3, false, 0.1},
+                      PairShapeParam{2, 2, 3, true, 0.2},
+                      PairShapeParam{1, 4, 3, false, 0.3},
+                      PairShapeParam{4, 1, 4, true, 0.05}));
+
+// ---------------------------------------------------------------------
+// Sweep 4: ring sizes — static refutation and runtime deadlock
+// reachability, detector always recovers.
+class RingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSweep, StaticRefutationAndDetectorRecovery) {
+  const int k = GetParam();
+  auto ring = GenerateRingSystem(k);
+  ASSERT_TRUE(ring.ok());
+  const TransactionSystem& s = *ring->system;
+
+  auto multi = CheckSystemSafeAndDeadlockFree(s);
+  ASSERT_TRUE(multi.ok());
+  if (k == 2) {
+    // A 2-ring is a failing PAIR (opposite orders), caught at stage 1.
+    EXPECT_FALSE(multi->safe_and_deadlock_free);
+    EXPECT_TRUE(multi->violation->failed_pair.has_value());
+  } else {
+    EXPECT_FALSE(multi->safe_and_deadlock_free);
+    EXPECT_FALSE(multi->violation->failed_pair.has_value());
+    EXPECT_EQ(multi->violation->cycle.size(), static_cast<size_t>(k));
+  }
+
+  SimOptions sim;
+  sim.policy = ConflictPolicy::kDetect;
+  auto agg = RunMany(s, sim, 15);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->committed_runs, 15);
+  EXPECT_EQ(agg->deadlocked_runs, 0);
+  EXPECT_TRUE(agg->all_histories_serializable);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, RingSweep, ::testing::Range(2, 8));
+
+// ---------------------------------------------------------------------
+// Sweep 5: identical copies — the syntactic verdict predicts exact-checker
+// behaviour for every d in range.
+class CopySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CopySweep, SyntacticVerdictMatchesExactCheckerForAllD) {
+  const int d = GetParam();
+  auto db = std::make_unique<Database>();
+  db->AddEntityAtSite("x", "s1").ValueOrDie();
+  db->AddEntityAtSite("y", "s2").ValueOrDie();
+  struct Shape {
+    const char* name;
+    std::vector<std::pair<StepKind, std::string>> seq;
+  };
+  using K = StepKind;
+  std::vector<Shape> shapes = {
+      {"latched", {{K::kLock, "x"}, {K::kLock, "y"}, {K::kUnlock, "y"},
+                   {K::kUnlock, "x"}}},
+      {"early", {{K::kLock, "x"}, {K::kUnlock, "x"}, {K::kLock, "y"},
+                 {K::kUnlock, "y"}}},
+  };
+  for (const Shape& shape : shapes) {
+    auto t = TransactionBuilder::FromSequence(db.get(), "T", shape.seq);
+    ASSERT_TRUE(t.ok());
+    CopiesVerdict fast = CheckCopies(*t, d);
+    auto sys = MakeCopies(*t, d);
+    ASSERT_TRUE(sys.ok());
+    auto oracle = CheckSafeAndDeadlockFree(*sys);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(fast.safe_and_deadlock_free, oracle->holds)
+        << shape.name << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(D, CopySweep, ::testing::Range(2, 6));
+
+}  // namespace
+}  // namespace wydb

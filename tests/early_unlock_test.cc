@@ -1,0 +1,141 @@
+// Tests for the early-unlock optimizer ([W2]-style extension).
+#include <gtest/gtest.h>
+
+#include "analysis/early_unlock.h"
+#include "analysis/multi_analyzer.h"
+#include "analysis/safety_checker.h"
+#include "gen/system_gen.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+TEST(HoldingCostTest, ChainCost) {
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  // Lx Ly Uy Ux: x held 3 steps, y held 1.
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  EXPECT_EQ(HoldingCost(t), 4);
+}
+
+TEST(HoldingCostTest, PartialOrderReturnsMinusOne) {
+  auto db = testutil::MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  b.Lock("x");
+  b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  EXPECT_EQ(HoldingCost(*b.Build()), -1);
+}
+
+TEST(EarlyUnlockTest, RefusesUncertifiedInput) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  EXPECT_EQ(OptimizeEarlyUnlock(sys).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EarlyUnlockTest, HoistsSlackUnlocks) {
+  // Single transaction holding x across an unrelated y access: with no
+  // second transaction there is nothing to protect, so Ux can move left.
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Uy", "Ux"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto opt = OptimizeEarlyUnlock(sys);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GT(opt->moves_committed, 0u);
+  EXPECT_LT(opt->holding_cost_after, opt->holding_cost_before);
+  // Still certified.
+  auto check = CheckSystemSafeAndDeadlockFree(opt->system);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->safe_and_deadlock_free);
+}
+
+TEST(EarlyUnlockTest, PreservesCertificateUnderContention) {
+  // Two transactions where the latch really is needed: hoisting must not
+  // break the certificate even when some moves get rejected.
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y", "z"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(
+      MakeSeq(db.get(), "T1", {"Lx", "Ly", "Uy", "Lz", "Uz", "Ux"}));
+  txns.push_back(
+      MakeSeq(db.get(), "T2", {"Lx", "Lz", "Uz", "Ly", "Uy", "Ux"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  ASSERT_TRUE(CheckSystemSafeAndDeadlockFree(sys)->safe_and_deadlock_free);
+  auto opt = OptimizeEarlyUnlock(sys);
+  ASSERT_TRUE(opt.ok());
+  auto check = CheckSystemSafeAndDeadlockFree(opt->system);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->safe_and_deadlock_free);
+  EXPECT_LE(opt->holding_cost_after, opt->holding_cost_before);
+  // The exact oracle agrees with the preserved certificate.
+  auto oracle = CheckSafeAndDeadlockFree(opt->system);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(oracle->holds);
+}
+
+TEST(EarlyUnlockTest, MoveBudgetRespected) {
+  auto db = MakeDb({{"s1", {"x", "y", "z"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(
+      MakeSeq(db.get(), "T1", {"Lx", "Ly", "Lz", "Uy", "Uz", "Ux"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  EarlyUnlockOptions opts;
+  opts.max_moves = 1;
+  auto opt = OptimizeEarlyUnlock(sys, opts);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->moves_committed, 1u);
+}
+
+TEST(EarlyUnlockTest, PartialOrdersSkippedUntouched) {
+  auto db = testutil::MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T1");
+  b.set_auto_site_chain(false);
+  int lx = b.Lock("x");
+  int ly = b.Lock("y");
+  int ux = b.Unlock("x");
+  int uy = b.Unlock("y");
+  b.Arc(lx, ly).Arc(ly, ux).Arc(lx, uy);  // ux, uy unordered.
+  std::vector<Transaction> txns;
+  txns.push_back(std::move(*b.Build()));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto opt = OptimizeEarlyUnlock(sys);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->skipped_partial, 1);
+  EXPECT_EQ(opt->moves_committed, 0u);
+}
+
+// Property: on random certified systems the optimizer never loses the
+// certificate and never increases the holding cost.
+TEST(EarlyUnlockProperty, MonotoneAndCertificatePreserving) {
+  int optimized = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SafeSystemOptions gopts;
+    gopts.num_sites = 1;  // Single site => totally ordered transactions.
+    gopts.entities_per_site = 6;
+    gopts.num_transactions = 3;
+    gopts.entities_per_txn = 3;
+    gopts.seed = seed;
+    auto sys = GenerateSafeSystem(gopts);
+    ASSERT_TRUE(sys.ok());
+    auto opt = OptimizeEarlyUnlock(*sys->system);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    EXPECT_LE(opt->holding_cost_after, opt->holding_cost_before);
+    if (opt->moves_committed > 0) ++optimized;
+    auto oracle = CheckSafeAndDeadlockFree(opt->system);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(oracle->holds) << "seed " << seed;
+  }
+  EXPECT_GT(optimized, 0);
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,279 @@
+// Executable reproductions of the paper's figures (DESIGN.md experiments
+// F1, F2, F3; F4/F5 live in reduction_test.cc and F6 in copies_test.cc).
+#include <gtest/gtest.h>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/pair_analyzer.h"
+#include "core/reduction_graph.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSpreadDb;
+using testutil::MakeSystem;
+
+// -----------------------------------------------------------------------
+// Figure 1: three transactions over x, y, z; the prefix {Ly | Lx | Lz}
+// (T1 holds y, T2 holds x, T3 holds z) is a deadlock prefix whose
+// reduction graph contains the paper's cycle
+//   L1z -> U1y -> L2y -> U2x -> L3x -> U3z -> L1z.
+struct Figure1 {
+  std::unique_ptr<Database> db = MakeDb({{"s1", {"x", "z"}}, {"s2", {"y"}}});
+  TransactionSystem sys;
+
+  Figure1() : sys(Build(db.get())) {}
+
+  static TransactionSystem Build(const Database* db) {
+    std::vector<Transaction> txns;
+    txns.push_back(MakeSeq(db, "T1", {"Ly", "Lz", "Uy", "Uz"}));
+    txns.push_back(MakeSeq(db, "T2", {"Lx", "Ly", "Ux", "Uy"}));
+    txns.push_back(MakeSeq(db, "T3", {"Lz", "Lx", "Uz", "Ux"}));
+    return testutil::MakeSystem(db, std::move(txns));
+  }
+};
+
+TEST(Figure1Test, PrefixIsDeadlockPrefix) {
+  Figure1 f;
+  auto prefix = PrefixSet::FromNodeSets(&f.sys, {{0}, {0}, {0}});
+  ASSERT_TRUE(prefix.ok());
+  auto verdict = IsDeadlockPrefix(f.sys, *prefix);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(Figure1Test, ReductionGraphContainsThePapersCycle) {
+  Figure1 f;
+  auto prefix = PrefixSet::FromNodeSets(&f.sys, {{0}, {0}, {0}});
+  ASSERT_TRUE(prefix.ok());
+  ReductionGraph rg(*prefix);
+  ASSERT_TRUE(rg.HasCycle());
+
+  // The paper's six-node cycle, step by step. Arcs within transactions
+  // come from the remaining parts; arcs U_i -> L_j from held locks.
+  auto node = [&](int txn, const std::string& label) {
+    const Transaction& t = f.sys.txn(txn);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (t.StepLabel(v) == label) return rg.ToLocal(GlobalNode{txn, v});
+    }
+    return kInvalidNode;
+  };
+  NodeId l1z = node(0, "Lz"), u1y = node(0, "Uy");
+  NodeId l2y = node(1, "Ly"), u2x = node(1, "Ux");
+  NodeId l3x = node(2, "Lx"), u3z = node(2, "Uz");
+  for (NodeId v : {l1z, u1y, l2y, u2x, l3x, u3z}) ASSERT_NE(v, kInvalidNode);
+  EXPECT_TRUE(rg.digraph().HasArc(l1z, u1y));
+  EXPECT_TRUE(rg.digraph().HasArc(u1y, l2y));
+  EXPECT_TRUE(rg.digraph().HasArc(l2y, u2x));
+  EXPECT_TRUE(rg.digraph().HasArc(u2x, l3x));
+  EXPECT_TRUE(rg.digraph().HasArc(l3x, u3z));
+  EXPECT_TRUE(rg.digraph().HasArc(u3z, l1z));
+}
+
+TEST(Figure1Test, SystemIsNotDeadlockFree) {
+  Figure1 f;
+  auto report = CheckDeadlockFreedom(f.sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->deadlock_free);
+}
+
+TEST(Figure1Test, AnyLinearExtensionOfPrefixIsAPartialSchedule) {
+  Figure1 f;
+  // Executing the three first-locks in any order respects the locks (they
+  // touch three distinct entities).
+  Schedule s{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_TRUE(ValidateSchedule(f.sys, s, false).ok());
+}
+
+// -----------------------------------------------------------------------
+// Figure 2: Tirri's counterexample. Both transactions have the same
+// syntax D over entities v, t, z, w with arcs Lv->Ut, Lt->Uz, Lz->Uw,
+// Lw->Uv. There are NO two entities a, b with La preceding Ub and Lb
+// preceding Ua (the premise of [T]'s algorithm), yet the pair deadlocks
+// through a 4-entity cycle.
+Transaction Figure2Transaction(const Database* db, const std::string& name) {
+  TransactionBuilder b(db, name);
+  b.set_auto_site_chain(false);
+  int lv = b.Lock("v"), lt = b.Lock("t"), lz = b.Lock("z"), lw = b.Lock("w");
+  int uv = b.Unlock("v"), ut = b.Unlock("t"), uz = b.Unlock("z"),
+      uw = b.Unlock("w");
+  (void)uv;
+  b.Arc(lv, ut).Arc(lt, uz).Arc(lz, uw).Arc(lw, uv);
+  auto t = b.Build();
+  if (!t.ok()) std::abort();
+  return std::move(*t);
+}
+
+TEST(Figure2Test, TirriPremiseDoesNotHold) {
+  auto db = MakeSpreadDb({"v", "t", "z", "w"});
+  Transaction t1 = Figure2Transaction(db.get(), "T1");
+  Transaction t2 = Figure2Transaction(db.get(), "T2");
+  // No pair (a, b): La < Ub in T1 and Lb < Ua in T2 with {a,b} both ways.
+  bool premise = false;
+  for (EntityId a : t1.entities()) {
+    for (EntityId b : t1.entities()) {
+      if (a == b) continue;
+      if (t1.Precedes(t1.LockNode(b), t1.UnlockNode(a)) &&
+          t2.Precedes(t2.LockNode(a), t2.UnlockNode(b))) {
+        premise = true;
+      }
+    }
+  }
+  EXPECT_FALSE(premise);
+}
+
+TEST(Figure2Test, IdenticalSyntaxPairDeadlocks) {
+  auto db = MakeSpreadDb({"v", "t", "z", "w"});
+  std::vector<Transaction> txns;
+  txns.push_back(Figure2Transaction(db.get(), "T1"));
+  txns.push_back(Figure2Transaction(db.get(), "T2"));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->deadlock_free);
+}
+
+TEST(Figure2Test, PapersPrefixIsADeadlockPrefix) {
+  auto db = MakeSpreadDb({"v", "t", "z", "w"});
+  std::vector<Transaction> txns;
+  txns.push_back(Figure2Transaction(db.get(), "T1"));
+  txns.push_back(Figure2Transaction(db.get(), "T2"));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  // Prefix {L2v, L1t, L2z, L1w}: T1 holds t and w; T2 holds v and z.
+  auto lock_of = [&](int txn, const std::string& e) {
+    return sys.txn(txn).LockNode(db->FindEntity(e));
+  };
+  auto prefix = PrefixSet::FromNodeSets(
+      &sys, {{lock_of(0, "t"), lock_of(0, "w")},
+             {lock_of(1, "v"), lock_of(1, "z")}});
+  ASSERT_TRUE(prefix.ok());
+  auto verdict = IsDeadlockPrefix(sys, *prefix);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+  // The reduction-graph cycle spans all four entities (8 nodes).
+  ReductionGraph rg(*prefix);
+  EXPECT_GE(rg.FindGlobalCycle().size(), 8u);
+}
+
+// In a centralized database, identical syntax implies deadlock freedom;
+// Figure 2 shows the distributed analogue fails. Sanity-check the
+// centralized claim on the total orders of the same entity set.
+TEST(Figure2Test, CentralizedIdenticalSyntaxIsDeadlockFree) {
+  auto db = MakeDb({{"s1", {"v", "t", "z", "w"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1",
+                         {"Lv", "Lt", "Lz", "Lw", "Ut", "Uz", "Uw", "Uv"}));
+  txns.push_back(MakeSeq(db.get(), "T2",
+                         {"Lv", "Lt", "Lz", "Lw", "Ut", "Uz", "Uw", "Uv"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->deadlock_free);
+}
+
+// -----------------------------------------------------------------------
+// Figure 3: a pair of identical partial orders that is deadlock-free even
+// though a pair of its linear extensions deadlocks — deadlock freedom does
+// not reduce to linear extensions (unlike safety, Corollary 1 aside).
+Transaction Figure3Transaction(const Database* db, const std::string& name) {
+  TransactionBuilder b(db, name);
+  b.set_auto_site_chain(false);
+  int lx = b.Lock("x"), ly = b.Lock("y");
+  int ux = b.Unlock("x"), uy = b.Unlock("y");
+  b.Arc(lx, ux).Arc(ux, uy).Arc(ly, uy);
+  auto t = b.Build();
+  if (!t.ok()) std::abort();
+  return std::move(*t);
+}
+
+TEST(Figure3Test, PartialOrderPairIsDeadlockFree) {
+  auto db = MakeSpreadDb({"x", "y"});
+  std::vector<Transaction> txns;
+  txns.push_back(Figure3Transaction(db.get(), "T1"));
+  txns.push_back(Figure3Transaction(db.get(), "T2"));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->deadlock_free);
+}
+
+TEST(Figure3Test, SomeExtensionPairDeadlocks) {
+  auto db = MakeSpreadDb({"x", "y"});
+  // t1 = Lx Ly Ux Uy and t2 = Ly Lx Ux Uy are both extensions of Fig. 3.
+  Transaction fig3 = Figure3Transaction(db.get(), "T");
+  auto is_extension = [&](const std::vector<std::string>& labels) {
+    // Verify the sequence is a linear extension of fig3's partial order.
+    std::vector<NodeId> order;
+    for (const auto& label : labels) {
+      for (NodeId v = 0; v < fig3.num_steps(); ++v) {
+        if (fig3.StepLabel(v) == label) order.push_back(v);
+      }
+    }
+    std::vector<int> pos(fig3.num_steps());
+    for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (NodeId u = 0; u < fig3.num_steps(); ++u) {
+      for (NodeId v = 0; v < fig3.num_steps(); ++v) {
+        if (fig3.Precedes(u, v) && pos[u] >= pos[v]) return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(is_extension({"Lx", "Ly", "Ux", "Uy"}));
+  EXPECT_TRUE(is_extension({"Ly", "Lx", "Ux", "Uy"}));
+
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "t1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "t2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->deadlock_free);
+}
+
+// The one-directional reduction that DOES hold (end of Section 3): if the
+// partial-order system deadlocks, some tuple of extensions deadlocks.
+TEST(Figure3Test, DeadlockImpliesSomeExtensionTupleDeadlocks) {
+  auto db = MakeSpreadDb({"v", "t", "z", "w"});
+  std::vector<Transaction> txns;
+  txns.push_back(Figure2Transaction(db.get(), "T1"));
+  txns.push_back(Figure2Transaction(db.get(), "T2"));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->deadlock_free);
+  const Schedule& witness = report->witness->schedule;
+
+  // The paper's construction: for each transaction, take its subsequence
+  // of the deadlock partial schedule and suffix it with a total order of
+  // the remainder; the resulting extensions deadlock too.
+  std::vector<Transaction> ext;
+  for (int i = 0; i < 2; ++i) {
+    const Transaction& t = sys.txn(i);
+    std::vector<bool> in_prefix(t.num_steps(), false);
+    std::vector<std::pair<StepKind, std::string>> seq;
+    for (GlobalNode g : witness) {
+      if (g.txn != i) continue;
+      in_prefix[g.node] = true;
+      const Step& s = t.step(g.node);
+      seq.emplace_back(s.kind, db->EntityName(s.entity));
+    }
+    for (NodeId v : t.SomeLinearExtension()) {
+      if (in_prefix[v]) continue;
+      const Step& s = t.step(v);
+      seq.emplace_back(s.kind, db->EntityName(s.entity));
+    }
+    auto built = TransactionBuilder::FromSequence(
+        db.get(), i == 0 ? "t1" : "t2", seq);
+    ASSERT_TRUE(built.ok());
+    ext.push_back(std::move(*built));
+  }
+  TransactionSystem ext_sys = MakeSystem(db.get(), std::move(ext));
+  auto ext_report = CheckDeadlockFreedom(ext_sys);
+  ASSERT_TRUE(ext_report.ok());
+  EXPECT_FALSE(ext_report->deadlock_free);
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,83 @@
+// Parameterized latency/topology sweeps: the static certificates must
+// hold under EVERY timing regime, and the deadlock-prone systems must be
+// handled by every dynamic policy regardless of timing.
+#include <gtest/gtest.h>
+
+#include "gen/system_gen.h"
+#include "runtime/simulation.h"
+
+namespace wydb {
+namespace {
+
+struct LatencyParam {
+  const char* name;
+  SimTime base;
+  SimTime jitter;
+  SimTime local;
+};
+
+class LatencySweep : public ::testing::TestWithParam<LatencyParam> {};
+
+TEST_P(LatencySweep, CertifiedSystemCommitsUnderAllTimings) {
+  const LatencyParam& p = GetParam();
+  SafeSystemOptions gopts;
+  gopts.num_transactions = 3;
+  gopts.entities_per_txn = 3;
+  gopts.seed = 5;
+  auto sys = GenerateSafeSystem(gopts);
+  ASSERT_TRUE(sys.ok());
+  SimOptions opts;
+  opts.policy = ConflictPolicy::kBlock;
+  opts.latency.base = p.base;
+  opts.latency.jitter = p.jitter;
+  opts.latency.local = p.local;
+  auto agg = RunMany(*sys->system, opts, 15);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->deadlocked_runs, 0) << p.name;
+  EXPECT_EQ(agg->committed_runs, 15) << p.name;
+  EXPECT_TRUE(agg->all_histories_serializable) << p.name;
+}
+
+TEST_P(LatencySweep, DetectorRecoversRingUnderAllTimings) {
+  const LatencyParam& p = GetParam();
+  auto ring = GenerateRingSystem(4);
+  ASSERT_TRUE(ring.ok());
+  SimOptions opts;
+  opts.policy = ConflictPolicy::kDetect;
+  opts.latency.base = p.base;
+  opts.latency.jitter = p.jitter;
+  opts.latency.local = p.local;
+  auto agg = RunMany(*ring->system, opts, 15);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->committed_runs, 15) << p.name;
+  EXPECT_TRUE(agg->all_histories_serializable) << p.name;
+}
+
+TEST_P(LatencySweep, WoundWaitLivenessUnderAllTimings) {
+  const LatencyParam& p = GetParam();
+  auto ring = GenerateRingSystem(5);
+  ASSERT_TRUE(ring.ok());
+  SimOptions opts;
+  opts.policy = ConflictPolicy::kWoundWait;
+  opts.latency.base = p.base;
+  opts.latency.jitter = p.jitter;
+  opts.latency.local = p.local;
+  auto agg = RunMany(*ring->system, opts, 15);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->committed_runs, 15) << p.name;
+  EXPECT_EQ(agg->deadlocked_runs, 0) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timings, LatencySweep,
+    ::testing::Values(LatencyParam{"lan", 5, 2, 1},
+                      LatencyParam{"wan", 200, 100, 1},
+                      LatencyParam{"uniform", 50, 0, 50},
+                      LatencyParam{"chaotic", 10, 500, 1},
+                      LatencyParam{"instant", 1, 0, 1}),
+    [](const ::testing::TestParamInfo<LatencyParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,163 @@
+// Tests for the Theorem 4 system-level test, cross-validated against the
+// exact Lemma 1 oracle.
+#include <gtest/gtest.h>
+
+#include "analysis/multi_analyzer.h"
+#include "analysis/safety_checker.h"
+#include "core/conflict_graph.h"
+#include "gen/system_gen.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+TEST(MultiAnalyzerTest, FailingPairShortCircuits) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSystemSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->safe_and_deadlock_free);
+  ASSERT_TRUE(report->violation.has_value());
+  ASSERT_TRUE(report->violation->failed_pair.has_value());
+  EXPECT_EQ(*report->violation->failed_pair, (std::pair<int, int>{0, 1}));
+}
+
+TEST(MultiAnalyzerTest, AcyclicInteractionGraphPasses) {
+  // T1-T2 share x, T2-T3 share z; no cycle, pairs pass => safe+DF.
+  auto db = MakeDb({{"s1", {"x", "y"}}, {"s2", {"z", "w"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Uy", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Lx", "Lz", "Uz", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T3", {"Lz", "Lw", "Uw", "Uz"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSystemSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe_and_deadlock_free);
+  EXPECT_EQ(report->cycles_checked, 0u);
+}
+
+TEST(MultiAnalyzerTest, ThreeRingFailsWithCycleWitness) {
+  // The 3-ring: every pair shares exactly one entity (pairs pass Theorem
+  // 3), but the cycle admits a circular-wait partial schedule.
+  auto ring = GenerateRingSystem(3);
+  ASSERT_TRUE(ring.ok());
+  const TransactionSystem& sys = *ring->system;
+  auto report = CheckSystemSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->safe_and_deadlock_free);
+  ASSERT_TRUE(report->violation.has_value());
+  EXPECT_FALSE(report->violation->failed_pair.has_value());
+  EXPECT_EQ(report->violation->cycle.size(), 3u);
+
+  // The normal-form witness S* must be a legal partial schedule whose
+  // conflict digraph is cyclic (Lemma 1 violation).
+  const Schedule& witness = report->violation->witness;
+  ASSERT_FALSE(witness.empty());
+  ASSERT_TRUE(ValidateSchedule(sys, witness, false).ok());
+  auto cg = ConflictGraph::FromSchedule(sys, witness);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_FALSE(cg->IsAcyclic());
+}
+
+TEST(MultiAnalyzerTest, RingsOfAllSizesFail) {
+  for (int k = 3; k <= 6; ++k) {
+    auto ring = GenerateRingSystem(k);
+    ASSERT_TRUE(ring.ok());
+    auto report = CheckSystemSafeAndDeadlockFree(*ring->system);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->safe_and_deadlock_free) << "k=" << k;
+    EXPECT_EQ(report->violation->cycle.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(MultiAnalyzerTest, SafeGeneratorPasses) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SafeSystemOptions opts;
+    opts.num_transactions = 4;
+    opts.entities_per_txn = 3;
+    opts.seed = seed;
+    auto sys = GenerateSafeSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    auto report = CheckSystemSafeAndDeadlockFree(*sys->system);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->safe_and_deadlock_free) << "seed " << seed;
+  }
+}
+
+TEST(MultiAnalyzerTest, CycleBudgetReported) {
+  auto sys = GenerateChordedCycleSystem(6, 4, /*seed=*/1);
+  ASSERT_TRUE(sys.ok());
+  MultiCheckOptions opts;
+  opts.max_cycles = 1;
+  auto report = CheckSystemSafeAndDeadlockFree(*sys->system, opts);
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MultiAnalyzerTest, SingleTransactionPasses) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSystemSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe_and_deadlock_free);
+}
+
+// Ground truth: Theorem 4 verdicts match the exact Lemma 1 oracle on
+// random systems of 3 transactions.
+TEST(MultiAnalyzerProperty, AgreesWithExactOracle) {
+  int fails = 0, passes = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_sites = 2;
+    opts.entities_per_site = 2;
+    opts.num_transactions = 3;
+    opts.entities_per_txn = 2;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+
+    auto fast = CheckSystemSafeAndDeadlockFree(*sys->system);
+    auto oracle = CheckSafeAndDeadlockFree(*sys->system);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(fast->safe_and_deadlock_free, oracle->holds)
+        << "seed " << seed;
+    (oracle->holds ? passes : fails)++;
+  }
+  EXPECT_GT(fails, 0);
+  EXPECT_GT(passes, 0);
+}
+
+// Same, with two-phase-locked random systems (safe by [EGLT], so any
+// failure is a pure deadlock failure — the regime the paper's §6 calls the
+// practically relevant one).
+TEST(MultiAnalyzerProperty, AgreesWithOracleOnTwoPhaseSystems) {
+  for (uint64_t seed = 200; seed <= 240; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_sites = 2;
+    opts.entities_per_site = 2;
+    opts.num_transactions = 3;
+    opts.entities_per_txn = 2;
+    opts.two_phase = true;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    auto fast = CheckSystemSafeAndDeadlockFree(*sys->system);
+    auto oracle = CheckSafeAndDeadlockFree(*sys->system);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(fast->safe_and_deadlock_free, oracle->holds)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,255 @@
+// Tests for the runtime substrate: event queue, network, lock manager,
+// executor, policies.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "runtime/lock_manager.h"
+#include "runtime/scheduler.h"
+#include "runtime/sim/event_queue.h"
+#include "runtime/sim/network.h"
+#include "runtime/txn_runtime.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.At(30, [&] { fired.push_back(3); });
+  q.At(10, [&] { fired.push_back(1); });
+  q.At(20, [&] { fired.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.At(7, [&fired, i] { fired.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.After(10, tick);
+  };
+  q.After(0, tick);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueueTest, PastTimesClampToNow) {
+  EventQueue q;
+  SimTime seen = 999;
+  q.At(50, [&] { q.At(10, [&] { seen = q.now(); }); });
+  q.RunAll();
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(EventQueueTest, MaxEventsBudget) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.At(i, [] {});
+  EXPECT_EQ(q.RunAll(4), 4u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(NetworkTest, LatencyAppliedAndMessagesCounted) {
+  EventQueue q;
+  Rng rng(1);
+  LatencyModel model;
+  model.base = 100;
+  model.jitter = 0;
+  model.local = 1;
+  Network net(&q, 2, model, &rng);
+  SimTime remote_at = 0, local_at = 0;
+  net.Send(0, 1, [&] { remote_at = q.now(); });
+  net.Send(0, 0, [&] { local_at = q.now(); });
+  q.RunAll();
+  EXPECT_EQ(remote_at, 100u);
+  EXPECT_EQ(local_at, 1u);
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(NetworkTest, JitterCanReorderMessages) {
+  EventQueue q;
+  Rng rng(3);
+  LatencyModel model;
+  model.base = 10;
+  model.jitter = 50;
+  Network net(&q, 2, model, &rng);
+  std::vector<int> arrivals;
+  bool reordered_once = false;
+  for (int round = 0; round < 50 && !reordered_once; ++round) {
+    arrivals.clear();
+    net.Send(0, 1, [&] { arrivals.push_back(1); });
+    net.Send(0, 1, [&] { arrivals.push_back(2); });
+    q.RunAll();
+    if (arrivals == std::vector<int>{2, 1}) reordered_once = true;
+  }
+  EXPECT_TRUE(reordered_once);
+}
+
+TEST(LockManagerTest, GrantAndQueue) {
+  LockManager lm(0);
+  int granted = 0;
+  lm.Request(1, 7, [&] { granted = 1; });
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(lm.HolderOf(7), 1);
+  lm.Request(2, 7, [&] { granted = 2; });
+  EXPECT_EQ(granted, 1);  // Queued.
+  EXPECT_TRUE(lm.IsWaiting(2));
+  lm.Release(1, 7);
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(lm.HolderOf(7), 2);
+  EXPECT_FALSE(lm.IsWaiting(2));
+}
+
+TEST(LockManagerTest, FifoOrder) {
+  LockManager lm(0);
+  std::vector<int> grants;
+  lm.Request(1, 5, [&] { grants.push_back(1); });
+  lm.Request(2, 5, [&] { grants.push_back(2); });
+  lm.Request(3, 5, [&] { grants.push_back(3); });
+  lm.Release(1, 5);
+  lm.Release(2, 5);
+  lm.Release(3, 5);
+  EXPECT_EQ(grants, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(lm.grants(), 3u);
+}
+
+TEST(LockManagerTest, StaleReleaseIgnored) {
+  LockManager lm(0);
+  lm.Request(1, 5, [] {});
+  lm.Release(2, 5);  // Not the holder: no-op.
+  EXPECT_EQ(lm.HolderOf(5), 1);
+  lm.Release(1, 99);  // Unknown entity: no-op.
+}
+
+TEST(LockManagerTest, AbortReleasesAndDequeues) {
+  LockManager lm(0);
+  std::vector<int> grants;
+  lm.Request(1, 5, [&] { grants.push_back(1); });
+  lm.Request(2, 5, [&] { grants.push_back(2); });
+  lm.Request(3, 5, [&] { grants.push_back(3); });
+  lm.Request(1, 6, [&] { grants.push_back(10); });
+  lm.Abort(2);  // Dequeues 2's wait on entity 5.
+  lm.Abort(1);  // Releases 5 (grant -> 3) and 6.
+  EXPECT_EQ(lm.HolderOf(5), 3);
+  EXPECT_EQ(lm.HolderOf(6), -1);
+  EXPECT_EQ(grants, (std::vector<int>{1, 10, 3}));
+}
+
+TEST(LockManagerTest, OnBlockHookFires) {
+  LockManager lm(0);
+  int blocked_requester = -1, blocking_holder = -1;
+  lm.set_on_block([&](int r, int h, EntityId) {
+    blocked_requester = r;
+    blocking_holder = h;
+  });
+  lm.Request(1, 5, [] {});
+  lm.Request(2, 5, [] {});
+  EXPECT_EQ(blocked_requester, 2);
+  EXPECT_EQ(blocking_holder, 1);
+}
+
+TEST(LockManagerTest, WaitForEdges) {
+  LockManager lm(0);
+  lm.Request(1, 5, [] {});
+  lm.Request(2, 5, [] {});
+  lm.Request(3, 5, [] {});
+  auto edges = lm.WaitForEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].holder, 1);
+  EXPECT_EQ(edges[0].entity, 5);
+}
+
+TEST(ConflictPolicyTest, Names) {
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kBlock), "block");
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kWoundWait), "wound-wait");
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kWaitDie), "wait-die");
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kDetect), "detect");
+}
+
+TEST(ConflictPolicyTest, WoundWaitMatrix) {
+  using CA = ConflictAction;
+  // Older requester (ts 1) vs younger holder (ts 5): wound the holder.
+  EXPECT_EQ(ResolveConflict(ConflictPolicy::kWoundWait, 1, 5),
+            CA::kAbortHolder);
+  // Younger requester waits.
+  EXPECT_EQ(ResolveConflict(ConflictPolicy::kWoundWait, 5, 1), CA::kWait);
+}
+
+TEST(ConflictPolicyTest, WaitDieMatrix) {
+  using CA = ConflictAction;
+  EXPECT_EQ(ResolveConflict(ConflictPolicy::kWaitDie, 1, 5), CA::kWait);
+  EXPECT_EQ(ResolveConflict(ConflictPolicy::kWaitDie, 5, 1),
+            CA::kAbortRequester);
+}
+
+TEST(ConflictPolicyTest, BlockingPoliciesAlwaysWait) {
+  for (auto policy : {ConflictPolicy::kBlock, ConflictPolicy::kDetect}) {
+    EXPECT_EQ(ResolveConflict(policy, 1, 5), ConflictAction::kWait);
+    EXPECT_EQ(ResolveConflict(policy, 5, 1), ConflictAction::kWait);
+  }
+}
+
+TEST(TxnExecutorTest, WalksChainInOrder) {
+  auto db = testutil::MakeDb({{"s1", {"x", "y"}}});
+  Transaction t =
+      testutil::MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  TxnExecutor exec(0, &t);
+  EXPECT_EQ(exec.attempt(), 1);
+  EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{0});
+  exec.MarkIssued(0);
+  EXPECT_TRUE(exec.ReadySteps().empty());  // Issued but not complete.
+  exec.MarkCompleted(0);
+  EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{1});
+  exec.MarkIssued(1);
+  exec.MarkCompleted(1);
+  EXPECT_EQ(exec.HeldEntities().size(), 2u);
+  exec.MarkIssued(2);
+  exec.MarkCompleted(2);
+  exec.MarkIssued(3);
+  exec.MarkCompleted(3);
+  EXPECT_TRUE(exec.IsDone());
+  EXPECT_EQ(exec.completion_order().size(), 4u);
+}
+
+TEST(TxnExecutorTest, ParallelBranchesBothReady) {
+  auto db = testutil::MakeSpreadDb({"x", "y"});
+  TransactionBuilder b(db.get(), "T");
+  b.set_auto_site_chain(false);
+  b.Lock("x");
+  b.Lock("y");
+  b.Unlock("x");
+  b.Unlock("y");
+  Transaction t = *b.Build();
+  TxnExecutor exec(0, &t);
+  EXPECT_EQ(exec.ReadySteps().size(), 2u);  // Both locks.
+}
+
+TEST(TxnExecutorTest, RestartClearsProgress) {
+  auto db = testutil::MakeDb({{"s1", {"x"}}});
+  Transaction t = testutil::MakeSeq(db.get(), "T", {"Lx", "Ux"});
+  TxnExecutor exec(0, &t);
+  exec.MarkIssued(0);
+  exec.MarkCompleted(0);
+  exec.Restart();
+  EXPECT_EQ(exec.attempt(), 2);
+  EXPECT_FALSE(exec.IsDone());
+  EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{0});
+  EXPECT_TRUE(exec.completion_order().empty());
+}
+
+}  // namespace
+}  // namespace wydb

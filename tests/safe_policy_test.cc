@@ -1,0 +1,44 @@
+// The Section 6 remark: for safely-locked (e.g. two-phase) transactions,
+// deadlock-freedom alone is decidable in polynomial time via the Theorem 4
+// test, because safety makes DF and safe+DF coincide.
+#include <gtest/gtest.h>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/multi_analyzer.h"
+#include "analysis/safety_checker.h"
+#include "gen/system_gen.h"
+
+namespace wydb {
+namespace {
+
+class TwoPhaseSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoPhaseSweep, PolyTestDecidesDeadlockFreedomOfSafeSystems) {
+  RandomSystemOptions opts;
+  opts.num_transactions = 3;
+  opts.entities_per_txn = 2;
+  opts.num_sites = 2;
+  opts.entities_per_site = 2;
+  opts.two_phase = true;  // Safe by [EGLT].
+  opts.seed = GetParam();
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+
+  // Precondition of the remark: two-phase locking really is safe.
+  auto safety = CheckSafety(*sys->system);
+  ASSERT_TRUE(safety.ok());
+  ASSERT_TRUE(safety->holds);
+
+  // The polynomial verdict equals exact deadlock-freedom.
+  auto poly = CheckDeadlockFreedomAssumingSafe(*sys->system);
+  auto exact = CheckDeadlockFreedom(*sys->system);
+  ASSERT_TRUE(poly.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(poly->safe_and_deadlock_free, exact->deadlock_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoPhaseSweep,
+                         ::testing::Range<uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace wydb

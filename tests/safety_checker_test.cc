@@ -1,0 +1,154 @@
+// Tests for the exact Lemma 1 checker: safety, and safety+deadlock-freedom.
+#include <gtest/gtest.h>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/safety_checker.h"
+#include "core/conflict_graph.h"
+#include "gen/system_gen.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+TEST(SafetyCheckerTest, TwoPhaseSameOrderIsSafeAndDf) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Lx", "Ly", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->holds);
+}
+
+TEST(SafetyCheckerTest, OppositeOrderFailsSafeDf) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  ASSERT_TRUE(report->violation.has_value());
+  // The violating partial schedule must be legal and have a cyclic D(S').
+  EXPECT_TRUE(
+      ValidateSchedule(sys, report->violation->schedule, false).ok());
+  auto cg = ConflictGraph::FromSchedule(sys, report->violation->schedule);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_FALSE(cg->IsAcyclic());
+}
+
+TEST(SafetyCheckerTest, EarlyUnlockIsUnsafeButDeadlockFree) {
+  // Both transactions lock/unlock x then y in the same order but release
+  // early: no deadlock is possible, yet schedules are not serializable.
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux", "Ly", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Lx", "Ux", "Ly", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+
+  auto safety = CheckSafety(sys);
+  ASSERT_TRUE(safety.ok());
+  EXPECT_FALSE(safety->holds);
+  ASSERT_TRUE(safety->violation.has_value());
+  // Safety violations must be COMPLETE schedules.
+  EXPECT_TRUE(
+      ValidateSchedule(sys, safety->violation->schedule, true).ok());
+
+  auto df = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(df.ok());
+  EXPECT_TRUE(df->deadlock_free);
+
+  auto both = CheckSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(both->holds);
+}
+
+TEST(SafetyCheckerTest, DeadlockableButSafeSystem) {
+  // Two-phase locked transactions are always safe [EGLT], but opposite
+  // lock orders deadlock: safety holds, safe+DF does not.
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto safety = CheckSafety(sys);
+  ASSERT_TRUE(safety.ok());
+  EXPECT_TRUE(safety->holds);
+  auto df = CheckDeadlockFreedom(sys);
+  ASSERT_TRUE(df.ok());
+  EXPECT_FALSE(df->deadlock_free);
+}
+
+TEST(SafetyCheckerTest, DisjointSystemTriviallySafeDf) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto report = CheckSafeAndDeadlockFree(sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->holds);
+}
+
+TEST(SafetyCheckerTest, BudgetReported) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  SafetyCheckOptions opts;
+  opts.max_states = 1;
+  EXPECT_EQ(CheckSafeAndDeadlockFree(sys, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// Lemma 1 decomposition: safe+DF == safe AND deadlock-free, across random
+// systems (small enough for the exact checkers).
+TEST(SafetyCheckerProperty, Lemma1EquivalenceOnRandomSystems) {
+  int nontrivial = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_sites = 2;
+    opts.entities_per_site = 2;
+    opts.num_transactions = 2;
+    opts.entities_per_txn = 2;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+
+    auto both = CheckSafeAndDeadlockFree(*sys->system);
+    auto safe = CheckSafety(*sys->system);
+    auto df = CheckDeadlockFreedom(*sys->system);
+    ASSERT_TRUE(both.ok());
+    ASSERT_TRUE(safe.ok());
+    ASSERT_TRUE(df.ok());
+    EXPECT_EQ(both->holds, safe->holds && df->deadlock_free)
+        << "seed " << seed;
+    if (!both->holds) ++nontrivial;
+  }
+  EXPECT_GT(nontrivial, 0);  // The workload actually exercises failures.
+}
+
+// Safe-by-construction generator really is safe+DF.
+TEST(SafetyCheckerProperty, SafeGeneratorIsSafeDf) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SafeSystemOptions opts;
+    opts.num_transactions = 3;
+    opts.entities_per_txn = 2;
+    opts.seed = seed;
+    auto sys = GenerateSafeSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    auto report = CheckSafeAndDeadlockFree(*sys->system);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->holds) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,196 @@
+// Tests for the SAT substrate: CNF, DPLL, 3SAT' validation/generation.
+#include <gtest/gtest.h>
+
+#include "analysis/sat/cnf.h"
+#include "analysis/sat/dpll.h"
+#include "analysis/sat/threesat_prime.h"
+#include "common/random.h"
+
+namespace wydb {
+namespace {
+
+Literal Pos(int v) { return Literal{v, true}; }
+Literal Neg(int v) { return Literal{v, false}; }
+
+TEST(CnfTest, EvaluateAssignment) {
+  CnfFormula f(2, {{Pos(0), Neg(1)}, {Pos(1)}});
+  EXPECT_TRUE(f.IsSatisfiedBy({true, true}));
+  EXPECT_FALSE(f.IsSatisfiedBy({false, true}));
+  EXPECT_FALSE(f.IsSatisfiedBy({true, false}));  // Second clause fails.
+}
+
+TEST(CnfTest, AddClauseGrowsVars) {
+  CnfFormula f;
+  f.AddClause({Pos(4)});
+  EXPECT_EQ(f.num_vars(), 5);
+  EXPECT_EQ(f.num_clauses(), 1);
+}
+
+TEST(CnfTest, ValidateRejectsEmptyClause) {
+  CnfFormula f(1, {{}});
+  EXPECT_FALSE(f.Validate().ok());
+}
+
+TEST(CnfTest, ValidateRejectsOutOfRange) {
+  CnfFormula f(1, {{Pos(3)}});
+  EXPECT_FALSE(f.Validate().ok());
+}
+
+TEST(CnfTest, ToStringRendering) {
+  CnfFormula f(2, {{Pos(0), Neg(1)}});
+  EXPECT_EQ(f.ToString(), "(x0 + !x1)");
+}
+
+TEST(DpllTest, TrivialSat) {
+  CnfFormula f(1, {{Pos(0)}});
+  auto r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->satisfiable);
+  EXPECT_TRUE(f.IsSatisfiedBy(r->assignment));
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  CnfFormula f(1, {{Pos(0)}, {Neg(0)}});
+  auto r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->satisfiable);
+}
+
+TEST(DpllTest, UnitPropagationChain) {
+  // x0, x0->x1, x1->x2 forces all true.
+  CnfFormula f(3, {{Pos(0)}, {Neg(0), Pos(1)}, {Neg(1), Pos(2)}});
+  auto r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->satisfiable);
+  EXPECT_TRUE(r->assignment[0]);
+  EXPECT_TRUE(r->assignment[1]);
+  EXPECT_TRUE(r->assignment[2]);
+}
+
+TEST(DpllTest, PigeonholeUnsat) {
+  // 3 pigeons, 2 holes: vars p_{i,h} = i*2+h.
+  CnfFormula f;
+  for (int i = 0; i < 3; ++i) f.AddClause({Pos(i * 2), Pos(i * 2 + 1)});
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        f.AddClause({Neg(i * 2 + h), Neg(j * 2 + h)});
+      }
+    }
+  }
+  auto r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->satisfiable);
+}
+
+TEST(DpllTest, SatisfyingAssignmentAlwaysVerifies) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    CnfFormula f;
+    int n = 4 + static_cast<int>(rng.NextBelow(4));
+    int m = 6 + static_cast<int>(rng.NextBelow(10));
+    for (int c = 0; c < m; ++c) {
+      std::vector<Literal> clause;
+      for (int l = 0; l < 3; ++l) {
+        clause.push_back(Literal{static_cast<int>(rng.NextBelow(n)),
+                                 rng.NextBernoulli(0.5)});
+      }
+      f.AddClause(clause);
+    }
+    auto r = SolveDpll(f);
+    ASSERT_TRUE(r.ok());
+    if (r->satisfiable) EXPECT_TRUE(f.IsSatisfiedBy(r->assignment));
+  }
+}
+
+TEST(DpllTest, DecisionBudget) {
+  // Hard-ish pigeonhole; with a 0-decision budget it must bail out if any
+  // branching is needed.
+  CnfFormula f;
+  for (int i = 0; i < 4; ++i) {
+    f.AddClause({Pos(i * 3), Pos(i * 3 + 1), Pos(i * 3 + 2)});
+  }
+  for (int h = 0; h < 3; ++h) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        f.AddClause({Neg(i * 3 + h), Neg(j * 3 + h)});
+      }
+    }
+  }
+  DpllOptions opts;
+  opts.max_decisions = 1;
+  auto r = SolveDpll(f, opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------
+// 3SAT'.
+
+TEST(ThreeSatPrimeTest, ValidatesTheFigure5Formula) {
+  // (x0 + x1)(x0 + !x1)(!x0 + x1) — each variable twice positive, once
+  // negative.
+  CnfFormula f(2, {{Pos(0), Pos(1)}, {Pos(0), Neg(1)}, {Neg(0), Pos(1)}});
+  auto occ = ValidateThreeSatPrime(f);
+  ASSERT_TRUE(occ.ok());
+  EXPECT_EQ(occ->first_positive[0], 0);
+  EXPECT_EQ(occ->second_positive[0], 1);
+  EXPECT_EQ(occ->negative[0], 2);
+  EXPECT_EQ(occ->first_positive[1], 0);
+  EXPECT_EQ(occ->second_positive[1], 2);
+  EXPECT_EQ(occ->negative[1], 1);
+}
+
+TEST(ThreeSatPrimeTest, RejectsWrongOccurrenceCounts) {
+  CnfFormula once(1, {{Pos(0)}, {Neg(0)}});
+  EXPECT_FALSE(ValidateThreeSatPrime(once).ok());
+  CnfFormula triple_pos(
+      1, {{Pos(0)}, {Pos(0)}, {Pos(0)}, {Neg(0)}});
+  EXPECT_FALSE(ValidateThreeSatPrime(triple_pos).ok());
+  CnfFormula double_neg(1, {{Pos(0)}, {Pos(0)}, {Neg(0)}, {Neg(0)}});
+  EXPECT_FALSE(ValidateThreeSatPrime(double_neg).ok());
+}
+
+TEST(ThreeSatPrimeTest, RejectsBigClause) {
+  CnfFormula f(4, {{Pos(0), Pos(1), Pos(2), Pos(3)}});
+  EXPECT_FALSE(ValidateThreeSatPrime(f).ok());
+}
+
+TEST(ThreeSatPrimeTest, RejectsRepeatedVariableInClause) {
+  CnfFormula f(1, {{Pos(0), Neg(0)}, {Pos(0)}});
+  EXPECT_FALSE(ValidateThreeSatPrime(f).ok());
+}
+
+TEST(ThreeSatPrimeTest, GeneratorProducesValidInstances) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ThreeSatPrimeGenOptions opts;
+    opts.num_vars = 3 + static_cast<int>(seed % 6);
+    opts.seed = seed;
+    auto f = GenerateThreeSatPrime(opts);
+    ASSERT_TRUE(f.ok()) << "seed " << seed;
+    EXPECT_TRUE(ValidateThreeSatPrime(*f).ok()) << "seed " << seed;
+  }
+}
+
+TEST(ThreeSatPrimeTest, GeneratorHonorsClauseCount) {
+  ThreeSatPrimeGenOptions opts;
+  opts.num_vars = 4;
+  opts.num_clauses = 6;
+  auto f = GenerateThreeSatPrime(opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->num_clauses(), 6);
+  EXPECT_FALSE(GenerateThreeSatPrime(
+                   {.num_vars = 4, .num_clauses = 99, .seed = 1})
+                   .ok());
+}
+
+TEST(ThreeSatPrimeTest, KnownUnsatInstance) {
+  // (x0)(x0)(!x0) is a valid 3SAT' formula and unsatisfiable.
+  CnfFormula f(1, {{Pos(0)}, {Pos(0)}, {Neg(0)}});
+  ASSERT_TRUE(ValidateThreeSatPrime(f).ok());
+  auto r = SolveDpll(f);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->satisfiable);
+}
+
+}  // namespace
+}  // namespace wydb

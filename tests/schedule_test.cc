@@ -1,0 +1,355 @@
+// Tests for schedules, conflict graphs D(S), prefixes, the state space and
+// reduction graphs R(A') — the Section 2/3 machinery.
+#include <gtest/gtest.h>
+
+#include "core/conflict_graph.h"
+#include "core/prefix.h"
+#include "core/reduction_graph.h"
+#include "core/schedule.h"
+#include "core/state_space.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+// Two transactions over shared x, y; classic lock-step interleavings.
+struct PairFixture {
+  std::unique_ptr<Database> db;
+  TransactionSystem sys;
+
+  PairFixture()
+      : db(MakeDb({{"s1", {"x"}}, {"s2", {"y"}}})), sys(Build(db.get())) {}
+
+  static TransactionSystem Build(const Database* db) {
+    std::vector<Transaction> txns;
+    txns.push_back(MakeSeq(db, "T1", {"Lx", "Ly", "Ux", "Uy"}));
+    txns.push_back(MakeSeq(db, "T2", {"Ly", "Lx", "Ux", "Uy"}));
+    return testutil::MakeSystem(db, std::move(txns));
+  }
+
+  GlobalNode Node(int txn, const std::string& label) const {
+    const Transaction& t = sys.txn(txn);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (t.StepLabel(v) == label) return GlobalNode{txn, v};
+    }
+    std::abort();
+  }
+};
+
+TEST(ScheduleTest, SerialScheduleIsLegalAndComplete) {
+  PairFixture f;
+  Schedule s;
+  for (NodeId v = 0; v < 4; ++v) s.push_back({0, v});
+  for (NodeId v = 0; v < 4; ++v) s.push_back({1, v});
+  EXPECT_TRUE(ValidateSchedule(f.sys, s, /*require_complete=*/true).ok());
+  EXPECT_TRUE(IsSerial(f.sys, s));
+}
+
+TEST(ScheduleTest, LockRespectingInterleavingLegal) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  EXPECT_TRUE(ValidateSchedule(f.sys, s, /*require_complete=*/false).ok());
+  EXPECT_FALSE(ValidateSchedule(f.sys, s, /*require_complete=*/true).ok());
+  // One step each, consecutive per transaction: still "serial".
+  EXPECT_TRUE(IsSerial(f.sys, s));
+}
+
+TEST(ScheduleTest, InterleavingIsNotSerial) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  Schedule s{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  ASSERT_TRUE(ValidateSchedule(sys, s, true).ok());
+  EXPECT_FALSE(IsSerial(sys, s));
+}
+
+TEST(ScheduleTest, LockViolationRejected) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly"),
+             f.Node(1, "Lx")};  // x still held by T1.
+  EXPECT_FALSE(ValidateSchedule(f.sys, s, false).ok());
+}
+
+TEST(ScheduleTest, PrecedenceViolationRejected) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Ly")};  // T1 must do Lx first.
+  EXPECT_FALSE(ValidateSchedule(f.sys, s, false).ok());
+}
+
+TEST(ScheduleTest, DuplicateStepRejected) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(0, "Lx")};
+  EXPECT_FALSE(ValidateSchedule(f.sys, s, false).ok());
+}
+
+TEST(ScheduleTest, PrefixOfExtractsExecutedNodes) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  PrefixSet p = PrefixOf(f.sys, s);
+  EXPECT_TRUE(p.Contains(0, f.Node(0, "Lx").node));
+  EXPECT_FALSE(p.Contains(0, f.Node(0, "Ly").node));
+  EXPECT_EQ(p.TotalSize(), 2);
+}
+
+TEST(ScheduleTest, TryCompleteExtendsCompletablePrefix) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx")};
+  auto full = TryComplete(f.sys, s);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->has_value());
+  EXPECT_TRUE(ValidateSchedule(f.sys, **full, true).ok());
+}
+
+TEST(ScheduleTest, TryCompleteDetectsDoomedPrefix) {
+  PairFixture f;
+  // T1 holds x, T2 holds y: the classic deadlock; no completion exists.
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  auto full = TryComplete(f.sys, s);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->has_value());
+}
+
+TEST(ScheduleTest, ToStringRendersLabels) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  EXPECT_EQ(ScheduleToString(f.sys, s), "T1.Lx T2.Ly");
+}
+
+// ---------------------------------------------------------------------
+// Conflict graph D(S).
+
+TEST(ConflictGraphTest, SerialScheduleAcyclic) {
+  PairFixture f;
+  Schedule s;
+  for (NodeId v = 0; v < 4; ++v) s.push_back({0, v});
+  for (NodeId v = 0; v < 4; ++v) s.push_back({1, v});
+  auto cg = ConflictGraph::FromSchedule(f.sys, s);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->IsAcyclic());
+  EXPECT_TRUE(cg->FindTransactionCycle().empty());
+}
+
+TEST(ConflictGraphTest, PartialScheduleCycleDetected) {
+  PairFixture f;
+  // T1 locked x before T2 (which accesses x but hasn't locked) => T1->T2.
+  // T2 locked y before T1 => T2->T1. Cycle of the doomed prefix.
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  auto cg = ConflictGraph::FromSchedule(f.sys, s);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_FALSE(cg->IsAcyclic());
+  EXPECT_EQ(cg->FindTransactionCycle().size(), 2u);
+}
+
+TEST(ConflictGraphTest, NonSerializableCompleteSchedule) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  // Early unlocking (not two-phase) admits a non-serializable schedule.
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux", "Ly", "Uy"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Lx", "Ux", "Ly", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  // T1.Lx T1.Ux T2.Lx T2.Ux T2.Ly T2.Uy T1.Ly T1.Uy:
+  // x order: T1 then T2; y order: T2 then T1 => cycle.
+  Schedule s{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}, {1, 3}, {0, 2}, {0, 3}};
+  ASSERT_TRUE(ValidateSchedule(sys, s, true).ok());
+  auto cg = ConflictGraph::FromSchedule(sys, s);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_FALSE(cg->IsAcyclic());
+}
+
+TEST(ConflictGraphTest, LabelsRecorded) {
+  PairFixture f;
+  Schedule s{f.Node(0, "Lx"), f.Node(1, "Ly")};
+  auto cg = ConflictGraph::FromSchedule(f.sys, s);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_EQ(cg->arcs().size(), 2u);
+  EXPECT_NE(cg->DebugString(f.sys).find("-x->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// PrefixSet.
+
+TEST(PrefixSetTest, FromNodeSetsRequiresDownwardClosure) {
+  PairFixture f;
+  // {Ly} alone for T1 is not downward-closed (Lx precedes it).
+  auto bad = PrefixSet::FromNodeSets(&f.sys, {{1}, {}});
+  EXPECT_FALSE(bad.ok());
+  auto good = PrefixSet::FromNodeSets(&f.sys, {{0, 1}, {0}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->SizeOf(0), 2);
+  EXPECT_EQ(good->SizeOf(1), 1);
+}
+
+TEST(PrefixSetTest, LockedNotUnlockedAndHolder) {
+  PairFixture f;
+  auto p = PrefixSet::FromNodeSets(&f.sys, {{0, 1, 2}, {}});  // Lx Ly Ux
+  ASSERT_TRUE(p.ok());
+  EntityId y = f.db->FindEntity("y");
+  EntityId x = f.db->FindEntity("x");
+  EXPECT_EQ(p->LockedNotUnlocked(0), std::vector<EntityId>{y});
+  EXPECT_EQ(p->HolderOf(y), 0);
+  EXPECT_EQ(p->HolderOf(x), -1);
+}
+
+TEST(PrefixSetTest, AddWithPredecessorsClosesDownward) {
+  PairFixture f;
+  PrefixSet p(&f.sys);
+  p.AddWithPredecessors(0, 2);  // Ux pulls in Lx, Ly.
+  EXPECT_EQ(p.SizeOf(0), 3);
+}
+
+TEST(PrefixSetTest, FullAndComplete) {
+  PairFixture f;
+  PrefixSet p = PrefixSet::Full(&f.sys);
+  EXPECT_TRUE(p.IsComplete());
+  EXPECT_TRUE(p.IsFull(0));
+  EXPECT_EQ(p.TotalSize(), 8);
+}
+
+TEST(PrefixSetTest, RemainingFrontier) {
+  PairFixture f;
+  auto p = PrefixSet::FromNodeSets(&f.sys, {{0}, {}});
+  ASSERT_TRUE(p.ok());
+  // T1 remaining frontier after Lx: just Ly.
+  EXPECT_EQ(p->RemainingFrontier(0), std::vector<NodeId>{1});
+  // T2 untouched: frontier is its first step.
+  EXPECT_EQ(p->RemainingFrontier(1), std::vector<NodeId>{0});
+}
+
+TEST(MaximalPrefixTest, AvoidingEntityRemovesLockAndSuccessors) {
+  auto db = MakeDb({{"s1", {"x", "y", "z"}}});
+  Transaction t =
+      MakeSeq(db.get(), "T", {"Lx", "Ly", "Lz", "Uz", "Uy", "Ux"});
+  auto keep = MaximalPrefixAvoiding(t, {db->FindEntity("y")});
+  // Ly at index 1; everything after is a successor in a chain.
+  EXPECT_TRUE(bitmask::Test(keep, 0));
+  for (NodeId v = 1; v < 6; ++v) EXPECT_FALSE(bitmask::Test(keep, v));
+  EXPECT_EQ(AccessedEntities(t, keep),
+            std::vector<EntityId>{db->FindEntity("x")});
+  auto rem = RemainingEntities(t, keep);
+  EXPECT_EQ(rem.size(), 3u);  // Nothing is unlocked in the prefix.
+}
+
+TEST(MaximalPrefixTest, AvoidingNothingKeepsAll) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  Transaction t = MakeSeq(db.get(), "T", {"Lx", "Ux"});
+  auto keep = MaximalPrefixAvoiding(t, {});
+  EXPECT_TRUE(bitmask::Test(keep, 0));
+  EXPECT_TRUE(bitmask::Test(keep, 1));
+  EXPECT_TRUE(RemainingEntities(t, keep).empty());
+}
+
+// ---------------------------------------------------------------------
+// StateSpace.
+
+TEST(StateSpaceTest, LegalMovesFromEmpty) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  auto moves = space.LegalMoves(space.EmptyState());
+  // Each transaction can do its first step.
+  EXPECT_EQ(moves.size(), 2u);
+}
+
+TEST(StateSpaceTest, LockBlockedByHolder) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  ExecState s = space.Apply(space.EmptyState(), f.Node(0, "Lx"));
+  EXPECT_FALSE(space.IsLegal(s, f.Node(1, "Lx")));  // Also: Ly first.
+  s = space.Apply(s, f.Node(1, "Ly"));
+  // T2's next step Lx is blocked by T1's lock on x.
+  EXPECT_FALSE(space.IsLegal(s, f.Node(1, "Lx")));
+  // And T1's next step Ly is blocked by T2.
+  EXPECT_FALSE(space.IsLegal(s, f.Node(0, "Ly")));
+  EXPECT_TRUE(space.LegalMoves(s).empty());  // The deadlock state.
+  EXPECT_FALSE(space.IsComplete(s));
+}
+
+TEST(StateSpaceTest, HeldTracksLocks) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  ExecState s = space.Apply(space.EmptyState(), f.Node(0, "Lx"));
+  EXPECT_EQ(space.Held(s, 0), std::vector<EntityId>{f.db->FindEntity("x")});
+  EXPECT_TRUE(space.Held(s, 1).empty());
+}
+
+TEST(StateSpaceTest, FindCompletionFromEmpty) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  auto sched = space.FindCompletion(space.EmptyState());
+  ASSERT_TRUE(sched.ok());
+  ASSERT_TRUE(sched->has_value());
+  EXPECT_TRUE(ValidateSchedule(f.sys, **sched, true).ok());
+}
+
+TEST(StateSpaceTest, FindScheduleToUnreachableTarget) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  // Target where both transactions executed exactly their first Lock:
+  // reachable (locks are on different entities).
+  auto p = PrefixSet::FromNodeSets(&f.sys, {{0}, {0}});
+  ASSERT_TRUE(p.ok());
+  auto sched = space.FindScheduleBetween(space.EmptyState(),
+                                         space.StateOf(*p));
+  ASSERT_TRUE(sched.ok());
+  EXPECT_TRUE(sched->has_value());
+
+  // Target where both executed Lx... impossible: T2 cannot lock x while T1
+  // holds it, and in the target T1 has locked-but-not-unlocked x.
+  auto q = PrefixSet::FromNodeSets(&f.sys, {{0}, {0, 1}});
+  ASSERT_TRUE(q.ok());
+  auto none =
+      space.FindScheduleBetween(space.EmptyState(), space.StateOf(*q));
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(StateSpaceTest, BudgetExhaustion) {
+  PairFixture f;
+  StateSpace space(&f.sys);
+  auto r = space.FindCompletion(space.EmptyState(), /*max_states=*/1);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------
+// Reduction graph R(A') — the Figure 1 example is in figures_test.cc;
+// here the basics.
+
+TEST(ReductionGraphTest, EmptyPrefixHasNoLockArcs) {
+  PairFixture f;
+  PrefixSet empty(&f.sys);
+  ReductionGraph rg(empty);
+  EXPECT_EQ(rg.num_nodes(), 8);
+  EXPECT_FALSE(rg.HasCycle());
+}
+
+TEST(ReductionGraphTest, DeadlockPrefixHasCycle) {
+  PairFixture f;
+  // T1 holds x, T2 holds y.
+  auto p = PrefixSet::FromNodeSets(&f.sys, {{0}, {0}});
+  ASSERT_TRUE(p.ok());
+  ReductionGraph rg(*p);
+  EXPECT_TRUE(rg.HasCycle());
+  auto cycle = rg.FindGlobalCycle();
+  EXPECT_GE(cycle.size(), 4u);
+  EXPECT_FALSE(rg.CycleToString(f.sys, cycle).empty());
+}
+
+TEST(ReductionGraphTest, MappingRoundTrips) {
+  PairFixture f;
+  auto p = PrefixSet::FromNodeSets(&f.sys, {{0}, {}});
+  ASSERT_TRUE(p.ok());
+  ReductionGraph rg(*p);
+  EXPECT_EQ(rg.num_nodes(), 7);
+  EXPECT_EQ(rg.ToLocal(GlobalNode{0, 0}), kInvalidNode);  // Executed.
+  NodeId local = rg.ToLocal(GlobalNode{0, 1});
+  ASSERT_NE(local, kInvalidNode);
+  EXPECT_EQ(rg.ToGlobal(local), (GlobalNode{0, 1}));
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,208 @@
+// End-to-end simulation tests, including the cross-validation between the
+// paper's static certificates and runtime behaviour (experiment E6, and
+// the runtime half of E1).
+#include <gtest/gtest.h>
+
+#include "analysis/deadlock_checker.h"
+#include "core/conflict_graph.h"
+#include "gen/system_gen.h"
+#include "runtime/simulation.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+TransactionSystem ClassicDeadlockPair(const Database* db) {
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db, "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db, "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  return MakeSystem(db, std::move(txns));
+}
+
+TEST(SimulationTest, DisjointSystemCommits) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T2", {"Ly", "Uy"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  auto res = RunSimulation(sys, SimOptions{});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_committed);
+  EXPECT_FALSE(res->deadlocked);
+  EXPECT_EQ(res->aborts, 0u);
+  EXPECT_TRUE(res->history_serializable);
+  EXPECT_EQ(res->committed_history.size(), 4u);
+  EXPECT_GT(res->messages, 0u);
+  EXPECT_GT(res->makespan, 0u);
+}
+
+TEST(SimulationTest, DeadlockablePairDeadlocksUnderSomeSeedWithBlocking) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  int deadlocks = 0, commits = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SimOptions opts;
+    opts.policy = ConflictPolicy::kBlock;
+    opts.seed = seed;
+    auto res = RunSimulation(sys, opts);
+    ASSERT_TRUE(res.ok());
+    if (res->deadlocked) {
+      ++deadlocks;
+      EXPECT_EQ(res->blocked_txns.size(), 2u);
+    }
+    if (res->all_committed) ++commits;
+  }
+  // Both outcomes must occur across seeds: the race is real.
+  EXPECT_GT(deadlocks, 0);
+  EXPECT_GT(commits, 0);
+}
+
+TEST(SimulationTest, DetectPolicyAlwaysCommits) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  uint64_t detector_runs = 0, aborts = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    SimOptions opts;
+    opts.policy = ConflictPolicy::kDetect;
+    opts.seed = seed;
+    auto res = RunSimulation(sys, opts);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->all_committed) << "seed " << seed;
+    EXPECT_FALSE(res->deadlocked);
+    EXPECT_TRUE(res->history_serializable) << "seed " << seed;
+    detector_runs += res->detector_runs;
+    aborts += res->aborts;
+  }
+  EXPECT_GT(detector_runs, 0u);
+  EXPECT_GT(aborts, 0u);  // Some run had to break a cycle.
+}
+
+TEST(SimulationTest, WoundWaitAndWaitDieNeverDeadlock) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  for (auto policy : {ConflictPolicy::kWoundWait, ConflictPolicy::kWaitDie}) {
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+      SimOptions opts;
+      opts.policy = policy;
+      opts.seed = seed;
+      auto res = RunSimulation(sys, opts);
+      ASSERT_TRUE(res.ok());
+      EXPECT_FALSE(res->deadlocked)
+          << ConflictPolicyName(policy) << " seed " << seed;
+      EXPECT_TRUE(res->all_committed)
+          << ConflictPolicyName(policy) << " seed " << seed;
+      EXPECT_TRUE(res->history_serializable);
+    }
+  }
+}
+
+TEST(SimulationTest, CommittedHistoryIsLegalSchedule) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SimOptions opts;
+    opts.policy = ConflictPolicy::kWoundWait;
+    opts.seed = seed;
+    auto res = RunSimulation(sys, opts);
+    ASSERT_TRUE(res.ok());
+    if (!res->all_committed) continue;
+    EXPECT_TRUE(
+        ValidateSchedule(sys, res->committed_history, true).ok())
+        << "seed " << seed;
+  }
+}
+
+TEST(SimulationTest, DeterministicForSeed) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  SimOptions opts;
+  opts.seed = 11;
+  auto a = RunSimulation(sys, opts);
+  auto b = RunSimulation(sys, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->deadlocked, b->deadlocked);
+  EXPECT_EQ(a->makespan, b->makespan);
+  EXPECT_EQ(a->events, b->events);
+  EXPECT_EQ(a->committed_history.size(), b->committed_history.size());
+}
+
+TEST(SimulationTest, RunManyAggregates) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  SimOptions base;
+  base.policy = ConflictPolicy::kBlock;
+  auto agg = RunMany(sys, base, 25);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->runs, 25);
+  EXPECT_EQ(agg->committed_runs + agg->deadlocked_runs, 25);
+  EXPECT_TRUE(agg->all_histories_serializable);
+  EXPECT_GT(agg->avg_makespan, 0.0);
+}
+
+// E6 / E1 cross-validation: statically certified safe+DF systems never
+// deadlock at runtime under pure blocking; statically refuted systems
+// deadlock for some seed.
+TEST(SimulationCrossVal, CertifiedSystemsNeverDeadlock) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SafeSystemOptions gopts;
+    gopts.num_transactions = 4;
+    gopts.entities_per_txn = 3;
+    gopts.seed = seed;
+    auto sys = GenerateSafeSystem(gopts);
+    ASSERT_TRUE(sys.ok());
+    SimOptions opts;
+    opts.policy = ConflictPolicy::kBlock;
+    auto agg = RunMany(*sys->system, opts, 20);
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg->deadlocked_runs, 0) << "seed " << seed;
+    EXPECT_EQ(agg->committed_runs, 20) << "seed " << seed;
+    EXPECT_TRUE(agg->all_histories_serializable) << "seed " << seed;
+  }
+}
+
+TEST(SimulationCrossVal, RingSystemDeadlocksAtRuntime) {
+  auto ring = GenerateRingSystem(3);
+  ASSERT_TRUE(ring.ok());
+  // Statically refuted...
+  auto report = CheckDeadlockFreedom(*ring->system);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->deadlock_free);
+  // ...and dynamically reachable.
+  SimOptions opts;
+  opts.policy = ConflictPolicy::kBlock;
+  auto agg = RunMany(*ring->system, opts, 40);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_GT(agg->deadlocked_runs, 0);
+}
+
+// Statically deadlock-free random systems never deadlock at runtime under
+// blocking, regardless of seed (the runtime half of Theorem 1).
+TEST(SimulationCrossVal, StaticallyDeadlockFreeNeverDeadlocksAtRuntime) {
+  int df_systems = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomSystemOptions gopts;
+    gopts.num_transactions = 3;
+    gopts.entities_per_txn = 2;
+    gopts.seed = seed;
+    auto sys = GenerateRandomSystem(gopts);
+    ASSERT_TRUE(sys.ok());
+    auto report = CheckDeadlockFreedom(*sys->system);
+    ASSERT_TRUE(report.ok());
+    if (!report->deadlock_free) continue;
+    ++df_systems;
+    SimOptions opts;
+    opts.policy = ConflictPolicy::kBlock;
+    auto agg = RunMany(*sys->system, opts, 15);
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg->deadlocked_runs, 0) << "seed " << seed;
+  }
+  EXPECT_GT(df_systems, 0);
+}
+
+}  // namespace
+}  // namespace wydb

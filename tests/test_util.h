@@ -1,0 +1,69 @@
+// Shared helpers for the wydb test suites.
+#ifndef WYDB_TESTS_TEST_UTIL_H_
+#define WYDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/system.h"
+#include "core/transaction.h"
+#include "core/transaction_builder.h"
+
+namespace wydb {
+namespace testutil {
+
+/// Database with entities spread over sites: spec like
+/// {{"s1", {"x", "y"}}, {"s2", {"z"}}}.
+inline std::unique_ptr<Database> MakeDb(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        spec) {
+  auto db = std::make_unique<Database>();
+  for (const auto& [site, entities] : spec) {
+    for (const auto& e : entities) {
+      auto r = db->AddEntityAtSite(e, site);
+      if (!r.ok()) std::abort();
+    }
+  }
+  return db;
+}
+
+/// Database where every entity lives at its own site (any DAG is then a
+/// valid transaction).
+inline std::unique_ptr<Database> MakeSpreadDb(
+    const std::vector<std::string>& entities) {
+  auto db = std::make_unique<Database>();
+  for (const auto& e : entities) {
+    auto r = db->AddEntityAtSite(e, "site_" + e);
+    if (!r.ok()) std::abort();
+  }
+  return db;
+}
+
+/// Total-order transaction from tokens like {"Lx", "Ly", "Ux", "Uy"}.
+/// Token = 'L' or 'U' followed by the entity name.
+inline Transaction MakeSeq(const Database* db, const std::string& name,
+                           const std::vector<std::string>& tokens) {
+  std::vector<std::pair<StepKind, std::string>> seq;
+  for (const auto& tok : tokens) {
+    StepKind kind = tok[0] == 'L' ? StepKind::kLock : StepKind::kUnlock;
+    seq.emplace_back(kind, tok.substr(1));
+  }
+  auto t = TransactionBuilder::FromSequence(db, name, seq);
+  if (!t.ok()) std::abort();
+  return std::move(*t);
+}
+
+/// System from already-built transactions.
+inline TransactionSystem MakeSystem(const Database* db,
+                                    std::vector<Transaction> txns) {
+  auto sys = TransactionSystem::Create(db, std::move(txns));
+  if (!sys.ok()) std::abort();
+  return std::move(*sys);
+}
+
+}  // namespace testutil
+}  // namespace wydb
+
+#endif  // WYDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+// Tests for the workload text format and its round-tripping.
+#include <gtest/gtest.h>
+
+#include "analysis/multi_analyzer.h"
+#include "io/text_format.h"
+
+namespace wydb {
+namespace {
+
+constexpr char kBanking[] = R"(
+# two branches
+site branch1: alice bob
+site branch2: carol dave
+
+txn transfer: Lalice Lcarol Ualice Ucarol
+txn audit: Lcarol Ldave Lalice Lbob Ucarol Udave Ualice Ubob
+)";
+
+TEST(TextFormatTest, ParsesSitesAndTransactions) {
+  auto sys = ParseSystem(kBanking);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  EXPECT_EQ(sys->db->num_sites(), 2);
+  EXPECT_EQ(sys->db->num_entities(), 4);
+  EXPECT_EQ(sys->system->num_transactions(), 2);
+  EXPECT_EQ(sys->system->txn(0).name(), "transfer");
+  EXPECT_EQ(sys->system->txn(0).num_steps(), 4);
+  EXPECT_EQ(sys->db->SiteOf(sys->db->FindEntity("dave")),
+            sys->db->FindSite("branch2"));
+}
+
+TEST(TextFormatTest, ParsedSystemIsAnalyzable) {
+  auto sys = ParseSystem(kBanking);
+  ASSERT_TRUE(sys.ok());
+  auto report = CheckSystemSafeAndDeadlockFree(*sys->system);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->safe_and_deadlock_free);  // Opposite orders.
+}
+
+TEST(TextFormatTest, SegmentsAreUnordered) {
+  auto sys = ParseSystem(
+      "site s1: x\n"
+      "site s2: y\n"
+      "txn T: Lx Ux ; Ly Uy\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  const Transaction& t = sys->system->txn(0);
+  NodeId lx = t.LockNode(sys->db->FindEntity("x"));
+  NodeId ly = t.LockNode(sys->db->FindEntity("y"));
+  EXPECT_FALSE(t.Comparable(lx, ly));
+}
+
+TEST(TextFormatTest, CommentsAndBlanksIgnored) {
+  auto sys = ParseSystem(
+      "# header\n"
+      "\n"
+      "site s: x   # trailing comment\n"
+      "txn T: Lx Ux\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  EXPECT_EQ(sys->system->num_transactions(), 1);
+}
+
+TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+  auto bad = ParseSystem("site s: x\nbogus directive\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsBadStepToken) {
+  auto bad = ParseSystem("site s: x\ntxn T: Zx\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("bad step"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsUnknownEntity) {
+  auto bad = ParseSystem("site s: x\ntxn T: Ly Uy\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(TextFormatTest, RejectsModelViolations) {
+  // Unlock before lock within a segment chain.
+  auto bad = ParseSystem("site s: x\ntxn T: Ux Lx\n");
+  EXPECT_FALSE(bad.ok());
+  // Same-site steps in unordered segments violate the site total order.
+  auto bad2 = ParseSystem("site s: x y\ntxn T: Lx Ux ; Ly Uy\n");
+  EXPECT_FALSE(bad2.ok());
+}
+
+TEST(TextFormatTest, RejectsDuplicateSite) {
+  EXPECT_FALSE(ParseSystem("site s: x\nsite s: y\n").ok());
+}
+
+TEST(TextFormatTest, RejectsEmptyTransaction) {
+  EXPECT_FALSE(ParseSystem("site s: x\ntxn T:\n").ok());
+}
+
+TEST(TextFormatTest, RoundTripsTotalOrders) {
+  auto sys = ParseSystem(kBanking);
+  ASSERT_TRUE(sys.ok());
+  std::string text = SerializeSystem(*sys->system);
+  auto again = ParseSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  ASSERT_EQ(again->system->num_transactions(),
+            sys->system->num_transactions());
+  for (int i = 0; i < sys->system->num_transactions(); ++i) {
+    EXPECT_EQ(again->system->txn(i).DebugString(),
+              sys->system->txn(i).DebugString());
+  }
+}
+
+}  // namespace
+}  // namespace wydb

@@ -1,0 +1,186 @@
+// wydb_analyze: command-line front end for the paper's algorithms.
+//
+// Usage:
+//   wydb_analyze <workload.wydb> [options]
+//
+// Options:
+//   --pairs            also print the per-pair Theorem 3 verdicts
+//   --exact            also run the exact (exponential) checkers
+//   --optimize         run the early-unlock optimizer and print the result
+//   --simulate <runs>  simulate the workload <runs> times per policy
+//   --dump             echo the parsed system back in text format
+//
+// The workload format is documented in src/io/text_format.h; see
+// tools/sample_workload.wydb for an example.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/early_unlock.h"
+#include "analysis/multi_analyzer.h"
+#include "analysis/pair_analyzer.h"
+#include "analysis/safety_checker.h"
+#include "core/schedule.h"
+#include "io/text_format.h"
+#include "runtime/simulation.h"
+
+using namespace wydb;
+
+namespace {
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "wydb_analyze: %s\n", msg);
+  return 2;
+}
+
+void PrintMultiVerdict(const TransactionSystem& sys,
+                       const MultiReport& report) {
+  std::printf("Theorem 4 (safe + deadlock-free): %s\n",
+              report.safe_and_deadlock_free ? "CERTIFIED" : "REFUTED");
+  std::printf("  interaction-graph cycles checked: %llu (variants: %llu)\n",
+              static_cast<unsigned long long>(report.cycles_checked),
+              static_cast<unsigned long long>(report.variants_checked));
+  if (report.safe_and_deadlock_free || !report.violation) return;
+  const MultiViolation& v = *report.violation;
+  if (v.failed_pair) {
+    std::printf("  failing pair: %s, %s\n",
+                sys.txn(v.failed_pair->first).name().c_str(),
+                sys.txn(v.failed_pair->second).name().c_str());
+    std::printf("  %s\n", v.pair_verdict.explanation.c_str());
+  } else {
+    std::printf("  circular wait:");
+    for (int i : v.cycle) std::printf(" %s", sys.txn(i).name().c_str());
+    std::printf("\n  witness partial schedule:\n    %s\n",
+                ScheduleToString(sys, v.witness).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: wydb_analyze <workload.wydb> [--pairs] [--exact] "
+                "[--optimize] [--simulate N] [--dump]");
+  }
+  bool pairs = false, exact = false, optimize = false, dump = false;
+  int simulate_runs = 0;
+  for (int a = 2; a < argc; ++a) {
+    if (!std::strcmp(argv[a], "--pairs")) {
+      pairs = true;
+    } else if (!std::strcmp(argv[a], "--exact")) {
+      exact = true;
+    } else if (!std::strcmp(argv[a], "--optimize")) {
+      optimize = true;
+    } else if (!std::strcmp(argv[a], "--dump")) {
+      dump = true;
+    } else if (!std::strcmp(argv[a], "--simulate") && a + 1 < argc) {
+      simulate_runs = std::atoi(argv[++a]);
+    } else {
+      return Fail("unknown option");
+    }
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) return Fail("cannot open workload file");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto parsed = ParseSystem(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const TransactionSystem& sys = *parsed->system;
+  std::printf("parsed %d transactions, %d entities, %d sites (%d steps)\n",
+              sys.num_transactions(), sys.db().num_entities(),
+              sys.db().num_sites(), sys.TotalSteps());
+  if (dump) std::printf("%s", SerializeSystem(sys).c_str());
+
+  auto report = CheckSystemSafeAndDeadlockFree(sys);
+  if (!report.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  PrintMultiVerdict(sys, *report);
+
+  if (pairs) {
+    std::printf("\nper-pair Theorem 3 verdicts:\n");
+    for (int i = 0; i < sys.num_transactions(); ++i) {
+      for (int j = i + 1; j < sys.num_transactions(); ++j) {
+        auto v = CheckPairTheorem3(sys.txn(i), sys.txn(j));
+        if (!v.ok()) continue;
+        std::printf("  %s vs %s: %s", sys.txn(i).name().c_str(),
+                    sys.txn(j).name().c_str(),
+                    v->safe_and_deadlock_free ? "ok" : "FAIL");
+        if (v->dominating_entity != kInvalidEntity) {
+          std::printf(" (first entity: %s)",
+                      sys.db().EntityName(v->dominating_entity).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  if (exact) {
+    std::printf("\nexact checks (exponential; budgets apply):\n");
+    auto df = CheckDeadlockFreedom(sys);
+    if (df.ok()) {
+      std::printf("  deadlock-free: %s (%llu states)\n",
+                  df->deadlock_free ? "yes" : "NO",
+                  static_cast<unsigned long long>(df->states_visited));
+      if (!df->deadlock_free) {
+        std::printf("    witness: %s\n",
+                    ScheduleToString(sys, df->witness->schedule).c_str());
+      }
+    } else {
+      std::printf("  deadlock-free: %s\n", df.status().ToString().c_str());
+    }
+    auto safe = CheckSafety(sys);
+    if (safe.ok()) {
+      std::printf("  safe: %s\n", safe->holds ? "yes" : "NO");
+    } else {
+      std::printf("  safe: %s\n", safe.status().ToString().c_str());
+    }
+  }
+
+  if (optimize) {
+    std::printf("\nearly-unlock optimization:\n");
+    auto opt = OptimizeEarlyUnlock(sys);
+    if (!opt.ok()) {
+      std::printf("  %s\n", opt.status().ToString().c_str());
+    } else {
+      std::printf("  holding cost %lld -> %lld (%llu hoists, %llu "
+                  "rejected, %d partial-order txns skipped)\n",
+                  static_cast<long long>(opt->holding_cost_before),
+                  static_cast<long long>(opt->holding_cost_after),
+                  static_cast<unsigned long long>(opt->moves_committed),
+                  static_cast<unsigned long long>(opt->moves_rejected),
+                  opt->skipped_partial);
+      std::printf("%s", SerializeSystem(opt->system).c_str());
+    }
+  }
+
+  if (simulate_runs > 0) {
+    std::printf("\nsimulation (%d runs per policy):\n", simulate_runs);
+    for (auto policy : {ConflictPolicy::kBlock, ConflictPolicy::kDetect,
+                        ConflictPolicy::kWoundWait,
+                        ConflictPolicy::kWaitDie}) {
+      SimOptions opts;
+      opts.policy = policy;
+      auto agg = RunMany(sys, opts, simulate_runs);
+      if (!agg.ok()) continue;
+      std::printf(
+          "  %-10s committed %d/%d, deadlocked %d, aborts %llu, "
+          "avg makespan %.0f\n",
+          ConflictPolicyName(policy), agg->committed_runs, agg->runs,
+          agg->deadlocked_runs,
+          static_cast<unsigned long long>(agg->total_aborts),
+          agg->avg_makespan);
+    }
+  }
+  return report->safe_and_deadlock_free ? 0 : 1;
+}
