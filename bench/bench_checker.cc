@@ -35,7 +35,10 @@ void BM_ExactDeadlockCheck_StuckState(benchmark::State& state) {
   uint64_t states = 0;
   for (auto _ : state) {
     auto report = CheckDeadlockFreedom(*sys.system);
-    if (!report.ok()) state.SkipWithError("budget");
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
     states = report->states_visited;
     benchmark::DoNotOptimize(report);
   }
@@ -49,7 +52,10 @@ void BM_ExactDeadlockCheck_ReductionGraph(benchmark::State& state) {
   opts.mode = DeadlockDetectionMode::kReductionGraph;
   for (auto _ : state) {
     auto report = CheckDeadlockFreedom(*sys.system, opts);
-    if (!report.ok()) state.SkipWithError("budget");
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
     benchmark::DoNotOptimize(report);
   }
 }
@@ -72,7 +78,10 @@ void BM_ExactSafeDfCheck(benchmark::State& state) {
   OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     auto report = CheckSafeAndDeadlockFree(*sys.system);
-    if (!report.ok()) state.SkipWithError("budget");
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
     benchmark::DoNotOptimize(report);
   }
 }
@@ -118,6 +127,83 @@ void BM_Figure2System(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Figure2System);
+
+// Exploding-but-benign workloads where the exact checkers must visit the
+// whole state space: the per-state cost contrast between the interned
+// incremental engine (default) and the retained seed implementation
+// (kNaiveReference), measured in the same binary. DisjointGrid visits
+// 7^k execution states; SharedChain explores (state, conflict-arc-set)
+// pairs with real arcs.
+void RunStuckStateGrid(benchmark::State& state, SearchEngine engine) {
+  auto grid = GenerateDisjointGridSystem(static_cast<int>(state.range(0)),
+                                         /*entities_per_txn=*/3);
+  if (!grid.ok()) std::abort();
+  DeadlockCheckOptions opts;
+  opts.engine = engine;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*grid->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ExactDeadlockCheck_StuckState_Grid(benchmark::State& state) {
+  RunStuckStateGrid(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_ExactDeadlockCheck_StuckState_Grid)
+    ->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExactDeadlockCheck_StuckState_Grid_Seed(benchmark::State& state) {
+  RunStuckStateGrid(state, SearchEngine::kNaiveReference);
+}
+BENCHMARK(BM_ExactDeadlockCheck_StuckState_Grid_Seed)
+    ->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void RunSafetyChain(benchmark::State& state, SearchEngine engine) {
+  auto chain = GenerateSharedChainSystem(static_cast<int>(state.range(0)));
+  if (!chain.ok()) std::abort();
+  SafetyCheckOptions opts;
+  opts.engine = engine;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckSafeAndDeadlockFree(*chain->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ExactSafeDfCheck_Chain(benchmark::State& state) {
+  RunSafetyChain(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_ExactSafeDfCheck_Chain)
+    ->DenseRange(2, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExactSafeDfCheck_Chain_Seed(benchmark::State& state) {
+  RunSafetyChain(state, SearchEngine::kNaiveReference);
+}
+BENCHMARK(BM_ExactSafeDfCheck_Chain_Seed)
+    ->DenseRange(2, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
 
 // The polynomial Theorem 4 test on the same growing inputs the exact
 // checker chokes on: the headline contrast of the paper.

@@ -1,0 +1,222 @@
+// Microbenchmarks for the interned-state search substrate: state
+// interning, incremental move generation vs the naive rescan, and the
+// exact checkers under both engines (the incremental-arc cycle path is
+// exercised by the SafeDf series). Baseline numbers are recorded in
+// BENCH_statespace.json at the repo root.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/safety_checker.h"
+#include "analysis/sat/dpll.h"
+#include "common/random.h"
+#include "core/state_space.h"
+#include "core/state_store.h"
+#include "gen/system_gen.h"
+
+namespace wydb {
+namespace {
+
+OwnedSystem SameOrderPair(int entities) {
+  RandomSystemOptions opts;
+  opts.num_sites = 1;
+  opts.entities_per_site = entities;
+  opts.num_transactions = 2;
+  opts.entities_per_txn = entities;
+  opts.two_phase = false;
+  opts.seed = 5;
+  auto sys = GenerateRandomSystem(opts);
+  if (!sys.ok()) std::abort();
+  return std::move(*sys);
+}
+
+// ---------------------------------------------------------------------
+// StateStore: raw intern throughput (50% hit rate on re-intern pass).
+
+void BM_StateStoreIntern(benchmark::State& state) {
+  const int kKeyWords = 4;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99);
+  std::vector<uint64_t> keys(static_cast<size_t>(n) * kKeyWords);
+  for (auto& w : keys) w = rng.Next();
+  for (auto _ : state) {
+    StateStore store(kKeyWords);
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          store.Intern(keys.data() + static_cast<size_t>(i) * kKeyWords));
+    }
+    // Second pass: all hits.
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          store.Intern(keys.data() + static_cast<size_t>(i) * kKeyWords));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_StateStoreIntern)->Arg(1024)->Arg(16384);
+
+// ---------------------------------------------------------------------
+// Move generation: naive full rescan vs incremental frontier walk, over
+// the same fixed random walk through a mid-sized system.
+
+struct WalkFixture {
+  OwnedSystem sys;
+  StateSpace space;
+  std::vector<ExecState> states;                // Naive representation.
+  std::vector<std::vector<uint64_t>> auxes;     // Incremental caches.
+
+  explicit WalkFixture(int entities)
+      : sys(SameOrderPair(entities)), space(sys.system.get()) {
+    const int kw = space.words_per_state();
+    const int aw = space.aux_words();
+    ExecState s = space.EmptyState();
+    std::vector<uint64_t> aux(aw), next_aux(aw), next_state(kw);
+    space.InitAux(s.words.data(), aux.data());
+    Rng rng(7);
+    while (true) {
+      states.push_back(s);
+      auxes.push_back(aux);
+      std::vector<GlobalNode> moves = space.LegalMoves(s);
+      if (moves.empty()) break;
+      GlobalNode g = moves[rng.NextBelow(moves.size())];
+      space.ApplyInto(s.words.data(), aux.data(), g, next_state.data(),
+                      next_aux.data());
+      s.words.assign(next_state.begin(), next_state.end());
+      aux = next_aux;
+    }
+  }
+};
+
+void BM_MoveGen_Naive(benchmark::State& state) {
+  WalkFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const ExecState& s : f.states) {
+      std::vector<GlobalNode> moves = f.space.LegalMoves(s);
+      benchmark::DoNotOptimize(moves);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.states.size());
+}
+BENCHMARK(BM_MoveGen_Naive)->Arg(8)->Arg(16);
+
+void BM_MoveGen_Incremental(benchmark::State& state) {
+  WalkFixture f(static_cast<int>(state.range(0)));
+  std::vector<GlobalNode> moves;
+  for (auto _ : state) {
+    for (const auto& aux : f.auxes) {
+      moves.clear();
+      f.space.ExpandInto(aux.data(), &moves);
+      benchmark::DoNotOptimize(moves);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.auxes.size());
+}
+BENCHMARK(BM_MoveGen_Incremental)->Arg(8)->Arg(16);
+
+// ---------------------------------------------------------------------
+// End-to-end: exact checkers under both engines. The ns/state contrast is
+// the headline number of this substrate (ISSUE 1 acceptance).
+
+void RunDeadlockBench(benchmark::State& state, SearchEngine engine) {
+  OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
+  DeadlockCheckOptions opts;
+  opts.engine = engine;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*sys.system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_DeadlockCheck_Naive(benchmark::State& state) {
+  RunDeadlockBench(state, SearchEngine::kNaiveReference);
+}
+BENCHMARK(BM_DeadlockCheck_Naive)->DenseRange(4, 8, 2);
+
+void BM_DeadlockCheck_Incremental(benchmark::State& state) {
+  RunDeadlockBench(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_DeadlockCheck_Incremental)->DenseRange(4, 8, 2);
+
+// The exploding-workload contrasts (disjoint grid, shared chain) live in
+// bench_checker.cc as BM_ExactDeadlockCheck_StuckState_Grid{,_Seed} and
+// BM_ExactSafeDfCheck_Chain{,_Seed}; they are deliberately not duplicated
+// here.
+
+void RunSafeDfBench(benchmark::State& state, SearchEngine engine) {
+  OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
+  SafetyCheckOptions opts;
+  opts.engine = engine;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckSafeAndDeadlockFree(*sys.system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_SafeDfCheck_Naive(benchmark::State& state) {
+  RunSafeDfBench(state, SearchEngine::kNaiveReference);
+}
+BENCHMARK(BM_SafeDfCheck_Naive)->DenseRange(3, 6, 1);
+
+void BM_SafeDfCheck_Incremental(benchmark::State& state) {
+  RunSafeDfBench(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_SafeDfCheck_Incremental)->DenseRange(3, 6, 1);
+
+// ---------------------------------------------------------------------
+// Watched-literal DPLL on pigeonhole formulas (exponentially many
+// conflicts: pure propagation stress).
+
+void BM_DpllPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  CnfFormula f;
+  auto var = [&](int i, int h) { return i * holes + h; };
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Literal> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back({var(i, h), true});
+    f.AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int j = i + 1; j < pigeons; ++j) {
+        f.AddClause({{var(i, h), false}, {var(j, h), false}});
+      }
+    }
+  }
+  uint64_t decisions = 0;
+  for (auto _ : state) {
+    auto r = SolveDpll(f);
+    if (!r.ok() || r->satisfiable) {
+      state.SkipWithError("unexpected");
+      break;
+    }
+    decisions = r->decisions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decisions"] = static_cast<double>(decisions);
+}
+BENCHMARK(BM_DpllPigeonhole)->DenseRange(5, 7, 1);
+
+}  // namespace
+}  // namespace wydb

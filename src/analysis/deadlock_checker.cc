@@ -1,11 +1,13 @@
 #include "analysis/deadlock_checker.h"
 
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
 #include "core/reduction_graph.h"
 #include "core/state_space.h"
+#include "core/state_store.h"
 
 namespace wydb {
 namespace {
@@ -27,20 +29,22 @@ Schedule PathTo(const ExecState& state,
 }
 
 std::vector<std::vector<NodeId>> PrefixNodesOf(const StateSpace& space,
-                                               const ExecState& s) {
+                                               const uint64_t* words) {
   const TransactionSystem& sys = space.system();
   std::vector<std::vector<NodeId>> out(sys.num_transactions());
   for (int i = 0; i < sys.num_transactions(); ++i) {
     for (NodeId v = 0; v < sys.txn(i).num_steps(); ++v) {
-      if (space.IsExecuted(s, i, v)) out[i].push_back(v);
+      if (space.IsExecuted(words, i, v)) out[i].push_back(v);
     }
   }
   return out;
 }
 
-}  // namespace
-
-Result<DeadlockReport> CheckDeadlockFreedom(
+// The seed implementation: hash containers of heap-copied ExecStates and
+// full move rescans per state. Retained as the cross-validation reference;
+// CheckDeadlockFreedom with the incremental engine must match it verdict-
+// and count-for-count.
+Result<DeadlockReport> CheckDeadlockFreedomNaive(
     const TransactionSystem& sys, const DeadlockCheckOptions& options) {
   StateSpace space(&sys);
   DeadlockReport report;
@@ -61,7 +65,7 @@ Result<DeadlockReport> CheckDeadlockFreedom(
                           std::string cycle_text) -> DeadlockWitness {
     DeadlockWitness w;
     w.schedule = PathTo(s, parent, root);
-    w.prefix_nodes = PrefixNodesOf(space, s);
+    w.prefix_nodes = PrefixNodesOf(space, s.words.data());
     w.reduction_cycle = std::move(cycle_text);
     return w;
   };
@@ -106,6 +110,95 @@ Result<DeadlockReport> CheckDeadlockFreedom(
 
   report.deadlock_free = true;
   return report;
+}
+
+// Interned-state BFS: one StateStore arena holds every state's key words
+// plus its frontier/holder cache; ids replace all heap copies.
+Result<DeadlockReport> CheckDeadlockFreedomIncremental(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  StateSpace space(&sys);
+  DeadlockReport report;
+
+  const int kw = space.words_per_state();
+  const int aw = space.aux_words();
+  StateStore store(kw, aw);
+  std::vector<uint64_t> state_buf(kw);
+  std::vector<uint64_t> aux_buf(aw);
+  space.InitRoot(state_buf.data(), aux_buf.data());
+  uint32_t root = options.memoize ? store.Intern(state_buf.data()).id
+                                  : store.Append(state_buf.data());
+  std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+              aw * sizeof(uint64_t));
+
+  auto make_witness = [&](uint32_t id,
+                          std::string cycle_text) -> DeadlockWitness {
+    DeadlockWitness w;
+    w.schedule = store.PathFromRoot(id);
+    w.prefix_nodes = PrefixNodesOf(space, store.KeyOf(id));
+    w.reduction_cycle = std::move(cycle_text);
+    return w;
+  };
+
+  std::vector<GlobalNode> moves;
+  for (uint32_t head = 0; head < store.size(); ++head) {
+    ++report.states_visited;
+    if (options.max_states != 0 &&
+        report.states_visited > options.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "deadlock check exceeded %llu states",
+          static_cast<unsigned long long>(options.max_states)));
+    }
+
+    moves.clear();
+    space.ExpandInto(store.AuxOf(head), &moves);
+
+    if (options.mode == DeadlockDetectionMode::kStuckState) {
+      if (moves.empty() && !space.IsComplete(store.KeyOf(head))) {
+        report.deadlock_free = false;
+        report.witness = make_witness(head, "");
+        return report;
+      }
+    } else {
+      ReductionGraph rg(space.ToPrefixSet(store.KeyOf(head)));
+      if (rg.HasCycle()) {
+        std::vector<GlobalNode> cycle = rg.FindGlobalCycle();
+        report.deadlock_free = false;
+        report.witness = make_witness(head, rg.CycleToString(sys, cycle));
+        return report;
+      }
+    }
+
+    for (GlobalNode g : moves) {
+      // Pointers into the store are refetched after every insertion: the
+      // arenas may reallocate.
+      space.ApplyInto(store.KeyOf(head), store.AuxOf(head), g,
+                      state_buf.data(), aux_buf.data());
+      if (options.memoize) {
+        StateStore::InternResult r = store.Intern(state_buf.data(), head, g);
+        if (r.inserted) {
+          std::memcpy(store.MutableAuxOf(r.id), aux_buf.data(),
+                      aw * sizeof(uint64_t));
+        }
+      } else {
+        uint32_t id = store.Append(state_buf.data(), head, g);
+        std::memcpy(store.MutableAuxOf(id), aux_buf.data(),
+                    aw * sizeof(uint64_t));
+      }
+    }
+  }
+
+  report.deadlock_free = true;
+  return report;
+}
+
+}  // namespace
+
+Result<DeadlockReport> CheckDeadlockFreedom(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  if (options.engine == SearchEngine::kNaiveReference) {
+    return CheckDeadlockFreedomNaive(sys, options);
+  }
+  return CheckDeadlockFreedomIncremental(sys, options);
 }
 
 Result<bool> IsDeadlockPrefix(const TransactionSystem& sys,

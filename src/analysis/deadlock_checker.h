@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/search_engine.h"
 #include "common/result.h"
 #include "core/prefix.h"
 #include "core/schedule.h"
@@ -38,6 +39,9 @@ struct DeadlockCheckOptions {
   /// When false, skip memoization of visited states (ablation knob for the
   /// bench suite; exponentially slower on diamond-shaped state spaces).
   bool memoize = true;
+  /// Expansion engine; kNaiveReference is the retained seed implementation
+  /// used for cross-validation and benchmarking.
+  SearchEngine engine = SearchEngine::kIncremental;
 };
 
 /// Evidence that a system can deadlock.

@@ -1,14 +1,23 @@
 #include "analysis/safety_checker.h"
 
+#include <bit>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
 #include "core/state_space.h"
+#include "core/state_store.h"
 #include "graph/algorithms.h"
 
 namespace wydb {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Naive reference engine (the seed implementation): heap-copied states in
+// hash containers, the conflict digraph rebuilt and FindCycle rerun from
+// scratch at every state. Retained for cross-validation and benchmarking.
+// ---------------------------------------------------------------------------
 
 // Search state: executed steps plus the arc set of D(S') packed as an
 // n*n bitmask appended to the exec words (arc i->j at bit i*n + j).
@@ -28,10 +37,10 @@ struct LemmaStateHash {
   }
 };
 
-class LemmaSearch {
+class LemmaSearchNaive {
  public:
-  LemmaSearch(const TransactionSystem& sys, const SafetyCheckOptions& options,
-              bool require_complete)
+  LemmaSearchNaive(const TransactionSystem& sys,
+                   const SafetyCheckOptions& options, bool require_complete)
       : sys_(sys),
         options_(options),
         require_complete_(require_complete),
@@ -109,7 +118,7 @@ class LemmaSearch {
   const int arc_words_;
 };
 
-Result<SafetyReport> LemmaSearch::Run() {
+Result<SafetyReport> LemmaSearchNaive::Run() {
   SafetyReport report;
   std::unordered_set<LemmaState, LemmaStateHash> visited;
   std::unordered_map<LemmaState, std::pair<LemmaState, GlobalNode>,
@@ -183,18 +192,231 @@ Result<SafetyReport> LemmaSearch::Run() {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Incremental engine.
+//
+// States are interned in a StateStore. The key is [exec words | arc rows]:
+// the conflict-arc set of D(S') packed row-major, one row of ceil(n/64)
+// words per transaction, so row operations (reachability) are word ops.
+//
+// Cycle detection is incremental. Arc sets only grow along a path (§5
+// lemma), and every arc added by applying a Lock step of transaction t is
+// incident to t. Hence if the parent state's digraph is acyclic, any cycle
+// in the child passes through t, so the child is cyclic iff t can reach
+// itself — one bitset BFS from t's row instead of a full FindCycle. BFS
+// only ever expands acyclic states (cyclic ones report or prune), so the
+// invariant "parent acyclic" holds inductively and each state's cyclicity
+// is decided once, at creation, and carried in a flag word.
+// ---------------------------------------------------------------------------
+
+class LemmaSearchIncremental {
+ public:
+  LemmaSearchIncremental(const TransactionSystem& sys,
+                         const SafetyCheckOptions& options,
+                         bool require_complete)
+      : sys_(sys),
+        options_(options),
+        require_complete_(require_complete),
+        space_(&sys),
+        n_(sys.num_transactions()),
+        exec_words_(space_.words_per_state()),
+        row_words_((n_ + 63) / 64),
+        arc_words_(n_ * row_words_),
+        key_words_(exec_words_ + arc_words_),
+        flag_word_(space_.aux_words()),
+        aux_words_(space_.aux_words() + 1),
+        reach_(row_words_),
+        frontier_(row_words_) {}
+
+  Result<SafetyReport> Run();
+
+ private:
+  const uint64_t* Arcs(const uint64_t* key) const { return key + exec_words_; }
+  uint64_t* Arcs(uint64_t* key) const { return key + exec_words_; }
+
+  void AddArc(uint64_t* arcs, int i, int j) const {
+    arcs[i * row_words_ + j / 64] |= 1ULL << (j % 64);
+  }
+
+  /// True iff t lies on a cycle: t reaches itself via the arc rows.
+  bool OnCycle(const uint64_t* arcs, int t) const;
+
+  Digraph ArcsDigraph(const uint64_t* key) const {
+    Digraph d(n_);
+    const uint64_t* arcs = Arcs(key);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        if (i != j &&
+            ((arcs[i * row_words_ + j / 64] >> (j % 64)) & 1) != 0) {
+          d.AddArc(i, j);
+        }
+      }
+    }
+    return d;
+  }
+
+  ExecState ExecOf(const uint64_t* key) const {
+    ExecState e;
+    e.words.assign(key, key + exec_words_);
+    return e;
+  }
+
+  const TransactionSystem& sys_;
+  const SafetyCheckOptions& options_;
+  const bool require_complete_;
+  StateSpace space_;
+  const int n_;
+  const int exec_words_;
+  const int row_words_;
+  const int arc_words_;
+  const int key_words_;
+  const int flag_word_;
+  const int aux_words_;
+  mutable std::vector<uint64_t> reach_;
+  mutable std::vector<uint64_t> frontier_;
+};
+
+bool LemmaSearchIncremental::OnCycle(const uint64_t* arcs, int t) const {
+  // Bitset BFS over successor rows starting from t's successors.
+  for (int w = 0; w < row_words_; ++w) {
+    reach_[w] = arcs[t * row_words_ + w];
+    frontier_[w] = reach_[w];
+  }
+  while (true) {
+    if ((reach_[t / 64] >> (t % 64)) & 1) return true;
+    bool grew = false;
+    for (int w = 0; w < row_words_; ++w) {
+      uint64_t bits = frontier_[w];
+      frontier_[w] = 0;
+      while (bits != 0) {
+        int j = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const uint64_t* row = arcs + static_cast<size_t>(j) * row_words_;
+        for (int rw = 0; rw < row_words_; ++rw) {
+          uint64_t fresh = row[rw] & ~reach_[rw];
+          if (fresh != 0) {
+            reach_[rw] |= fresh;
+            frontier_[rw] |= fresh;
+            grew = true;
+          }
+        }
+      }
+    }
+    if (!grew) return false;
+  }
+}
+
+Result<SafetyReport> LemmaSearchIncremental::Run() {
+  SafetyReport report;
+  StateStore store(key_words_, aux_words_);
+
+  std::vector<uint64_t> key_buf(key_words_, 0);
+  std::vector<uint64_t> aux_buf(aux_words_, 0);
+  space_.InitRoot(key_buf.data(), aux_buf.data());
+  uint32_t root = store.Intern(key_buf.data()).id;
+  std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+              aux_words_ * sizeof(uint64_t));
+
+  std::vector<GlobalNode> moves;
+  for (uint32_t head = 0; head < store.size(); ++head) {
+    ++report.states_visited;
+    if (options_.max_states != 0 &&
+        report.states_visited > options_.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "safety check exceeded %llu states",
+          static_cast<unsigned long long>(options_.max_states)));
+    }
+
+    if ((store.AuxOf(head)[flag_word_] & 1) != 0) {
+      // This state was created cyclic; materialize the cycle only now,
+      // when it is actually reported (or probed for completability).
+      std::vector<NodeId> cycle = FindCycle(ArcsDigraph(store.KeyOf(head)));
+      Schedule sched = store.PathFromRoot(head);
+      if (!require_complete_) {
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      auto completion =
+          space_.FindCompletion(ExecOf(store.KeyOf(head)),
+                                options_.max_states);
+      if (!completion.ok()) return completion.status();
+      if (completion->has_value()) {
+        sched.insert(sched.end(), (*completion)->begin(),
+                     (*completion)->end());
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      // Not completable: prune the subtree (descendants inherit the cycle).
+      continue;
+    }
+
+    moves.clear();
+    space_.ExpandInto(store.AuxOf(head), &moves);
+    for (GlobalNode g : moves) {
+      // Exec part + expansion cache update in O(successors of g).
+      space_.ApplyInto(store.KeyOf(head), store.AuxOf(head), g,
+                       key_buf.data(), aux_buf.data());
+      std::memcpy(Arcs(key_buf.data()), Arcs(store.KeyOf(head)),
+                  arc_words_ * sizeof(uint64_t));
+      aux_buf[flag_word_] = 0;
+
+      const Step& st = sys_.txn(g.txn).step(g.node);
+      if (st.kind == StepKind::kLock) {
+        const EntityId x = st.entity;
+        const int t = g.txn;
+        uint64_t* arcs = Arcs(key_buf.data());
+        for (int j : space_.AccessorsOf(x)) {
+          if (j == t) continue;
+          NodeId lj = space_.LockNodeOf(j, x);
+          if (space_.IsExecuted(store.KeyOf(head), j, lj)) {
+            AddArc(arcs, j, t);  // Tj locked x earlier in S'.
+          } else {
+            AddArc(arcs, t, j);  // Ti locks first, even if Lx of Tj never
+                                 // executes in S'.
+          }
+        }
+        // All fresh arcs touch t and the parent is acyclic, so the child
+        // is cyclic iff t reaches itself now.
+        if (OnCycle(arcs, t)) aux_buf[flag_word_] |= 1;
+      }
+
+      StateStore::InternResult r = store.Intern(key_buf.data(), head, g);
+      if (r.inserted) {
+        std::memcpy(store.MutableAuxOf(r.id), aux_buf.data(),
+                    aux_words_ * sizeof(uint64_t));
+      }
+    }
+  }
+
+  report.holds = true;
+  return report;
+}
+
+Result<SafetyReport> RunSearch(const TransactionSystem& sys,
+                               const SafetyCheckOptions& options,
+                               bool require_complete) {
+  if (options.engine == SearchEngine::kNaiveReference) {
+    LemmaSearchNaive search(sys, options, require_complete);
+    return search.Run();
+  }
+  LemmaSearchIncremental search(sys, options, require_complete);
+  return search.Run();
+}
+
 }  // namespace
 
 Result<SafetyReport> CheckSafeAndDeadlockFree(
     const TransactionSystem& sys, const SafetyCheckOptions& options) {
-  LemmaSearch search(sys, options, /*require_complete=*/false);
-  return search.Run();
+  return RunSearch(sys, options, /*require_complete=*/false);
 }
 
 Result<SafetyReport> CheckSafety(const TransactionSystem& sys,
                                  const SafetyCheckOptions& options) {
-  LemmaSearch search(sys, options, /*require_complete=*/true);
-  return search.Run();
+  return RunSearch(sys, options, /*require_complete=*/true);
 }
 
 }  // namespace wydb

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/search_engine.h"
 #include "common/result.h"
 #include "core/schedule.h"
 #include "core/system.h"
@@ -24,6 +25,9 @@ namespace wydb {
 
 struct SafetyCheckOptions {
   uint64_t max_states = 5'000'000;  ///< 0 = unbounded.
+  /// Expansion engine; kNaiveReference is the retained seed implementation
+  /// used for cross-validation and benchmarking.
+  SearchEngine engine = SearchEngine::kIncremental;
 };
 
 struct SafetyViolation {

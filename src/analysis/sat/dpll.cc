@@ -9,14 +9,50 @@ namespace {
 
 enum class Value : uint8_t { kUnset, kTrue, kFalse };
 
+// Iterative DPLL with two-watched-literal unit propagation and a cheap
+// activity-based branching heuristic.
+//
+// Watched-literal invariants (see DESIGN.md):
+//   (W1) every clause of size >= 2 watches two distinct positions;
+//   (W2) a watched literal is only revisited when its negation is
+//        assigned — satisfied or unassigned watches are never scanned;
+//   (W3) if a clause is not satisfied, neither watch is false under the
+//        current assignment, unless the clause is unit/conflicting, in
+//        which case propagation notices it at the moment the second watch
+//        becomes false.
+// Hence propagation cost is proportional to the watcher lists actually
+// touched, not to the number of clauses (the seed implementation rescanned
+// every clause per propagation step).
 class Solver {
  public:
   Solver(const CnfFormula& f, const DpllOptions& options)
-      : f_(f), options_(options), value_(f.num_vars(), Value::kUnset) {}
+      : options_(options), num_vars_(f.num_vars()) {
+    value_.assign(num_vars_, Value::kUnset);
+    activity_.assign(num_vars_, 0.0);
+    watches_.assign(static_cast<size_t>(num_vars_) * 2, {});
+    // Flatten clauses; literal l encoded as 2*var + (positive ? 0 : 1).
+    for (const auto& clause : f.clauses()) {
+      uint32_t begin = static_cast<uint32_t>(lits_.size());
+      for (const Literal& l : clause) {
+        lits_.push_back((l.var << 1) | (l.positive ? 0 : 1));
+        activity_[l.var] += 1.0;  // Static seed: frequent vars first.
+      }
+      clauses_.push_back(Clause{begin, static_cast<uint32_t>(clause.size())});
+    }
+    for (uint32_t c = 0; c < clauses_.size(); ++c) {
+      const Clause& cl = clauses_[c];
+      if (cl.size == 1) {
+        initial_units_.push_back(lits_[cl.begin]);
+      } else {
+        watches_[lits_[cl.begin]].push_back(c);
+        watches_[lits_[cl.begin + 1]].push_back(c);
+      }
+    }
+  }
 
   Result<DpllResult> Run() {
     DpllResult res;
-    bool sat = Search(&res);
+    bool sat = Search();
     if (exhausted_) {
       return Status::ResourceExhausted(
           StrFormat("DPLL exceeded %llu decisions",
@@ -24,8 +60,8 @@ class Solver {
     }
     res.satisfiable = sat;
     if (sat) {
-      res.assignment.resize(f_.num_vars());
-      for (int v = 0; v < f_.num_vars(); ++v) {
+      res.assignment.resize(num_vars_);
+      for (int v = 0; v < num_vars_; ++v) {
         res.assignment[v] = value_[v] != Value::kFalse;
       }
     }
@@ -34,105 +70,168 @@ class Solver {
   }
 
  private:
-  bool LitTrue(const Literal& l) const {
-    return value_[l.var] == (l.positive ? Value::kTrue : Value::kFalse);
-  }
-  bool LitFalse(const Literal& l) const {
-    return value_[l.var] == (l.positive ? Value::kFalse : Value::kTrue);
+  struct Clause {
+    uint32_t begin;
+    uint32_t size;
+  };
+
+  static int VarOf(int lit) { return lit >> 1; }
+  static int Negate(int lit) { return lit ^ 1; }
+
+  Value LitValue(int lit) const {
+    Value v = value_[lit >> 1];
+    if (v == Value::kUnset) return Value::kUnset;
+    bool is_true = (v == Value::kTrue) == ((lit & 1) == 0);
+    return is_true ? Value::kTrue : Value::kFalse;
   }
 
-  // Returns kUnsat / kSat / kUnknown-style: 0 conflict, 1 all satisfied,
-  // 2 undecided. Fills `unit` with a forced literal if found.
-  int Inspect(std::optional<Literal>* unit) const {
-    bool all_sat = true;
-    for (const auto& clause : f_.clauses()) {
-      bool sat = false;
-      int unassigned = 0;
-      Literal last{0, true};
-      for (const Literal& l : clause) {
-        if (LitTrue(l)) {
-          sat = true;
-          break;
+  // Assigns `lit` true and pushes it on the trail. Returns false if the
+  // variable already holds the opposite value.
+  bool Enqueue(int lit) {
+    Value v = LitValue(lit);
+    if (v == Value::kFalse) return false;
+    if (v == Value::kUnset) {
+      value_[lit >> 1] = (lit & 1) == 0 ? Value::kTrue : Value::kFalse;
+      trail_.push_back(lit);
+    }
+    return true;
+  }
+
+  // Two-watched-literal propagation from trail_[qhead_] onward. On
+  // conflict returns the index of the conflicting clause; kNoConflict
+  // otherwise.
+  static constexpr uint32_t kNoConflict = 0xFFFFFFFFu;
+  uint32_t Propagate() {
+    while (qhead_ < trail_.size()) {
+      int p = trail_[qhead_++];
+      int false_lit = Negate(p);  // Clauses watching ~p must be checked.
+      std::vector<uint32_t>& watchers = watches_[false_lit];
+      size_t keep = 0;
+      for (size_t wi = 0; wi < watchers.size(); ++wi) {
+        uint32_t c = watchers[wi];
+        const Clause& cl = clauses_[c];
+        int32_t* cls = lits_.data() + cl.begin;
+        // Normalize: the false watch sits at position 1.
+        if (cls[0] == false_lit) std::swap(cls[0], cls[1]);
+        // Satisfied clause: keep the watch as-is.
+        if (LitValue(cls[0]) == Value::kTrue) {
+          watchers[keep++] = c;
+          continue;
         }
-        if (!LitFalse(l)) {
-          ++unassigned;
-          last = l;
+        // Look for a non-false literal to take over the watch.
+        bool moved = false;
+        for (uint32_t k = 2; k < cl.size; ++k) {
+          if (LitValue(cls[k]) != Value::kFalse) {
+            std::swap(cls[1], cls[k]);
+            watches_[cls[1]].push_back(c);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        // Clause is unit (cls[0] unset) or conflicting (cls[0] false).
+        watchers[keep++] = c;
+        if (!Enqueue(cls[0])) {
+          // Conflict: restore untouched tail of the watcher list.
+          for (size_t wj = wi + 1; wj < watchers.size(); ++wj) {
+            watchers[keep++] = watchers[wj];
+          }
+          watchers.resize(keep);
+          return c;
         }
       }
-      if (sat) continue;
-      if (unassigned == 0) return 0;
-      all_sat = false;
-      if (unassigned == 1 && !unit->has_value()) *unit = last;
+      watchers.resize(keep);
     }
-    return all_sat ? 1 : 2;
+    return kNoConflict;
   }
 
-  bool Search(DpllResult* res) {
-    if (exhausted_) return false;
-    // Unit propagation to fixpoint.
-    std::vector<int> trail;
-    for (;;) {
-      std::optional<Literal> unit;
-      int state = Inspect(&unit);
-      if (state == 0) {
-        for (int v : trail) value_[v] = Value::kUnset;
-        return false;
+  void BumpConflict(uint32_t conflict) {
+    const Clause& cl = clauses_[conflict];
+    for (uint32_t k = 0; k < cl.size; ++k) {
+      activity_[VarOf(lits_[cl.begin + k])] += bump_;
+    }
+    bump_ *= 1.0 / 0.95;  // Decay old activity by inflating future bumps.
+    if (bump_ > 1e100) {
+      for (double& a : activity_) a *= 1e-100;
+      bump_ *= 1e-100;
+    }
+  }
+
+  // Most-active unset variable; -1 when all assigned.
+  int PickBranchVar() const {
+    int best = -1;
+    double best_act = -1.0;
+    for (int v = 0; v < num_vars_; ++v) {
+      if (value_[v] == Value::kUnset && activity_[v] > best_act) {
+        best = v;
+        best_act = activity_[v];
       }
-      if (state == 1) return true;
-      if (!unit.has_value()) break;
-      value_[unit->var] = unit->positive ? Value::kTrue : Value::kFalse;
-      trail.push_back(unit->var);
+    }
+    return best;
+  }
+
+  // Undo trail down to `level_mark` assignments.
+  void BacktrackTo(size_t level_mark) {
+    while (trail_.size() > level_mark) {
+      value_[trail_.back() >> 1] = Value::kUnset;
+      trail_.pop_back();
+    }
+    qhead_ = level_mark;
+  }
+
+  bool Search() {
+    // Top-level units: a conflict here is UNSAT outright.
+    for (int lit : initial_units_) {
+      if (!Enqueue(lit)) return false;
     }
 
-    // Branch on the most frequently occurring unset variable.
-    std::vector<int> freq(f_.num_vars(), 0);
-    for (const auto& clause : f_.clauses()) {
-      bool sat = false;
-      for (const Literal& l : clause) {
-        if (LitTrue(l)) {
-          sat = true;
-          break;
+    struct Decision {
+      int var;
+      size_t trail_mark;  ///< Trail size before the decision.
+      bool flipped;       ///< Second phase already tried.
+    };
+    std::vector<Decision> decisions;
+
+    while (true) {
+      uint32_t conflict = Propagate();
+      if (conflict == kNoConflict) {
+        if (static_cast<int>(trail_.size()) == num_vars_) return true;
+        int var = PickBranchVar();
+        if (var == -1) return true;  // Vars absent from clauses remain unset.
+        ++decisions_;
+        if (options_.max_decisions != 0 &&
+            decisions_ > options_.max_decisions) {
+          exhausted_ = true;
+          return false;
         }
+        decisions.push_back(Decision{var, trail_.size(), false});
+        Enqueue(var << 1);  // Try true first, as the seed solver did.
+      } else {
+        BumpConflict(conflict);
+        // Chronological backtracking: flip the deepest unflipped decision.
+        while (!decisions.empty() && decisions.back().flipped) {
+          decisions.pop_back();
+        }
+        if (decisions.empty()) return false;
+        Decision& d = decisions.back();
+        BacktrackTo(d.trail_mark);
+        d.flipped = true;
+        Enqueue((d.var << 1) | 1);  // Second phase: false.
       }
-      if (sat) continue;
-      for (const Literal& l : clause) {
-        if (value_[l.var] == Value::kUnset) freq[l.var]++;
-      }
     }
-    int var = -1;
-    for (int v = 0; v < f_.num_vars(); ++v) {
-      if (value_[v] == Value::kUnset && (var == -1 || freq[v] > freq[var])) {
-        var = v;
-      }
-    }
-    if (var == -1) {
-      // All assigned and no conflict => satisfied (Inspect said undecided
-      // only because of empty frequency; defensive).
-      for (int v : trail) value_[v] = Value::kUnset;
-      return true;
-    }
-
-    ++decisions_;
-    if (options_.max_decisions != 0 &&
-        decisions_ > options_.max_decisions) {
-      exhausted_ = true;
-      for (int v : trail) value_[v] = Value::kUnset;
-      return false;
-    }
-
-    for (Value val : {Value::kTrue, Value::kFalse}) {
-      value_[var] = val;
-      if (Search(res)) return true;
-      value_[var] = Value::kUnset;
-      if (exhausted_) break;
-    }
-    for (int v : trail) value_[v] = Value::kUnset;
-    return false;
   }
 
-  const CnfFormula& f_;
   const DpllOptions& options_;
+  const int num_vars_;
   std::vector<Value> value_;
+  std::vector<double> activity_;
+  double bump_ = 1.0;
+  std::vector<int32_t> lits_;      ///< Flat encoded literals of all clauses.
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<uint32_t>> watches_;  ///< Per encoded literal.
+  std::vector<int32_t> initial_units_;
+  std::vector<int32_t> trail_;
+  size_t qhead_ = 0;
   uint64_t decisions_ = 0;
   bool exhausted_ = false;
 };

@@ -25,8 +25,8 @@ struct DpllResult {
   uint64_t decisions = 0;
 };
 
-/// Decides satisfiability with unit propagation, pure-literal elimination
-/// and most-frequent-variable branching.
+/// Decides satisfiability with two-watched-literal unit propagation and
+/// activity-based branching (see DESIGN.md §2 for the invariants).
 Result<DpllResult> SolveDpll(const CnfFormula& formula,
                              const DpllOptions& options = {});
 

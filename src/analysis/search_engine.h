@@ -1,0 +1,21 @@
+// Engine selection knob shared by the exact checkers.
+#ifndef WYDB_ANALYSIS_SEARCH_ENGINE_H_
+#define WYDB_ANALYSIS_SEARCH_ENGINE_H_
+
+namespace wydb {
+
+/// Which expansion engine backs an exact state-space search.
+enum class SearchEngine {
+  /// Interned StateStore states with incremental move generation and
+  /// (for the safety checker) incremental conflict-arc cycle detection.
+  kIncremental,
+  /// The seed implementation: heap-copied states in hash containers, full
+  /// rescans per state. Retained as the cross-validation reference and as
+  /// the benchmark baseline; verdicts and states_visited counts are
+  /// bit-identical to kIncremental by construction (property-tested).
+  kNaiveReference,
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_SEARCH_ENGINE_H_

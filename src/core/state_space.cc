@@ -1,25 +1,52 @@
 #include "core/state_space.h"
 
-#include <unordered_set>
+#include <bit>
+#include <cstring>
 
 #include "common/string_util.h"
+#include "core/state_store.h"
 
 namespace wydb {
 
 StateSpace::StateSpace(const TransactionSystem* sys) : sys_(sys) {
   const int n = sys->num_transactions();
+  const int num_entities = sys->db().num_entities();
   offset_.resize(n);
+  words_.resize(n);
   pred_mask_.resize(n);
+  hasse_succ_.resize(n);
+  lock_node_.assign(n, std::vector<NodeId>(num_entities, kInvalidNode));
+  unlock_node_.assign(n, std::vector<NodeId>(num_entities, kInvalidNode));
+  accessors_.resize(num_entities);
+  // Four uint16 holder entries per aux word; 0xFFFF = kNoHolder.
+  holder_words_ = (num_entities + 3) / 4;
   for (int i = 0; i < n; ++i) {
     offset_[i] = total_words_;
     const Transaction& t = sys->txn(i);
     int words = std::max(1, (t.num_steps() + 63) / 64);
+    words_[i] = words;
     total_words_ += words;
     pred_mask_[i].assign(t.num_steps(), std::vector<uint64_t>(words, 0));
     for (NodeId v = 0; v < t.num_steps(); ++v) {
       for (NodeId u = 0; u < t.num_steps(); ++u) {
         if (t.Precedes(u, v)) bitmask::Set(&pred_mask_[i][v], u);
       }
+    }
+    Digraph hasse = t.HasseDiagram();
+    hasse_succ_[i].resize(t.num_steps());
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      hasse_succ_[i][v] = hasse.OutNeighbors(v);
+    }
+    for (EntityId e : t.entities()) {
+      lock_node_[i][e] = t.LockNode(e);
+      unlock_node_[i][e] = t.UnlockNode(e);
+      accessors_[e].push_back(i);
+    }
+  }
+  full_words_.assign(total_words_, 0);
+  for (int i = 0; i < n; ++i) {
+    for (NodeId v = 0; v < sys_->txn(i).num_steps(); ++v) {
+      bitmask::Set(&full_words_, offset_[i] * 64 + v);
     }
   }
 }
@@ -31,12 +58,8 @@ ExecState StateSpace::EmptyState() const {
 }
 
 ExecState StateSpace::FullState() const {
-  ExecState s = EmptyState();
-  for (int i = 0; i < sys_->num_transactions(); ++i) {
-    for (NodeId v = 0; v < sys_->txn(i).num_steps(); ++v) {
-      bitmask::Set(&s.words, offset_[i] * 64 + v);
-    }
-  }
+  ExecState s;
+  s.words = full_words_;
   return s;
 }
 
@@ -52,25 +75,28 @@ ExecState StateSpace::StateOf(const PrefixSet& prefix) const {
 }
 
 PrefixSet StateSpace::ToPrefixSet(const ExecState& s) const {
+  return ToPrefixSet(s.words.data());
+}
+
+PrefixSet StateSpace::ToPrefixSet(const uint64_t* words) const {
   PrefixSet p(sys_);
   auto* masks = p.mutable_masks();
   for (int i = 0; i < sys_->num_transactions(); ++i) {
     auto& m = (*masks)[i];
     for (size_t w = 0; w < m.size(); ++w) {
-      m[w] = s.words[offset_[i] + static_cast<int>(w)];
+      m[w] = words[offset_[i] + static_cast<int>(w)];
     }
   }
   return p;
 }
 
 bool StateSpace::IsComplete(const ExecState& s) const {
-  for (int i = 0; i < sys_->num_transactions(); ++i) {
-    const Transaction& t = sys_->txn(i);
-    for (NodeId v = 0; v < t.num_steps(); ++v) {
-      if (!IsExecuted(s, i, v)) return false;
-    }
-  }
-  return true;
+  return IsComplete(s.words.data());
+}
+
+bool StateSpace::IsComplete(const uint64_t* words) const {
+  return std::memcmp(words, full_words_.data(),
+                     total_words_ * sizeof(uint64_t)) == 0;
 }
 
 bool StateSpace::IsLegal(const ExecState& s, GlobalNode g) const {
@@ -129,49 +155,190 @@ std::vector<EntityId> StateSpace::Held(const ExecState& s, int i) const {
   return out;
 }
 
+// --- Incremental expansion ------------------------------------------------
+
+void StateSpace::InitRoot(uint64_t* state, uint64_t* aux) const {
+  std::memset(state, 0, total_words_ * sizeof(uint64_t));
+  InitAux(state, aux);
+}
+
+void StateSpace::InitAux(const uint64_t* state, uint64_t* aux) const {
+  std::memset(aux, 0, aux_words() * sizeof(uint64_t));
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (IsExecuted(state, i, v)) continue;
+      const auto& pred = pred_mask_[i][v];
+      bool ready = true;
+      for (int w = 0; w < words_[i]; ++w) {
+        if (pred[w] & ~state[offset_[i] + w]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        int bit = offset_[i] * 64 + v;
+        aux[bit / 64] |= 1ULL << (bit % 64);
+      }
+    }
+  }
+  uint16_t* holders = Holders(aux);
+  std::memset(holders, 0xFF, holder_words_ * sizeof(uint64_t));
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (EntityId e : t.entities()) {
+      if (IsExecuted(state, i, t.LockNode(e)) &&
+          !IsExecuted(state, i, t.UnlockNode(e))) {
+        holders[e] = static_cast<uint16_t>(i);
+      }
+    }
+  }
+}
+
+void StateSpace::ExpandInto(const uint64_t* aux,
+                            std::vector<GlobalNode>* moves) const {
+  const uint16_t* holders = Holders(aux);
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (int w = 0; w < words_[i]; ++w) {
+      uint64_t bits = aux[offset_[i] + w];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        NodeId v = static_cast<NodeId>(w * 64 + b);
+        const Step& st = t.step(v);
+        // A frontier Lock is blocked exactly when some transaction holds
+        // the entity; the holder can never be i itself (i's Lock is still
+        // unexecuted), so no owner comparison is needed.
+        if (st.kind == StepKind::kLock && holders[st.entity] != kNoHolder) {
+          continue;
+        }
+        moves->push_back(GlobalNode{i, v});
+      }
+    }
+  }
+}
+
+void StateSpace::ApplyInto(const uint64_t* state, const uint64_t* aux,
+                           GlobalNode g, uint64_t* next_state,
+                           uint64_t* next_aux) const {
+  std::memcpy(next_state, state, total_words_ * sizeof(uint64_t));
+  std::memcpy(next_aux, aux, aux_words() * sizeof(uint64_t));
+  const int bit = offset_[g.txn] * 64 + g.node;
+  next_state[bit / 64] |= 1ULL << (bit % 64);
+  next_aux[bit / 64] &= ~(1ULL << (bit % 64));
+  // Only direct successors of g can become ready.
+  for (NodeId u : hasse_succ_[g.txn][g.node]) {
+    const auto& pu = pred_mask_[g.txn][u];
+    bool ready = true;
+    for (int w = 0; w < words_[g.txn]; ++w) {
+      if (pu[w] & ~next_state[offset_[g.txn] + w]) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) {
+      int ubit = offset_[g.txn] * 64 + u;
+      next_aux[ubit / 64] |= 1ULL << (ubit % 64);
+    }
+  }
+  const Step& st = sys_->txn(g.txn).step(g.node);
+  uint16_t* holders = Holders(next_aux);
+  if (st.kind == StepKind::kLock) {
+    holders[st.entity] = static_cast<uint16_t>(g.txn);
+  } else {
+    holders[st.entity] = kNoHolder;
+  }
+}
+
 Result<std::optional<std::vector<GlobalNode>>>
 StateSpace::FindScheduleBetween(const ExecState& from, const ExecState& target,
                                 uint64_t max_states) const {
   if (!bitmask::IsSubset(from.words, target.words)) {
     return Status::InvalidArgument("target is not a superset of the start");
   }
-  // DFS with a dead-state memo: a state is dead if no in-target move
-  // sequence from it reaches the target.
-  std::unordered_set<ExecState, ExecStateHash> dead;
-  std::vector<GlobalNode> path;
-  uint64_t expanded = 0;
-  bool exhausted = false;
+  if (from.words == target.words) {
+    return std::optional<std::vector<GlobalNode>>(std::vector<GlobalNode>{});
+  }
 
   auto in_target = [&](GlobalNode g) {
     return bitmask::Test(target.words, offset_[g.txn] * 64 + g.node);
   };
 
-  std::function<bool(const ExecState&)> dfs = [&](const ExecState& s) -> bool {
-    if (s.words == target.words) return true;
-    if (dead.count(s)) return false;
-    if (max_states != 0 && ++expanded > max_states) {
-      exhausted = true;
-      return false;
-    }
-    for (const GlobalNode& g : LegalMoves(s)) {
-      if (!in_target(g)) continue;
-      path.push_back(g);
-      if (dfs(Apply(s, g))) return true;
-      path.pop_back();
-      if (exhausted) return false;
-    }
-    dead.insert(s);
-    return false;
+  // Iterative DFS with a dead-state memo: a state is dead if no in-target
+  // move sequence from it reaches the target. States are interned so the
+  // memo and the per-state expansion caches live in flat arrays, and the
+  // explicit frame stack makes the search depth independent of the native
+  // call stack.
+  StateStore store(total_words_, aux_words());
+  std::vector<uint8_t> dead;
+  std::vector<uint64_t> child_state(total_words_);
+  std::vector<uint64_t> child_aux(aux_words());
+
+  struct Frame {
+    uint32_t id;
+    std::vector<GlobalNode> moves;
+    size_t next = 0;
   };
 
-  bool found = dfs(from);
-  if (exhausted) {
+  auto moves_of = [&](uint32_t id) {
+    std::vector<GlobalNode> moves;
+    ExpandInto(store.AuxOf(id), &moves);
+    std::erase_if(moves, [&](GlobalNode g) { return !in_target(g); });
+    return moves;
+  };
+
+  std::vector<uint64_t> root_aux(aux_words());
+  InitAux(from.words.data(), root_aux.data());
+  uint32_t root = store.Intern(from.words.data()).id;
+  std::memcpy(store.MutableAuxOf(root), root_aux.data(),
+              aux_words() * sizeof(uint64_t));
+  dead.push_back(0);
+
+  uint64_t expanded = 1;  // The root counts as expanded, as before.
+  if (max_states != 0 && expanded > max_states) {
     return Status::ResourceExhausted(
         StrFormat("schedule search exceeded %llu states",
                   static_cast<unsigned long long>(max_states)));
   }
-  if (!found) return std::optional<std::vector<GlobalNode>>(std::nullopt);
-  return std::optional<std::vector<GlobalNode>>(std::move(path));
+
+  std::vector<Frame> stack;
+  std::vector<GlobalNode> path;
+  stack.push_back(Frame{root, moves_of(root)});
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next >= top.moves.size()) {
+      dead[top.id] = 1;
+      stack.pop_back();
+      if (!stack.empty()) path.pop_back();
+      continue;
+    }
+    GlobalNode g = top.moves[top.next++];
+    ApplyInto(store.KeyOf(top.id), store.AuxOf(top.id), g, child_state.data(),
+              child_aux.data());
+    if (std::memcmp(child_state.data(), target.words.data(),
+                    total_words_ * sizeof(uint64_t)) == 0) {
+      path.push_back(g);
+      return std::optional<std::vector<GlobalNode>>(std::move(path));
+    }
+    StateStore::InternResult r = store.Intern(child_state.data());
+    if (r.inserted) {
+      std::memcpy(store.MutableAuxOf(r.id), child_aux.data(),
+                  aux_words() * sizeof(uint64_t));
+      dead.push_back(0);
+    } else if (dead[r.id]) {
+      continue;
+    }
+    if (max_states != 0 && ++expanded > max_states) {
+      return Status::ResourceExhausted(
+          StrFormat("schedule search exceeded %llu states",
+                    static_cast<unsigned long long>(max_states)));
+    }
+    path.push_back(g);
+    stack.push_back(Frame{r.id, moves_of(r.id)});
+  }
+  return std::optional<std::vector<GlobalNode>>(std::nullopt);
 }
 
 }  // namespace wydb

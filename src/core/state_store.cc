@@ -1,0 +1,101 @@
+#include "core/state_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wydb {
+
+namespace {
+constexpr size_t kInitialSlots = 1024;  // Power of two.
+}  // namespace
+
+StateStore::StateStore(int key_words, int aux_words)
+    : key_words_(key_words), aux_words_(aux_words) {
+  slots_.assign(kInitialSlots, kNoId);
+  slot_mask_ = kInitialSlots - 1;
+}
+
+uint64_t StateStore::HashKey(const uint64_t* key) const {
+  // FNV-1a over words, finished with a mix so that linear probing sees
+  // well-spread low bits even for near-identical states.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (int w = 0; w < key_words_; ++w) {
+    h ^= key[w];
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void StateStore::Grow() {
+  std::vector<uint32_t> next(slots_.size() * 2, kNoId);
+  const size_t mask = next.size() - 1;
+  for (uint32_t id = 0; id < parents_.size(); ++id) {
+    size_t pos = HashKey(KeyOf(id)) & mask;
+    while (next[pos] != kNoId) pos = (pos + 1) & mask;
+    next[pos] = id;
+  }
+  slots_ = std::move(next);
+  slot_mask_ = mask;
+}
+
+StateStore::InternResult StateStore::Intern(const uint64_t* key,
+                                            uint32_t parent,
+                                            GlobalNode move) {
+  // Keep the load factor below 1/2.
+  if ((parents_.size() + 1) * 2 > slots_.size()) Grow();
+  size_t pos = HashKey(key) & slot_mask_;
+  while (true) {
+    uint32_t id = slots_[pos];
+    if (id == kNoId) break;
+    if (std::memcmp(KeyOf(id), key, key_words_ * sizeof(uint64_t)) == 0) {
+      return InternResult{id, false};
+    }
+    pos = (pos + 1) & slot_mask_;
+  }
+  uint32_t id = Append(key, parent, move);
+  slots_[pos] = id;
+  return InternResult{id, true};
+}
+
+uint32_t StateStore::Append(const uint64_t* key, uint32_t parent,
+                            GlobalNode move) {
+  uint32_t id = static_cast<uint32_t>(parents_.size());
+  keys_.insert(keys_.end(), key, key + key_words_);
+  aux_.resize(aux_.size() + aux_words_, 0);
+  parents_.push_back(ParentLink{parent, move.txn, move.node});
+  return id;
+}
+
+uint32_t StateStore::Find(const uint64_t* key) const {
+  size_t pos = HashKey(key) & slot_mask_;
+  while (true) {
+    uint32_t id = slots_[pos];
+    if (id == kNoId) return kNoId;
+    if (std::memcmp(KeyOf(id), key, key_words_ * sizeof(uint64_t)) == 0) {
+      return id;
+    }
+    pos = (pos + 1) & slot_mask_;
+  }
+}
+
+std::vector<GlobalNode> StateStore::PathFromRoot(uint32_t id) const {
+  std::vector<GlobalNode> path;
+  for (uint32_t cur = id; parents_[cur].parent != kNoId;
+       cur = parents_[cur].parent) {
+    path.push_back(MoveOf(cur));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t StateStore::MemoryBytes() const {
+  return keys_.capacity() * sizeof(uint64_t) +
+         aux_.capacity() * sizeof(uint64_t) +
+         parents_.capacity() * sizeof(ParentLink) +
+         slots_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace wydb

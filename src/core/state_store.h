@@ -1,0 +1,108 @@
+// Arena-backed intern table for packed search states.
+//
+// The exact checkers explore exponentially many states, so every constant
+// factor per expansion matters (the cost story of Theorems 1-2). The seed
+// implementation kept three heap copies of every state (visited set,
+// parent map, BFS queue), each behind its own hash-map node. StateStore
+// collapses all of that into flat arrays:
+//
+//   * every state is `key_words` 64-bit words of identity plus `aux_words`
+//     of engine cache (frontier masks, lock-holder tables, flags), stored
+//     contiguously in two arenas and addressed by a dense 32-bit id;
+//   * an open-addressing table (power-of-two capacity, linear probing)
+//     maps key words -> id, so visited-set membership is one probe
+//     sequence with no per-node allocation;
+//   * parent links are a flat array of (parent id, move), making witness
+//     reconstruction an array walk instead of a hash-map chase.
+//
+// Ids are stable for the lifetime of the store; pointers returned by
+// KeyOf/AuxOf are invalidated by the next Intern/Append (the arenas are
+// std::vectors), so re-fetch them after every insertion.
+#ifndef WYDB_CORE_STATE_STORE_H_
+#define WYDB_CORE_STATE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+
+namespace wydb {
+
+class StateStore {
+ public:
+  /// Sentinel id: "no such state" / "no parent" (the root).
+  static constexpr uint32_t kNoId = 0xFFFFFFFFu;
+
+  /// `key_words` words of state identity (hashed, deduplicated) and
+  /// `aux_words` words of per-state engine cache (not part of identity;
+  /// zero-initialised on insertion).
+  explicit StateStore(int key_words, int aux_words = 0);
+
+  struct InternResult {
+    uint32_t id;
+    bool inserted;  ///< False when the key was already present.
+  };
+
+  /// Interns `key` (exactly key_words() words). On fresh insertion records
+  /// the parent link and zero-fills the aux region; on a hit the existing
+  /// id is returned and the parent link is left untouched (BFS first-visit
+  /// parents).
+  InternResult Intern(const uint64_t* key, uint32_t parent = kNoId,
+                      GlobalNode move = GlobalNode{-1, -1});
+
+  /// Appends without deduplication (memoization ablation); the hash table
+  /// is bypassed entirely. Do not mix with Intern on the same store.
+  uint32_t Append(const uint64_t* key, uint32_t parent = kNoId,
+                  GlobalNode move = GlobalNode{-1, -1});
+
+  /// Lookup without insertion; kNoId if absent.
+  uint32_t Find(const uint64_t* key) const;
+
+  size_t size() const { return parents_.size(); }
+  int key_words() const { return key_words_; }
+  int aux_words() const { return aux_words_; }
+
+  const uint64_t* KeyOf(uint32_t id) const {
+    return keys_.data() + static_cast<size_t>(id) * key_words_;
+  }
+  const uint64_t* AuxOf(uint32_t id) const {
+    return aux_.data() + static_cast<size_t>(id) * aux_words_;
+  }
+  uint64_t* MutableAuxOf(uint32_t id) {
+    return aux_.data() + static_cast<size_t>(id) * aux_words_;
+  }
+
+  uint32_t ParentOf(uint32_t id) const { return parents_[id].parent; }
+  GlobalNode MoveOf(uint32_t id) const {
+    return GlobalNode{parents_[id].move_txn, parents_[id].move_node};
+  }
+
+  /// The move sequence from the root (the ancestor with parent kNoId) to
+  /// `id`, in execution order.
+  std::vector<GlobalNode> PathFromRoot(uint32_t id) const;
+
+  /// Bytes held by the arenas and the table (diagnostics).
+  size_t MemoryBytes() const;
+
+ private:
+  struct ParentLink {
+    uint32_t parent;
+    int32_t move_txn;
+    int32_t move_node;
+  };
+
+  uint64_t HashKey(const uint64_t* key) const;
+  void Grow();
+
+  const int key_words_;
+  const int aux_words_;
+  std::vector<uint64_t> keys_;       ///< size() * key_words_ words.
+  std::vector<uint64_t> aux_;        ///< size() * aux_words_ words.
+  std::vector<ParentLink> parents_;  ///< One per id.
+  std::vector<uint32_t> slots_;      ///< Open-addressing table of ids.
+  size_t slot_mask_ = 0;             ///< slots_.size() - 1 (power of two).
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_CORE_STATE_STORE_H_

@@ -137,4 +137,59 @@ Result<OwnedSystem> GenerateChordedCycleSystem(int k, int chords,
   return Finish(std::move(db), std::move(txns));
 }
 
+Result<OwnedSystem> GenerateDisjointGridSystem(int k, int entities_per_txn) {
+  if (k < 1 || entities_per_txn < 1) {
+    return Status::InvalidArgument("grid needs k >= 1 and entities >= 1");
+  }
+  auto db = std::make_unique<Database>();
+  std::vector<Transaction> txns;
+  for (int i = 0; i < k; ++i) {
+    TransactionBuilder b(db.get(), StrFormat("T%d", i + 1));
+    std::vector<int> seq;
+    for (int e = 0; e < entities_per_txn; ++e) {
+      EntityId id;
+      WYDB_ASSIGN_OR_RETURN(
+          id, db->AddEntityAtSite(StrFormat("e%d_%d", i, e),
+                                  StrFormat("s%d", i)));
+      seq.push_back(b.LockId(id));
+      seq.push_back(b.UnlockId(id));
+    }
+    for (size_t s = 0; s + 1 < seq.size(); ++s) b.Arc(seq[s], seq[s + 1]);
+    WYDB_ASSIGN_OR_RETURN(Transaction t, b.Build());
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
+Result<OwnedSystem> GenerateSharedChainSystem(int k) {
+  if (k < 2) return Status::InvalidArgument("chain needs k >= 2");
+  auto db = std::make_unique<Database>();
+  std::vector<EntityId> own(k), shared(k - 1);
+  for (int i = 0; i < k; ++i) {
+    WYDB_ASSIGN_OR_RETURN(own[i], db->AddEntityAtSite(StrFormat("o%d", i),
+                                                      StrFormat("so%d", i)));
+  }
+  for (int i = 0; i + 1 < k; ++i) {
+    WYDB_ASSIGN_OR_RETURN(
+        shared[i],
+        db->AddEntityAtSite(StrFormat("s%d", i), StrFormat("ss%d", i)));
+  }
+  std::vector<Transaction> txns;
+  for (int i = 0; i < k; ++i) {
+    TransactionBuilder b(db.get(), StrFormat("T%d", i + 1));
+    std::vector<int> seq;
+    if (i > 0) seq.push_back(b.LockId(shared[i - 1]));
+    seq.push_back(b.LockId(own[i]));
+    if (i + 1 < k) seq.push_back(b.LockId(shared[i]));
+    // Two-phase: unlock in reverse acquisition order.
+    if (i + 1 < k) seq.push_back(b.UnlockId(shared[i]));
+    seq.push_back(b.UnlockId(own[i]));
+    if (i > 0) seq.push_back(b.UnlockId(shared[i - 1]));
+    for (size_t s = 0; s + 1 < seq.size(); ++s) b.Arc(seq[s], seq[s + 1]);
+    WYDB_ASSIGN_OR_RETURN(Transaction t, b.Build());
+    txns.push_back(std::move(t));
+  }
+  return Finish(std::move(db), std::move(txns));
+}
+
 }  // namespace wydb

@@ -65,6 +65,21 @@ Result<OwnedSystem> GenerateRingSystem(int k);
 Result<OwnedSystem> GenerateChordedCycleSystem(int k, int chords,
                                                uint64_t seed);
 
+/// \brief Worst-case-benign workload for the exact checkers: `k`
+/// transactions over pairwise disjoint entity sets, each a total order of
+/// `entities_per_txn` Lock/Unlock pairs. Trivially safe+deadlock-free, yet
+/// every interleaving is legal, so exhaustive exploration must visit
+/// (2*entities_per_txn + 1)^k states — the regime where per-state
+/// constants dominate (the cost story of Theorems 1-2).
+Result<OwnedSystem> GenerateDisjointGridSystem(int k, int entities_per_txn);
+
+/// \brief Open-chain sharing: transaction i holds its own entity o_i and
+/// shares s_i with transaction i+1 (two-phase, single shared entity per
+/// pair). The interaction graph is a path, so Theorem 4 certifies
+/// safe+deadlock-freedom, but the exact Lemma 1 search still explores
+/// exponentially many (state, conflict-arc-set) pairs with real arcs.
+Result<OwnedSystem> GenerateSharedChainSystem(int k);
+
 }  // namespace wydb
 
 #endif  // WYDB_GEN_SYSTEM_GEN_H_

@@ -103,6 +103,36 @@ TEST(DpllTest, SatisfyingAssignmentAlwaysVerifies) {
   }
 }
 
+TEST(DpllTest, VerdictMatchesBruteForceOnRandomFormulas) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    CnfFormula f;
+    int n = 2 + static_cast<int>(rng.NextBelow(9));  // <= 10 vars.
+    int m = 2 + static_cast<int>(rng.NextBelow(30));
+    for (int c = 0; c < m; ++c) {
+      std::vector<Literal> clause;
+      int len = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int l = 0; l < len; ++l) {
+        clause.push_back(Literal{static_cast<int>(rng.NextBelow(n)),
+                                 rng.NextBernoulli(0.5)});
+      }
+      f.AddClause(clause);
+    }
+    bool brute_sat = false;
+    for (uint32_t bits = 0; bits < (1u << n) && !brute_sat; ++bits) {
+      // n vars were drawn but num_vars() can be smaller if the highest
+      // ones never appeared in a clause.
+      std::vector<bool> a(n);
+      for (int v = 0; v < n; ++v) a[v] = (bits >> v) & 1;
+      brute_sat = f.IsSatisfiedBy(a);
+    }
+    auto r = SolveDpll(f);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->satisfiable, brute_sat) << "trial " << trial;
+    if (r->satisfiable) EXPECT_TRUE(f.IsSatisfiedBy(r->assignment));
+  }
+}
+
 TEST(DpllTest, DecisionBudget) {
   // Hard-ish pigeonhole; with a 0-decision budget it must bail out if any
   // branching is needed.

@@ -315,6 +315,44 @@ TEST(StateSpaceTest, BudgetExhaustion) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(StateSpaceTest, FindScheduleSurvivesVeryDeepSchedules) {
+  // A schedule tens of thousands of steps long: the DFS must run on an
+  // explicit stack — a native-stack recursion of this depth would
+  // overflow. Two transactions over disjoint entity sets, each a total
+  // order of n locks followed by n unlocks.
+  const int kEntitiesPerTxn = 4000;
+  auto db = std::make_unique<Database>();
+  std::vector<std::pair<StepKind, std::string>> seq1, seq2;
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < kEntitiesPerTxn; ++i) {
+      std::string name = "e" + std::to_string(t) + "_" + std::to_string(i);
+      ASSERT_TRUE(db->AddEntityAtSite(name, "s" + std::to_string(t)).ok());
+      auto& seq = t == 0 ? seq1 : seq2;
+      seq.emplace_back(StepKind::kLock, name);
+    }
+    for (int i = 0; i < kEntitiesPerTxn; ++i) {
+      std::string name = "e" + std::to_string(t) + "_" + std::to_string(i);
+      auto& seq = t == 0 ? seq1 : seq2;
+      seq.emplace_back(StepKind::kUnlock, name);
+    }
+  }
+  auto t1 = TransactionBuilder::FromSequence(db.get(), "T1", seq1);
+  auto t2 = TransactionBuilder::FromSequence(db.get(), "T2", seq2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  std::vector<Transaction> txns;
+  txns.push_back(std::move(*t1));
+  txns.push_back(std::move(*t2));
+  auto sys = TransactionSystem::Create(db.get(), std::move(txns));
+  ASSERT_TRUE(sys.ok());
+
+  StateSpace space(&*sys);
+  auto sched = space.FindCompletion(space.EmptyState());
+  ASSERT_TRUE(sched.ok());
+  ASSERT_TRUE(sched->has_value());
+  EXPECT_EQ((*sched)->size(), static_cast<size_t>(4 * kEntitiesPerTxn));
+}
+
 // ---------------------------------------------------------------------
 // Reduction graph R(A') — the Figure 1 example is in figures_test.cc;
 // here the basics.

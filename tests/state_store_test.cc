@@ -1,0 +1,310 @@
+// StateStore unit tests plus the cross-validation property suite: the
+// incremental expansion/cycle engine must be verdict- and count-identical
+// to the retained naive reference on random small systems.
+#include "core/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "analysis/deadlock_checker.h"
+#include "analysis/safety_checker.h"
+#include "common/random.h"
+#include "core/state_space.h"
+#include "gen/system_gen.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+// ---------------------------------------------------------------------
+// StateStore basics.
+
+TEST(StateStoreTest, InternDeduplicatesAndAssignsDenseIds) {
+  StateStore store(/*key_words=*/2);
+  uint64_t a[2] = {1, 2};
+  uint64_t b[2] = {1, 3};
+  auto ra = store.Intern(a);
+  auto rb = store.Intern(b);
+  EXPECT_TRUE(ra.inserted);
+  EXPECT_TRUE(rb.inserted);
+  EXPECT_EQ(ra.id, 0u);
+  EXPECT_EQ(rb.id, 1u);
+  auto ra2 = store.Intern(a);
+  EXPECT_FALSE(ra2.inserted);
+  EXPECT_EQ(ra2.id, ra.id);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Find(a), ra.id);
+  EXPECT_EQ(store.Find(b), rb.id);
+  uint64_t absent[2] = {9, 9};
+  EXPECT_EQ(store.Find(absent), StateStore::kNoId);
+}
+
+TEST(StateStoreTest, KeysSurviveArenaGrowthAndRehash) {
+  StateStore store(/*key_words=*/1);
+  const int kCount = 5000;  // Far beyond the initial table size.
+  for (int i = 0; i < kCount; ++i) {
+    uint64_t key = static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+    auto r = store.Intern(&key);
+    ASSERT_TRUE(r.inserted);
+    ASSERT_EQ(r.id, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(store.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    uint64_t key = static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+    auto r = store.Intern(&key);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(r.id, static_cast<uint32_t>(i));
+    EXPECT_EQ(*store.KeyOf(r.id), key);
+  }
+}
+
+TEST(StateStoreTest, AppendSkipsDeduplication) {
+  StateStore store(/*key_words=*/1);
+  uint64_t key = 42;
+  uint32_t a = store.Append(&key);
+  uint32_t b = store.Append(&key);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(StateStoreTest, AuxIsZeroInitializedAndMutable) {
+  StateStore store(/*key_words=*/1, /*aux_words=*/3);
+  uint64_t key = 7;
+  uint32_t id = store.Intern(&key).id;
+  for (int w = 0; w < 3; ++w) EXPECT_EQ(store.AuxOf(id)[w], 0u);
+  store.MutableAuxOf(id)[1] = 0xDEADBEEF;
+  // Force arena growth, then re-check.
+  for (int i = 0; i < 100; ++i) {
+    uint64_t k = 1000 + i;
+    store.Intern(&k);
+  }
+  EXPECT_EQ(store.AuxOf(id)[1], 0xDEADBEEFull);
+}
+
+TEST(StateStoreTest, PathFromRootFollowsParentLinks) {
+  StateStore store(/*key_words=*/1);
+  uint64_t k0 = 0, k1 = 1, k2 = 2;
+  uint32_t root = store.Intern(&k0).id;
+  uint32_t a = store.Intern(&k1, root, GlobalNode{0, 5}).id;
+  uint32_t b = store.Intern(&k2, a, GlobalNode{1, 7}).id;
+  EXPECT_TRUE(store.PathFromRoot(root).empty());
+  std::vector<GlobalNode> path = store.PathFromRoot(b);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], (GlobalNode{0, 5}));
+  EXPECT_EQ(path[1], (GlobalNode{1, 7}));
+}
+
+// ---------------------------------------------------------------------
+// Incremental expansion vs the naive API, along random walks.
+
+TEST(IncrementalExpansionTest, MatchesNaiveAlongRandomWalks) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_sites = 2;
+    opts.entities_per_site = 2;
+    opts.num_transactions = 3;
+    opts.entities_per_txn = 2;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    StateSpace space(&*sys->system);
+
+    const int kw = space.words_per_state();
+    const int aw = space.aux_words();
+    std::vector<uint64_t> state(kw), aux(aw);
+    std::vector<uint64_t> next_state(kw), next_aux(aw);
+    std::vector<uint64_t> aux_check(aw);
+    space.InitRoot(state.data(), aux.data());
+
+    ExecState naive = space.EmptyState();
+    Rng rng(seed * 77 + 3);
+    for (int step = 0; step < 64; ++step) {
+      // Incremental and naive move generation agree, in the same order.
+      std::vector<GlobalNode> inc_moves;
+      space.ExpandInto(aux.data(), &inc_moves);
+      std::vector<GlobalNode> naive_moves = space.LegalMoves(naive);
+      ASSERT_EQ(inc_moves, naive_moves) << "seed " << seed;
+      if (naive_moves.empty()) break;
+
+      GlobalNode g = naive_moves[rng.NextBelow(naive_moves.size())];
+      space.ApplyInto(state.data(), aux.data(), g, next_state.data(),
+                      next_aux.data());
+      naive = space.Apply(naive, g);
+      ASSERT_EQ(std::memcmp(next_state.data(), naive.words.data(),
+                            kw * sizeof(uint64_t)),
+                0);
+      // The incrementally maintained cache equals a from-scratch rebuild.
+      space.InitAux(next_state.data(), aux_check.data());
+      ASSERT_EQ(std::memcmp(next_aux.data(), aux_check.data(),
+                            aw * sizeof(uint64_t)),
+                0)
+          << "seed " << seed << " step " << step;
+      state.swap(next_state);
+      aux.swap(next_aux);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cross-validation: the incremental engine is verdict- and count-identical
+// to the naive reference on >= 100 random small systems.
+
+struct CrossvalShape {
+  int sites;
+  int entities_per_site;
+  int txns;
+  int entities_per_txn;
+  bool two_phase;
+};
+
+class EngineCrossval : public ::testing::TestWithParam<CrossvalShape> {};
+
+TEST_P(EngineCrossval, DeadlockAndSafetyVerdictsAndCountsIdentical) {
+  const CrossvalShape& shape = GetParam();
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_sites = shape.sites;
+    opts.entities_per_site = shape.entities_per_site;
+    opts.num_transactions = shape.txns;
+    opts.entities_per_txn = shape.entities_per_txn;
+    opts.two_phase = shape.two_phase;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    const TransactionSystem& s = *sys->system;
+
+    for (auto mode : {DeadlockDetectionMode::kStuckState,
+                      DeadlockDetectionMode::kReductionGraph}) {
+      DeadlockCheckOptions fast;
+      fast.mode = mode;
+      DeadlockCheckOptions ref = fast;
+      ref.engine = SearchEngine::kNaiveReference;
+      auto a = CheckDeadlockFreedom(s, fast);
+      auto b = CheckDeadlockFreedom(s, ref);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->deadlock_free, b->deadlock_free) << "seed " << seed;
+      ASSERT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
+      ASSERT_EQ(a->witness.has_value(), b->witness.has_value());
+      if (a->witness.has_value()) {
+        EXPECT_EQ(a->witness->schedule, b->witness->schedule);
+        EXPECT_EQ(a->witness->prefix_nodes, b->witness->prefix_nodes);
+        EXPECT_EQ(a->witness->reduction_cycle, b->witness->reduction_cycle);
+      }
+    }
+
+    {
+      SafetyCheckOptions fast;
+      SafetyCheckOptions ref;
+      ref.engine = SearchEngine::kNaiveReference;
+      auto a = CheckSafeAndDeadlockFree(s, fast);
+      auto b = CheckSafeAndDeadlockFree(s, ref);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->holds, b->holds) << "seed " << seed;
+      ASSERT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
+      ASSERT_EQ(a->violation.has_value(), b->violation.has_value());
+      if (a->violation.has_value()) {
+        EXPECT_EQ(a->violation->schedule, b->violation->schedule);
+        EXPECT_EQ(a->violation->txn_cycle, b->violation->txn_cycle);
+      }
+
+      auto sa = CheckSafety(s, fast);
+      auto sb = CheckSafety(s, ref);
+      ASSERT_TRUE(sa.ok());
+      ASSERT_TRUE(sb.ok());
+      ASSERT_EQ(sa->holds, sb->holds) << "seed " << seed;
+      ASSERT_EQ(sa->states_visited, sb->states_visited) << "seed " << seed;
+      if (sa->violation.has_value() && sb->violation.has_value()) {
+        EXPECT_EQ(sa->violation->schedule, sb->violation->schedule);
+        EXPECT_EQ(sa->violation->txn_cycle, sb->violation->txn_cycle);
+      }
+    }
+  }
+}
+
+// 5 shapes x 30 seeds = 150 random systems.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineCrossval,
+    ::testing::Values(CrossvalShape{2, 2, 3, 2, false},
+                      CrossvalShape{1, 3, 2, 3, false},
+                      CrossvalShape{3, 2, 2, 3, true},
+                      CrossvalShape{1, 2, 4, 2, false},
+                      CrossvalShape{2, 3, 3, 3, true}));
+
+// The memoization ablation must agree between engines as well (witnesses
+// excluded: without memoization the two engines legitimately record
+// different — both valid — parent paths).
+TEST(EngineCrossvalNoMemo, CountsIdenticalWithoutMemoization) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomSystemOptions opts;
+    opts.num_transactions = 2;
+    opts.entities_per_txn = 2;
+    opts.seed = seed;
+    auto sys = GenerateRandomSystem(opts);
+    ASSERT_TRUE(sys.ok());
+    DeadlockCheckOptions fast;
+    fast.memoize = false;
+    fast.max_states = 2'000'000;
+    DeadlockCheckOptions ref = fast;
+    ref.engine = SearchEngine::kNaiveReference;
+    auto a = CheckDeadlockFreedom(*sys->system, fast);
+    auto b = CheckDeadlockFreedom(*sys->system, ref);
+    ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code());
+      continue;
+    }
+    EXPECT_EQ(a->deadlock_free, b->deadlock_free) << "seed " << seed;
+    EXPECT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
+  }
+}
+
+// The benchmark workload generators: verdicts are known by construction
+// and the engines must agree on them (and on the state counts).
+TEST(EngineCrossval, BenchWorkloadGeneratorsAgree) {
+  auto grid = GenerateDisjointGridSystem(3, 2);
+  auto chain = GenerateSharedChainSystem(4);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(chain.ok());
+  for (const TransactionSystem* s : {grid->system.get(),
+                                     chain->system.get()}) {
+    DeadlockCheckOptions dopts;
+    auto da = CheckDeadlockFreedom(*s, dopts);
+    dopts.engine = SearchEngine::kNaiveReference;
+    auto db = CheckDeadlockFreedom(*s, dopts);
+    ASSERT_TRUE(da.ok());
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE(da->deadlock_free);
+    EXPECT_EQ(da->states_visited, db->states_visited);
+
+    SafetyCheckOptions sopts;
+    auto sa = CheckSafeAndDeadlockFree(*s, sopts);
+    sopts.engine = SearchEngine::kNaiveReference;
+    auto sb = CheckSafeAndDeadlockFree(*s, sopts);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_TRUE(sa->holds);
+    EXPECT_EQ(sa->states_visited, sb->states_visited);
+  }
+}
+
+// Budget exhaustion surfaces identically from both engines.
+TEST(EngineCrossval, ResourceExhaustionMatches) {
+  auto ring = GenerateRingSystem(4);
+  ASSERT_TRUE(ring.ok());
+  DeadlockCheckOptions fast;
+  fast.max_states = 3;
+  DeadlockCheckOptions ref = fast;
+  ref.engine = SearchEngine::kNaiveReference;
+  auto a = CheckDeadlockFreedom(*ring->system, fast);
+  auto b = CheckDeadlockFreedom(*ring->system, ref);
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace wydb
