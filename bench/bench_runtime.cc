@@ -7,6 +7,7 @@
 
 #include "gen/system_gen.h"
 #include "runtime/simulation.h"
+#include "runtime/workload.h"
 
 namespace wydb {
 namespace {
@@ -15,7 +16,7 @@ void RunPolicy(benchmark::State& state, const TransactionSystem& sys,
                ConflictPolicy policy) {
   uint64_t seed = 1;
   int runs = 0, deadlocks = 0, commits = 0;
-  uint64_t aborts = 0, messages = 0;
+  uint64_t aborts = 0, messages = 0, events = 0;
   double makespan = 0;
   for (auto _ : state) {
     SimOptions opts;
@@ -31,6 +32,7 @@ void RunPolicy(benchmark::State& state, const TransactionSystem& sys,
     commits += res->all_committed ? 1 : 0;
     aborts += res->aborts;
     messages += res->messages;
+    events += res->events;
     makespan += static_cast<double>(res->makespan);
     benchmark::DoNotOptimize(res);
   }
@@ -43,6 +45,48 @@ void RunPolicy(benchmark::State& state, const TransactionSystem& sys,
   state.counters["msgs_per_run"] =
       runs ? static_cast<double>(messages) / runs : 0;
   state.counters["avg_makespan"] = runs ? makespan / runs : 0;
+  // Kernel hot-path speed: simulation events dispatched per wall second.
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+// Closed-loop traffic sessions: one seeded session per iteration.
+void RunTraffic(benchmark::State& state, const TransactionSystem& sys,
+                ConflictPolicy policy, SimTime duration) {
+  uint64_t seed = 1;
+  uint64_t commits = 0, aborts = 0, events = 0;
+  double p99 = 0, throughput = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    WorkloadOptions opts;
+    opts.sim.policy = policy;
+    opts.sim.seed = seed++;
+    opts.sim.max_events = 0;
+    opts.duration = duration;
+    opts.think_time = 50;
+    auto res = RunWorkload(sys, opts);
+    if (!res.ok()) {
+      state.SkipWithError("workload failed");
+      return;
+    }
+    ++runs;
+    commits += res->commits;
+    aborts += res->aborts;
+    events += res->events;
+    throughput += res->throughput;
+    p99 += static_cast<double>(res->latency.p99);
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["commits_per_run"] =
+      runs ? static_cast<double>(commits) / runs : 0;
+  state.counters["sim_throughput"] = runs ? throughput / runs : 0;
+  state.counters["abort_rate"] =
+      (commits + aborts)
+          ? static_cast<double>(aborts) / static_cast<double>(commits + aborts)
+          : 0;
+  state.counters["latency_p99"] = runs ? p99 / runs : 0;
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 
 // Deadlock-prone contended workload: a k-ring.
@@ -107,6 +151,49 @@ void BM_Random2PL(benchmark::State& state) {
 }
 BENCHMARK(BM_Random2PL)
     ->Arg(static_cast<int>(ConflictPolicy::kBlock))
+    ->Arg(static_cast<int>(ConflictPolicy::kWoundWait))
+    ->Arg(static_cast<int>(ConflictPolicy::kWaitDie))
+    ->Arg(static_cast<int>(ConflictPolicy::kDetect));
+
+// Closed-loop throughput series: certified-safe workload under pure
+// blocking sustains traffic with zero aborts; the range is the number of
+// transactions (clients).
+void BM_ClosedLoop_Certified_Block(benchmark::State& state) {
+  SafeSystemOptions gopts;
+  gopts.num_transactions = static_cast<int>(state.range(0));
+  gopts.entities_per_txn = 3;
+  gopts.seed = 2;
+  auto sys = GenerateSafeSystem(gopts);
+  RunTraffic(state, *sys->system, ConflictPolicy::kBlock, 50'000);
+}
+BENCHMARK(BM_ClosedLoop_Certified_Block)->DenseRange(2, 10, 2);
+
+// Deadlock-prone contended traffic under the dynamic baselines.
+void BM_ClosedLoop_Ring(benchmark::State& state) {
+  auto ring = GenerateRingSystem(static_cast<int>(state.range(0)));
+  RunTraffic(state, *ring->system,
+             static_cast<ConflictPolicy>(state.range(1)), 50'000);
+}
+BENCHMARK(BM_ClosedLoop_Ring)
+    ->ArgsProduct({{3, 6},
+                   {static_cast<int>(ConflictPolicy::kDetect),
+                    static_cast<int>(ConflictPolicy::kWoundWait),
+                    static_cast<int>(ConflictPolicy::kWaitDie)}});
+
+// Random two-phase contended traffic.
+void BM_ClosedLoop_Random2PL(benchmark::State& state) {
+  RandomSystemOptions gopts;
+  gopts.num_transactions = 6;
+  gopts.entities_per_txn = 3;
+  gopts.num_sites = 3;
+  gopts.entities_per_site = 3;
+  gopts.two_phase = true;
+  gopts.seed = 4;
+  auto sys = GenerateRandomSystem(gopts);
+  RunTraffic(state, *sys->system,
+             static_cast<ConflictPolicy>(state.range(0)), 50'000);
+}
+BENCHMARK(BM_ClosedLoop_Random2PL)
     ->Arg(static_cast<int>(ConflictPolicy::kWoundWait))
     ->Arg(static_cast<int>(ConflictPolicy::kWaitDie))
     ->Arg(static_cast<int>(ConflictPolicy::kDetect));

@@ -2,88 +2,146 @@
 
 namespace wydb {
 
-void LockManager::Request(int txn, EntityId entity,
-                          std::function<void()> on_grant) {
+LockManager::LockManager(SiteId site, int num_entities,
+                         std::vector<LockEvent>* out)
+    : site_(site),
+      table_(num_entities),
+      is_touched_(num_entities, 0),
+      out_(out) {}
+
+int32_t LockManager::AllocWaiter(int txn, int32_t node, int32_t attempt) {
+  int32_t idx;
+  if (free_head_ != -1) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next;
+  } else {
+    idx = static_cast<int32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[idx] = Waiter{txn, node, attempt, -1};
+  return idx;
+}
+
+void LockManager::FreeWaiter(int32_t idx) {
+  pool_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+void LockManager::EmitGrant(EntityId entity, const Waiter& w) {
+  ++grants_;
+  out_->push_back(LockEvent{LockEvent::Kind::kGrant, site_, w.txn, entity,
+                            w.node, w.attempt, -1});
+}
+
+void LockManager::EmitBlock(EntityId entity, int32_t txn, int32_t holder) {
+  out_->push_back(
+      LockEvent{LockEvent::Kind::kBlock, site_, txn, entity, -1, 0, holder});
+}
+
+void LockManager::Request(int txn, EntityId entity, int32_t node,
+                          int32_t attempt) {
+  if (!is_touched_[entity]) {
+    is_touched_[entity] = 1;
+    touched_.push_back(entity);
+  }
   LockState& state = table_[entity];
-  if (state.holder == -1 && state.queue.empty()) {
+  if (state.holder == -1 && state.head == -1) {
     state.holder = txn;
-    ++grants_;
-    on_grant();
+    EmitGrant(entity, Waiter{txn, node, attempt, -1});
     return;
   }
-  state.queue.push_back(Waiter{txn, std::move(on_grant)});
-  if (on_block_ && state.holder != -1) {
-    on_block_(txn, state.holder, entity);
+  int32_t idx = AllocWaiter(txn, node, attempt);
+  if (state.tail == -1) {
+    state.head = state.tail = idx;
+  } else {
+    pool_[state.tail].next = idx;
+    state.tail = idx;
   }
+  if (state.holder != -1) EmitBlock(entity, txn, state.holder);
 }
 
 void LockManager::Release(int txn, EntityId entity) {
-  auto it = table_.find(entity);
-  if (it == table_.end() || it->second.holder != txn) return;
-  it->second.holder = -1;
-  Grant(entity, &it->second);
+  LockState& state = table_[entity];
+  if (state.holder != txn) return;
+  state.holder = -1;
+  GrantHead(entity);
 }
 
-void LockManager::Grant(EntityId entity, LockState* state) {
-  while (state->holder == -1 && !state->queue.empty()) {
-    Waiter next = std::move(state->queue.front());
-    state->queue.pop_front();
-    state->holder = next.txn;
-    ++grants_;
-    next.on_grant();
-    if (!on_block_) return;
-    // Holdership changed: re-apply the conflict policy for the remaining
-    // waiters against the NEW holder. Without this, wound-wait admits
-    // wait cycles: an old transaction queued behind a young one inherits
-    // an old->young wait edge when the young waiter is granted first.
-    const int holder = state->holder;
-    std::vector<int> waiters;
-    waiters.reserve(state->queue.size());
-    for (const Waiter& w : state->queue) waiters.push_back(w.txn);
-    for (int w : waiters) {
-      if (state->holder != holder) break;  // Holder wounded meanwhile.
-      on_block_(w, holder, entity);
-    }
-    if (state->holder != -1) return;
-    // The new holder was wounded and released; grant the next waiter.
+void LockManager::GrantHead(EntityId entity) {
+  LockState& state = table_[entity];
+  if (state.head == -1) return;
+  int32_t idx = state.head;
+  state.head = pool_[idx].next;
+  if (state.head == -1) state.tail = -1;
+  state.holder = pool_[idx].txn;
+  EmitGrant(entity, pool_[idx]);
+  FreeWaiter(idx);
+  // Holdership changed: re-emit block records for the remaining waiters so
+  // the caller re-applies the conflict policy against the NEW holder.
+  // Without this, wound-wait admits wait cycles: an old transaction queued
+  // behind a young one inherits an old->young wait edge when the young
+  // waiter is granted first.
+  for (int32_t w = state.head; w != -1; w = pool_[w].next) {
+    EmitBlock(entity, pool_[w].txn, state.holder);
   }
 }
 
 void LockManager::Abort(int txn) {
-  for (auto& [entity, state] : table_) {
-    for (auto it = state.queue.begin(); it != state.queue.end();) {
-      it = it->txn == txn ? state.queue.erase(it) : std::next(it);
+  for (EntityId entity : touched_) {
+    LockState& state = table_[entity];
+    int32_t prev = -1;
+    for (int32_t w = state.head; w != -1;) {
+      int32_t next = pool_[w].next;
+      if (pool_[w].txn == txn) {
+        if (prev == -1) {
+          state.head = next;
+        } else {
+          pool_[prev].next = next;
+        }
+        if (state.tail == w) state.tail = prev;
+        FreeWaiter(w);
+      } else {
+        prev = w;
+      }
+      w = next;
     }
     if (state.holder == txn) {
       state.holder = -1;
-      Grant(entity, &state);
+      GrantHead(entity);
     }
   }
 }
 
-int LockManager::HolderOf(EntityId entity) const {
-  auto it = table_.find(entity);
-  return it == table_.end() ? -1 : it->second.holder;
+bool LockManager::IsWaiting(int txn) const {
+  for (EntityId entity : touched_) {
+    for (int32_t w = table_[entity].head; w != -1; w = pool_[w].next) {
+      if (pool_[w].txn == txn) return true;
+    }
+  }
+  return false;
 }
 
-bool LockManager::IsWaiting(int txn) const {
-  for (const auto& [entity, state] : table_) {
-    for (const Waiter& w : state.queue) {
-      if (w.txn == txn) return true;
-    }
+bool LockManager::IsWaitingOn(int txn, EntityId entity) const {
+  for (int32_t w = table_[entity].head; w != -1; w = pool_[w].next) {
+    if (pool_[w].txn == txn) return true;
   }
   return false;
 }
 
 std::vector<LockManager::WaitEdge> LockManager::WaitForEdges() const {
   std::vector<WaitEdge> edges;
-  for (const auto& [entity, state] : table_) {
+  AppendWaitForEdges(&edges);
+  return edges;
+}
+
+void LockManager::AppendWaitForEdges(std::vector<WaitEdge>* out) const {
+  for (EntityId entity : touched_) {
+    const LockState& state = table_[entity];
     if (state.holder == -1) continue;
-    for (const Waiter& w : state.queue) {
-      edges.push_back(WaitEdge{w.txn, state.holder, entity});
+    for (int32_t w = state.head; w != -1; w = pool_[w].next) {
+      out->push_back(WaitEdge{pool_[w].txn, state.holder, entity});
     }
   }
-  return edges;
 }
 
 }  // namespace wydb

@@ -1,38 +1,65 @@
 // Per-site exclusive lock table with FIFO wait queues — the substrate a
 // 1985 distributed DBMS would run at each site.
+//
+// Data-oriented layout: the table is a dense vector indexed by EntityId,
+// waiters live in a pooled free-list and queues are intrusive index
+// links. Operations never call back into the engine; instead they append
+// POD LockEvent records to an output buffer the engine drains after each
+// call. This keeps the hot path allocation-free and removes the
+// re-entrancy of the old std::function grant/block hooks.
 #ifndef WYDB_RUNTIME_LOCK_MANAGER_H_
 #define WYDB_RUNTIME_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "core/database.h"
 
 namespace wydb {
 
+/// \brief POD record emitted by lock-table operations.
+///
+/// `kGrant`: `txn` now holds `entity`; `node`/`attempt` echo the waiter
+/// payload passed to Request (the Lock step being served). The engine must
+/// validate `attempt` against the executor and give the lock back if the
+/// attempt went stale while the grant was pending.
+///
+/// `kBlock`: `txn` is queued on `entity` behind `holder`. Emitted when a
+/// request queues and re-emitted for every remaining waiter when
+/// holdership changes, so a timestamp policy (wound-wait etc.) can be
+/// re-applied against the new holder. The engine must re-validate the
+/// edge (same holder, txn still waiting) at processing time: the table
+/// may have moved on while the record sat in the buffer.
+struct LockEvent {
+  enum class Kind : uint8_t { kGrant, kBlock };
+  Kind kind;
+  SiteId site;
+  int32_t txn;
+  EntityId entity;
+  int32_t node;     ///< Grant only: waiter payload.
+  int32_t attempt;  ///< Grant only: waiter payload.
+  int32_t holder;   ///< Block only: the transaction being waited on.
+};
+
 /// \brief Exclusive locks for the entities of one site.
 ///
 /// The manager is purely mechanical: grant if free, queue if held. Policy
-/// (wound-wait etc.) is applied by the caller through the `on_block` hook
-/// and the Abort operation.
+/// (wound-wait etc.) is applied by the caller by reacting to the kBlock
+/// records and issuing Abort.
 class LockManager {
  public:
-  explicit LockManager(SiteId site) : site_(site) {}
+  /// `num_entities` sizes the dense table (global entity id space; rows
+  /// for entities of other sites stay untouched). Events are appended to
+  /// `*out`, which must outlive the manager.
+  LockManager(SiteId site, int num_entities, std::vector<LockEvent>* out);
 
   SiteId site() const { return site_; }
 
-  /// Called when `requester` blocks behind `holder` on `entity`.
-  using BlockHook = std::function<void(int requester, int holder,
-                                       EntityId entity)>;
-  void set_on_block(BlockHook hook) { on_block_ = std::move(hook); }
-
-  /// Requests an exclusive lock for transaction `txn`; `on_grant` runs
-  /// when the lock is granted (possibly immediately, synchronously).
-  void Request(int txn, EntityId entity, std::function<void()> on_grant);
+  /// Requests an exclusive lock for transaction `txn`. Emits kGrant
+  /// (immediately if free) or queues and emits kBlock. `node` and
+  /// `attempt` are opaque payload echoed in the grant record.
+  void Request(int txn, EntityId entity, int32_t node = -1,
+               int32_t attempt = 0);
 
   /// Releases `entity` if `txn` holds it (no-op otherwise — stale release
   /// messages from aborted attempts are tolerated). Grants the next
@@ -44,9 +71,10 @@ class LockManager {
   void Abort(int txn);
 
   /// The transaction holding `entity`, or -1.
-  int HolderOf(EntityId entity) const;
+  int HolderOf(EntityId entity) const { return table_[entity].holder; }
 
   bool IsWaiting(int txn) const;
+  bool IsWaitingOn(int txn, EntityId entity) const;
 
   /// (waiter, holder, entity) edges of this site's wait-for relation.
   struct WaitEdge {
@@ -55,24 +83,40 @@ class LockManager {
     EntityId entity;
   };
   std::vector<WaitEdge> WaitForEdges() const;
+  void AppendWaitForEdges(std::vector<WaitEdge>* out) const;
 
   uint64_t grants() const { return grants_; }
 
  private:
   struct Waiter {
-    int txn;
-    std::function<void()> on_grant;
+    int32_t txn;
+    int32_t node;
+    int32_t attempt;
+    int32_t next;  ///< Pool index of the next waiter, or -1.
   };
   struct LockState {
-    int holder = -1;
-    std::deque<Waiter> queue;
+    int32_t holder = -1;
+    int32_t head = -1;  ///< Pool index of the first waiter, or -1.
+    int32_t tail = -1;
   };
 
-  void Grant(EntityId entity, LockState* state);
+  int32_t AllocWaiter(int txn, int32_t node, int32_t attempt);
+  void FreeWaiter(int32_t idx);
+  /// Grants the queue head of `entity` (holder must be -1) and re-emits
+  /// kBlock for the remaining waiters against the new holder.
+  void GrantHead(EntityId entity);
+  void EmitGrant(EntityId entity, const Waiter& w);
+  void EmitBlock(EntityId entity, int32_t txn, int32_t holder);
 
   SiteId site_;
-  std::unordered_map<EntityId, LockState> table_;
-  BlockHook on_block_;
+  std::vector<LockState> table_;
+  std::vector<Waiter> pool_;
+  int32_t free_head_ = -1;
+  /// Entities this manager has ever touched (sparse iteration support for
+  /// Abort / WaitForEdges without scanning the whole dense table).
+  std::vector<EntityId> touched_;
+  std::vector<uint8_t> is_touched_;
+  std::vector<LockEvent>* out_;
   uint64_t grants_ = 0;
 };
 

@@ -16,6 +16,18 @@ const char* ConflictPolicyName(ConflictPolicy policy) {
   return "unknown";
 }
 
+bool ParseConflictPolicy(const std::string& name, ConflictPolicy* out) {
+  for (ConflictPolicy policy :
+       {ConflictPolicy::kBlock, ConflictPolicy::kWoundWait,
+        ConflictPolicy::kWaitDie, ConflictPolicy::kDetect}) {
+    if (name == ConflictPolicyName(policy)) {
+      *out = policy;
+      return true;
+    }
+  }
+  return false;
+}
+
 ConflictAction ResolveConflict(ConflictPolicy policy, uint64_t ts_requester,
                                uint64_t ts_holder) {
   switch (policy) {

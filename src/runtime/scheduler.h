@@ -28,6 +28,10 @@ enum class ConflictPolicy {
 
 const char* ConflictPolicyName(ConflictPolicy policy);
 
+/// Inverse of ConflictPolicyName ("block", "wound-wait", "wait-die",
+/// "detect"); false if the name is unknown.
+bool ParseConflictPolicy(const std::string& name, ConflictPolicy* out);
+
 /// Resolution of a single conflict under a timestamp policy.
 enum class ConflictAction {
   kWait,

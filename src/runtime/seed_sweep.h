@@ -1,0 +1,41 @@
+// Internal: seed-striped thread-pool sweep shared by RunMany and
+// RunWorkloadMany. Runs fn(0..runs-1) across workers and returns the
+// results indexed by run, so callers can reduce in seed order and get
+// aggregates identical to a serial loop for any thread count.
+#ifndef WYDB_RUNTIME_SEED_SWEEP_H_
+#define WYDB_RUNTIME_SEED_SWEEP_H_
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace wydb::internal {
+
+template <typename ResultT, typename Fn>
+std::vector<std::optional<ResultT>> SeedSweep(int runs, int threads,
+                                              Fn&& fn) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (threads > runs) threads = runs < 1 ? 1 : runs;
+
+  std::vector<std::optional<ResultT>> results(
+      static_cast<std::size_t>(runs < 0 ? 0 : runs));
+  auto run_range = [&](int worker) {
+    for (int r = worker; r < runs; r += threads) results[r].emplace(fn(r));
+  };
+  if (threads <= 1) {
+    run_range(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) pool.emplace_back(run_range, w);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace wydb::internal
+
+#endif  // WYDB_RUNTIME_SEED_SWEEP_H_

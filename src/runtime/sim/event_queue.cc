@@ -4,27 +4,44 @@
 
 namespace wydb {
 
-void EventQueue::At(SimTime t, Callback cb) {
-  if (t < now_) t = now_;
-  heap_.push(Event{t, next_seq_++, std::move(cb)});
+void EventQueue::At(SimTime t, SimEvent ev) {
+  ev.time = t < now_ ? now_ : t;
+  ev.seq = next_seq_++;
+  heap_.push_back(ev);
+  SiftUp(heap_.size() - 1);
 }
 
-bool EventQueue::RunOne() {
+bool EventQueue::PopNext(SimEvent* out) {
   if (heap_.empty()) return false;
-  // priority_queue::top returns const&; moving out right before pop() is
-  // safe because pop() only needs the element to be in a valid state.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.time;
+  *out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  now_ = out->time;
   ++processed_;
-  ev.cb();
   return true;
 }
 
-uint64_t EventQueue::RunAll(uint64_t max_events) {
-  uint64_t count = 0;
-  while ((max_events == 0 || count < max_events) && RunOne()) ++count;
-  return count;
+void EventQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!Earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    std::size_t left = 2 * i + 1, right = 2 * i + 2;
+    if (left < n && Earlier(heap_[left], heap_[best])) best = left;
+    if (right < n && Earlier(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 }  // namespace wydb

@@ -1,12 +1,14 @@
-// Discrete-event simulation kernel: a clock plus a stable min-heap of
-// callbacks. Ties break by insertion order, so runs are fully
+// Discrete-event simulation kernel: a clock plus a stable min-heap of POD
+// event records. Ties break by insertion order, so runs are fully
 // deterministic for a fixed seed.
+//
+// The queue stores no closures: an event is a tagged 32-byte record and
+// dispatch is a `switch` in the engine that owns the queue. Pushing and
+// popping never allocates beyond the flat heap vector's amortized growth.
 #ifndef WYDB_RUNTIME_SIM_EVENT_QUEUE_H_
 #define WYDB_RUNTIME_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 namespace wydb {
@@ -14,45 +16,67 @@ namespace wydb {
 /// Simulated time in abstract microseconds.
 using SimTime = uint64_t;
 
-/// \brief Deterministic discrete-event queue.
+/// Discriminator of a SimEvent. The engine dispatches on this tag.
+enum class EventKind : uint8_t {
+  /// Start (or restart after backoff) transaction `txn`'s attempt
+  /// `attempt`. Stale if the executor has moved past that attempt.
+  kStartTxn = 0,
+  /// A Lock request for step `node` of `txn` (attempt `attempt`) arrives
+  /// at `site`.
+  kLockArrive,
+  /// An Unlock request for step `node` of `txn` arrives at `site`.
+  kUnlockArrive,
+  /// The completion ack for step `node` of `txn` arrives back at the
+  /// transaction's home site.
+  kAckArrive,
+  /// Closed-loop driver: `txn`'s think time elapsed; begin the next round.
+  kThinkDone,
+};
+
+/// \brief POD event record; the only thing the kernel queues.
+struct SimEvent {
+  SimTime time = 0;    ///< Absolute delivery time (filled by the queue).
+  uint64_t seq = 0;    ///< Insertion order, for deterministic tie-breaks.
+  EventKind kind = EventKind::kStartTxn;
+  int32_t txn = -1;
+  int32_t node = -1;
+  int32_t attempt = 0;
+  int32_t site = -1;
+};
+
+/// \brief Deterministic discrete-event queue over POD records.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
-
   SimTime now() const { return now_; }
   uint64_t processed() const { return processed_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
-  /// Schedules `cb` at absolute time `t` (clamped to now()).
-  void At(SimTime t, Callback cb);
+  /// Schedules `ev` at absolute time `t` (clamped to now()). `ev.time` and
+  /// `ev.seq` are overwritten by the queue.
+  void At(SimTime t, SimEvent ev);
 
-  /// Schedules `cb` at now() + delay.
-  void After(SimTime delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+  /// Schedules `ev` at now() + delay.
+  void After(SimTime delay, SimEvent ev) { At(now_ + delay, ev); }
 
-  /// Pops and runs the earliest event. Returns false when empty.
-  bool RunOne();
-
-  /// Runs until empty or `max_events` processed (0 = unbounded).
-  /// Returns the number of events processed by this call.
-  uint64_t RunAll(uint64_t max_events = 0);
+  /// Pops the earliest event into `*out`, advancing the clock. Returns
+  /// false when empty.
+  bool PopNext(SimEvent* out);
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
+  // Flat binary min-heap ordered by (time, seq). Hand-rolled rather than
+  // std::priority_queue so PopNext can move the root out without the
+  // const_cast dance, and so the storage is reusable across runs.
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  static bool Earlier(const SimEvent& a, const SimEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<SimEvent> heap_;
 };
 
 }  // namespace wydb

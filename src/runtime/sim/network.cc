@@ -1,10 +1,8 @@
 #include "runtime/sim/network.h"
 
-#include <utility>
-
 namespace wydb {
 
-void Network::Send(SiteId from, SiteId to, EventQueue::Callback deliver) {
+void Network::Send(SiteId from, SiteId to, SimEvent ev) {
   ++messages_sent_;
   SimTime latency;
   if (from == to) {
@@ -13,7 +11,7 @@ void Network::Send(SiteId from, SiteId to, EventQueue::Callback deliver) {
     latency = model_.base;
     if (model_.jitter > 0) latency += rng_->NextBelow(model_.jitter + 1);
   }
-  queue_->After(latency, std::move(deliver));
+  queue_->After(latency, ev);
 }
 
 }  // namespace wydb

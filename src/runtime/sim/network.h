@@ -4,6 +4,9 @@
 // network exists so that runtime interleavings vary per seed and lock
 // grants arrive in adversarial orders, which is what deadlock formation
 // depends on.
+//
+// A message is a POD SimEvent scheduled on the shared EventQueue after a
+// sampled latency; the network itself holds no payload state.
 #ifndef WYDB_RUNTIME_SIM_NETWORK_H_
 #define WYDB_RUNTIME_SIM_NETWORK_H_
 
@@ -26,15 +29,14 @@ struct LatencyModel {
   SimTime local = 1;
 };
 
-/// \brief Delivers callbacks between sites with simulated latency.
+/// \brief Delivers POD events between sites with simulated latency.
 class Network {
  public:
   Network(EventQueue* queue, int num_sites, LatencyModel model, Rng* rng)
       : queue_(queue), num_sites_(num_sites), model_(model), rng_(rng) {}
 
-  /// Schedules `deliver` to run at the destination after the sampled
-  /// latency.
-  void Send(SiteId from, SiteId to, EventQueue::Callback deliver);
+  /// Schedules `ev` for delivery after the sampled latency.
+  void Send(SiteId from, SiteId to, SimEvent ev);
 
   uint64_t messages_sent() const { return messages_sent_; }
   int num_sites() const { return num_sites_; }

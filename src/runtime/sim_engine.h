@@ -1,0 +1,132 @@
+// Internal: the data-oriented simulation engine shared by RunSimulation
+// (one-shot) and RunWorkload (closed-loop traffic). Not part of the
+// public runtime API.
+//
+// The engine is a single event loop over POD SimEvent records dispatched
+// by a switch; lock tables report grants/blocks as POD LockEvent records
+// drained after every dispatch. Nothing on the hot path allocates a
+// closure (DESIGN.md §4).
+#ifndef WYDB_RUNTIME_SIM_ENGINE_H_
+#define WYDB_RUNTIME_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/system.h"
+#include "runtime/lock_manager.h"
+#include "runtime/sim/event_queue.h"
+#include "runtime/sim/network.h"
+#include "runtime/simulation.h"
+#include "runtime/txn_runtime.h"
+
+namespace wydb {
+
+/// \brief One seeded run of the distributed lock/message simulation.
+class SimEngine {
+ public:
+  /// Traffic-driver knobs layered on top of SimOptions. Defaults give the
+  /// one-shot semantics: every transaction runs exactly one round.
+  struct DriverConfig {
+    /// Re-issue each committed transaction after a think-time delay.
+    bool closed_loop = false;
+    /// Open variant: a free-running per-transaction arrival clock fires
+    /// every sampled interval, independent of round completion; arrivals
+    /// that find the transaction busy queue (up to max_backlog per txn),
+    /// so saturation shows up as latency instead of throttled arrivals.
+    bool open_loop = false;
+    /// Open mode: arrivals beyond this per-transaction backlog pause the
+    /// arrival clock (it resumes as the backlog drains). The bound keeps
+    /// a stalled system quiescible, so deadlock detection/classification
+    /// still happens.
+    int max_backlog = 256;
+    /// Mean think time (closed) / inter-arrival interval (open). The
+    /// sampled delay is uniform in [1, 2*think_time] (mean ~think_time).
+    SimTime think_time = 100;
+    /// Stop issuing new rounds once the clock reaches this (0 = no limit);
+    /// in-flight rounds drain to completion.
+    SimTime duration = 0;
+    /// Per-transaction round target (0 = no limit).
+    int rounds = 0;
+    /// Multi-programming level: max transactions simultaneously executing
+    /// a round (0 = unlimited). Excess arrivals wait in a FIFO.
+    int mpl = 0;
+  };
+
+  SimEngine(const TransactionSystem& sys, const SimOptions& options,
+            const DriverConfig& driver);
+
+  Result<SimResult> Run();
+
+ private:
+  struct LogEntry {
+    int32_t txn;
+    NodeId node;
+    int32_t attempt;
+  };
+
+  void Dispatch(const SimEvent& ev);
+  void PumpLockEvents();
+  void HandleGrant(const LockEvent& le);
+  void HandleBlock(const LockEvent& le);
+
+  void BeginRound(int i, SimTime arrival);
+  void AdmitOrQueueRound(int i, SimTime arrival);
+  void AdmitFromFifo();
+  void Advance(int i);
+  void IssueStep(int i, NodeId v);
+  void CommitRound(int i);
+  void AbortTxn(int i);
+  bool DetectAndResolve();
+
+  /// True once txn i must not issue further rounds (duration elapsed or
+  /// round target reached).
+  bool Retired(int i) const;
+  SimTime ThinkDelay();
+
+  std::vector<int> IncompleteTxns() const;
+  void FinalizeMetrics();
+  Status ExtractHistory();
+
+  const TransactionSystem& sys_;
+  const SimOptions& options_;
+  DriverConfig driver_;
+  Rng rng_;
+  EventQueue queue_;
+  Network network_;
+  std::vector<LockEvent> lock_events_;
+  std::vector<LockManager> sites_;
+  std::vector<TxnExecutor> executors_;
+  std::vector<SiteId> home_;
+  std::vector<uint64_t> timestamp_;
+  /// Current round committed (sticky true in one-shot mode).
+  std::vector<uint8_t> committed_;
+  /// Attempt number at the start of the current round (restart counting).
+  std::vector<int32_t> round_base_attempt_;
+  /// One-shot mode: the attempt whose steps belong to the committed
+  /// history (-1 = none). Traffic mode records no history.
+  std::vector<int32_t> committed_attempt_;
+  std::vector<LogEntry> log_;
+
+  // Traffic-driver state.
+  std::vector<int32_t> rounds_done_;
+  std::vector<SimTime> arrival_time_;
+  /// Open mode: arrival times that found the transaction still busy.
+  std::vector<std::deque<SimTime>> pending_arrivals_;
+  /// Open mode: whether the per-transaction arrival clock is running.
+  std::vector<uint8_t> arrival_clock_on_;
+  /// MPL admission: transactions waiting for an execution slot.
+  std::vector<int32_t> admit_fifo_;
+  std::vector<uint8_t> in_admit_fifo_;
+  std::size_t admit_head_ = 0;
+  int active_ = 0;
+
+  std::vector<SimTime> latencies_;
+  SimResult result_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_SIM_ENGINE_H_

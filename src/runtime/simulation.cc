@@ -1,270 +1,50 @@
 #include "runtime/simulation.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "common/random.h"
-#include "core/conflict_graph.h"
-#include "graph/algorithms.h"
-#include "runtime/lock_manager.h"
-#include "runtime/sim/event_queue.h"
-#include "runtime/txn_runtime.h"
+#include "runtime/seed_sweep.h"
+#include "runtime/sim_engine.h"
 
 namespace wydb {
 namespace {
 
-class Simulation {
- public:
-  Simulation(const TransactionSystem& sys, const SimOptions& options)
-      : sys_(sys),
-        options_(options),
-        rng_(options.seed),
-        network_(&queue_, sys.db().num_sites(), options.latency, &rng_) {
-    const int n = sys.num_transactions();
-    for (SiteId s = 0; s < sys.db().num_sites(); ++s) {
-      sites_.push_back(std::make_unique<LockManager>(s));
-      sites_.back()->set_on_block(
-          [this](int requester, int holder, EntityId entity) {
-            OnBlock(requester, holder, entity);
-          });
-    }
-    for (int i = 0; i < n; ++i) {
-      executors_.emplace_back(i, &sys.txn(i));
-      // Home site: where the transaction's first entity lives (round-robin
-      // fallback for the empty edge case).
-      SiteId home = sys.txn(i).entities().empty()
-                        ? i % std::max(1, sys.db().num_sites())
-                        : sys.db().SiteOf(sys.txn(i).entities()[0]);
-      home_.push_back(home);
-      timestamp_.push_back(static_cast<uint64_t>(i));
-      committed_.push_back(false);
-    }
+void Accumulate(AggregateResult* agg, const SimResult& res,
+                double* makespan_sum) {
+  ++agg->runs;
+  if (res.all_committed) {
+    ++agg->committed_runs;
+    if (!res.history_serializable) agg->all_histories_serializable = false;
   }
-
-  Result<SimResult> Run();
-
- private:
-  struct LogEntry {
-    int txn;
-    NodeId node;
-    int attempt;
-  };
-
-  void StartTxn(int i) {
-    TxnExecutor& exec = executors_[i];
-    exec.MarkStarted();
-    Advance(i);
-  }
-
-  // Issues every ready step of transaction i.
-  void Advance(int i) {
-    TxnExecutor& exec = executors_[i];
-    if (exec.IsDone()) {
-      if (!committed_[i]) committed_[i] = true;
-      return;
-    }
-    for (NodeId v : exec.ReadySteps()) {
-      exec.MarkIssued(v);
-      IssueStep(i, v);
-    }
-  }
-
-  void IssueStep(int i, NodeId v) {
-    TxnExecutor& exec = executors_[i];
-    const Transaction& t = exec.txn();
-    const Step step = t.step(v);
-    const SiteId target = sys_.db().SiteOf(step.entity);
-    const int att = exec.attempt();
-
-    if (step.kind == StepKind::kLock) {
-      network_.Send(home_[i], target, [this, i, v, att, step, target] {
-        if (executors_[i].attempt() != att) return;  // Stale attempt.
-        sites_[target]->Request(i, step.entity, [this, i, v, att, target] {
-          // Lock granted at the site: this is the linearization point.
-          if (executors_[i].attempt() != att) {
-            // Granted to an aborted attempt (in-flight race): give it
-            // back immediately.
-            sites_[target]->Release(i, executors_[i].txn().step(v).entity);
-            return;
-          }
-          log_.push_back(LogEntry{i, v, att});
-          network_.Send(target, home_[i], [this, i, v, att] {
-            if (executors_[i].attempt() != att) return;
-            executors_[i].MarkCompleted(v);
-            Advance(i);
-          });
-        });
-      });
-    } else {
-      network_.Send(home_[i], target, [this, i, v, att, step, target] {
-        if (executors_[i].attempt() != att) return;
-        log_.push_back(LogEntry{i, v, att});
-        sites_[target]->Release(i, step.entity);
-        network_.Send(target, home_[i], [this, i, v, att] {
-          if (executors_[i].attempt() != att) return;
-          executors_[i].MarkCompleted(v);
-          Advance(i);
-        });
-      });
-    }
-  }
-
-  void OnBlock(int requester, int holder, EntityId entity) {
-    (void)entity;
-    ConflictAction action = ResolveConflict(
-        options_.policy, timestamp_[requester], timestamp_[holder]);
-    switch (action) {
-      case ConflictAction::kWait:
-        break;
-      case ConflictAction::kAbortRequester:
-        AbortTxn(requester);
-        break;
-      case ConflictAction::kAbortHolder:
-        AbortTxn(holder);
-        break;
-    }
-  }
-
-  void AbortTxn(int i) {
-    if (committed_[i]) return;  // Too late to wound.
-    ++result_.aborts;
-    for (auto& site : sites_) site->Abort(i);
-    TxnExecutor& exec = executors_[i];
-    exec.Restart();  // Bumps the attempt => in-flight callbacks go stale.
-    if (exec.attempt() > options_.max_restarts) {
-      result_.gave_up = true;
-      return;
-    }
-    SimTime backoff =
-        options_.restart_backoff + rng_.NextBelow(options_.restart_backoff);
-    queue_.After(backoff, [this, i] { StartTxn(i); });
-  }
-
-  std::vector<int> IncompleteTxns() const {
-    std::vector<int> out;
-    for (int i = 0; i < sys_.num_transactions(); ++i) {
-      if (!committed_[i]) out.push_back(i);
-    }
-    return out;
-  }
-
-  // Global wait-for cycle detection at quiescence; aborts the youngest
-  // transaction on a cycle. Returns true if it made progress.
-  bool DetectAndResolve() {
-    ++result_.detector_runs;
-    Digraph wait_for(sys_.num_transactions());
-    for (const auto& site : sites_) {
-      for (const auto& edge : site->WaitForEdges()) {
-        wait_for.AddArc(edge.waiter, edge.holder);
-      }
-    }
-    std::vector<NodeId> cycle = FindCycle(wait_for);
-    if (cycle.empty()) return false;
-    int victim = cycle[0];
-    for (NodeId v : cycle) {
-      if (timestamp_[v] > timestamp_[victim]) victim = v;
-    }
-    AbortTxn(victim);
-    return true;
-  }
-
-  const TransactionSystem& sys_;
-  const SimOptions& options_;
-  Rng rng_;
-  EventQueue queue_;
-  Network network_;
-  std::vector<std::unique_ptr<LockManager>> sites_;
-  std::vector<TxnExecutor> executors_;
-  std::vector<SiteId> home_;
-  std::vector<uint64_t> timestamp_;
-  std::vector<bool> committed_;
-  std::vector<LogEntry> log_;
-  SimResult result_;
-};
-
-Result<SimResult> Simulation::Run() {
-  for (int i = 0; i < sys_.num_transactions(); ++i) {
-    SimTime offset = options_.start_spread == 0
-                         ? 0
-                         : rng_.NextBelow(options_.start_spread + 1);
-    queue_.After(offset, [this, i] { StartTxn(i); });
-  }
-
-  for (;;) {
-    uint64_t budget = options_.max_events == 0
-                          ? 0
-                          : options_.max_events - queue_.processed();
-    if (options_.max_events != 0 && queue_.processed() >= options_.max_events) {
-      result_.budget_exhausted = true;
-      break;
-    }
-    queue_.RunAll(budget);
-    if (!queue_.empty()) {
-      result_.budget_exhausted = true;
-      break;
-    }
-    // Quiescent. Done, deadlocked, or (under kDetect) resolvable.
-    std::vector<int> incomplete = IncompleteTxns();
-    if (incomplete.empty()) {
-      result_.all_committed = true;
-      break;
-    }
-    if (result_.gave_up) break;
-    if (options_.policy == ConflictPolicy::kDetect && DetectAndResolve()) {
-      continue;
-    }
-    result_.deadlocked = true;
-    result_.blocked_txns = incomplete;
-    break;
-  }
-
-  result_.events = queue_.processed();
-  result_.messages = network_.messages_sent();
-  result_.makespan = queue_.now();
-
-  // Committed history: site-linearized log filtered to final attempts of
-  // committed transactions.
-  for (const LogEntry& entry : log_) {
-    if (committed_[entry.txn] &&
-        entry.attempt == executors_[entry.txn].attempt()) {
-      result_.committed_history.push_back(
-          GlobalNode{entry.txn, entry.node});
-    }
-  }
-  if (result_.all_committed) {
-    auto cg = ConflictGraph::FromSchedule(sys_, result_.committed_history);
-    if (!cg.ok()) return cg.status();
-    result_.history_serializable = cg->IsAcyclic();
-  }
-  return result_;
+  if (res.deadlocked) ++agg->deadlocked_runs;
+  if (res.budget_exhausted) ++agg->budget_exhausted_runs;
+  if (res.gave_up) ++agg->gave_up_runs;
+  agg->total_aborts += res.aborts;
+  agg->total_messages += res.messages;
+  *makespan_sum += static_cast<double>(res.makespan);
 }
 
 }  // namespace
 
 Result<SimResult> RunSimulation(const TransactionSystem& sys,
                                 const SimOptions& options) {
-  Simulation sim(sys, options);
-  return sim.Run();
+  SimEngine engine(sys, options, SimEngine::DriverConfig{});
+  return engine.Run();
 }
 
 Result<AggregateResult> RunMany(const TransactionSystem& sys,
-                                const SimOptions& base, int runs) {
+                                const SimOptions& base, int runs,
+                                int threads) {
+  auto results =
+      internal::SeedSweep<Result<SimResult>>(runs, threads, [&](int r) {
+        SimOptions opts = base;
+        opts.seed = base.seed + static_cast<uint64_t>(r);
+        return RunSimulation(sys, opts);
+      });
+
   AggregateResult agg;
   double makespan_sum = 0.0;
   for (int r = 0; r < runs; ++r) {
-    SimOptions opts = base;
-    opts.seed = base.seed + static_cast<uint64_t>(r);
-    auto res = RunSimulation(sys, opts);
+    Result<SimResult>& res = *results[r];
     if (!res.ok()) return res.status();
-    ++agg.runs;
-    if (res->all_committed) {
-      ++agg.committed_runs;
-      if (!res->history_serializable) agg.all_histories_serializable = false;
-    }
-    if (res->deadlocked) ++agg.deadlocked_runs;
-    agg.total_aborts += res->aborts;
-    agg.total_messages += res->messages;
-    makespan_sum += static_cast<double>(res->makespan);
+    Accumulate(&agg, *res, &makespan_sum);
   }
   if (agg.runs > 0) agg.avg_makespan = makespan_sum / agg.runs;
   return agg;

@@ -31,8 +31,20 @@ struct SimOptions {
   SimTime start_spread = 30;
   /// Event budget (0 = unbounded).
   uint64_t max_events = 2'000'000;
-  /// A transaction that restarts more than this many times gives up.
+  /// A transaction that restarts more than this many times in one round
+  /// gives up.
   int max_restarts = 10'000;
+};
+
+/// Commit-latency percentiles over the committed rounds of one run, in
+/// simulated time units.
+struct LatencyStats {
+  SimTime p50 = 0;
+  SimTime p95 = 0;
+  SimTime p99 = 0;
+  SimTime max = 0;
+  double mean = 0.0;
+  uint64_t samples = 0;
 };
 
 struct SimResult {
@@ -49,12 +61,24 @@ struct SimResult {
   uint64_t events = 0;
   SimTime makespan = 0;
 
+  /// Committed rounds. One-shot: the number of committed transactions.
+  /// Closed-loop: total rounds committed across the run.
+  uint64_t commits = 0;
+  /// Commits per one million simulated time units ("per simulated second"
+  /// with the abstract-microsecond clock).
+  double throughput = 0.0;
+  /// aborts / (aborts + commits); 0 when nothing ran.
+  double abort_rate = 0.0;
+  /// Per-round commit latency (round arrival -> commit).
+  LatencyStats latency;
+
   /// Transactions still blocked at the end (deadlock participants).
   std::vector<int> blocked_txns;
-  /// Site-linearized history of the committed attempts.
+  /// Site-linearized history of the committed attempts. One-shot mode
+  /// only; closed-loop runs leave it empty.
   Schedule committed_history;
   /// Acyclicity of D(committed_history); only meaningful (and only
-  /// computed) when all_committed.
+  /// computed) when all_committed in one-shot mode.
   bool history_serializable = true;
 };
 
@@ -66,6 +90,8 @@ struct AggregateResult {
   int runs = 0;
   int committed_runs = 0;
   int deadlocked_runs = 0;
+  int budget_exhausted_runs = 0;
+  int gave_up_runs = 0;
   uint64_t total_aborts = 0;
   uint64_t total_messages = 0;
   double avg_makespan = 0.0;
@@ -73,8 +99,14 @@ struct AggregateResult {
 };
 
 /// Runs `runs` simulations with seeds base.seed, base.seed+1, ...
+///
+/// Independent seeds run concurrently on a thread pool (`threads` = 0
+/// picks the hardware concurrency; 1 forces the serial loop). Each seed's
+/// SimResult is bit-identical regardless of thread count, and results are
+/// reduced in seed order, so the aggregate is too.
 Result<AggregateResult> RunMany(const TransactionSystem& sys,
-                                const SimOptions& base, int runs);
+                                const SimOptions& base, int runs,
+                                int threads = 0);
 
 }  // namespace wydb
 

@@ -1,36 +1,67 @@
 #include "runtime/txn_runtime.h"
 
+#include <algorithm>
+
 namespace wydb {
+
+const char* TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kNotStarted:
+      return "not-started";
+    case TxnState::kRunning:
+      return "running";
+    case TxnState::kBackoff:
+      return "backoff";
+    case TxnState::kThinking:
+      return "thinking";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kGaveUp:
+      return "gave-up";
+  }
+  return "unknown";
+}
+
+TxnExecutor::TxnExecutor(int index, const Transaction* txn)
+    : index_(index), txn_(txn) {
+  Reset();
+}
 
 void TxnExecutor::Reset() {
   ++attempt_;
-  issued_.assign(txn_->num_steps(), false);
-  completed_.assign(txn_->num_steps(), false);
+  const int n = txn_->num_steps();
+  issued_.assign(n, 0);
+  completed_.assign(n, 0);
+  pending_preds_.resize(n);
+  ready_.clear();
   completion_order_.clear();
   completed_count_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    pending_preds_[v] = txn_->graph().InDegree(v);
+    if (pending_preds_[v] == 0) ready_.push_back(v);  // Ascending by loop.
+  }
 }
 
-std::vector<NodeId> TxnExecutor::ReadySteps() const {
-  std::vector<NodeId> ready;
-  for (NodeId v = 0; v < txn_->num_steps(); ++v) {
-    if (issued_[v]) continue;
-    bool ok = true;
-    for (NodeId u : txn_->graph().InNeighbors(v)) {
-      if (!completed_[u]) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) ready.push_back(v);
-  }
-  return ready;
+void TxnExecutor::InsertReady(NodeId v) {
+  // Keep ready_ sorted ascending: deterministic issue order matching the
+  // old recompute-from-scratch ReadySteps().
+  ready_.insert(std::lower_bound(ready_.begin(), ready_.end(), v), v);
+}
+
+void TxnExecutor::MarkIssued(NodeId v) {
+  if (issued_[v]) return;
+  issued_[v] = 1;
+  auto it = std::lower_bound(ready_.begin(), ready_.end(), v);
+  if (it != ready_.end() && *it == v) ready_.erase(it);
 }
 
 void TxnExecutor::MarkCompleted(NodeId v) {
-  if (!completed_[v]) {
-    completed_[v] = true;
-    completion_order_.push_back(v);
-    ++completed_count_;
+  if (completed_[v]) return;
+  completed_[v] = 1;
+  completion_order_.push_back(v);
+  ++completed_count_;
+  for (NodeId u : txn_->graph().OutNeighbors(v)) {
+    if (--pending_preds_[u] == 0 && !issued_[u]) InsertReady(u);
   }
 }
 
@@ -44,6 +75,14 @@ std::vector<EntityId> TxnExecutor::HeldEntities() const {
   return held;
 }
 
-void TxnExecutor::Restart() { Reset(); }
+void TxnExecutor::Restart() {
+  Reset();
+  state_ = TxnState::kBackoff;
+}
+
+void TxnExecutor::BeginRound() {
+  Reset();
+  state_ = TxnState::kRunning;
+}
 
 }  // namespace wydb

@@ -5,22 +5,34 @@
 #define WYDB_RUNTIME_TXN_RUNTIME_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/transaction.h"
 
 namespace wydb {
 
+/// Lifecycle of one transaction in the engine. The continuation logic the
+/// engine used to capture in nested lambdas is now this inspectable state
+/// plus the per-step issued/completed flags below.
+enum class TxnState : uint8_t {
+  kNotStarted = 0,
+  kRunning,    ///< Current attempt has steps in flight or ready.
+  kBackoff,    ///< Aborted; waiting for the restart timer.
+  kThinking,   ///< Closed-loop: round committed; waiting for think timer.
+  kCommitted,  ///< Done (one-shot), or current round committed.
+  kGaveUp,     ///< Exceeded max_restarts; permanently stopped.
+};
+
+const char* TxnStateName(TxnState state);
+
 /// \brief Tracks which steps of one transaction attempt have been issued
-/// and completed, and computes the next issuable steps.
+/// and completed, and maintains the ready frontier incrementally.
 ///
 /// The executor is passive: the Simulation drives it, sending the issued
 /// steps to lock managers over the network and reporting completions back.
 class TxnExecutor {
  public:
-  TxnExecutor(int index, const Transaction* txn)
-      : index_(index), txn_(txn) { Reset(); }
+  TxnExecutor(int index, const Transaction* txn);
 
   int index() const { return index_; }
   const Transaction& txn() const { return *txn_; }
@@ -28,16 +40,22 @@ class TxnExecutor {
   /// Current attempt number (starts at 1; bumped by Restart).
   int attempt() const { return attempt_; }
 
-  bool started() const { return started_; }
-  void MarkStarted() { started_ = true; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  bool started() const { return state_ != TxnState::kNotStarted; }
+  void MarkStarted() {
+    if (state_ == TxnState::kNotStarted) state_ = TxnState::kRunning;
+  }
 
   bool IsDone() const { return completed_count_ == txn_->num_steps(); }
 
   /// Steps whose predecessors are all complete and which have not been
-  /// issued yet in this attempt.
-  std::vector<NodeId> ReadySteps() const;
+  /// issued yet in this attempt, ascending. Maintained incrementally:
+  /// MarkCompleted enqueues newly enabled successors, MarkIssued removes.
+  const std::vector<NodeId>& ReadySteps() const { return ready_; }
 
-  void MarkIssued(NodeId v) { issued_[v] = true; }
+  void MarkIssued(NodeId v);
   void MarkCompleted(NodeId v);
 
   bool IsIssued(NodeId v) const { return issued_[v]; }
@@ -47,8 +65,14 @@ class TxnExecutor {
   /// the current attempt, assuming grants are recorded as completions).
   std::vector<EntityId> HeldEntities() const;
 
-  /// Abort bookkeeping: clears all progress and bumps the attempt counter.
+  /// Abort bookkeeping: clears all progress, bumps the attempt counter and
+  /// enters kBackoff.
   void Restart();
+
+  /// Closed-loop bookkeeping: clears all progress for a fresh round (also
+  /// bumps the attempt counter, so in-flight acks of the previous round go
+  /// stale) and enters kRunning.
+  void BeginRound();
 
   /// Completion order of this attempt's steps (for history extraction).
   const std::vector<NodeId>& completion_order() const {
@@ -57,13 +81,18 @@ class TxnExecutor {
 
  private:
   void Reset();
+  void InsertReady(NodeId v);
 
   int index_;
   const Transaction* txn_;
   int attempt_ = 0;
-  bool started_ = false;
-  std::vector<bool> issued_;
-  std::vector<bool> completed_;
+  TxnState state_ = TxnState::kNotStarted;
+  std::vector<uint8_t> issued_;
+  std::vector<uint8_t> completed_;
+  /// Number of incomplete predecessors per step; a step joins ready_ when
+  /// this hits zero.
+  std::vector<int32_t> pending_preds_;
+  std::vector<NodeId> ready_;
   std::vector<NodeId> completion_order_;
   int completed_count_ = 0;
 };

@@ -1,0 +1,70 @@
+#include "runtime/workload.h"
+
+#include "runtime/seed_sweep.h"
+#include "runtime/sim_engine.h"
+
+namespace wydb {
+
+Result<SimResult> RunWorkload(const TransactionSystem& sys,
+                              const WorkloadOptions& options) {
+  if (options.duration == 0 && options.rounds == 0) {
+    return Status::InvalidArgument(
+        "workload needs a duration or a round target");
+  }
+  if (options.mpl < 0 || options.rounds < 0) {
+    return Status::InvalidArgument("mpl/rounds must be non-negative");
+  }
+  if (options.max_backlog <= 0) {
+    return Status::InvalidArgument("max_backlog must be positive");
+  }
+  SimEngine::DriverConfig driver;
+  driver.closed_loop = true;
+  driver.open_loop = options.open_loop;
+  driver.max_backlog = options.max_backlog;
+  driver.think_time = options.think_time;
+  driver.duration = options.duration;
+  driver.rounds = options.rounds;
+  driver.mpl = options.mpl;
+  SimEngine engine(sys, options.sim, driver);
+  return engine.Run();
+}
+
+Result<WorkloadAggregate> RunWorkloadMany(const TransactionSystem& sys,
+                                          const WorkloadOptions& base,
+                                          int runs, int threads) {
+  auto results =
+      internal::SeedSweep<Result<SimResult>>(runs, threads, [&](int r) {
+        WorkloadOptions opts = base;
+        opts.sim.seed = base.sim.seed + static_cast<uint64_t>(r);
+        return RunWorkload(sys, opts);
+      });
+
+  WorkloadAggregate agg;
+  double throughput_sum = 0, abort_sum = 0, p50_sum = 0, p95_sum = 0,
+         p99_sum = 0;
+  for (int r = 0; r < runs; ++r) {
+    Result<SimResult>& res = *results[r];
+    if (!res.ok()) return res.status();
+    ++agg.runs;
+    if (res->deadlocked) ++agg.deadlocked_runs;
+    if (res->budget_exhausted) ++agg.budget_exhausted_runs;
+    if (res->gave_up) ++agg.gave_up_runs;
+    agg.total_commits += res->commits;
+    agg.total_aborts += res->aborts;
+    throughput_sum += res->throughput;
+    abort_sum += res->abort_rate;
+    p50_sum += static_cast<double>(res->latency.p50);
+    p95_sum += static_cast<double>(res->latency.p95);
+    p99_sum += static_cast<double>(res->latency.p99);
+  }
+  if (agg.runs > 0) {
+    agg.avg_throughput = throughput_sum / agg.runs;
+    agg.avg_abort_rate = abort_sum / agg.runs;
+    agg.avg_p50 = p50_sum / agg.runs;
+    agg.avg_p95 = p95_sum / agg.runs;
+    agg.avg_p99 = p99_sum / agg.runs;
+  }
+  return agg;
+}
+
+}  // namespace wydb

@@ -1,0 +1,74 @@
+// Closed-loop traffic driver: turns the one-shot simulation into a
+// throughput engine in the style of closed-loop OLTP drivers (TPC-C/DBT2).
+// Each committed transaction re-issues after a think-time delay for a
+// configured duration or round count, yielding throughput, abort-rate and
+// commit-latency percentile metrics.
+#ifndef WYDB_RUNTIME_WORKLOAD_H_
+#define WYDB_RUNTIME_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/system.h"
+#include "runtime/simulation.h"
+
+namespace wydb {
+
+struct WorkloadOptions {
+  SimOptions sim;
+  /// Closed loop (default): the next round arrives one think-time after
+  /// the previous round commits. Open loop: a free-running per-
+  /// transaction arrival clock fires every think_time interval regardless
+  /// of round completion; arrivals that find the transaction busy queue —
+  /// so latency under saturation grows instead of throttling the arrival
+  /// rate.
+  bool open_loop = false;
+  /// Open mode: per-transaction arrival backlog bound; when full, the
+  /// arrival clock pauses until the backlog drains. Keeps a deadlocked
+  /// system quiescible so deadlock detection/classification still works.
+  int max_backlog = 256;
+  /// Mean think time (closed) / inter-arrival interval (open); the
+  /// sampled delay is uniform in [1, 2*think_time].
+  SimTime think_time = 100;
+  /// Stop issuing new rounds once the simulated clock reaches this
+  /// (in-flight rounds drain). 0 = rounds-bounded instead.
+  SimTime duration = 100'000;
+  /// Per-transaction round target; 0 = duration-bounded only. At least
+  /// one of duration/rounds must be set.
+  int rounds = 0;
+  /// Multi-programming level: max transactions concurrently executing a
+  /// round (0 = unlimited); excess arrivals wait in an admission FIFO.
+  int mpl = 0;
+};
+
+/// Runs one seeded traffic session. The SimResult carries the throughput
+/// metrics (`commits`, `throughput`, `abort_rate`, `latency`);
+/// `committed_history` is not populated in traffic mode.
+Result<SimResult> RunWorkload(const TransactionSystem& sys,
+                              const WorkloadOptions& options);
+
+/// Aggregate over seeded sessions (seeds base.sim.seed, +1, ...).
+struct WorkloadAggregate {
+  int runs = 0;
+  int deadlocked_runs = 0;
+  int budget_exhausted_runs = 0;
+  int gave_up_runs = 0;
+  uint64_t total_commits = 0;
+  uint64_t total_aborts = 0;
+  double avg_throughput = 0.0;
+  double avg_abort_rate = 0.0;
+  /// Means of the per-run percentiles.
+  double avg_p50 = 0.0;
+  double avg_p95 = 0.0;
+  double avg_p99 = 0.0;
+};
+
+/// Runs `runs` sessions (thread pool as in RunMany; aggregates are
+/// identical for any thread count).
+Result<WorkloadAggregate> RunWorkloadMany(const TransactionSystem& sys,
+                                          const WorkloadOptions& base,
+                                          int runs, int threads = 0);
+
+}  // namespace wydb
+
+#endif  // WYDB_RUNTIME_WORKLOAD_H_

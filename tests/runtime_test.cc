@@ -2,6 +2,8 @@
 // executor, policies.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/random.h"
 #include "runtime/lock_manager.h"
 #include "runtime/scheduler.h"
@@ -13,54 +15,88 @@
 namespace wydb {
 namespace {
 
-TEST(EventQueueTest, RunsInTimeOrder) {
+SimEvent TaggedEvent(int32_t tag) {
+  SimEvent ev;
+  ev.txn = tag;
+  return ev;
+}
+
+// Drains the queue, returning the txn tags in pop order.
+std::vector<int32_t> DrainTags(EventQueue* q) {
+  std::vector<int32_t> tags;
+  SimEvent ev;
+  while (q->PopNext(&ev)) tags.push_back(ev.txn);
+  return tags;
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue q;
-  std::vector<int> fired;
-  q.At(30, [&] { fired.push_back(3); });
-  q.At(10, [&] { fired.push_back(1); });
-  q.At(20, [&] { fired.push_back(2); });
-  q.RunAll();
-  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  q.At(30, TaggedEvent(3));
+  q.At(10, TaggedEvent(1));
+  q.At(20, TaggedEvent(2));
+  EXPECT_EQ(DrainTags(&q), (std::vector<int32_t>{1, 2, 3}));
   EXPECT_EQ(q.now(), 30u);
   EXPECT_EQ(q.processed(), 3u);
 }
 
 TEST(EventQueueTest, TiesBreakByInsertionOrder) {
   EventQueue q;
-  std::vector<int> fired;
-  for (int i = 0; i < 5; ++i) {
-    q.At(7, [&fired, i] { fired.push_back(i); });
-  }
-  q.RunAll();
-  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+  for (int32_t i = 0; i < 5; ++i) q.At(7, TaggedEvent(i));
+  EXPECT_EQ(DrainTags(&q), (std::vector<int32_t>{0, 1, 2, 3, 4}));
 }
 
 TEST(EventQueueTest, EventsCanScheduleEvents) {
   EventQueue q;
+  q.After(0, TaggedEvent(0));
   int count = 0;
-  std::function<void()> tick = [&] {
-    if (++count < 5) q.After(10, tick);
-  };
-  q.After(0, tick);
-  q.RunAll();
+  SimEvent ev;
+  while (q.PopNext(&ev)) {
+    if (++count < 5) q.After(10, TaggedEvent(count));
+  }
   EXPECT_EQ(count, 5);
   EXPECT_EQ(q.now(), 40u);
 }
 
 TEST(EventQueueTest, PastTimesClampToNow) {
   EventQueue q;
-  SimTime seen = 999;
-  q.At(50, [&] { q.At(10, [&] { seen = q.now(); }); });
-  q.RunAll();
-  EXPECT_EQ(seen, 50u);
+  q.At(50, TaggedEvent(0));
+  SimEvent ev;
+  ASSERT_TRUE(q.PopNext(&ev));
+  EXPECT_EQ(q.now(), 50u);
+  q.At(10, TaggedEvent(1));  // In the past: clamped.
+  ASSERT_TRUE(q.PopNext(&ev));
+  EXPECT_EQ(ev.time, 50u);
+  EXPECT_EQ(q.now(), 50u);
 }
 
-TEST(EventQueueTest, MaxEventsBudget) {
+TEST(EventQueueTest, PendingAndEmpty) {
   EventQueue q;
-  for (int i = 0; i < 10; ++i) q.At(i, [] {});
-  EXPECT_EQ(q.RunAll(4), 4u);
+  EXPECT_TRUE(q.empty());
+  for (int32_t i = 0; i < 10; ++i) q.At(i, TaggedEvent(i));
+  EXPECT_EQ(q.pending(), 10u);
+  SimEvent ev;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.PopNext(&ev));
   EXPECT_FALSE(q.empty());
   EXPECT_EQ(q.pending(), 6u);
+  EXPECT_EQ(q.processed(), 4u);
+}
+
+TEST(EventQueueTest, RandomizedHeapOrder) {
+  EventQueue q;
+  Rng rng(99);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 500; ++i) {
+    SimTime t = rng.NextBelow(1000);
+    times.push_back(t);
+    q.At(t, TaggedEvent(i));
+  }
+  SimEvent ev;
+  SimTime last = 0;
+  while (q.PopNext(&ev)) {
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+  }
+  EXPECT_EQ(q.processed(), 500u);
 }
 
 TEST(NetworkTest, LatencyAppliedAndMessagesCounted) {
@@ -71,12 +107,15 @@ TEST(NetworkTest, LatencyAppliedAndMessagesCounted) {
   model.jitter = 0;
   model.local = 1;
   Network net(&q, 2, model, &rng);
-  SimTime remote_at = 0, local_at = 0;
-  net.Send(0, 1, [&] { remote_at = q.now(); });
-  net.Send(0, 0, [&] { local_at = q.now(); });
-  q.RunAll();
-  EXPECT_EQ(remote_at, 100u);
-  EXPECT_EQ(local_at, 1u);
+  net.Send(0, 1, TaggedEvent(1));  // Remote.
+  net.Send(0, 0, TaggedEvent(2));  // Local.
+  SimEvent ev;
+  ASSERT_TRUE(q.PopNext(&ev));
+  EXPECT_EQ(ev.txn, 2);
+  EXPECT_EQ(ev.time, 1u);
+  ASSERT_TRUE(q.PopNext(&ev));
+  EXPECT_EQ(ev.txn, 1);
+  EXPECT_EQ(ev.time, 100u);
   EXPECT_EQ(net.messages_sent(), 2u);
 }
 
@@ -87,90 +126,175 @@ TEST(NetworkTest, JitterCanReorderMessages) {
   model.base = 10;
   model.jitter = 50;
   Network net(&q, 2, model, &rng);
-  std::vector<int> arrivals;
   bool reordered_once = false;
   for (int round = 0; round < 50 && !reordered_once; ++round) {
-    arrivals.clear();
-    net.Send(0, 1, [&] { arrivals.push_back(1); });
-    net.Send(0, 1, [&] { arrivals.push_back(2); });
-    q.RunAll();
-    if (arrivals == std::vector<int>{2, 1}) reordered_once = true;
+    net.Send(0, 1, TaggedEvent(1));
+    net.Send(0, 1, TaggedEvent(2));
+    if (DrainTags(&q) == std::vector<int32_t>{2, 1}) reordered_once = true;
   }
   EXPECT_TRUE(reordered_once);
 }
 
+// Convenience wrapper for lock-manager tests: drains grant/block records
+// after every operation.
+struct LockHarness {
+  explicit LockHarness(int num_entities = 128)
+      : lm(0, num_entities, &events) {}
+
+  std::vector<int> DrainGrants() {
+    std::vector<int> granted;
+    for (const LockEvent& ev : events) {
+      if (ev.kind == LockEvent::Kind::kGrant) granted.push_back(ev.txn);
+    }
+    events.clear();
+    return granted;
+  }
+
+  // (requester, holder) pairs of the drained block records.
+  std::vector<std::pair<int, int>> DrainBlocks() {
+    std::vector<std::pair<int, int>> blocks;
+    for (const LockEvent& ev : events) {
+      if (ev.kind == LockEvent::Kind::kBlock) {
+        blocks.emplace_back(ev.txn, ev.holder);
+      }
+    }
+    events.clear();
+    return blocks;
+  }
+
+  std::vector<LockEvent> events;
+  LockManager lm;
+};
+
 TEST(LockManagerTest, GrantAndQueue) {
-  LockManager lm(0);
-  int granted = 0;
-  lm.Request(1, 7, [&] { granted = 1; });
-  EXPECT_EQ(granted, 1);
-  EXPECT_EQ(lm.HolderOf(7), 1);
-  lm.Request(2, 7, [&] { granted = 2; });
-  EXPECT_EQ(granted, 1);  // Queued.
-  EXPECT_TRUE(lm.IsWaiting(2));
-  lm.Release(1, 7);
-  EXPECT_EQ(granted, 2);
-  EXPECT_EQ(lm.HolderOf(7), 2);
-  EXPECT_FALSE(lm.IsWaiting(2));
+  LockHarness h;
+  h.lm.Request(1, 7);
+  EXPECT_EQ(h.DrainGrants(), std::vector<int>{1});
+  EXPECT_EQ(h.lm.HolderOf(7), 1);
+  h.lm.Request(2, 7);
+  EXPECT_TRUE(h.DrainGrants().empty());  // Queued.
+  EXPECT_TRUE(h.lm.IsWaiting(2));
+  EXPECT_TRUE(h.lm.IsWaitingOn(2, 7));
+  h.lm.Release(1, 7);
+  EXPECT_EQ(h.DrainGrants(), std::vector<int>{2});
+  EXPECT_EQ(h.lm.HolderOf(7), 2);
+  EXPECT_FALSE(h.lm.IsWaiting(2));
 }
 
 TEST(LockManagerTest, FifoOrder) {
-  LockManager lm(0);
+  LockHarness h;
   std::vector<int> grants;
-  lm.Request(1, 5, [&] { grants.push_back(1); });
-  lm.Request(2, 5, [&] { grants.push_back(2); });
-  lm.Request(3, 5, [&] { grants.push_back(3); });
-  lm.Release(1, 5);
-  lm.Release(2, 5);
-  lm.Release(3, 5);
+  h.lm.Request(1, 5);
+  h.lm.Request(2, 5);
+  h.lm.Request(3, 5);
+  auto append = [&] {
+    for (int g : h.DrainGrants()) grants.push_back(g);
+  };
+  append();
+  h.lm.Release(1, 5);
+  append();
+  h.lm.Release(2, 5);
+  append();
+  h.lm.Release(3, 5);
+  append();
   EXPECT_EQ(grants, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(lm.grants(), 3u);
+  EXPECT_EQ(h.lm.grants(), 3u);
 }
 
 TEST(LockManagerTest, StaleReleaseIgnored) {
-  LockManager lm(0);
-  lm.Request(1, 5, [] {});
-  lm.Release(2, 5);  // Not the holder: no-op.
-  EXPECT_EQ(lm.HolderOf(5), 1);
-  lm.Release(1, 99);  // Unknown entity: no-op.
+  LockHarness h;
+  h.lm.Request(1, 5);
+  h.lm.Release(2, 5);  // Not the holder: no-op.
+  EXPECT_EQ(h.lm.HolderOf(5), 1);
+  h.lm.Release(1, 99);  // Untouched entity: no-op.
+  EXPECT_EQ(h.lm.HolderOf(5), 1);
 }
 
 TEST(LockManagerTest, AbortReleasesAndDequeues) {
-  LockManager lm(0);
+  LockHarness h;
   std::vector<int> grants;
-  lm.Request(1, 5, [&] { grants.push_back(1); });
-  lm.Request(2, 5, [&] { grants.push_back(2); });
-  lm.Request(3, 5, [&] { grants.push_back(3); });
-  lm.Request(1, 6, [&] { grants.push_back(10); });
-  lm.Abort(2);  // Dequeues 2's wait on entity 5.
-  lm.Abort(1);  // Releases 5 (grant -> 3) and 6.
-  EXPECT_EQ(lm.HolderOf(5), 3);
-  EXPECT_EQ(lm.HolderOf(6), -1);
-  EXPECT_EQ(grants, (std::vector<int>{1, 10, 3}));
+  h.lm.Request(1, 5);
+  h.lm.Request(2, 5);
+  h.lm.Request(3, 5);
+  h.lm.Request(1, 6);
+  for (int g : h.DrainGrants()) grants.push_back(g);
+  h.lm.Abort(2);  // Dequeues 2's wait on entity 5.
+  for (int g : h.DrainGrants()) grants.push_back(g);
+  h.lm.Abort(1);  // Releases 5 (grant -> 3) and 6.
+  for (int g : h.DrainGrants()) grants.push_back(g);
+  EXPECT_EQ(h.lm.HolderOf(5), 3);
+  EXPECT_EQ(h.lm.HolderOf(6), -1);
+  EXPECT_EQ(grants, (std::vector<int>{1, 1, 3}));
 }
 
-TEST(LockManagerTest, OnBlockHookFires) {
-  LockManager lm(0);
-  int blocked_requester = -1, blocking_holder = -1;
-  lm.set_on_block([&](int r, int h, EntityId) {
-    blocked_requester = r;
-    blocking_holder = h;
-  });
-  lm.Request(1, 5, [] {});
-  lm.Request(2, 5, [] {});
-  EXPECT_EQ(blocked_requester, 2);
-  EXPECT_EQ(blocking_holder, 1);
+TEST(LockManagerTest, BlockRecordsEmitted) {
+  LockHarness h;
+  h.lm.Request(1, 5);
+  h.DrainGrants();
+  h.lm.Request(2, 5);
+  auto blocks = h.DrainBlocks();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<int, int>{2, 1}));
+}
+
+TEST(LockManagerTest, BlocksReemittedAgainstNewHolder) {
+  LockHarness h;
+  h.lm.Request(1, 5);
+  h.lm.Request(2, 5);
+  h.lm.Request(3, 5);
+  h.events.clear();
+  // Release: 2 becomes the holder; 3's wait edge must be re-reported
+  // against 2 so a timestamp policy can re-evaluate it.
+  h.lm.Release(1, 5);
+  auto blocks = h.DrainBlocks();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<int, int>{3, 2}));
+}
+
+TEST(LockManagerTest, GrantRecordCarriesWaiterPayload) {
+  LockHarness h;
+  h.lm.Request(1, 5, /*node=*/4, /*attempt=*/7);
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].kind, LockEvent::Kind::kGrant);
+  EXPECT_EQ(h.events[0].node, 4);
+  EXPECT_EQ(h.events[0].attempt, 7);
+  EXPECT_EQ(h.events[0].entity, 5);
+  h.events.clear();
+  h.lm.Request(2, 5, /*node=*/9, /*attempt=*/3);
+  h.events.clear();
+  h.lm.Release(1, 5);
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].node, 9);
+  EXPECT_EQ(h.events[0].attempt, 3);
 }
 
 TEST(LockManagerTest, WaitForEdges) {
-  LockManager lm(0);
-  lm.Request(1, 5, [] {});
-  lm.Request(2, 5, [] {});
-  lm.Request(3, 5, [] {});
-  auto edges = lm.WaitForEdges();
+  LockHarness h;
+  h.lm.Request(1, 5);
+  h.lm.Request(2, 5);
+  h.lm.Request(3, 5);
+  auto edges = h.lm.WaitForEdges();
   ASSERT_EQ(edges.size(), 2u);
   EXPECT_EQ(edges[0].holder, 1);
   EXPECT_EQ(edges[0].entity, 5);
+  EXPECT_EQ(edges[0].waiter, 2);
+  EXPECT_EQ(edges[1].waiter, 3);
+}
+
+TEST(LockManagerTest, WaiterPoolRecyclesAcrossChurn) {
+  LockHarness h(8);
+  // Heavy queue churn on a few entities; the pool free-list must keep the
+  // table consistent throughout.
+  for (int round = 0; round < 50; ++round) {
+    for (int t = 1; t <= 4; ++t) h.lm.Request(t, round % 4);
+    h.lm.Abort(2);
+    h.lm.Abort(1);
+    h.lm.Abort(3);
+    h.lm.Abort(4);
+    h.events.clear();
+    EXPECT_EQ(h.lm.HolderOf(round % 4), -1);
+    for (int t = 1; t <= 4; ++t) EXPECT_FALSE(h.lm.IsWaiting(t));
+  }
 }
 
 TEST(ConflictPolicyTest, Names) {
@@ -178,6 +302,18 @@ TEST(ConflictPolicyTest, Names) {
   EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kWoundWait), "wound-wait");
   EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kWaitDie), "wait-die");
   EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kDetect), "detect");
+}
+
+TEST(ConflictPolicyTest, ParseRoundTrips) {
+  for (ConflictPolicy policy :
+       {ConflictPolicy::kBlock, ConflictPolicy::kWoundWait,
+        ConflictPolicy::kWaitDie, ConflictPolicy::kDetect}) {
+    ConflictPolicy parsed;
+    ASSERT_TRUE(ParseConflictPolicy(ConflictPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  ConflictPolicy parsed;
+  EXPECT_FALSE(ParseConflictPolicy("optimistic", &parsed));
 }
 
 TEST(ConflictPolicyTest, WoundWaitMatrix) {
@@ -209,6 +345,7 @@ TEST(TxnExecutorTest, WalksChainInOrder) {
       testutil::MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
   TxnExecutor exec(0, &t);
   EXPECT_EQ(exec.attempt(), 1);
+  EXPECT_EQ(exec.state(), TxnState::kNotStarted);
   EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{0});
   exec.MarkIssued(0);
   EXPECT_TRUE(exec.ReadySteps().empty());  // Issued but not complete.
@@ -242,13 +379,43 @@ TEST(TxnExecutorTest, RestartClearsProgress) {
   auto db = testutil::MakeDb({{"s1", {"x"}}});
   Transaction t = testutil::MakeSeq(db.get(), "T", {"Lx", "Ux"});
   TxnExecutor exec(0, &t);
+  exec.MarkStarted();
+  EXPECT_EQ(exec.state(), TxnState::kRunning);
   exec.MarkIssued(0);
   exec.MarkCompleted(0);
   exec.Restart();
   EXPECT_EQ(exec.attempt(), 2);
+  EXPECT_EQ(exec.state(), TxnState::kBackoff);
   EXPECT_FALSE(exec.IsDone());
   EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{0});
   EXPECT_TRUE(exec.completion_order().empty());
+}
+
+TEST(TxnExecutorTest, BeginRoundBumpsAttemptAndRuns) {
+  auto db = testutil::MakeDb({{"s1", {"x"}}});
+  Transaction t = testutil::MakeSeq(db.get(), "T", {"Lx", "Ux"});
+  TxnExecutor exec(0, &t);
+  exec.MarkStarted();
+  exec.MarkIssued(0);
+  exec.MarkCompleted(0);
+  exec.MarkIssued(1);
+  exec.MarkCompleted(1);
+  EXPECT_TRUE(exec.IsDone());
+  exec.set_state(TxnState::kCommitted);
+  exec.BeginRound();
+  EXPECT_EQ(exec.attempt(), 2);  // Prior-round stragglers now stale.
+  EXPECT_EQ(exec.state(), TxnState::kRunning);
+  EXPECT_FALSE(exec.IsDone());
+  EXPECT_EQ(exec.ReadySteps(), std::vector<NodeId>{0});
+}
+
+TEST(TxnExecutorTest, StateNames) {
+  EXPECT_STREQ(TxnStateName(TxnState::kNotStarted), "not-started");
+  EXPECT_STREQ(TxnStateName(TxnState::kRunning), "running");
+  EXPECT_STREQ(TxnStateName(TxnState::kBackoff), "backoff");
+  EXPECT_STREQ(TxnStateName(TxnState::kThinking), "thinking");
+  EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
+  EXPECT_STREQ(TxnStateName(TxnState::kGaveUp), "gave-up");
 }
 
 }  // namespace

@@ -119,16 +119,26 @@ TEST(SimulationTest, CommittedHistoryIsLegalSchedule) {
 TEST(SimulationTest, DeterministicForSeed) {
   auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
   TransactionSystem sys = ClassicDeadlockPair(db.get());
-  SimOptions opts;
-  opts.seed = 11;
-  auto a = RunSimulation(sys, opts);
-  auto b = RunSimulation(sys, opts);
-  ASSERT_TRUE(a.ok());
-  ASSERT_TRUE(b.ok());
-  EXPECT_EQ(a->deadlocked, b->deadlocked);
-  EXPECT_EQ(a->makespan, b->makespan);
-  EXPECT_EQ(a->events, b->events);
-  EXPECT_EQ(a->committed_history.size(), b->committed_history.size());
+  for (auto policy : {ConflictPolicy::kBlock, ConflictPolicy::kWoundWait,
+                      ConflictPolicy::kDetect}) {
+    for (uint64_t seed : {3u, 11u, 29u}) {
+      SimOptions opts;
+      opts.policy = policy;
+      opts.seed = seed;
+      auto a = RunSimulation(sys, opts);
+      auto b = RunSimulation(sys, opts);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->deadlocked, b->deadlocked);
+      EXPECT_EQ(a->makespan, b->makespan);
+      EXPECT_EQ(a->events, b->events);
+      EXPECT_EQ(a->messages, b->messages);
+      EXPECT_EQ(a->aborts, b->aborts);
+      EXPECT_EQ(a->blocked_txns, b->blocked_txns);
+      // The committed histories are bit-identical, step for step.
+      EXPECT_EQ(a->committed_history, b->committed_history);
+    }
+  }
 }
 
 TEST(SimulationTest, RunManyAggregates) {

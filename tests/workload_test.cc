@@ -1,0 +1,285 @@
+// Tests for the closed-loop traffic driver and the parallel RunMany /
+// RunWorkloadMany reductions: determinism per seed, serial/parallel
+// aggregate equivalence, and the driver's stop conditions.
+#include <gtest/gtest.h>
+
+#include "gen/system_gen.h"
+#include "runtime/simulation.h"
+#include "runtime/workload.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::MakeSeq;
+using testutil::MakeSystem;
+
+TransactionSystem ClassicDeadlockPair(const Database* db) {
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db, "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(MakeSeq(db, "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  return MakeSystem(db, std::move(txns));
+}
+
+TransactionSystem SafeDisjointPair(const Database* db) {
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db, "T1", {"Lx", "Ux"}));
+  txns.push_back(MakeSeq(db, "T2", {"Ly", "Uy"}));
+  return MakeSystem(db, std::move(txns));
+}
+
+TEST(WorkloadTest, ClosedLoopSustainsDuration) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = SafeDisjointPair(db.get());
+  WorkloadOptions opts;
+  opts.duration = 50'000;
+  opts.think_time = 50;
+  auto res = RunWorkload(sys, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_committed);
+  EXPECT_FALSE(res->deadlocked);
+  // Disjoint transactions cycle many rounds within the duration.
+  EXPECT_GT(res->commits, 100u);
+  EXPECT_GE(res->makespan, opts.duration);
+  EXPECT_GT(res->throughput, 0.0);
+  EXPECT_EQ(res->latency.samples, res->commits);
+  EXPECT_LE(res->latency.p50, res->latency.p95);
+  EXPECT_LE(res->latency.p95, res->latency.p99);
+  EXPECT_LE(res->latency.p99, res->latency.max);
+  EXPECT_GT(res->latency.p50, 0u);
+  EXPECT_EQ(res->abort_rate, 0.0);
+  // Traffic mode does not extract a history.
+  EXPECT_TRUE(res->committed_history.empty());
+}
+
+TEST(WorkloadTest, RoundTargetStopsEachTxn) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = SafeDisjointPair(db.get());
+  WorkloadOptions opts;
+  opts.duration = 0;
+  opts.rounds = 7;
+  auto res = RunWorkload(sys, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_committed);
+  EXPECT_EQ(res->commits, 14u);  // 2 transactions x 7 rounds.
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  for (bool open : {false, true}) {
+    WorkloadOptions opts;
+    opts.sim.policy = ConflictPolicy::kWoundWait;
+    opts.sim.seed = 17;
+    opts.open_loop = open;
+    opts.duration = 30'000;
+    auto a = RunWorkload(sys, opts);
+    auto b = RunWorkload(sys, opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->events, b->events);
+    EXPECT_EQ(a->messages, b->messages);
+    EXPECT_EQ(a->makespan, b->makespan);
+    EXPECT_EQ(a->commits, b->commits);
+    EXPECT_EQ(a->aborts, b->aborts);
+    EXPECT_EQ(a->latency.p50, b->latency.p50);
+    EXPECT_EQ(a->latency.p95, b->latency.p95);
+    EXPECT_EQ(a->latency.p99, b->latency.p99);
+    EXPECT_EQ(a->latency.samples, b->latency.samples);
+    EXPECT_GT(a->commits, 0u);
+  }
+}
+
+TEST(WorkloadTest, BlockingTrafficCanDeadlockAndCanSurvive) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  int deadlocks = 0, survived = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    WorkloadOptions opts;
+    opts.sim.policy = ConflictPolicy::kBlock;
+    opts.sim.seed = seed;
+    // Short session with long think times: enough rounds that the race
+    // bites for some seed, short enough that some seed survives.
+    opts.duration = 1'000;
+    opts.think_time = 400;
+    auto res = RunWorkload(sys, opts);
+    ASSERT_TRUE(res.ok());
+    if (res->deadlocked) {
+      ++deadlocks;
+      EXPECT_FALSE(res->all_committed);
+    }
+    if (res->all_committed) ++survived;
+  }
+  // Sustained traffic on a deadlock-prone pair: the race eventually bites
+  // for some seed, and some seed survives the whole duration.
+  EXPECT_GT(deadlocks, 0);
+  EXPECT_GT(survived, 0);
+}
+
+TEST(WorkloadTest, MplOneSerializesDeadlockPronePair) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    WorkloadOptions opts;
+    opts.sim.policy = ConflictPolicy::kBlock;
+    opts.sim.seed = seed;
+    opts.duration = 20'000;
+    opts.mpl = 1;  // One transaction executing at a time: no interleaving.
+    auto res = RunWorkload(sys, opts);
+    ASSERT_TRUE(res.ok());
+    EXPECT_FALSE(res->deadlocked) << "seed " << seed;
+    EXPECT_TRUE(res->all_committed) << "seed " << seed;
+    EXPECT_GT(res->commits, 2u);
+  }
+}
+
+TEST(WorkloadTest, OpenLoopQueuesArrivals) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = SafeDisjointPair(db.get());
+  WorkloadOptions closed, open;
+  closed.duration = open.duration = 40'000;
+  // Arrival interval far below the service time: the open driver queues
+  // arrivals and latency grows, while the closed driver self-throttles.
+  closed.think_time = open.think_time = 2;
+  open.open_loop = true;
+  auto rc = RunWorkload(sys, closed);
+  auto ro = RunWorkload(sys, open);
+  ASSERT_TRUE(rc.ok());
+  ASSERT_TRUE(ro.ok());
+  EXPECT_GT(ro->commits, 0u);
+  // Under saturation, open-loop latency includes queueing delay.
+  EXPECT_GT(ro->latency.p99, rc->latency.p99);
+}
+
+TEST(WorkloadTest, OpenLoopStalledSystemStillQuiesces) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  int deadlocks = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadOptions opts;
+    opts.sim.policy = ConflictPolicy::kBlock;
+    opts.sim.seed = seed;
+    opts.open_loop = true;
+    opts.duration = 0;
+    opts.rounds = 3;
+    opts.think_time = 20;
+    auto res = RunWorkload(sys, opts);
+    ASSERT_TRUE(res.ok());
+    // A mid-round deadlock must be classified as such, not spin the
+    // arrival clock until the event budget runs out.
+    EXPECT_FALSE(res->budget_exhausted) << "seed " << seed;
+    if (res->deadlocked) ++deadlocks;
+  }
+  EXPECT_GT(deadlocks, 0);
+  // And the detector resolves those same deadlocks to completion.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadOptions opts;
+    opts.sim.policy = ConflictPolicy::kDetect;
+    opts.sim.seed = seed;
+    opts.open_loop = true;
+    opts.duration = 0;
+    opts.rounds = 3;
+    opts.think_time = 20;
+    auto res = RunWorkload(sys, opts);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res->all_committed) << "seed " << seed;
+    EXPECT_FALSE(res->budget_exhausted) << "seed " << seed;
+    EXPECT_EQ(res->commits, 6u) << "seed " << seed;
+  }
+}
+
+TEST(WorkloadTest, InvalidOptionsRejected) {
+  auto db = MakeDb({{"s1", {"x"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T1", {"Lx", "Ux"}));
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  WorkloadOptions opts;
+  opts.duration = 0;
+  opts.rounds = 0;
+  EXPECT_FALSE(RunWorkload(sys, opts).ok());
+}
+
+TEST(WorkloadTest, OneShotResultCarriesLatencyMetrics) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = SafeDisjointPair(db.get());
+  auto res = RunSimulation(sys, SimOptions{});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->commits, 2u);
+  EXPECT_EQ(res->latency.samples, 2u);
+  EXPECT_GT(res->throughput, 0.0);
+  EXPECT_EQ(res->abort_rate, 0.0);
+}
+
+void ExpectAggregatesEqual(const AggregateResult& a,
+                           const AggregateResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.committed_runs, b.committed_runs);
+  EXPECT_EQ(a.deadlocked_runs, b.deadlocked_runs);
+  EXPECT_EQ(a.budget_exhausted_runs, b.budget_exhausted_runs);
+  EXPECT_EQ(a.gave_up_runs, b.gave_up_runs);
+  EXPECT_EQ(a.total_aborts, b.total_aborts);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.avg_makespan, b.avg_makespan);
+  EXPECT_EQ(a.all_histories_serializable, b.all_histories_serializable);
+}
+
+TEST(WorkloadTest, ParallelRunManyMatchesSerial) {
+  auto ring = GenerateRingSystem(4);
+  ASSERT_TRUE(ring.ok());
+  for (ConflictPolicy policy :
+       {ConflictPolicy::kBlock, ConflictPolicy::kWoundWait,
+        ConflictPolicy::kDetect}) {
+    SimOptions base;
+    base.policy = policy;
+    auto serial = RunMany(*ring->system, base, 24, /*threads=*/1);
+    auto parallel = RunMany(*ring->system, base, 24, /*threads=*/4);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    ExpectAggregatesEqual(*serial, *parallel);
+  }
+}
+
+TEST(WorkloadTest, ParallelWorkloadManyMatchesSerial) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  WorkloadOptions base;
+  base.sim.policy = ConflictPolicy::kWaitDie;
+  base.duration = 10'000;
+  auto serial = RunWorkloadMany(sys, base, 12, /*threads=*/1);
+  auto parallel = RunWorkloadMany(sys, base, 12, /*threads=*/3);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->runs, parallel->runs);
+  EXPECT_EQ(serial->total_commits, parallel->total_commits);
+  EXPECT_EQ(serial->total_aborts, parallel->total_aborts);
+  EXPECT_EQ(serial->deadlocked_runs, parallel->deadlocked_runs);
+  EXPECT_EQ(serial->avg_throughput, parallel->avg_throughput);
+  EXPECT_EQ(serial->avg_p99, parallel->avg_p99);
+  EXPECT_GT(serial->total_commits, 0u);
+}
+
+TEST(WorkloadTest, AggregateCountsBudgetExhaustion) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  SimOptions base;
+  base.max_events = 5;  // Far too small to finish.
+  auto agg = RunMany(sys, base, 6);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->budget_exhausted_runs, 6);
+  EXPECT_EQ(agg->committed_runs, 0);
+}
+
+TEST(WorkloadTest, AggregateCountsGaveUpRuns) {
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  TransactionSystem sys = ClassicDeadlockPair(db.get());
+  SimOptions base;
+  base.policy = ConflictPolicy::kWaitDie;  // Restarts instead of blocking.
+  base.max_restarts = 0;  // First abort gives up.
+  auto agg = RunMany(sys, base, 20);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_GT(agg->gave_up_runs, 0);
+}
+
+}  // namespace
+}  // namespace wydb

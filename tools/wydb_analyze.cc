@@ -2,20 +2,39 @@
 //
 // Usage:
 //   wydb_analyze <workload.wydb> [options]
+//   wydb_analyze simulate <workload.wydb> [sim options]
 //
-// Options:
+// Analysis options:
 //   --pairs            also print the per-pair Theorem 3 verdicts
 //   --exact            also run the exact (exponential) checkers
 //   --optimize         run the early-unlock optimizer and print the result
 //   --simulate <runs>  simulate the workload <runs> times per policy
 //   --dump             echo the parsed system back in text format
 //
+// `simulate` subcommand options (the traffic engine):
+//   --policy <p>       block|detect|wound-wait|wait-die|all (default all)
+//   --runs <n>         seeded runs per policy (default 20)
+//   --seed <s>         base seed (default 1)
+//   --threads <k>      worker threads for the run sweep (default: hardware)
+//   --closed-loop      closed-loop traffic mode (each commit re-issues
+//                      after a think-time delay)
+//   --open-loop        open arrival variant (fixed-rate arrival clock)
+//   --duration <d>     traffic session length in sim time (default 100000)
+//   --think <t>        mean think time / inter-arrival interval
+//   --rounds <r>       per-transaction round target (bounds the session
+//                      instead of --duration unless both are given)
+//   --mpl <m>          multi-programming level cap (0 = unlimited)
+// Any of --open-loop/--duration/--think/--rounds/--mpl implies traffic
+// mode; without them the subcommand runs the one-shot simulation sweep.
+//
 // The workload format is documented in src/io/text_format.h; see
 // tools/sample_workload.wydb for an example.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "analysis/deadlock_checker.h"
 #include "analysis/early_unlock.h"
@@ -25,6 +44,7 @@
 #include "core/schedule.h"
 #include "io/text_format.h"
 #include "runtime/simulation.h"
+#include "runtime/workload.h"
 
 using namespace wydb;
 
@@ -33,6 +53,140 @@ namespace {
 int Fail(const char* msg) {
   std::fprintf(stderr, "wydb_analyze: %s\n", msg);
   return 2;
+}
+
+Result<OwnedSystem> LoadSystem(const char* path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open workload file");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSystem(buffer.str());
+}
+
+std::vector<ConflictPolicy> PoliciesFromArg(const char* arg) {
+  if (!std::strcmp(arg, "all")) {
+    return {ConflictPolicy::kBlock, ConflictPolicy::kDetect,
+            ConflictPolicy::kWoundWait, ConflictPolicy::kWaitDie};
+  }
+  ConflictPolicy p;
+  if (!ParseConflictPolicy(arg, &p)) return {};
+  return {p};
+}
+
+int RunSimulateCommand(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("usage: wydb_analyze simulate <workload.wydb> [options]");
+  }
+  const char* policy_arg = "all";
+  int runs = 20;
+  uint64_t seed = 1;
+  int threads = 0;
+  bool traffic = false, open_loop = false, duration_set = false;
+  SimTime duration = 100'000, think = 100;
+  int rounds = 0, mpl = 0;
+  for (int a = 3; a < argc; ++a) {
+    auto next = [&](const char* opt) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "wydb_analyze: %s needs a value\n", opt);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--policy")) {
+      policy_arg = next("--policy");
+    } else if (!std::strcmp(argv[a], "--runs")) {
+      runs = std::atoi(next("--runs"));
+    } else if (!std::strcmp(argv[a], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--threads")) {
+      threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[a], "--closed-loop")) {
+      traffic = true;
+    } else if (!std::strcmp(argv[a], "--open-loop")) {
+      traffic = true;
+      open_loop = true;
+    } else if (!std::strcmp(argv[a], "--duration")) {
+      traffic = true;
+      duration_set = true;
+      duration = std::strtoull(next("--duration"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--think")) {
+      traffic = true;
+      think = std::strtoull(next("--think"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--rounds")) {
+      traffic = true;
+      rounds = std::atoi(next("--rounds"));
+    } else if (!std::strcmp(argv[a], "--mpl")) {
+      traffic = true;
+      mpl = std::atoi(next("--mpl"));
+    } else {
+      return Fail("unknown simulate option");
+    }
+  }
+  std::vector<ConflictPolicy> policies = PoliciesFromArg(policy_arg);
+  if (policies.empty()) return Fail("unknown --policy");
+  if (runs <= 0) return Fail("--runs must be positive");
+  // --rounds alone means a rounds-bounded session, not duration-bounded.
+  if (rounds > 0 && !duration_set) duration = 0;
+
+  auto loaded = LoadSystem(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  const TransactionSystem& sys = *loaded->system;
+  std::printf("%d transactions, %d entities, %d sites; %d runs per policy\n",
+              sys.num_transactions(), sys.db().num_entities(),
+              sys.db().num_sites(), runs);
+
+  for (ConflictPolicy policy : policies) {
+    if (traffic) {
+      WorkloadOptions opts;
+      opts.sim.policy = policy;
+      opts.sim.seed = seed;
+      opts.open_loop = open_loop;
+      opts.think_time = think;
+      opts.duration = duration;
+      opts.rounds = rounds;
+      opts.mpl = mpl;
+      auto agg = RunWorkloadMany(sys, opts, runs, threads);
+      if (!agg.ok()) {
+        std::fprintf(stderr, "simulate failed: %s\n",
+                     agg.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "  %-10s throughput %.1f commits/Msim-us, commits %llu, "
+          "abort rate %.3f, latency p50/p95/p99 %.0f/%.0f/%.0f, "
+          "deadlocked %d, budget %d, gave-up %d\n",
+          ConflictPolicyName(policy), agg->avg_throughput,
+          static_cast<unsigned long long>(agg->total_commits),
+          agg->avg_abort_rate, agg->avg_p50, agg->avg_p95, agg->avg_p99,
+          agg->deadlocked_runs, agg->budget_exhausted_runs,
+          agg->gave_up_runs);
+    } else {
+      SimOptions opts;
+      opts.policy = policy;
+      opts.seed = seed;
+      auto agg = RunMany(sys, opts, runs, threads);
+      if (!agg.ok()) {
+        std::fprintf(stderr, "simulate failed: %s\n",
+                     agg.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "  %-10s committed %d/%d, deadlocked %d, budget %d, gave-up %d, "
+          "aborts %llu, avg makespan %.0f\n",
+          ConflictPolicyName(policy), agg->committed_runs, agg->runs,
+          agg->deadlocked_runs, agg->budget_exhausted_runs,
+          agg->gave_up_runs,
+          static_cast<unsigned long long>(agg->total_aborts),
+          agg->avg_makespan);
+    }
+  }
+  return 0;
 }
 
 void PrintMultiVerdict(const TransactionSystem& sys,
@@ -62,7 +216,14 @@ void PrintMultiVerdict(const TransactionSystem& sys,
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail("usage: wydb_analyze <workload.wydb> [--pairs] [--exact] "
-                "[--optimize] [--simulate N] [--dump]");
+                "[--optimize] [--simulate N] [--dump]\n"
+                "       wydb_analyze simulate <workload.wydb> [--policy P] "
+                "[--runs N] [--closed-loop] [--open-loop] [--duration D] "
+                "[--think T] [--rounds R] [--mpl M] [--threads K] "
+                "[--seed S]");
+  }
+  if (!std::strcmp(argv[1], "simulate")) {
+    return RunSimulateCommand(argc, argv);
   }
   bool pairs = false, exact = false, optimize = false, dump = false;
   int simulate_runs = 0;
@@ -82,12 +243,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream file(argv[1]);
-  if (!file) return Fail("cannot open workload file");
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-
-  auto parsed = ParseSystem(buffer.str());
+  auto parsed = LoadSystem(argv[1]);
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed.status().ToString().c_str());
@@ -174,10 +330,11 @@ int main(int argc, char** argv) {
       auto agg = RunMany(sys, opts, simulate_runs);
       if (!agg.ok()) continue;
       std::printf(
-          "  %-10s committed %d/%d, deadlocked %d, aborts %llu, "
-          "avg makespan %.0f\n",
+          "  %-10s committed %d/%d, deadlocked %d, budget %d, gave-up %d, "
+          "aborts %llu, avg makespan %.0f\n",
           ConflictPolicyName(policy), agg->committed_runs, agg->runs,
-          agg->deadlocked_runs,
+          agg->deadlocked_runs, agg->budget_exhausted_runs,
+          agg->gave_up_runs,
           static_cast<unsigned long long>(agg->total_aborts),
           agg->avg_makespan);
     }
