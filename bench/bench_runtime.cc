@@ -52,7 +52,8 @@ void RunPolicy(benchmark::State& state, const TransactionSystem& sys,
 
 // Closed-loop traffic sessions: one seeded session per iteration.
 void RunTraffic(benchmark::State& state, const TransactionSystem& sys,
-                ConflictPolicy policy, SimTime duration) {
+                ConflictPolicy policy, SimTime duration,
+                const CopyPlacement* placement = nullptr) {
   uint64_t seed = 1;
   uint64_t commits = 0, aborts = 0, events = 0;
   double p99 = 0, throughput = 0;
@@ -62,6 +63,7 @@ void RunTraffic(benchmark::State& state, const TransactionSystem& sys,
     opts.sim.policy = policy;
     opts.sim.seed = seed++;
     opts.sim.max_events = 0;
+    opts.sim.placement = placement;
     opts.duration = duration;
     opts.think_time = 50;
     auto res = RunWorkload(sys, opts);
@@ -197,6 +199,32 @@ BENCHMARK(BM_ClosedLoop_Random2PL)
     ->Arg(static_cast<int>(ConflictPolicy::kWoundWait))
     ->Arg(static_cast<int>(ConflictPolicy::kWaitDie))
     ->Arg(static_cast<int>(ConflictPolicy::kDetect));
+
+// Replicated traffic (DESIGN.md §6): a certified identical-copies farm
+// under pure blocking across replication degrees — the write-all fan-out
+// cost in messages/latency, with zero deadlocks by construction. Range:
+// (workers, degree).
+void BM_ClosedLoop_Replicated_Farm(benchmark::State& state) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = static_cast<int>(state.range(0));
+  fopts.entities = 3;
+  fopts.degree = static_cast<int>(state.range(1));
+  auto farm = GenerateReplicatedFarm(fopts);
+  RunTraffic(state, *farm->system, ConflictPolicy::kBlock, 50'000,
+             farm->placement.get());
+}
+BENCHMARK(BM_ClosedLoop_Replicated_Farm)
+    ->ArgsProduct({{4, 8}, {1, 2, 3}});
+
+// Deadlock-prone replicated ring under the detector: replication widens
+// the in-flight message window the detector has to see through.
+void BM_ClosedLoop_Replicated_Ring(benchmark::State& state) {
+  auto ring = GenerateReplicatedRingSystem(static_cast<int>(state.range(0)),
+                                           static_cast<int>(state.range(1)));
+  RunTraffic(state, *ring->system, ConflictPolicy::kDetect, 50'000,
+             ring->placement.get());
+}
+BENCHMARK(BM_ClosedLoop_Replicated_Ring)->ArgsProduct({{4}, {1, 2, 3}});
 
 }  // namespace
 }  // namespace wydb

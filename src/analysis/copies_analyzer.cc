@@ -95,4 +95,14 @@ Result<TransactionSystem> MakeCopies(const Transaction& t, int d) {
   return TransactionSystem::Create(&t.db(), std::move(txns));
 }
 
+Result<ReplicatedCopies> MakeReplicatedCopies(const Transaction& t, int d,
+                                              int degree) {
+  if (degree < 1) return Status::InvalidArgument("need degree >= 1");
+  Result<TransactionSystem> sys = MakeCopies(t, d);
+  if (!sys.ok()) return sys.status();
+  return ReplicatedCopies{std::move(*sys),
+                          CopyPlacement::RoundRobin(t.db(), degree),
+                          CheckCopies(t, d)};
+}
+
 }  // namespace wydb

@@ -38,6 +38,26 @@ CopiesVerdict CheckCopies(const Transaction& t, int d);
 /// cross-validation against the exact checkers.
 Result<TransactionSystem> MakeCopies(const Transaction& t, int d);
 
+/// Cross-validation bridge to the replicated traffic engine: d identical
+/// transaction copies of `t` plus a round-robin data placement of the
+/// given degree over t's database.
+///
+/// The CheckCopies verdict is placement-independent: the engine's
+/// write-all protocol serializes every entity on its primary copy, so
+/// the reachable wait-for states over primaries are exactly those of the
+/// single-copy system, and secondary-copy waits always resolve (in-flight
+/// release) — see DESIGN.md §6. Hence `certified` below predicts the
+/// replicated runtime for ANY degree, which tests/replication_test.cc
+/// drives empirically.
+struct ReplicatedCopies {
+  TransactionSystem system;
+  CopyPlacement placement;
+  /// The syntactic Theorem 5 verdict for the transaction copies.
+  CopiesVerdict verdict;
+};
+Result<ReplicatedCopies> MakeReplicatedCopies(const Transaction& t, int d,
+                                              int degree);
+
 }  // namespace wydb
 
 #endif  // WYDB_ANALYSIS_COPIES_ANALYZER_H_

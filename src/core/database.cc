@@ -1,5 +1,8 @@
 #include "core/database.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace wydb {
 
 Result<SiteId> Database::AddSite(const std::string& name) {
@@ -53,6 +56,70 @@ std::vector<EntityId> Database::EntitiesAt(SiteId site) const {
     if (entity_site_[e] == site) out.push_back(e);
   }
   return out;
+}
+
+CopyPlacement::CopyPlacement(const Database& db) {
+  copies_.reserve(db.num_entities());
+  for (EntityId e = 0; e < db.num_entities(); ++e) {
+    copies_.push_back({db.SiteOf(e)});
+  }
+}
+
+CopyPlacement CopyPlacement::RoundRobin(const Database& db, int degree) {
+  if (degree < 1) degree = 1;
+  if (degree > db.num_sites()) degree = db.num_sites();
+  CopyPlacement placement(db);
+  for (EntityId e = 0; e < db.num_entities(); ++e) {
+    std::vector<SiteId>& sites = placement.copies_[e];
+    for (int k = 1; k < degree; ++k) {
+      sites.push_back((db.SiteOf(e) + k) % db.num_sites());
+    }
+  }
+  return placement;
+}
+
+Status CopyPlacement::SetCopies(const Database& db, EntityId e,
+                                std::vector<SiteId> sites) {
+  if (e < 0 || e >= db.num_entities()) {
+    return Status::InvalidArgument("entity id out of range");
+  }
+  if (sites.empty()) {
+    return Status::InvalidArgument("an entity needs at least one copy");
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i] < 0 || sites[i] >= db.num_sites()) {
+      return Status::InvalidArgument("copy site id out of range");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (sites[i] == sites[j]) {
+        return Status::InvalidArgument(
+            "duplicate copy site for entity '" + db.EntityName(e) + "'");
+      }
+    }
+  }
+  // Entities added to the db since this placement was built get default
+  // single-copy rows; earlier SetCopies customizations are preserved.
+  for (EntityId grown = static_cast<EntityId>(copies_.size());
+       grown < db.num_entities(); ++grown) {
+    copies_.push_back({db.SiteOf(grown)});
+  }
+  copies_[e] = std::move(sites);
+  return Status();
+}
+
+int CopyPlacement::MaxDegree() const {
+  int max_degree = 0;
+  for (const std::vector<SiteId>& sites : copies_) {
+    max_degree = std::max(max_degree, static_cast<int>(sites.size()));
+  }
+  return max_degree;
+}
+
+bool CopyPlacement::IsReplicated() const {
+  for (const std::vector<SiteId>& sites : copies_) {
+    if (sites.size() > 1) return true;
+  }
+  return false;
 }
 
 }  // namespace wydb

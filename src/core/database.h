@@ -23,9 +23,10 @@ inline constexpr SiteId kInvalidSite = -1;
 
 /// \brief Catalog of named entities, each assigned to exactly one site.
 ///
-/// Replication is deliberately absent, matching the paper: copies of the
-/// same logical item at different sites are modelled as distinct entities
-/// whose equality is the transactions' concern.
+/// The catalog itself is single-copy, matching the paper's Section 2
+/// model: the analyses reason about logical entities. Physical
+/// replication is layered on top as a CopyPlacement, which the runtime
+/// engine consumes; the static layers never see it.
 class Database {
  public:
   Database() = default;
@@ -61,6 +62,50 @@ class Database {
   std::vector<SiteId> entity_site_;
   std::unordered_map<std::string, SiteId> site_by_name_;
   std::unordered_map<std::string, EntityId> entity_by_name_;
+};
+
+/// \brief Physical copy placement: EntityId -> ordered list of sites
+/// holding a copy. The first site of each list is the primary copy.
+///
+/// The static analyses work on the logical single-copy Database; the
+/// runtime engine consumes a placement to fan lock/unlock traffic out to
+/// every copy (write-all with primary-copy serialization, DESIGN.md §6).
+/// The default placement puts each entity's only copy at its catalog
+/// site, which reproduces the single-copy engine exactly.
+class CopyPlacement {
+ public:
+  CopyPlacement() = default;
+
+  /// Single-copy placement: one copy per entity at Database::SiteOf.
+  explicit CopyPlacement(const Database& db);
+
+  /// Uniform replication: entity e gets copies at `degree` consecutive
+  /// sites starting from its catalog site (wrapping around the site
+  /// list). The degree is clamped to [1, db.num_sites()].
+  static CopyPlacement RoundRobin(const Database& db, int degree);
+
+  /// Overrides the copy list of `e`. Sites must be distinct, in range and
+  /// nonempty; the first listed site becomes the primary.
+  Status SetCopies(const Database& db, EntityId e,
+                   std::vector<SiteId> sites);
+
+  int num_entities() const { return static_cast<int>(copies_.size()); }
+
+  /// Copy sites of `e`, primary first. Never empty.
+  const std::vector<SiteId>& CopiesOf(EntityId e) const {
+    return copies_[e];
+  }
+  SiteId PrimaryOf(EntityId e) const { return copies_[e][0]; }
+  int DegreeOf(EntityId e) const {
+    return static_cast<int>(copies_[e].size());
+  }
+  int MaxDegree() const;
+
+  /// True iff some entity has more than one copy.
+  bool IsReplicated() const;
+
+ private:
+  std::vector<std::vector<SiteId>> copies_;
 };
 
 }  // namespace wydb

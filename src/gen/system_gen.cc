@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/copies_analyzer.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "core/transaction_builder.h"
@@ -190,6 +191,69 @@ Result<OwnedSystem> GenerateSharedChainSystem(int k) {
     txns.push_back(std::move(t));
   }
   return Finish(std::move(db), std::move(txns));
+}
+
+Status ReplicateRoundRobin(OwnedSystem* owned, int degree) {
+  if (owned == nullptr || owned->db == nullptr) {
+    return Status::InvalidArgument("no system to replicate");
+  }
+  if (degree < 1) return Status::InvalidArgument("degree must be >= 1");
+  owned->placement = std::make_unique<CopyPlacement>(
+      CopyPlacement::RoundRobin(*owned->db, degree));
+  return Status();
+}
+
+Result<OwnedSystem> GenerateReplicatedRingSystem(int k, int degree) {
+  WYDB_ASSIGN_OR_RETURN(OwnedSystem ring, GenerateRingSystem(k));
+  WYDB_RETURN_IF_ERROR(ReplicateRoundRobin(&ring, degree));
+  return ring;
+}
+
+Result<OwnedSystem> GenerateReplicatedFarm(
+    const ReplicatedFarmOptions& opts) {
+  if (opts.workers < 1 || opts.entities < 2) {
+    return Status::InvalidArgument("farm needs workers >= 1, entities >= 2");
+  }
+  auto db = std::make_unique<Database>();
+  std::vector<EntityId> e(opts.entities);
+  for (int i = 0; i < opts.entities; ++i) {
+    WYDB_ASSIGN_OR_RETURN(
+        e[i], db->AddEntityAtSite(StrFormat("e%d", i), StrFormat("s%d", i)));
+  }
+  TransactionBuilder b(db.get(), "worker");
+  Result<Transaction> built = [&]() -> Result<Transaction> {
+    if (opts.certified) {
+      // Latch discipline: lock e0 first, hold it to the very end; e0 then
+      // covers every other entity, so Corollary 3 certifies any number of
+      // workers (Theorem 5).
+      std::vector<int> seq;
+      for (int i = 0; i < opts.entities; ++i) seq.push_back(b.LockId(e[i]));
+      for (int i = 1; i < opts.entities; ++i) seq.push_back(b.UnlockId(e[i]));
+      seq.push_back(b.UnlockId(e[0]));
+      for (size_t s = 0; s + 1 < seq.size(); ++s) b.Arc(seq[s], seq[s + 1]);
+      return b.Build();
+    }
+    // Cyclic cover (Fig. 6 flavour): locks mutually unordered, each lock
+    // held across the NEXT entity's unlock. No first entity exists, so
+    // the analyzer refutes the template; three or more workers can
+    // deadlock at runtime.
+    b.set_auto_site_chain(false);
+    std::vector<int> locks(opts.entities), unlocks(opts.entities);
+    for (int i = 0; i < opts.entities; ++i) locks[i] = b.LockId(e[i]);
+    for (int i = 0; i < opts.entities; ++i) unlocks[i] = b.UnlockId(e[i]);
+    for (int i = 0; i < opts.entities; ++i) {
+      b.Arc(locks[i], unlocks[(i + 1) % opts.entities]);
+    }
+    return b.Build();
+  }();
+  WYDB_RETURN_IF_ERROR(built.status());
+  WYDB_ASSIGN_OR_RETURN(TransactionSystem sys,
+                        MakeCopies(*built, opts.workers));
+  OwnedSystem out;
+  out.db = std::move(db);
+  out.system = std::make_unique<TransactionSystem>(std::move(sys));
+  WYDB_RETURN_IF_ERROR(ReplicateRoundRobin(&out, opts.degree));
+  return out;
 }
 
 }  // namespace wydb

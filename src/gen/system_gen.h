@@ -18,6 +18,9 @@ namespace wydb {
 struct OwnedSystem {
   std::unique_ptr<Database> db;
   std::unique_ptr<TransactionSystem> system;
+  /// Physical copy placement for the runtime engine; null = single-copy.
+  /// Wire it up via SimOptions::placement.
+  std::unique_ptr<CopyPlacement> placement;
 };
 
 struct RandomSystemOptions {
@@ -79,6 +82,43 @@ Result<OwnedSystem> GenerateDisjointGridSystem(int k, int entities_per_txn);
 /// safe+deadlock-freedom, but the exact Lemma 1 search still explores
 /// exponentially many (state, conflict-arc-set) pairs with real arcs.
 Result<OwnedSystem> GenerateSharedChainSystem(int k);
+
+// ---------------------------------------------------------------------------
+// Replicated workloads (DESIGN.md §6): the same logical systems, plus a
+// physical copy placement the runtime engine fans lock traffic out to.
+// ---------------------------------------------------------------------------
+
+/// Attaches a round-robin copy placement of the given degree to `owned`
+/// (every entity replicated across `degree` consecutive sites, clamped to
+/// the site count). Overwrites any existing placement.
+Status ReplicateRoundRobin(OwnedSystem* owned, int degree);
+
+/// Ring system (see GenerateRingSystem) whose k entities are each
+/// replicated across `degree` of the k sites. Statically uncertified for
+/// any k >= 2; the replicated engine can be driven into deadlock at the
+/// primary copies exactly like the single-copy ring.
+Result<OwnedSystem> GenerateReplicatedRingSystem(int k, int degree);
+
+struct ReplicatedFarmOptions {
+  /// Number of identical workers executing the template (the d of
+  /// Theorem 5).
+  int workers = 4;
+  /// Logical entities of the template, one per site.
+  int entities = 3;
+  /// Copies per entity (clamped to the site count).
+  int degree = 2;
+  /// true: latch-ordered template (lock e0 first, hold to the end) that
+  /// Corollary 3 certifies for any number of workers. false: a cyclic-
+  /// cover template (Fig. 6 flavour) the analyzer refutes and whose
+  /// 3-worker replicated execution can deadlock.
+  bool certified = true;
+};
+
+/// Identical-copies service over replicated data: `workers` copies of one
+/// template transaction, every entity replicated `degree` ways. The
+/// cross-validation bridge between `copies_analyzer` and the replicated
+/// traffic engine.
+Result<OwnedSystem> GenerateReplicatedFarm(const ReplicatedFarmOptions& opts);
 
 }  // namespace wydb
 

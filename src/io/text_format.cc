@@ -1,5 +1,6 @@
 #include "io/text_format.h"
 
+#include <limits>
 #include <sstream>
 
 #include "common/macros.h"
@@ -21,10 +22,27 @@ std::vector<std::string> Tokens(const std::string& s) {
   return out;
 }
 
+/// Parses a non-negative SimTime token; false on garbage or values large
+/// enough to wrap the accumulator.
+bool ParseSimTime(const std::string& tok, SimTime* out) {
+  if (tok.empty()) return false;
+  SimTime value = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    if (value > std::numeric_limits<SimTime>::max() / 10) {
+      return false;  // Would wrap.
+    }
+    value = value * 10 + static_cast<SimTime>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
-Result<OwnedSystem> ParseSystem(const std::string& text) {
-  OwnedSystem out;
+Result<WorkloadSpec> ParseWorkload(const std::string& text) {
+  WorkloadSpec spec;
+  OwnedSystem& out = spec.owned;
   out.db = std::make_unique<Database>();
   struct PendingTxn {
     std::string name;
@@ -32,6 +50,17 @@ Result<OwnedSystem> ParseSystem(const std::string& text) {
     int line;
   };
   std::vector<PendingTxn> pending;
+  // `copies` lines, resolved after all sites exist (stanza order between
+  // copies and sites/site lines is free as long as the entity exists).
+  struct PendingCopies {
+    std::string entity;
+    std::vector<std::string> sites;
+    int line;
+  };
+  std::vector<PendingCopies> pending_copies;
+  // Sites declared by a `site ...:` header (to reject duplicates of the
+  // header itself while allowing a prior bare `sites:` declaration).
+  std::vector<std::string> site_headers;
 
   std::istringstream in(text);
   std::string raw;
@@ -44,19 +73,62 @@ Result<OwnedSystem> ParseSystem(const std::string& text) {
     std::vector<std::string> toks = Tokens(line);
     if (toks.empty()) continue;
 
-    if (toks[0] == "site") {
+    if (toks[0] == "sites:") {
+      if (toks.size() < 2) {
+        return LineError(lineno, "expected 'sites: <name> <name> ...'");
+      }
+      for (size_t i = 1; i < toks.size(); ++i) {
+        auto added = out.db->AddSite(toks[i]);
+        if (!added.ok()) return LineError(lineno, added.status().message());
+      }
+    } else if (toks[0] == "site") {
       if (toks.size() < 2 || toks[1].back() != ':') {
         return LineError(lineno, "expected 'site <name>: <entities...>'");
       }
       std::string site = toks[1].substr(0, toks[1].size() - 1);
       if (site.empty()) return LineError(lineno, "empty site name");
-      if (out.db->FindSite(site) != kInvalidSite) {
-        return LineError(lineno, "duplicate site '" + site + "'");
+      for (const std::string& seen : site_headers) {
+        if (seen == site) {
+          return LineError(lineno, "duplicate site '" + site + "'");
+        }
+      }
+      site_headers.push_back(site);
+      if (out.db->FindSite(site) == kInvalidSite) {
+        auto added = out.db->AddSite(site);
+        if (!added.ok()) return LineError(lineno, added.status().message());
       }
       for (size_t i = 2; i < toks.size(); ++i) {
         auto added = out.db->AddEntityAtSite(toks[i], site);
         if (!added.ok()) return LineError(lineno, added.status().message());
       }
+    } else if (toks[0] == "copies") {
+      if (toks.size() < 3 || toks[1].back() != ':') {
+        return LineError(lineno, "expected 'copies <entity>: <sites...>'");
+      }
+      PendingCopies c;
+      c.entity = toks[1].substr(0, toks[1].size() - 1);
+      c.line = lineno;
+      if (c.entity.empty()) return LineError(lineno, "empty entity name");
+      for (const PendingCopies& prev : pending_copies) {
+        if (prev.entity == c.entity) {
+          return LineError(lineno, "duplicate copies stanza for entity '" +
+                                       c.entity + "'");
+        }
+      }
+      c.sites.assign(toks.begin() + 2, toks.end());
+      pending_copies.push_back(std::move(c));
+    } else if (toks[0] == "latency:") {
+      if (spec.has_latency) {
+        return LineError(lineno, "duplicate latency stanza");
+      }
+      if (toks.size() != 4 || !ParseSimTime(toks[1], &spec.latency.base) ||
+          !ParseSimTime(toks[2], &spec.latency.jitter) ||
+          !ParseSimTime(toks[3], &spec.latency.local)) {
+        return LineError(lineno,
+                         "expected 'latency: <base> <jitter> <local>' with "
+                         "non-negative integers");
+      }
+      spec.has_latency = true;
     } else if (toks[0] == "txn") {
       if (toks.size() < 2 || toks[1].back() != ':') {
         return LineError(lineno, "expected 'txn <name>: <steps...>'");
@@ -76,6 +148,27 @@ Result<OwnedSystem> ParseSystem(const std::string& text) {
       pending.push_back(std::move(t));
     } else {
       return LineError(lineno, "unknown directive '" + toks[0] + "'");
+    }
+  }
+
+  if (!pending_copies.empty()) {
+    out.placement = std::make_unique<CopyPlacement>(*out.db);
+    for (const PendingCopies& c : pending_copies) {
+      EntityId e = out.db->FindEntity(c.entity);
+      if (e == kInvalidEntity) {
+        return LineError(c.line, "unknown entity '" + c.entity + "'");
+      }
+      std::vector<SiteId> sites;
+      sites.reserve(c.sites.size());
+      for (const std::string& name : c.sites) {
+        SiteId s = out.db->FindSite(name);
+        if (s == kInvalidSite) {
+          return LineError(c.line, "unknown site '" + name + "'");
+        }
+        sites.push_back(s);
+      }
+      Status set = out.placement->SetCopies(*out.db, e, std::move(sites));
+      if (!set.ok()) return LineError(c.line, set.message());
     }
   }
 
@@ -111,16 +204,52 @@ Result<OwnedSystem> ParseSystem(const std::string& text) {
       TransactionSystem sys,
       TransactionSystem::Create(out.db.get(), std::move(txns)));
   out.system = std::make_unique<TransactionSystem>(std::move(sys));
-  return out;
+  return spec;
+}
+
+Result<OwnedSystem> ParseSystem(const std::string& text) {
+  WYDB_ASSIGN_OR_RETURN(WorkloadSpec spec, ParseWorkload(text));
+  return std::move(spec.owned);
 }
 
 std::string SerializeSystem(const TransactionSystem& sys) {
+  return SerializeWorkload(sys, nullptr, nullptr);
+}
+
+std::string SerializeWorkload(const TransactionSystem& sys,
+                              const CopyPlacement* placement,
+                              const LatencyModel* latency) {
   const Database& db = sys.db();
   std::string out;
+  // Sites without a primary entity (copy-only or spare sites) would be
+  // lost by the `site` lines alone; declare them up front.
+  std::string bare_sites;
   for (SiteId s = 0; s < db.num_sites(); ++s) {
+    if (db.EntitiesAt(s).empty()) bare_sites += " " + db.SiteName(s);
+  }
+  if (!bare_sites.empty()) out += "sites:" + bare_sites + "\n";
+  for (SiteId s = 0; s < db.num_sites(); ++s) {
+    std::vector<EntityId> entities = db.EntitiesAt(s);
+    if (entities.empty()) continue;
     out += "site " + db.SiteName(s) + ":";
-    for (EntityId e : db.EntitiesAt(s)) out += " " + db.EntityName(e);
+    for (EntityId e : entities) out += " " + db.EntityName(e);
     out += "\n";
+  }
+  if (placement != nullptr) {
+    for (EntityId e = 0; e < db.num_entities() && e < placement->num_entities();
+         ++e) {
+      const std::vector<SiteId>& copies = placement->CopiesOf(e);
+      if (copies.size() == 1 && copies[0] == db.SiteOf(e)) continue;
+      out += "copies " + db.EntityName(e) + ":";
+      for (SiteId s : copies) out += " " + db.SiteName(s);
+      out += "\n";
+    }
+  }
+  if (latency != nullptr) {
+    out += StrFormat("latency: %llu %llu %llu\n",
+                     static_cast<unsigned long long>(latency->base),
+                     static_cast<unsigned long long>(latency->jitter),
+                     static_cast<unsigned long long>(latency->local));
   }
   for (int i = 0; i < sys.num_transactions(); ++i) {
     const Transaction& t = sys.txn(i);

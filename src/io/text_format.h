@@ -1,9 +1,17 @@
 // A small line-oriented text format for transaction systems, so workloads
 // can be authored, versioned and fed to the analyzer CLI without writing
-// C++.
+// C++. The full grammar lives in docs/FORMAT.md.
 //
 //   # comment / blank lines ignored
-//   site <site-name>: <entity> <entity> ...
+//   sites: <site> <site> ...                   (declare sites up front;
+//                                                needed for copy-only
+//                                                sites with no primaries)
+//   site <site-name>: <entity> <entity> ...    (entities whose catalog
+//                                                site this is; creates
+//                                                the site if new)
+//   copies <entity>: <site> <site> ...         (copy placement; the first
+//                                                site is the primary)
+//   latency: <base> <jitter> <local>           (message latency model)
 //   txn <txn-name>: <step> <step> ...          (totally ordered)
 //   txn <txn-name>: <step> ... ; <step> ...    ( ';' separates per-site
 //                                                unordered segments: steps
@@ -19,17 +27,42 @@
 
 #include "common/result.h"
 #include "gen/system_gen.h"
+// Deliberate io -> runtime edge: a workload file configures the traffic
+// engine, and LatencyModel is its network knob. The runtime never
+// includes io, so the dependency stays acyclic.
+#include "runtime/sim/network.h"
 
 namespace wydb {
 
-/// Parses the text format into a database plus transaction system.
+/// A parsed workload file: the system (plus the copy placement inside
+/// OwnedSystem, when the file has `copies` stanzas) and the optional
+/// latency model.
+struct WorkloadSpec {
+  OwnedSystem owned;
+  /// From the `latency` stanza; defaults when has_latency is false.
+  LatencyModel latency;
+  bool has_latency = false;
+};
+
+/// Parses the full workload format, including the replication stanzas.
 /// Errors carry 1-based line numbers.
+Result<WorkloadSpec> ParseWorkload(const std::string& text);
+
+/// Parses the text format into a database plus transaction system (the
+/// placement, if any, rides along in OwnedSystem::placement).
 Result<OwnedSystem> ParseSystem(const std::string& text);
 
 /// Renders a system back into the text format (totally-ordered
 /// transactions round-trip exactly; partial orders are emitted as one
 /// segment per maximal chain of a topological order and may gain order).
 std::string SerializeSystem(const TransactionSystem& sys);
+
+/// As SerializeSystem, but also emits `sites`, `copies` and `latency`
+/// stanzas. Either pointer may be null; a null placement (or one with no
+/// replicated entity) emits no `copies` lines.
+std::string SerializeWorkload(const TransactionSystem& sys,
+                              const CopyPlacement* placement,
+                              const LatencyModel* latency);
 
 }  // namespace wydb
 

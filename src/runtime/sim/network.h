@@ -1,7 +1,7 @@
 // Simulated site-to-site messaging with a configurable latency model.
 //
-// Substitution note (DESIGN.md §6): the paper's model has no timing; the
-// network exists so that runtime interleavings vary per seed and lock
+// Substitution note (DESIGN.md §4.1): the paper's model has no timing;
+// the network exists so that runtime interleavings vary per seed and lock
 // grants arrive in adversarial orders, which is what deadlock formation
 // depends on.
 //

@@ -22,16 +22,29 @@ SimEngine::SimEngine(const TransactionSystem& sys, const SimOptions& options,
   for (SiteId s = 0; s < num_sites; ++s) {
     sites_.emplace_back(s, num_entities, &lock_events_);
   }
+  // Resolve the copy-placement table once. Each site's lock table is
+  // dense over the global entity id space, so entity e's copy at site s
+  // is simply row e of site s's table.
+  copies_.reserve(num_entities);
+  for (EntityId e = 0; e < num_entities; ++e) {
+    if (options.placement != nullptr) {
+      copies_.push_back(options.placement->CopiesOf(e));
+    } else {
+      copies_.push_back({sys.db().SiteOf(e)});
+    }
+  }
   executors_.reserve(n);
   for (int i = 0; i < n; ++i) {
     executors_.emplace_back(i, &sys.txn(i));
-    // Home site: where the transaction's first entity lives (round-robin
-    // fallback for the empty edge case).
+    // Home site: where the transaction's first entity's primary copy
+    // lives (round-robin fallback for the empty edge case).
     SiteId home = sys.txn(i).entities().empty()
                       ? i % std::max(1, num_sites)
-                      : sys.db().SiteOf(sys.txn(i).entities()[0]);
+                      : PrimaryOf(sys.txn(i).entities()[0]);
     home_.push_back(home);
     timestamp_.push_back(static_cast<uint64_t>(i));
+    pending_acks_.emplace_back(sys.txn(i).num_steps(), 0);
+    fanned_out_.emplace_back(sys.txn(i).num_steps(), 0);
   }
   committed_.assign(n, 0);
   round_base_attempt_.assign(n, 1);
@@ -105,11 +118,13 @@ void SimEngine::Dispatch(const SimEvent& ev) {
     }
     case EventKind::kUnlockArrive: {
       if (executors_[ev.txn].attempt() != ev.attempt) break;
-      // Traffic mode never extracts a history; don't grow the log.
-      if (!driver_.closed_loop) {
+      const EntityId e = executors_[ev.txn].txn().step(ev.node).entity;
+      // Traffic mode never extracts a history; don't grow the log. With
+      // replication, only the primary copy's event represents the logical
+      // step (one log entry per step, whatever the degree).
+      if (!driver_.closed_loop && ev.site == PrimaryOf(e)) {
         log_.push_back(LogEntry{ev.txn, ev.node, ev.attempt});
       }
-      const EntityId e = executors_[ev.txn].txn().step(ev.node).entity;
       sites_[ev.site].Release(ev.txn, e);
       SimEvent ack;
       ack.kind = EventKind::kAckArrive;
@@ -122,6 +137,17 @@ void SimEngine::Dispatch(const SimEvent& ev) {
     }
     case EventKind::kAckArrive: {
       if (executors_[ev.txn].attempt() != ev.attempt) break;
+      if (--pending_acks_[ev.txn][ev.node] > 0) break;  // Join pending.
+      if (!fanned_out_[ev.txn][ev.node]) {
+        // The primary copy is granted: fan the write-all out to the
+        // remaining copies. They cannot deadlock among themselves — only
+        // the primary holder ever requests secondaries (DESIGN.md §6).
+        fanned_out_[ev.txn][ev.node] = 1;
+        const Step step = executors_[ev.txn].txn().step(ev.node);
+        SendToCopies(ev.txn, ev.node, step.entity, EventKind::kLockArrive,
+                     /*from=*/1);
+        break;
+      }
       executors_[ev.txn].MarkCompleted(ev.node);
       Advance(ev.txn);
       break;
@@ -150,8 +176,9 @@ void SimEngine::HandleGrant(const LockEvent& le) {
     sites_[le.site].Release(le.txn, le.entity);
     return;
   }
-  // Lock granted at the site: this is the linearization point.
-  if (!driver_.closed_loop) {
+  // Lock granted at the site: this is the linearization point. Only the
+  // primary copy's grant enters the history log (one entry per step).
+  if (!driver_.closed_loop && le.site == PrimaryOf(le.entity)) {
     log_.push_back(LogEntry{le.txn, le.node, le.attempt});
   }
   SimEvent ack;
@@ -235,18 +262,44 @@ void SimEngine::Advance(int i) {
   }
 }
 
+void SimEngine::SendToCopies(int i, NodeId v, EntityId e, EventKind kind,
+                             std::size_t from) {
+  const std::vector<SiteId>& copies = copies_[e];
+  pending_acks_[i][v] = static_cast<int32_t>(copies.size() - from);
+  for (std::size_t k = from; k < copies.size(); ++k) {
+    SimEvent ev;
+    ev.kind = kind;
+    ev.txn = i;
+    ev.node = v;
+    ev.attempt = executors_[i].attempt();
+    ev.site = copies[k];
+    network_.Send(home_[i], copies[k], ev);
+  }
+}
+
 void SimEngine::IssueStep(int i, NodeId v) {
-  const TxnExecutor& exec = executors_[i];
-  const Step step = exec.txn().step(v);
-  const SiteId target = sys_.db().SiteOf(step.entity);
-  SimEvent ev;
-  ev.kind = step.kind == StepKind::kLock ? EventKind::kLockArrive
-                                         : EventKind::kUnlockArrive;
-  ev.txn = i;
-  ev.node = v;
-  ev.attempt = exec.attempt();
-  ev.site = target;
-  network_.Send(home_[i], target, ev);
+  const Step step = executors_[i].txn().step(v);
+  if (step.kind == StepKind::kLock) {
+    // Write-all with primary-copy serialization: acquire the primary copy
+    // first; its grant ack fans out to the remaining copies (kAckArrive).
+    // Simultaneous fan-out would let two homes each grab half the copies
+    // of the SAME entity and deadlock on it — the primary order prevents
+    // exactly that (DESIGN.md §6).
+    fanned_out_[i][v] = copies_[step.entity].size() == 1 ? 1 : 0;
+    pending_acks_[i][v] = 1;
+    SimEvent ev;
+    ev.kind = EventKind::kLockArrive;
+    ev.txn = i;
+    ev.node = v;
+    ev.attempt = executors_[i].attempt();
+    ev.site = PrimaryOf(step.entity);
+    network_.Send(home_[i], ev.site, ev);
+  } else {
+    // Releases cannot block: fan the unlock out to every copy at once
+    // and join the acks at the home site.
+    fanned_out_[i][v] = 1;
+    SendToCopies(i, v, step.entity, EventKind::kUnlockArrive, /*from=*/0);
+  }
 }
 
 void SimEngine::CommitRound(int i) {

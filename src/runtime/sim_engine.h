@@ -81,6 +81,18 @@ class SimEngine {
   void AbortTxn(int i);
   bool DetectAndResolve();
 
+  /// Copy sites of `e` (primary first), honouring the placement.
+  const std::vector<SiteId>& CopiesOf(EntityId e) const {
+    return copies_[e];
+  }
+  /// The copy whose site-local events represent `e` in the committed
+  /// history (one log entry per logical step, replicated or not).
+  SiteId PrimaryOf(EntityId e) const { return copies_[e][0]; }
+  /// Sends `kind` for step `v` of txn `i` to every copy site of `e`
+  /// starting at list index `from`, and counts them as outstanding acks.
+  void SendToCopies(int i, NodeId v, EntityId e, EventKind kind,
+                    std::size_t from);
+
   /// True once txn i must not issue further rounds (duration elapsed or
   /// round target reached).
   bool Retired(int i) const;
@@ -99,6 +111,17 @@ class SimEngine {
   std::vector<LockEvent> lock_events_;
   std::vector<LockManager> sites_;
   std::vector<TxnExecutor> executors_;
+  /// EntityId -> copy sites (primary first). Resolved once from
+  /// SimOptions::placement; single-copy rows when no placement is given.
+  std::vector<std::vector<SiteId>> copies_;
+  /// Per (txn, step): per-copy acks still outstanding before the step's
+  /// home-site join completes. Only valid for the currently issued
+  /// attempt; IssueStep re-initializes on every (re)issue.
+  std::vector<std::vector<int32_t>> pending_acks_;
+  /// Per (txn, step): whether the write-all fan-out past the primary copy
+  /// has been issued (Lock steps acquire the primary first; the grant ack
+  /// triggers the fan-out to the remaining copies).
+  std::vector<std::vector<uint8_t>> fanned_out_;
   std::vector<SiteId> home_;
   std::vector<uint64_t> timestamp_;
   /// Current round committed (sticky true in one-shot mode).

@@ -25,6 +25,11 @@ struct SimOptions {
   ConflictPolicy policy = ConflictPolicy::kBlock;
   uint64_t seed = 1;
   LatencyModel latency;
+  /// Physical copy placement for the replicated engine (DESIGN.md §6).
+  /// Null means single-copy at each entity's catalog site (the classic
+  /// engine, bit-identical to pre-replication behaviour). The placement
+  /// is borrowed: it must outlive every run launched with these options.
+  const CopyPlacement* placement = nullptr;
   /// Base delay before an aborted transaction restarts (plus jitter).
   SimTime restart_backoff = 200;
   /// Transactions start at a random offset in [0, start_spread].

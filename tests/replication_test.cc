@@ -1,0 +1,241 @@
+// Cross-validation of the replicated traffic engine (DESIGN.md §6)
+// against the static copies analyzer: systems certified safe+DF by
+// Corollary 3 / Theorem 5 never deadlock under the blocking policy for
+// any replication degree, an uncertified replicated system is driven
+// into deadlock, and per-seed results are bit-identical for any thread
+// count.
+#include <gtest/gtest.h>
+
+#include "analysis/copies_analyzer.h"
+#include "core/transaction_builder.h"
+#include "gen/system_gen.h"
+#include "runtime/simulation.h"
+#include "runtime/workload.h"
+#include "tests/test_util.h"
+
+namespace wydb {
+namespace {
+
+WorkloadOptions TrafficOptions(const CopyPlacement* placement,
+                               ConflictPolicy policy, uint64_t seed) {
+  WorkloadOptions opts;
+  opts.sim.policy = policy;
+  opts.sim.seed = seed;
+  opts.sim.placement = placement;
+  opts.duration = 20'000;
+  opts.think_time = 50;
+  return opts;
+}
+
+// ---------------------------------------------------------------------
+// Acceptance sweep: certified farms stay deadlock-free under blocking
+// traffic for every (workers, degree) cell; the analyzer verdict is the
+// prediction, the engine the experiment.
+struct FarmCell {
+  int workers;
+  int degree;
+};
+
+class CertifiedFarmSweep : public ::testing::TestWithParam<FarmCell> {};
+
+TEST_P(CertifiedFarmSweep, NeverDeadlocksUnderBlockingTraffic) {
+  const FarmCell cell = GetParam();
+  ReplicatedFarmOptions fopts;
+  fopts.workers = cell.workers;
+  fopts.degree = cell.degree;
+  fopts.certified = true;
+  auto farm = GenerateReplicatedFarm(fopts);
+  ASSERT_TRUE(farm.ok());
+
+  // The syntactic verdict certifies the template for any worker count.
+  CopiesVerdict verdict = CheckCopies(farm->system->txn(0), cell.workers);
+  ASSERT_TRUE(verdict.safe_and_deadlock_free) << verdict.explanation;
+
+  auto agg = RunWorkloadMany(
+      *farm->system,
+      TrafficOptions(farm->placement.get(), ConflictPolicy::kBlock,
+                     1000 + cell.workers * 31 + cell.degree),
+      /*runs=*/12);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->deadlocked_runs, 0);
+  EXPECT_EQ(agg->gave_up_runs, 0);
+  EXPECT_EQ(agg->budget_exhausted_runs, 0);
+  EXPECT_EQ(agg->total_aborts, 0u);  // Pure blocking: no policy aborts.
+  EXPECT_GT(agg->total_commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, CertifiedFarmSweep,
+                         ::testing::Values(FarmCell{2, 1}, FarmCell{2, 2},
+                                           FarmCell{3, 2}, FarmCell{3, 3},
+                                           FarmCell{4, 2}, FarmCell{5, 3}));
+
+// Growing the database after building a placement must not wipe earlier
+// customizations: new entities get default rows appended.
+TEST(CopyPlacementTest, SetCopiesSurvivesDatabaseGrowth) {
+  Database db;
+  db.AddEntityAtSite("x", "s1").ValueOrDie();
+  db.AddEntityAtSite("y", "s2").ValueOrDie();
+  CopyPlacement placement(db);
+  ASSERT_TRUE(placement
+                  .SetCopies(db, db.FindEntity("x"),
+                             {db.FindSite("s2"), db.FindSite("s1")})
+                  .ok());
+  EntityId z = db.AddEntityAtSite("z", "s3").ValueOrDie();
+  ASSERT_TRUE(placement.SetCopies(db, z, {db.FindSite("s1")}).ok());
+  // x's customization survives; y got a default row.
+  EXPECT_EQ(placement.DegreeOf(db.FindEntity("x")), 2);
+  EXPECT_EQ(placement.PrimaryOf(db.FindEntity("x")), db.FindSite("s2"));
+  EXPECT_EQ(placement.PrimaryOf(db.FindEntity("y")), db.FindSite("s2"));
+  EXPECT_EQ(placement.PrimaryOf(z), db.FindSite("s1"));
+}
+
+// The analysis-layer bridge produces the same artifacts.
+TEST(ReplicationCrossVal, MakeReplicatedCopiesBundlesVerdictAndPlacement) {
+  auto db = testutil::MakeSpreadDb({"x", "y"});
+  Transaction t =
+      testutil::MakeSeq(db.get(), "T", {"Lx", "Ly", "Uy", "Ux"});
+  auto bundle = MakeReplicatedCopies(t, /*d=*/3, /*degree=*/2);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_TRUE(bundle->verdict.safe_and_deadlock_free);
+  EXPECT_EQ(bundle->system.num_transactions(), 3);
+  EXPECT_EQ(bundle->placement.MaxDegree(), 2);
+
+  SimOptions sim;
+  sim.placement = &bundle->placement;
+  auto agg = RunMany(bundle->system, sim, 20);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->committed_runs, 20);
+  EXPECT_EQ(agg->deadlocked_runs, 0);
+  EXPECT_TRUE(agg->all_histories_serializable);
+}
+
+// ---------------------------------------------------------------------
+// The refutation side: an uncertified replicated system is actually
+// driven into deadlock by adverse message timing across seeds.
+TEST(ReplicationCrossVal, UncertifiedReplicatedRingDeadlocks) {
+  auto ring = GenerateReplicatedRingSystem(/*k=*/2, /*degree=*/2);
+  ASSERT_TRUE(ring.ok());
+  ASSERT_TRUE(ring->placement->IsReplicated());
+
+  // Not an identical-copies system, but the copies analyzer refutes the
+  // opposite-order template shape all the same on each member.
+  CopiesVerdict verdict = CheckTwoCopies(ring->system->txn(0));
+  EXPECT_TRUE(verdict.safe_and_deadlock_free)
+      << "a single ring member alone is benign";
+
+  auto agg = RunWorkloadMany(
+      *ring->system,
+      TrafficOptions(ring->placement.get(), ConflictPolicy::kBlock, 1),
+      /*runs=*/20);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_GT(agg->deadlocked_runs, 0);
+}
+
+// The Fig. 6 phenomenon survives data replication: the cyclic-cover
+// template is refuted by the analyzer, and three replicated workers can
+// deadlock.
+TEST(ReplicationCrossVal, UncertifiedCyclicFarmDeadlocks) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = 3;
+  fopts.entities = 3;
+  fopts.degree = 2;
+  fopts.certified = false;
+  auto farm = GenerateReplicatedFarm(fopts);
+  ASSERT_TRUE(farm.ok());
+
+  CopiesVerdict verdict = CheckCopies(farm->system->txn(0), fopts.workers);
+  ASSERT_FALSE(verdict.safe_and_deadlock_free);
+
+  int deadlocked = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SimOptions sim;
+    sim.seed = seed;
+    sim.placement = farm->placement.get();
+    auto res = RunSimulation(*farm->system, sim);
+    ASSERT_TRUE(res.ok());
+    if (res->deadlocked) ++deadlocked;
+  }
+  EXPECT_GT(deadlocked, 0);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: per-seed results of the replicated engine are
+// bit-identical for any thread count, and the degree-1 placement is
+// bit-identical to running with no placement at all.
+TEST(ReplicationDeterminism, AggregatesIdenticalForAnyThreadCount) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = 4;
+  fopts.degree = 2;
+  auto farm = GenerateReplicatedFarm(fopts);
+  ASSERT_TRUE(farm.ok());
+  WorkloadOptions base =
+      TrafficOptions(farm->placement.get(), ConflictPolicy::kWoundWait, 7);
+
+  auto serial = RunWorkloadMany(*farm->system, base, 12, /*threads=*/1);
+  auto parallel = RunWorkloadMany(*farm->system, base, 12, /*threads=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->total_commits, parallel->total_commits);
+  EXPECT_EQ(serial->total_aborts, parallel->total_aborts);
+  EXPECT_EQ(serial->deadlocked_runs, parallel->deadlocked_runs);
+  EXPECT_EQ(serial->avg_throughput, parallel->avg_throughput);
+  EXPECT_EQ(serial->avg_abort_rate, parallel->avg_abort_rate);
+  EXPECT_EQ(serial->avg_p50, parallel->avg_p50);
+  EXPECT_EQ(serial->avg_p95, parallel->avg_p95);
+  EXPECT_EQ(serial->avg_p99, parallel->avg_p99);
+}
+
+TEST(ReplicationDeterminism, DegreeOnePlacementMatchesNoPlacement) {
+  auto ring = GenerateRingSystem(4);
+  ASSERT_TRUE(ring.ok());
+  CopyPlacement single(*ring->db);
+
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimOptions without;
+    without.seed = seed;
+    SimOptions with = without;
+    with.placement = &single;
+    auto a = RunSimulation(*ring->system, without);
+    auto b = RunSimulation(*ring->system, with);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->all_committed, b->all_committed);
+    EXPECT_EQ(a->deadlocked, b->deadlocked);
+    EXPECT_EQ(a->aborts, b->aborts);
+    EXPECT_EQ(a->messages, b->messages);
+    EXPECT_EQ(a->events, b->events);
+    EXPECT_EQ(a->makespan, b->makespan);
+    EXPECT_EQ(a->blocked_txns, b->blocked_txns);
+    EXPECT_EQ(a->committed_history, b->committed_history);
+  }
+}
+
+// Replication multiplies the message volume (write-all fan-out) without
+// changing the logical outcome of a certified system.
+TEST(ReplicationTraffic, WriteAllFanOutCostsMessages) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = 3;
+  fopts.degree = 1;
+  auto single = GenerateReplicatedFarm(fopts);
+  fopts.degree = 3;
+  auto triple = GenerateReplicatedFarm(fopts);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(triple.ok());
+
+  SimOptions sim1;
+  sim1.placement = single->placement.get();
+  SimOptions sim3 = sim1;
+  sim3.placement = triple->placement.get();
+  auto r1 = RunSimulation(*single->system, sim1);
+  auto r3 = RunSimulation(*triple->system, sim3);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r1->all_committed);
+  EXPECT_TRUE(r3->all_committed);
+  EXPECT_GT(r3->messages, r1->messages);
+  // One committed history entry per logical step either way.
+  EXPECT_EQ(r3->committed_history.size(), r1->committed_history.size());
+}
+
+}  // namespace
+}  // namespace wydb

@@ -21,6 +21,10 @@ inline std::unique_ptr<Database> MakeDb(
         spec) {
   auto db = std::make_unique<Database>();
   for (const auto& [site, entities] : spec) {
+    if (db->FindSite(site) == kInvalidSite) {
+      auto s = db->AddSite(site);
+      if (!s.ok()) std::abort();
+    }
     for (const auto& e : entities) {
       auto r = db->AddEntityAtSite(e, site);
       if (!r.ok()) std::abort();

@@ -1,7 +1,10 @@
-// Tests for the workload text format and its round-tripping.
+// Tests for the workload text format and its round-tripping, including
+// the replication stanzas (`sites`, `copies`, `latency`).
 #include <gtest/gtest.h>
 
 #include "analysis/multi_analyzer.h"
+#include "common/random.h"
+#include "gen/system_gen.h"
 #include "io/text_format.h"
 
 namespace wydb {
@@ -103,6 +106,152 @@ TEST(TextFormatTest, RoundTripsTotalOrders) {
   for (int i = 0; i < sys->system->num_transactions(); ++i) {
     EXPECT_EQ(again->system->txn(i).DebugString(),
               sys->system->txn(i).DebugString());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Replication stanzas.
+
+constexpr char kReplicated[] = R"(
+sites: backup
+site s1: x
+site s2: y
+copies x: s1 backup
+copies y: s2 backup s1
+latency: 20 7 2
+txn T: Lx Ly Ux Uy
+)";
+
+TEST(TextFormatTest, ParsesReplicationStanzas) {
+  auto spec = ParseWorkload(kReplicated);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const Database& db = *spec->owned.db;
+  EXPECT_EQ(db.num_sites(), 3);
+  EXPECT_TRUE(db.EntitiesAt(db.FindSite("backup")).empty());
+
+  ASSERT_NE(spec->owned.placement, nullptr);
+  const CopyPlacement& placement = *spec->owned.placement;
+  EXPECT_TRUE(placement.IsReplicated());
+  EXPECT_EQ(placement.DegreeOf(db.FindEntity("x")), 2);
+  EXPECT_EQ(placement.DegreeOf(db.FindEntity("y")), 3);
+  // The first listed site is the primary.
+  EXPECT_EQ(placement.PrimaryOf(db.FindEntity("y")), db.FindSite("s2"));
+
+  EXPECT_TRUE(spec->has_latency);
+  EXPECT_EQ(spec->latency.base, 20u);
+  EXPECT_EQ(spec->latency.jitter, 7u);
+  EXPECT_EQ(spec->latency.local, 2u);
+}
+
+TEST(TextFormatTest, BareSiteLineCreatesTheSite) {
+  auto sys = ParseSystem("site lonely:\nsite s: x\ntxn T: Lx Ux\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  EXPECT_NE(sys->db->FindSite("lonely"), kInvalidSite);
+}
+
+TEST(TextFormatTest, RejectsBadReplicationStanzas) {
+  // Unknown entity / site.
+  EXPECT_FALSE(ParseWorkload("site s: x\ncopies z: s\ntxn T: Lx Ux\n").ok());
+  EXPECT_FALSE(ParseWorkload("site s: x\ncopies x: nope\ntxn T: Lx Ux\n").ok());
+  // Duplicate copy site and duplicate stanza.
+  EXPECT_FALSE(ParseWorkload("site s: x\ncopies x: s s\ntxn T: Lx Ux\n").ok());
+  EXPECT_FALSE(ParseWorkload("sites: a\nsite s: x\ncopies x: s\ncopies x: a\n"
+                             "txn T: Lx Ux\n")
+                   .ok());
+  // Malformed latency.
+  EXPECT_FALSE(ParseWorkload("site s: x\nlatency: 1 2\ntxn T: Lx Ux\n").ok());
+  EXPECT_FALSE(
+      ParseWorkload("site s: x\nlatency: a b c\ntxn T: Lx Ux\n").ok());
+  EXPECT_FALSE(ParseWorkload("site s: x\nlatency: 1 2 3\nlatency: 1 2 3\n"
+                             "txn T: Lx Ux\n")
+                   .ok());
+  // Duplicate site declarations across stanza kinds.
+  EXPECT_FALSE(ParseWorkload("sites: s\nsites: s\ntxn T: Lx Ux\n").ok());
+  EXPECT_FALSE(ParseSystem("site s: x\nsite s: y\n").ok());
+}
+
+TEST(TextFormatTest, ReplicatedRoundTripPreservesEverything) {
+  auto spec = ParseWorkload(kReplicated);
+  ASSERT_TRUE(spec.ok());
+  std::string text =
+      SerializeWorkload(*spec->owned.system, spec->owned.placement.get(),
+                        &spec->latency);
+  auto again = ParseWorkload(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+
+  const Database& db = *spec->owned.db;
+  const Database& db2 = *again->owned.db;
+  EXPECT_EQ(db2.num_sites(), db.num_sites());
+  ASSERT_NE(again->owned.placement, nullptr);
+  for (EntityId e = 0; e < db.num_entities(); ++e) {
+    EntityId e2 = db2.FindEntity(db.EntityName(e));
+    ASSERT_NE(e2, kInvalidEntity);
+    const auto& sites = spec->owned.placement->CopiesOf(e);
+    const auto& sites2 = again->owned.placement->CopiesOf(e2);
+    ASSERT_EQ(sites2.size(), sites.size());
+    for (size_t k = 0; k < sites.size(); ++k) {
+      EXPECT_EQ(db2.SiteName(sites2[k]), db.SiteName(sites[k]));
+    }
+  }
+  EXPECT_TRUE(again->has_latency);
+  EXPECT_EQ(again->latency.base, spec->latency.base);
+  EXPECT_EQ(again->latency.jitter, spec->latency.jitter);
+  EXPECT_EQ(again->latency.local, spec->latency.local);
+}
+
+// Property test: random systems with random placements and latency
+// models survive parse -> print -> parse with all structure intact.
+TEST(TextFormatTest, RandomReplicatedWorkloadsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomSystemOptions gopts;
+    gopts.num_sites = 3;
+    gopts.entities_per_site = 2;
+    gopts.num_transactions = 3;
+    gopts.entities_per_txn = 3;
+    gopts.seed = seed;
+    auto sys = GenerateRandomSystem(gopts);
+    ASSERT_TRUE(sys.ok());
+    Rng rng(seed * 7919);
+    ASSERT_TRUE(
+        ReplicateRoundRobin(&*sys, 1 + static_cast<int>(rng.NextBelow(3)))
+            .ok());
+    LatencyModel latency;
+    latency.base = 1 + rng.NextBelow(50);
+    latency.jitter = rng.NextBelow(20);
+    latency.local = 1 + rng.NextBelow(3);
+
+    std::string text = SerializeWorkload(*sys->system, sys->placement.get(),
+                                         &latency);
+    auto again = ParseWorkload(text);
+    ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+
+    // Transactions round-trip (total orders exactly).
+    ASSERT_EQ(again->owned.system->num_transactions(),
+              sys->system->num_transactions());
+    EXPECT_TRUE(again->has_latency);
+    EXPECT_EQ(again->latency.base, latency.base);
+    EXPECT_EQ(again->latency.jitter, latency.jitter);
+    EXPECT_EQ(again->latency.local, latency.local);
+    const Database& db = *sys->db;
+    const Database& db2 = *again->owned.db;
+    if (!sys->placement->IsReplicated()) {
+      // A single-copy placement serializes to no `copies` lines and
+      // round-trips to the equivalent null placement.
+      EXPECT_EQ(again->owned.placement, nullptr);
+      continue;
+    }
+    // Placement round-trips by name.
+    ASSERT_NE(again->owned.placement, nullptr);
+    for (EntityId e = 0; e < db.num_entities(); ++e) {
+      EntityId e2 = db2.FindEntity(db.EntityName(e));
+      ASSERT_NE(e2, kInvalidEntity);
+      const auto& sites = sys->placement->CopiesOf(e);
+      const auto& sites2 = again->owned.placement->CopiesOf(e2);
+      ASSERT_EQ(sites2.size(), sites.size()) << "seed " << seed;
+      for (size_t k = 0; k < sites.size(); ++k) {
+        EXPECT_EQ(db2.SiteName(sites2[k]), db.SiteName(sites[k]));
+      }
+    }
   }
 }
 

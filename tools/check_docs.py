@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docs consistency gate for CI.
+
+1. Every relative markdown link in README.md, DESIGN.md and docs/*.md
+   must resolve to an existing file or directory.
+2. The `wydb_analyze --help` text and the README CLI tour must agree:
+   every subcommand and every `--flag` the binary advertises appears in
+   README.md, and every `--flag` the README documents is advertised by
+   the binary.
+
+Usage: tools/check_docs.py [path/to/wydb_analyze]
+Run from the repository root. The binary argument is optional; without
+it the help/README sync check is skipped (link checking still runs).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", REPO / "DESIGN.md"] + sorted(
+    (REPO / "docs").glob("*.md")
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z-]*")
+SUBCOMMAND_RE = re.compile(r"^  wydb_analyze (\w+)", re.MULTILINE)
+
+# Flags that are prose (cmake/ctest/benchmark), not wydb_analyze options.
+FLAG_ALLOWLIST = {
+    "--help",
+    "--build",
+    "--output-on-failure",
+    "--benchmark_filter",
+}
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue  # Pure in-page anchor.
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{doc.relative_to(REPO)}:{lineno}: broken link "
+                        f"'{target}'"
+                    )
+    return errors
+
+
+def check_help_sync(binary: Path) -> list[str]:
+    errors = []
+    readme = (REPO / "README.md").read_text()
+    try:
+        help_text = subprocess.run(
+            [str(binary), "--help"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError) as exc:
+        return [f"cannot run {binary} --help: {exc}"]
+
+    for sub in set(SUBCOMMAND_RE.findall(help_text)):
+        if not re.search(rf"`{sub}`|wydb_analyze {sub}", readme):
+            errors.append(f"subcommand '{sub}' in --help but not README.md")
+
+    help_flags = set(FLAG_RE.findall(help_text)) - {"--help"}
+    readme_flags = set(FLAG_RE.findall(readme)) - FLAG_ALLOWLIST
+    for flag in sorted(help_flags - readme_flags):
+        errors.append(f"flag '{flag}' in --help but not README.md")
+    for flag in sorted(readme_flags - help_flags):
+        errors.append(f"flag '{flag}' in README.md but not --help")
+    return errors
+
+
+def main() -> int:
+    errors = check_links()
+    if len(sys.argv) > 1:
+        errors += check_help_sync(Path(sys.argv[1]))
+    else:
+        print("note: no wydb_analyze binary given; skipping help sync check")
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if not errors:
+        print(f"check_docs: OK ({len(DOC_FILES)} docs checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,33 +1,9 @@
 // wydb_analyze: command-line front end for the paper's algorithms.
+// Run `wydb_analyze --help` for the full usage text (kHelp below); the
+// README.md CLI tour documents every flag and is kept in sync by the
+// docs CI job (tools/check_docs.py).
 //
-// Usage:
-//   wydb_analyze <workload.wydb> [options]
-//   wydb_analyze simulate <workload.wydb> [sim options]
-//
-// Analysis options:
-//   --pairs            also print the per-pair Theorem 3 verdicts
-//   --exact            also run the exact (exponential) checkers
-//   --optimize         run the early-unlock optimizer and print the result
-//   --simulate <runs>  simulate the workload <runs> times per policy
-//   --dump             echo the parsed system back in text format
-//
-// `simulate` subcommand options (the traffic engine):
-//   --policy <p>       block|detect|wound-wait|wait-die|all (default all)
-//   --runs <n>         seeded runs per policy (default 20)
-//   --seed <s>         base seed (default 1)
-//   --threads <k>      worker threads for the run sweep (default: hardware)
-//   --closed-loop      closed-loop traffic mode (each commit re-issues
-//                      after a think-time delay)
-//   --open-loop        open arrival variant (fixed-rate arrival clock)
-//   --duration <d>     traffic session length in sim time (default 100000)
-//   --think <t>        mean think time / inter-arrival interval
-//   --rounds <r>       per-transaction round target (bounds the session
-//                      instead of --duration unless both are given)
-//   --mpl <m>          multi-programming level cap (0 = unlimited)
-// Any of --open-loop/--duration/--think/--rounds/--mpl implies traffic
-// mode; without them the subcommand runs the one-shot simulation sweep.
-//
-// The workload format is documented in src/io/text_format.h; see
+// The workload format is documented in docs/FORMAT.md; see
 // tools/sample_workload.wydb for an example.
 #include <cstdio>
 #include <cstdlib>
@@ -50,19 +26,69 @@ using namespace wydb;
 
 namespace {
 
+constexpr char kHelp[] =
+    R"(wydb_analyze: static certification and traffic simulation of locked
+distributed transaction systems (Wolfson-Yannakakis, PODS '85).
+
+Usage:
+  wydb_analyze <workload.wydb> [analysis options]
+  wydb_analyze simulate <workload.wydb> [simulate options]
+  wydb_analyze sweep <workload.wydb> [sweep options]
+  wydb_analyze --help
+
+Analysis options:
+  --pairs            also print the per-pair Theorem 3 verdicts
+  --exact            also run the exact (exponential) checkers
+  --optimize         run the early-unlock optimizer and print the result
+  --simulate <runs>  simulate the workload <runs> times per policy
+  --dump             echo the parsed system back in text format
+
+simulate: run the traffic engine (replicated when the file has `copies`
+stanzas; the file's `latency` stanza, if any, sets the network model).
+  --policy <p>       block|detect|wound-wait|wait-die|all (default all)
+  --runs <n>         seeded runs per policy (default 20)
+  --seed <s>         base seed (default 1)
+  --threads <k>      worker threads for the run sweep (default: hardware)
+  --closed-loop      closed-loop traffic mode (each commit re-issues
+                     after a think-time delay)
+  --open-loop        open arrival variant (fixed-rate arrival clock)
+  --duration <d>     traffic session length in sim time (default 100000)
+  --think <t>        mean think time / inter-arrival interval
+  --rounds <r>       per-transaction round target (bounds the session
+                     instead of --duration unless both are given)
+  --mpl <m>          multi-programming level cap (0 = unlimited)
+Any of --open-loop/--duration/--think/--rounds/--mpl implies traffic
+mode; without them the subcommand runs the one-shot simulation sweep.
+
+sweep: run a policy x replication-degree x MPL grid of closed-loop
+traffic sessions through the threaded seed sweep and emit one CSV row
+per cell (header first, to stdout or --out).
+  --policy <p>       as in simulate (default all)
+  --degrees <list>   comma-separated replication degrees, e.g. 1,2,3
+                     (round-robin placements; default: the file's own
+                     placement, or single-copy)
+  --mpls <list>      comma-separated MPL caps, e.g. 0,2,8 (default 0)
+  --runs <n>         seeded sessions per cell (default 20)
+  --seed <s>         base seed (default 1)
+  --threads <k>      worker threads per cell (default: hardware)
+  --duration <d>     session length in sim time (default 100000)
+  --think <t>        mean think time (default 100)
+  --out <file>       write the CSV to a file instead of stdout
+)";
+
 int Fail(const char* msg) {
   std::fprintf(stderr, "wydb_analyze: %s\n", msg);
   return 2;
 }
 
-Result<OwnedSystem> LoadSystem(const char* path) {
+Result<WorkloadSpec> LoadWorkload(const char* path) {
   std::ifstream file(path);
   if (!file) {
     return Status::InvalidArgument("cannot open workload file");
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
-  return ParseSystem(buffer.str());
+  return ParseWorkload(buffer.str());
 }
 
 std::vector<ConflictPolicy> PoliciesFromArg(const char* arg) {
@@ -130,22 +156,28 @@ int RunSimulateCommand(int argc, char** argv) {
   // --rounds alone means a rounds-bounded session, not duration-bounded.
   if (rounds > 0 && !duration_set) duration = 0;
 
-  auto loaded = LoadSystem(argv[2]);
+  auto loaded = LoadWorkload(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  loaded.status().ToString().c_str());
     return 2;
   }
-  const TransactionSystem& sys = *loaded->system;
-  std::printf("%d transactions, %d entities, %d sites; %d runs per policy\n",
-              sys.num_transactions(), sys.db().num_entities(),
-              sys.db().num_sites(), runs);
+  const TransactionSystem& sys = *loaded->owned.system;
+  const CopyPlacement* placement = loaded->owned.placement.get();
+  std::printf(
+      "%d transactions, %d entities, %d sites%s; %d runs per policy\n",
+      sys.num_transactions(), sys.db().num_entities(), sys.db().num_sites(),
+      placement != nullptr && placement->IsReplicated() ? " (replicated)"
+                                                        : "",
+      runs);
 
   for (ConflictPolicy policy : policies) {
     if (traffic) {
       WorkloadOptions opts;
       opts.sim.policy = policy;
       opts.sim.seed = seed;
+      opts.sim.placement = placement;
+      if (loaded->has_latency) opts.sim.latency = loaded->latency;
       opts.open_loop = open_loop;
       opts.think_time = think;
       opts.duration = duration;
@@ -170,6 +202,8 @@ int RunSimulateCommand(int argc, char** argv) {
       SimOptions opts;
       opts.policy = policy;
       opts.seed = seed;
+      opts.placement = placement;
+      if (loaded->has_latency) opts.latency = loaded->latency;
       auto agg = RunMany(sys, opts, runs, threads);
       if (!agg.ok()) {
         std::fprintf(stderr, "simulate failed: %s\n",
@@ -186,6 +220,159 @@ int RunSimulateCommand(int argc, char** argv) {
           agg->avg_makespan);
     }
   }
+  return 0;
+}
+
+// Parses "1,2,8" into non-negative ints; empty on malformed input or
+// entries beyond a sane bound (guards signed overflow).
+std::vector<int> ParseIntList(const char* arg) {
+  constexpr int kMax = 1'000'000'000;
+  std::vector<int> out;
+  int value = 0;
+  bool digits = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      if (value > kMax / 10) return {};
+      value = value * 10 + (*p - '0');
+      digits = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!digits) return {};
+      out.push_back(value);
+      value = 0;
+      digits = false;
+      if (*p == '\0') return out;
+    } else {
+      return {};
+    }
+  }
+}
+
+int RunSweepCommand(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("usage: wydb_analyze sweep <workload.wydb> [options]");
+  }
+  const char* policy_arg = "all";
+  const char* out_path = nullptr;
+  std::vector<int> degrees;  // Empty: use the file's own placement.
+  std::vector<int> mpls = {0};
+  int runs = 20, threads = 0;
+  uint64_t seed = 1;
+  SimTime duration = 100'000, think = 100;
+  for (int a = 3; a < argc; ++a) {
+    auto next = [&](const char* opt) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "wydb_analyze: %s needs a value\n", opt);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--policy")) {
+      policy_arg = next("--policy");
+    } else if (!std::strcmp(argv[a], "--degrees")) {
+      degrees = ParseIntList(next("--degrees"));
+      if (degrees.empty()) return Fail("--degrees wants e.g. 1,2,3");
+    } else if (!std::strcmp(argv[a], "--mpls")) {
+      mpls = ParseIntList(next("--mpls"));
+      if (mpls.empty()) return Fail("--mpls wants e.g. 0,2,8");
+    } else if (!std::strcmp(argv[a], "--runs")) {
+      runs = std::atoi(next("--runs"));
+    } else if (!std::strcmp(argv[a], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--threads")) {
+      threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[a], "--duration")) {
+      duration = std::strtoull(next("--duration"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--think")) {
+      think = std::strtoull(next("--think"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--out")) {
+      out_path = next("--out");
+    } else {
+      return Fail("unknown sweep option");
+    }
+  }
+  std::vector<ConflictPolicy> policies = PoliciesFromArg(policy_arg);
+  if (policies.empty()) return Fail("unknown --policy");
+  if (runs <= 0) return Fail("--runs must be positive");
+  if (duration == 0) return Fail("--duration must be positive");
+
+  auto loaded = LoadWorkload(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  const TransactionSystem& sys = *loaded->owned.system;
+
+  // Resolve the degree axis: explicit --degrees build round-robin
+  // placements; otherwise the single cell uses the file's placement (or
+  // single-copy when the file has none).
+  struct DegreeCell {
+    int degree;
+    const CopyPlacement* placement;  // Null = single-copy.
+  };
+  std::vector<CopyPlacement> generated;
+  std::vector<DegreeCell> degree_cells;
+  if (degrees.empty()) {
+    const CopyPlacement* file_placement = loaded->owned.placement.get();
+    degree_cells.push_back(
+        {file_placement != nullptr ? file_placement->MaxDegree() : 1,
+         file_placement});
+  } else {
+    generated.reserve(degrees.size());  // Stable addresses for the cells.
+    for (int d : degrees) {
+      if (d < 1) return Fail("--degrees entries must be >= 1");
+      if (d > sys.db().num_sites()) {
+        std::fprintf(stderr,
+                     "wydb_analyze: degree %d exceeds the %d sites; "
+                     "clamping\n",
+                     d, sys.db().num_sites());
+      }
+      generated.push_back(CopyPlacement::RoundRobin(sys.db(), d));
+      degree_cells.push_back({generated.back().MaxDegree(),
+                              &generated.back()});
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) return Fail("cannot open --out file");
+  }
+  std::fprintf(out,
+               "policy,degree,mpl,runs,total_commits,total_aborts,"
+               "avg_throughput,avg_abort_rate,avg_p50,avg_p95,avg_p99,"
+               "deadlocked_runs,budget_exhausted_runs,gave_up_runs\n");
+  for (ConflictPolicy policy : policies) {
+    for (const DegreeCell& cell : degree_cells) {
+      for (int mpl : mpls) {
+        WorkloadOptions opts;
+        opts.sim.policy = policy;
+        opts.sim.seed = seed;
+        opts.sim.placement = cell.placement;
+        if (loaded->has_latency) opts.sim.latency = loaded->latency;
+        opts.duration = duration;
+        opts.think_time = think;
+        opts.mpl = mpl;
+        auto agg = RunWorkloadMany(sys, opts, runs, threads);
+        if (!agg.ok()) {
+          std::fprintf(stderr, "sweep cell failed: %s\n",
+                       agg.status().ToString().c_str());
+          if (out != stdout) std::fclose(out);
+          return 1;
+        }
+        std::fprintf(out,
+                     "%s,%d,%d,%d,%llu,%llu,%.3f,%.4f,%.1f,%.1f,%.1f,%d,"
+                     "%d,%d\n",
+                     ConflictPolicyName(policy), cell.degree, mpl, agg->runs,
+                     static_cast<unsigned long long>(agg->total_commits),
+                     static_cast<unsigned long long>(agg->total_aborts),
+                     agg->avg_throughput, agg->avg_abort_rate, agg->avg_p50,
+                     agg->avg_p95, agg->avg_p99, agg->deadlocked_runs,
+                     agg->budget_exhausted_runs, agg->gave_up_runs);
+      }
+    }
+  }
+  if (out != stdout) std::fclose(out);
   return 0;
 }
 
@@ -214,16 +401,19 @@ void PrintMultiVerdict(const TransactionSystem& sys,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 &&
+      (!std::strcmp(argv[1], "--help") || !std::strcmp(argv[1], "help"))) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
   if (argc < 2) {
-    return Fail("usage: wydb_analyze <workload.wydb> [--pairs] [--exact] "
-                "[--optimize] [--simulate N] [--dump]\n"
-                "       wydb_analyze simulate <workload.wydb> [--policy P] "
-                "[--runs N] [--closed-loop] [--open-loop] [--duration D] "
-                "[--think T] [--rounds R] [--mpl M] [--threads K] "
-                "[--seed S]");
+    return Fail("no workload given; see wydb_analyze --help");
   }
   if (!std::strcmp(argv[1], "simulate")) {
     return RunSimulateCommand(argc, argv);
+  }
+  if (!std::strcmp(argv[1], "sweep")) {
+    return RunSweepCommand(argc, argv);
   }
   bool pairs = false, exact = false, optimize = false, dump = false;
   int simulate_runs = 0;
@@ -243,17 +433,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto parsed = LoadSystem(argv[1]);
+  auto parsed = LoadWorkload(argv[1]);
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed.status().ToString().c_str());
     return 2;
   }
-  const TransactionSystem& sys = *parsed->system;
+  const TransactionSystem& sys = *parsed->owned.system;
   std::printf("parsed %d transactions, %d entities, %d sites (%d steps)\n",
               sys.num_transactions(), sys.db().num_entities(),
               sys.db().num_sites(), sys.TotalSteps());
-  if (dump) std::printf("%s", SerializeSystem(sys).c_str());
+  if (dump) {
+    std::printf("%s",
+                SerializeWorkload(sys, parsed->owned.placement.get(),
+                                  parsed->has_latency ? &parsed->latency
+                                                      : nullptr)
+                    .c_str());
+  }
 
   auto report = CheckSystemSafeAndDeadlockFree(sys);
   if (!report.ok()) {
@@ -327,6 +523,8 @@ int main(int argc, char** argv) {
                         ConflictPolicy::kWaitDie}) {
       SimOptions opts;
       opts.policy = policy;
+      opts.placement = parsed->owned.placement.get();
+      if (parsed->has_latency) opts.latency = parsed->latency;
       auto agg = RunMany(sys, opts, simulate_runs);
       if (!agg.ok()) continue;
       std::printf(
