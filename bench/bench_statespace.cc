@@ -153,6 +153,63 @@ BENCHMARK(BM_DeadlockCheck_Incremental)->DenseRange(4, 8, 2);
 // BM_ExactSafeDfCheck_Chain{,_Seed}; they are deliberately not duplicated
 // here.
 
+// ---------------------------------------------------------------------
+// Thread scaling on the exploding disjoint-grid deadlock series (ISSUE 4
+// acceptance series): k transactions over disjoint entities visit
+// (2*entities+1)^k states, so per-state work dominates and the sharded
+// parallel engine's speedup is directly visible in ns_per_state. Results
+// are bit-identical to the serial engines at every thread count
+// (property-tested); only the wall clock may differ. On a single-core
+// host the >1-thread rows measure determinism overhead, not scaling —
+// compare against the recording context's num_cpus.
+
+void RunGridDeadlockBench(benchmark::State& state, SearchEngine engine) {
+  const int k = static_cast<int>(state.range(0));
+  auto sys = GenerateDisjointGridSystem(k, /*entities_per_txn=*/3);
+  if (!sys.ok()) std::abort();
+  DeadlockCheckOptions opts;
+  opts.engine = engine;
+  opts.search_threads = static_cast<int>(state.range(1));
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*sys->system, opts);
+    if (!report.ok() || !report->deadlock_free) {
+      state.SkipWithError("budget");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  // Wall-clock ns/state (UseRealTime below): the scaling metric. The
+  // default CPU-time rate would only meter the calling thread and
+  // overstate multi-thread runs.
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_GridDeadlock_Incremental(benchmark::State& state) {
+  RunGridDeadlockBench(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_GridDeadlock_Incremental)
+    ->Args({4, 0})
+    ->Args({5, 0})
+    ->UseRealTime();
+
+// Second arg = worker threads of the sharded engine.
+void BM_GridDeadlock_ParallelSharded(benchmark::State& state) {
+  RunGridDeadlockBench(state, SearchEngine::kParallelSharded);
+}
+BENCHMARK(BM_GridDeadlock_ParallelSharded)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->UseRealTime();
+
 void RunSafeDfBench(benchmark::State& state, SearchEngine engine) {
   OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
   SafetyCheckOptions opts;

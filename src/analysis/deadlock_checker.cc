@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/reduction_graph.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
@@ -191,12 +192,164 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
   return report;
 }
 
+// Level-synchronous parallel BFS over a ShardedStateStore (DESIGN.md §7).
+//
+// A FIFO BFS pops states in id order and ids are assigned in discovery
+// order, so the serial search is equivalent to processing the store one
+// *level* at a time. Each level runs in three steps:
+//
+//   1. Expand + check (parallel, work-stealing chunks of the level):
+//      generate each state's moves, evaluate the witness predicate
+//      (stuck state / cyclic reduction graph — both purely per-state),
+//      and stage every child into the chunk's staging buffer.
+//   2. Reduce: the minimum witness id across workers. A witness at id w
+//      reproduces the serial report exactly — the serial loop would have
+//      popped 0..w and returned, so states_visited = w+1 and the parent
+//      links of w's ancestors (all committed in earlier levels, in
+//      serial-identical order) give the same schedule.
+//   3. Commit: ShardedStateStore::CommitStaged dedups per shard in
+//      parallel and ranks fresh states in staging (= serial Intern)
+//      order.
+//
+// Budget accounting mirrors the serial pop counter arithmetically: the
+// serial loop fails at the first pop k with k+1 > max_states, so with a
+// witness at w the search fails iff w+1 > max_states, and with no
+// witness in the level it fails iff the level's last id + 1 does.
+Result<DeadlockReport> CheckDeadlockFreedomParallel(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  StateSpace space(&sys);
+  DeadlockReport report;
+
+  ThreadPool pool(options.search_threads);
+  const int kw = space.words_per_state();
+  const int aw = space.aux_words();
+  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads());
+
+  {
+    std::vector<uint64_t> state_buf(kw), aux_buf(aw);
+    space.InitRoot(state_buf.data(), aux_buf.data());
+    uint32_t root = store.InternRoot(state_buf.data());
+    std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+                aw * sizeof(uint64_t));
+  }
+
+  auto make_witness = [&](uint32_t id,
+                          std::string cycle_text) -> DeadlockWitness {
+    DeadlockWitness w;
+    w.schedule = store.PathFromRoot(id);
+    w.prefix_nodes = PrefixNodesOf(space, store.KeyOf(id));
+    w.reduction_cycle = std::move(cycle_text);
+    return w;
+  };
+
+  struct WorkerScratch {
+    std::vector<uint64_t> state;
+    std::vector<uint64_t> aux;
+    std::vector<GlobalNode> moves;
+    uint32_t witness = ShardedStateStore::kNoId;  ///< Min witness id seen.
+  };
+  std::vector<WorkerScratch> scratch(pool.threads());
+  for (WorkerScratch& s : scratch) {
+    s.state.resize(kw);
+    s.aux.resize(aw);
+  }
+
+  constexpr size_t kChunkStates = 64;
+  std::vector<ShardedStateStore::Staging> chunks;
+
+  size_t level_begin = 0;
+  while (level_begin < store.size()) {
+    const size_t level_end = store.size();
+    const size_t level_size = level_end - level_begin;
+    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+    for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
+    // Popping this whole level already exceeds the budget, so the serial
+    // loop can only end inside it — with a witness whose id fits the
+    // budget, or with ResourceExhausted. Children are unobservable either
+    // way; skip staging them.
+    const bool budget_ends_here =
+        options.max_states != 0 && level_end > options.max_states;
+
+    pool.ParallelFor(
+        level_size, kChunkStates,
+        [&](size_t begin, size_t end, int worker) {
+          WorkerScratch& ws = scratch[worker];
+          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t id = static_cast<uint32_t>(level_begin + i);
+            ws.moves.clear();
+            space.ExpandInto(store.AuxOf(id), &ws.moves);
+            bool is_witness;
+            if (options.mode == DeadlockDetectionMode::kStuckState) {
+              is_witness =
+                  ws.moves.empty() && !space.IsComplete(store.KeyOf(id));
+            } else {
+              ReductionGraph rg(space.ToPrefixSet(store.KeyOf(id)));
+              is_witness = rg.HasCycle();
+            }
+            if (is_witness) {
+              // The serial loop returns here without expanding; children
+              // of later states in this level are never observed, so
+              // skipping the staging is safe (and the whole level's
+              // staged children are discarded below).
+              if (id < ws.witness) ws.witness = id;
+              continue;
+            }
+            if (budget_ends_here) continue;
+            for (GlobalNode g : ws.moves) {
+              space.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
+                              ws.state.data(), ws.aux.data());
+              store.Stage(&staging, ws.state.data(), ws.aux.data(), id, g);
+            }
+          }
+        });
+
+    uint32_t witness = ShardedStateStore::kNoId;
+    for (const WorkerScratch& s : scratch) {
+      witness = std::min(witness, s.witness);
+    }
+    if (witness != ShardedStateStore::kNoId) {
+      if (options.max_states != 0 &&
+          static_cast<uint64_t>(witness) + 1 > options.max_states) {
+        return Status::ResourceExhausted(StrFormat(
+            "deadlock check exceeded %llu states",
+            static_cast<unsigned long long>(options.max_states)));
+      }
+      report.states_visited = static_cast<uint64_t>(witness) + 1;
+      report.deadlock_free = false;
+      std::string cycle_text;
+      if (options.mode == DeadlockDetectionMode::kReductionGraph) {
+        ReductionGraph rg(space.ToPrefixSet(store.KeyOf(witness)));
+        cycle_text = rg.CycleToString(sys, rg.FindGlobalCycle());
+      }
+      report.witness = make_witness(witness, std::move(cycle_text));
+      return report;
+    }
+    if (options.max_states != 0 && level_end > options.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "deadlock check exceeded %llu states",
+          static_cast<unsigned long long>(options.max_states)));
+    }
+    store.CommitStaged(&chunks, num_chunks, &pool, options.memoize);
+    level_begin = level_end;
+  }
+
+  report.states_visited = store.size();
+  report.deadlock_free = true;
+  return report;
+}
+
 }  // namespace
 
 Result<DeadlockReport> CheckDeadlockFreedom(
     const TransactionSystem& sys, const DeadlockCheckOptions& options) {
   if (options.engine == SearchEngine::kNaiveReference) {
     return CheckDeadlockFreedomNaive(sys, options);
+  }
+  if (options.engine == SearchEngine::kParallelSharded) {
+    return CheckDeadlockFreedomParallel(sys, options);
   }
   return CheckDeadlockFreedomIncremental(sys, options);
 }

@@ -6,12 +6,83 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
 #include "graph/algorithms.h"
 
 namespace wydb {
 namespace {
+
+/// True iff transaction `t` lies on a cycle of the packed row-major arc
+/// bitset (one row of `row_words` words per transaction): bitset BFS from
+/// t's successor row until it reaches t or stops growing. `reach` and
+/// `frontier` are caller scratch of row_words words (so concurrent
+/// searches can keep per-worker buffers).
+bool ArcsOnCycle(const uint64_t* arcs, int t, int row_words,
+                 std::vector<uint64_t>& reach,
+                 std::vector<uint64_t>& frontier) {
+  for (int w = 0; w < row_words; ++w) {
+    reach[w] = arcs[t * row_words + w];
+    frontier[w] = reach[w];
+  }
+  while (true) {
+    if ((reach[t / 64] >> (t % 64)) & 1) return true;
+    bool grew = false;
+    for (int w = 0; w < row_words; ++w) {
+      uint64_t bits = frontier[w];
+      frontier[w] = 0;
+      while (bits != 0) {
+        int j = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const uint64_t* row = arcs + static_cast<size_t>(j) * row_words;
+        for (int rw = 0; rw < row_words; ++rw) {
+          uint64_t fresh = row[rw] & ~reach[rw];
+          if (fresh != 0) {
+            reach[rw] |= fresh;
+            frontier[rw] |= fresh;
+            grew = true;
+          }
+        }
+      }
+    }
+    if (!grew) return false;
+  }
+}
+
+inline void AddPackedArc(uint64_t* arcs, int row_words, int i, int j) {
+  arcs[i * row_words + j / 64] |= 1ULL << (j % 64);
+}
+
+/// The one definition of the §5 child arc update shared by the
+/// incremental and parallel Lemma engines (their bit-identical contract
+/// rides on it): executing `g` from the parent state `parent_key` adds,
+/// for a Lock of x by Ti, the arc Tj -> Ti for every Tj whose Lx is
+/// already executed in S' and Ti -> Tj otherwise. All fresh arcs touch
+/// Ti and the parent is acyclic, so the child is cyclic iff Ti now
+/// reaches itself; returns that verdict (`reach`/`frontier` are caller
+/// scratch of row_words words).
+bool ApplyLockArcsAndTestCycle(const StateSpace& space,
+                               const uint64_t* parent_key, GlobalNode g,
+                               int row_words, uint64_t* arcs,
+                               std::vector<uint64_t>& reach,
+                               std::vector<uint64_t>& frontier) {
+  const Step& st = space.system().txn(g.txn).step(g.node);
+  if (st.kind != StepKind::kLock) return false;
+  const EntityId x = st.entity;
+  const int t = g.txn;
+  for (int j : space.AccessorsOf(x)) {
+    if (j == t) continue;
+    NodeId lj = space.LockNodeOf(j, x);
+    if (space.IsExecuted(parent_key, j, lj)) {
+      AddPackedArc(arcs, row_words, j, t);  // Tj locked x earlier in S'.
+    } else {
+      AddPackedArc(arcs, row_words, t, j);  // Ti locks first, even if Lx
+                                            // of Tj never executes in S'.
+    }
+  }
+  return ArcsOnCycle(arcs, t, row_words, reach, frontier);
+}
 
 // ---------------------------------------------------------------------------
 // Naive reference engine (the seed implementation): heap-copied states in
@@ -192,6 +263,54 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
   return report;
 }
 
+
+// Shared [exec words | arc rows] key layout of the Lemma engines — one
+// definition for the serial and parallel implementations, so the packed
+// key format (and with it their bit-identical contract) cannot diverge.
+struct LemmaKeyLayout {
+  explicit LemmaKeyLayout(const StateSpace& space)
+      : n_(space.system().num_transactions()),
+        exec_words_(space.words_per_state()),
+        row_words_((n_ + 63) / 64),
+        arc_words_(n_ * row_words_),
+        key_words_(exec_words_ + arc_words_),
+        flag_word_(space.aux_words()),
+        aux_words_(space.aux_words() + 1) {}
+
+  const uint64_t* Arcs(const uint64_t* key) const {
+    return key + exec_words_;
+  }
+  uint64_t* Arcs(uint64_t* key) const { return key + exec_words_; }
+
+  Digraph ArcsDigraph(const uint64_t* key) const {
+    Digraph d(n_);
+    const uint64_t* arcs = Arcs(key);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        if (i != j &&
+            ((arcs[i * row_words_ + j / 64] >> (j % 64)) & 1) != 0) {
+          d.AddArc(i, j);
+        }
+      }
+    }
+    return d;
+  }
+
+  ExecState ExecOf(const uint64_t* key) const {
+    ExecState e;
+    e.words.assign(key, key + exec_words_);
+    return e;
+  }
+
+  const int n_;
+  const int exec_words_;
+  const int row_words_;
+  const int arc_words_;
+  const int key_words_;
+  const int flag_word_;
+  const int aux_words_;
+};
+
 // ---------------------------------------------------------------------------
 // Incremental engine.
 //
@@ -218,104 +337,32 @@ class LemmaSearchIncremental {
         options_(options),
         require_complete_(require_complete),
         space_(&sys),
-        n_(sys.num_transactions()),
-        exec_words_(space_.words_per_state()),
-        row_words_((n_ + 63) / 64),
-        arc_words_(n_ * row_words_),
-        key_words_(exec_words_ + arc_words_),
-        flag_word_(space_.aux_words()),
-        aux_words_(space_.aux_words() + 1),
-        reach_(row_words_),
-        frontier_(row_words_) {}
+        lay_(space_),
+        reach_(lay_.row_words_),
+        frontier_(lay_.row_words_) {}
 
   Result<SafetyReport> Run();
 
  private:
-  const uint64_t* Arcs(const uint64_t* key) const { return key + exec_words_; }
-  uint64_t* Arcs(uint64_t* key) const { return key + exec_words_; }
-
-  void AddArc(uint64_t* arcs, int i, int j) const {
-    arcs[i * row_words_ + j / 64] |= 1ULL << (j % 64);
-  }
-
-  /// True iff t lies on a cycle: t reaches itself via the arc rows.
-  bool OnCycle(const uint64_t* arcs, int t) const;
-
-  Digraph ArcsDigraph(const uint64_t* key) const {
-    Digraph d(n_);
-    const uint64_t* arcs = Arcs(key);
-    for (int i = 0; i < n_; ++i) {
-      for (int j = 0; j < n_; ++j) {
-        if (i != j &&
-            ((arcs[i * row_words_ + j / 64] >> (j % 64)) & 1) != 0) {
-          d.AddArc(i, j);
-        }
-      }
-    }
-    return d;
-  }
-
-  ExecState ExecOf(const uint64_t* key) const {
-    ExecState e;
-    e.words.assign(key, key + exec_words_);
-    return e;
-  }
-
   const TransactionSystem& sys_;
   const SafetyCheckOptions& options_;
   const bool require_complete_;
   StateSpace space_;
-  const int n_;
-  const int exec_words_;
-  const int row_words_;
-  const int arc_words_;
-  const int key_words_;
-  const int flag_word_;
-  const int aux_words_;
+  const LemmaKeyLayout lay_;
   mutable std::vector<uint64_t> reach_;
   mutable std::vector<uint64_t> frontier_;
 };
 
-bool LemmaSearchIncremental::OnCycle(const uint64_t* arcs, int t) const {
-  // Bitset BFS over successor rows starting from t's successors.
-  for (int w = 0; w < row_words_; ++w) {
-    reach_[w] = arcs[t * row_words_ + w];
-    frontier_[w] = reach_[w];
-  }
-  while (true) {
-    if ((reach_[t / 64] >> (t % 64)) & 1) return true;
-    bool grew = false;
-    for (int w = 0; w < row_words_; ++w) {
-      uint64_t bits = frontier_[w];
-      frontier_[w] = 0;
-      while (bits != 0) {
-        int j = w * 64 + std::countr_zero(bits);
-        bits &= bits - 1;
-        const uint64_t* row = arcs + static_cast<size_t>(j) * row_words_;
-        for (int rw = 0; rw < row_words_; ++rw) {
-          uint64_t fresh = row[rw] & ~reach_[rw];
-          if (fresh != 0) {
-            reach_[rw] |= fresh;
-            frontier_[rw] |= fresh;
-            grew = true;
-          }
-        }
-      }
-    }
-    if (!grew) return false;
-  }
-}
-
 Result<SafetyReport> LemmaSearchIncremental::Run() {
   SafetyReport report;
-  StateStore store(key_words_, aux_words_);
+  StateStore store(lay_.key_words_, lay_.aux_words_);
 
-  std::vector<uint64_t> key_buf(key_words_, 0);
-  std::vector<uint64_t> aux_buf(aux_words_, 0);
+  std::vector<uint64_t> key_buf(lay_.key_words_, 0);
+  std::vector<uint64_t> aux_buf(lay_.aux_words_, 0);
   space_.InitRoot(key_buf.data(), aux_buf.data());
   uint32_t root = store.Intern(key_buf.data()).id;
   std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
-              aux_words_ * sizeof(uint64_t));
+              lay_.aux_words_ * sizeof(uint64_t));
 
   std::vector<GlobalNode> moves;
   for (uint32_t head = 0; head < store.size(); ++head) {
@@ -327,10 +374,10 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
           static_cast<unsigned long long>(options_.max_states)));
     }
 
-    if ((store.AuxOf(head)[flag_word_] & 1) != 0) {
+    if ((store.AuxOf(head)[lay_.flag_word_] & 1) != 0) {
       // This state was created cyclic; materialize the cycle only now,
       // when it is actually reported (or probed for completability).
-      std::vector<NodeId> cycle = FindCycle(ArcsDigraph(store.KeyOf(head)));
+      std::vector<NodeId> cycle = FindCycle(lay_.ArcsDigraph(store.KeyOf(head)));
       Schedule sched = store.PathFromRoot(head);
       if (!require_complete_) {
         report.holds = false;
@@ -339,7 +386,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
         return report;
       }
       auto completion =
-          space_.FindCompletion(ExecOf(store.KeyOf(head)),
+          space_.FindCompletion(lay_.ExecOf(store.KeyOf(head)),
                                 options_.max_states);
       if (!completion.ok()) return completion.status();
       if (completion->has_value()) {
@@ -360,38 +407,182 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
       // Exec part + expansion cache update in O(successors of g).
       space_.ApplyInto(store.KeyOf(head), store.AuxOf(head), g,
                        key_buf.data(), aux_buf.data());
-      std::memcpy(Arcs(key_buf.data()), Arcs(store.KeyOf(head)),
-                  arc_words_ * sizeof(uint64_t));
-      aux_buf[flag_word_] = 0;
-
-      const Step& st = sys_.txn(g.txn).step(g.node);
-      if (st.kind == StepKind::kLock) {
-        const EntityId x = st.entity;
-        const int t = g.txn;
-        uint64_t* arcs = Arcs(key_buf.data());
-        for (int j : space_.AccessorsOf(x)) {
-          if (j == t) continue;
-          NodeId lj = space_.LockNodeOf(j, x);
-          if (space_.IsExecuted(store.KeyOf(head), j, lj)) {
-            AddArc(arcs, j, t);  // Tj locked x earlier in S'.
-          } else {
-            AddArc(arcs, t, j);  // Ti locks first, even if Lx of Tj never
-                                 // executes in S'.
-          }
-        }
-        // All fresh arcs touch t and the parent is acyclic, so the child
-        // is cyclic iff t reaches itself now.
-        if (OnCycle(arcs, t)) aux_buf[flag_word_] |= 1;
+      std::memcpy(lay_.Arcs(key_buf.data()), lay_.Arcs(store.KeyOf(head)),
+                  lay_.arc_words_ * sizeof(uint64_t));
+      aux_buf[lay_.flag_word_] = 0;
+      if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(head), g,
+                                    lay_.row_words_, lay_.Arcs(key_buf.data()),
+                                    reach_, frontier_)) {
+        aux_buf[lay_.flag_word_] |= 1;
       }
 
       StateStore::InternResult r = store.Intern(key_buf.data(), head, g);
       if (r.inserted) {
         std::memcpy(store.MutableAuxOf(r.id), aux_buf.data(),
-                    aux_words_ * sizeof(uint64_t));
+                    lay_.aux_words_ * sizeof(uint64_t));
       }
     }
   }
 
+  report.holds = true;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sharded engine (DESIGN.md §7).
+//
+// Same state encoding and incremental cycle test as LemmaSearchIncremental
+// — key [exec words | arc rows], cyclicity decided once at creation and
+// carried in the aux flag word — but driven as a level-synchronous BFS
+// over a ShardedStateStore. Because a FIFO BFS pops in id order, each
+// level is handled in serial-equivalent phases:
+//
+//   1. Flagged scan (serial, one bit per state): cyclic states in id
+//      order. For safe+DF the first one is the violation. For pure safety
+//      each runs FindCompletion exactly as the serial pop would —
+//      completable reports, uncompletable prunes — with the pop-budget
+//      guard interleaved at the flagged state's id.
+//   2. Expand (parallel, work-stealing chunks): acyclic states stage
+//      their children — exec/aux via ApplyInto, arcs copied from the
+//      parent plus the Lock arcs of the move, flag from the
+//      one-bitset-BFS self-reachability test (all per-worker scratch).
+//   3. Commit: per-shard parallel dedup, then the staging-order rank
+//      assigns serial-identical dense ids.
+class LemmaSearchParallel {
+ public:
+  LemmaSearchParallel(const TransactionSystem& sys,
+                      const SafetyCheckOptions& options,
+                      bool require_complete)
+      : options_(options),
+        require_complete_(require_complete),
+        space_(&sys),
+        lay_(space_) {}
+
+  Result<SafetyReport> Run();
+
+ private:
+  const SafetyCheckOptions& options_;
+  const bool require_complete_;
+  StateSpace space_;
+  const LemmaKeyLayout lay_;
+};
+
+Result<SafetyReport> LemmaSearchParallel::Run() {
+  SafetyReport report;
+  ThreadPool pool(options_.search_threads);
+  ShardedStateStore store(lay_.key_words_, lay_.aux_words_,
+                          /*num_shards=*/4 * pool.threads());
+
+  {
+    std::vector<uint64_t> key_buf(lay_.key_words_, 0);
+    std::vector<uint64_t> aux_buf(lay_.aux_words_, 0);
+    space_.InitRoot(key_buf.data(), aux_buf.data());
+    uint32_t root = store.InternRoot(key_buf.data());
+    std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+                lay_.aux_words_ * sizeof(uint64_t));
+  }
+
+  struct WorkerScratch {
+    std::vector<uint64_t> key;
+    std::vector<uint64_t> aux;
+    std::vector<uint64_t> reach;
+    std::vector<uint64_t> frontier;
+    std::vector<GlobalNode> moves;
+  };
+  std::vector<WorkerScratch> scratch(pool.threads());
+  for (WorkerScratch& s : scratch) {
+    s.key.resize(lay_.key_words_);
+    s.aux.resize(lay_.aux_words_);
+    s.reach.resize(lay_.row_words_);
+    s.frontier.resize(lay_.row_words_);
+  }
+
+  constexpr size_t kChunkStates = 64;
+  std::vector<ShardedStateStore::Staging> chunks;
+
+  size_t level_begin = 0;
+  while (level_begin < store.size()) {
+    const size_t level_end = store.size();
+    const size_t level_size = level_end - level_begin;
+
+    // Phase 1: flagged (cyclic) states, in id order. Mirrors the serial
+    // pop loop: the budget check precedes the flag handling at each id.
+    for (size_t i = 0; i < level_size; ++i) {
+      const uint32_t id = static_cast<uint32_t>(level_begin + i);
+      if ((store.AuxOf(id)[lay_.flag_word_] & 1) == 0) continue;
+      if (options_.max_states != 0 &&
+          static_cast<uint64_t>(id) + 1 > options_.max_states) {
+        return Status::ResourceExhausted(StrFormat(
+            "safety check exceeded %llu states",
+            static_cast<unsigned long long>(options_.max_states)));
+      }
+      std::vector<NodeId> cycle = FindCycle(lay_.ArcsDigraph(store.KeyOf(id)));
+      Schedule sched = store.PathFromRoot(id);
+      if (!require_complete_) {
+        report.states_visited = static_cast<uint64_t>(id) + 1;
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      auto completion =
+          space_.FindCompletion(lay_.ExecOf(store.KeyOf(id)), options_.max_states);
+      if (!completion.ok()) return completion.status();
+      if (completion->has_value()) {
+        sched.insert(sched.end(), (*completion)->begin(),
+                     (*completion)->end());
+        report.states_visited = static_cast<uint64_t>(id) + 1;
+        report.holds = false;
+        report.violation = SafetyViolation{
+            std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        return report;
+      }
+      // Uncompletable: pruned, like the serial `continue`.
+    }
+    if (options_.max_states != 0 && level_end > options_.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "safety check exceeded %llu states",
+          static_cast<unsigned long long>(options_.max_states)));
+    }
+
+    // Phase 2: expand the acyclic states of the level.
+    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+
+    pool.ParallelFor(
+        level_size, kChunkStates,
+        [&](size_t begin, size_t end, int worker) {
+          WorkerScratch& ws = scratch[worker];
+          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t id = static_cast<uint32_t>(level_begin + i);
+            if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) continue;  // Pruned.
+            ws.moves.clear();
+            space_.ExpandInto(store.AuxOf(id), &ws.moves);
+            for (GlobalNode g : ws.moves) {
+              space_.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
+                               ws.key.data(), ws.aux.data());
+              std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(store.KeyOf(id)),
+                          lay_.arc_words_ * sizeof(uint64_t));
+              ws.aux[lay_.flag_word_] = 0;
+              if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(id), g,
+                                            lay_.row_words_,
+                                            lay_.Arcs(ws.key.data()), ws.reach,
+                                            ws.frontier)) {
+                ws.aux[lay_.flag_word_] |= 1;
+              }
+              store.Stage(&staging, ws.key.data(), ws.aux.data(), id, g);
+            }
+          }
+        });
+
+    // Phase 3: deterministic commit.
+    store.CommitStaged(&chunks, num_chunks, &pool);
+    level_begin = level_end;
+  }
+
+  report.states_visited = store.size();
   report.holds = true;
   return report;
 }
@@ -401,6 +592,10 @@ Result<SafetyReport> RunSearch(const TransactionSystem& sys,
                                bool require_complete) {
   if (options.engine == SearchEngine::kNaiveReference) {
     LemmaSearchNaive search(sys, options, require_complete);
+    return search.Run();
+  }
+  if (options.engine == SearchEngine::kParallelSharded) {
+    LemmaSearchParallel search(sys, options, require_complete);
     return search.Run();
   }
   LemmaSearchIncremental search(sys, options, require_complete);

@@ -14,6 +14,13 @@ enum class SearchEngine {
   /// the benchmark baseline; verdicts and states_visited counts are
   /// bit-identical to kIncremental by construction (property-tested).
   kNaiveReference,
+  /// Level-synchronous parallel BFS over a ShardedStateStore: expansion
+  /// and per-shard deduplication run on a work-stealing thread pool, and
+  /// fresh states get dense ids by a deterministic staging-order rank
+  /// (DESIGN.md §7). Verdicts, witnesses, and states_visited are
+  /// bit-identical to the serial engines for any thread or shard count;
+  /// the thread count comes from the checker options' `search_threads`.
+  kParallelSharded,
 };
 
 }  // namespace wydb

@@ -1,0 +1,40 @@
+// Shared hashing helpers for the interned-state stores.
+//
+// StateStore and ShardedStateStore must agree on the key hash: the
+// sharded store routes a key to a shard by the high bits and probes the
+// shard's open-addressing table with the low bits, so the two bit ranges
+// have to be independently well-mixed. Keeping the function here (rather
+// than private to each store) also lets staging code hash a key once and
+// hand the value through to the commit phase.
+#ifndef WYDB_COMMON_HASH_UTIL_H_
+#define WYDB_COMMON_HASH_UTIL_H_
+
+#include <cstdint>
+
+namespace wydb {
+
+/// 64-bit avalanche finisher (the MurmurHash3 fmix64 tail): every input
+/// bit affects every output bit, so both the high (shard-selection) and
+/// low (slot-probing) bits are usable after one call.
+inline uint64_t MixHash64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// FNV-1a over `words` 64-bit words, finished with MixHash64.
+inline uint64_t HashWords(const uint64_t* key, int words) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (int w = 0; w < words; ++w) {
+    h ^= key[w];
+    h *= 0x100000001B3ULL;
+  }
+  return MixHash64(h);
+}
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_HASH_UTIL_H_

@@ -1,0 +1,95 @@
+// A small persistent thread pool with work-stealing chunk scheduling,
+// built for the level-synchronous parallel searches (DESIGN.md §7).
+//
+// ParallelFor partitions [0, count) into fixed-size chunks. Chunk ranges
+// are deterministic — chunk c always covers [c*chunk, min((c+1)*chunk,
+// count)) — so callers can index side buffers by chunk and get results
+// that are independent of which worker ran which chunk. Only the
+// *assignment* of chunks to workers is dynamic: each worker owns a deque
+// of chunk indices, pops from the front, and when empty steals the back
+// half of a victim's deque. That keeps workers busy under skewed
+// per-chunk cost without introducing any ordering the caller could
+// observe.
+//
+// The calling thread participates as worker 0, so a pool constructed
+// with `threads == 1` spawns nothing and runs chunks inline — the
+// parallel engines degrade to plain serial loops with zero
+// synchronization, which is what the bit-identical cross-validation
+// tests run first.
+#ifndef WYDB_COMMON_THREAD_POOL_H_
+#define WYDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wydb {
+
+/// Worker threads for ParallelFor: `spec` > 0 uses exactly that many
+/// workers; 0 resolves to the WYDB_SEARCH_THREADS environment variable
+/// when set and positive, else std::thread::hardware_concurrency().
+int ResolveThreadCount(int spec);
+
+class ThreadPool {
+ public:
+  /// Spawns threads-1 workers (the caller is worker 0); `threads` is
+  /// resolved via ResolveThreadCount.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(begin, end, worker) for every chunk range of [0, count),
+  /// where chunk c is exactly [c*chunk, min((c+1)*chunk, count)).
+  /// Blocks until all chunks completed. `fn` runs concurrently on
+  /// disjoint ranges; `worker` is in [0, threads()).
+  ///
+  /// Not reentrant: one ParallelFor at a time per pool.
+  void ParallelFor(size_t count, size_t chunk,
+                   const std::function<void(size_t, size_t, int)>& fn);
+
+ private:
+  // Per-worker deque of chunk indices [head, tail). The owner pops from
+  // head; thieves take the back half by lowering tail. A plain mutex per
+  // deque is enough: claims happen once per chunk, and chunks are sized
+  // to amortize the lock.
+  struct Deque {
+    std::mutex m;
+    size_t head = 0;
+    size_t tail = 0;
+  };
+
+  void WorkerLoop(int worker);
+  void RunChunks(int worker);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::vector<Deque> deques_;
+
+  std::mutex m_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int working_ = 0;
+  bool stop_ = false;
+  size_t count_ = 0;
+  size_t chunk_ = 0;
+  const std::function<void(size_t, size_t, int)>* fn_ = nullptr;
+  /// Chunks not yet *claimed for execution* this generation. Keeps a
+  /// worker whose steal scan raced another thief's detach-to-install
+  /// window from retiring while unclaimed chunks exist — and lets idle
+  /// workers exit as soon as the last chunk starts executing, instead of
+  /// spinning through its execution.
+  std::atomic<size_t> unclaimed_{0};
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_COMMON_THREAD_POOL_H_

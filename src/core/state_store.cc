@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/hash_util.h"
+#include "common/thread_pool.h"
+
 namespace wydb {
 
 namespace {
-constexpr size_t kInitialSlots = 1024;  // Power of two.
+constexpr size_t kInitialSlots = 1024;       // Power of two.
+constexpr size_t kInitialShardSlots = 256;   // Power of two.
+constexpr uint64_t kDuplicate = ~0ULL;       // fresh_marks_ sentinel.
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// StateStore (serial).
+// ---------------------------------------------------------------------------
 
 StateStore::StateStore(int key_words, int aux_words)
     : key_words_(key_words), aux_words_(aux_words) {
@@ -15,25 +24,11 @@ StateStore::StateStore(int key_words, int aux_words)
   slot_mask_ = kInitialSlots - 1;
 }
 
-uint64_t StateStore::HashKey(const uint64_t* key) const {
-  // FNV-1a over words, finished with a mix so that linear probing sees
-  // well-spread low bits even for near-identical states.
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (int w = 0; w < key_words_; ++w) {
-    h ^= key[w];
-    h *= 0x100000001B3ULL;
-  }
-  h ^= h >> 33;
-  h *= 0xFF51AFD7ED558CCDULL;
-  h ^= h >> 33;
-  return h;
-}
-
 void StateStore::Grow() {
   std::vector<uint32_t> next(slots_.size() * 2, kNoId);
   const size_t mask = next.size() - 1;
   for (uint32_t id = 0; id < parents_.size(); ++id) {
-    size_t pos = HashKey(KeyOf(id)) & mask;
+    size_t pos = HashWords(KeyOf(id), key_words_) & mask;
     while (next[pos] != kNoId) pos = (pos + 1) & mask;
     next[pos] = id;
   }
@@ -46,7 +41,7 @@ StateStore::InternResult StateStore::Intern(const uint64_t* key,
                                             GlobalNode move) {
   // Keep the load factor below 1/2.
   if ((parents_.size() + 1) * 2 > slots_.size()) Grow();
-  size_t pos = HashKey(key) & slot_mask_;
+  size_t pos = HashWords(key, key_words_) & slot_mask_;
   while (true) {
     uint32_t id = slots_[pos];
     if (id == kNoId) break;
@@ -70,7 +65,7 @@ uint32_t StateStore::Append(const uint64_t* key, uint32_t parent,
 }
 
 uint32_t StateStore::Find(const uint64_t* key) const {
-  size_t pos = HashKey(key) & slot_mask_;
+  size_t pos = HashWords(key, key_words_) & slot_mask_;
   while (true) {
     uint32_t id = slots_[pos];
     if (id == kNoId) return kNoId;
@@ -96,6 +91,196 @@ size_t StateStore::MemoryBytes() const {
          aux_.capacity() * sizeof(uint64_t) +
          parents_.capacity() * sizeof(ParentLink) +
          slots_.capacity() * sizeof(uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStateStore.
+// ---------------------------------------------------------------------------
+
+ShardedStateStore::ShardedStateStore(int key_words, int aux_words,
+                                     int num_shards)
+    : key_words_(key_words), aux_words_(aux_words) {
+  size_t shards = 1;
+  shard_bits_ = 0;
+  while (shards < static_cast<size_t>(num_shards > 1 ? num_shards : 1)) {
+    shards <<= 1;
+    ++shard_bits_;
+  }
+  if (shard_bits_ == 0) shard_bits_ = 1;  // Keep the >> (64-bits) defined.
+  shards_ = std::vector<Shard>(shards);
+  for (Shard& shard : shards_) {
+    shard.slots.assign(kInitialShardSlots, kNoId);
+    shard.slot_mask = kInitialShardSlots - 1;
+  }
+}
+
+uint32_t ShardedStateStore::InternRoot(const uint64_t* key) {
+  const uint64_t hash = HashWords(key, key_words_);
+  Shard& shard = shards_[ShardOf(hash)];
+  Staging::Pending p{hash, 0, kNoId, -1, -1};
+  // Root aux starts zeroed; the caller fills it via MutableAuxOf.
+  std::vector<uint64_t> key_aux(static_cast<size_t>(key_words_) + aux_words_,
+                                0);
+  std::memcpy(key_aux.data(), key, key_words_ * sizeof(uint64_t));
+  const uint32_t local = AppendToShard(&shard, key_aux.data(), p);
+  size_t pos = hash & shard.slot_mask;
+  while (shard.slots[pos] != kNoId) pos = (pos + 1) & shard.slot_mask;
+  shard.slots[pos] = local;
+  const uint32_t id = static_cast<uint32_t>(index_.size());
+  index_.push_back(Pack(ShardOf(hash), local));
+  return id;
+}
+
+void ShardedStateStore::ResetStaging(Staging* staging) const {
+  staging->words_.resize(shards_.size());
+  staging->pending_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    staging->words_[s].clear();
+    staging->pending_[s].clear();
+  }
+  staging->count_ = 0;
+}
+
+void ShardedStateStore::Stage(Staging* staging, const uint64_t* key,
+                              const uint64_t* aux, uint32_t parent,
+                              GlobalNode move) const {
+  const uint64_t hash = HashWords(key, key_words_);
+  const uint32_t shard = ShardOf(hash);
+  std::vector<uint64_t>& words = staging->words_[shard];
+  words.insert(words.end(), key, key + key_words_);
+  words.insert(words.end(), aux, aux + aux_words_);
+  staging->pending_[shard].push_back(Staging::Pending{
+      hash, staging->count_++, parent, move.txn, move.node});
+}
+
+uint32_t ShardedStateStore::AppendToShard(Shard* shard,
+                                          const uint64_t* key_aux,
+                                          const Staging::Pending& p) {
+  const uint32_t local = static_cast<uint32_t>(shard->parents.size());
+  shard->keys.insert(shard->keys.end(), key_aux, key_aux + key_words_);
+  shard->aux.insert(shard->aux.end(), key_aux + key_words_,
+                    key_aux + key_words_ + aux_words_);
+  shard->parents.push_back(ParentLink{p.parent, p.move_txn, p.move_node});
+  return local;
+}
+
+void ShardedStateStore::GrowShard(Shard* shard) {
+  std::vector<uint32_t> next(shard->slots.size() * 2, kNoId);
+  const size_t mask = next.size() - 1;
+  for (uint32_t local = 0; local < shard->parents.size(); ++local) {
+    const uint64_t* key =
+        shard->keys.data() + static_cast<size_t>(local) * key_words_;
+    size_t pos = HashWords(key, key_words_) & mask;
+    while (next[pos] != kNoId) pos = (pos + 1) & mask;
+    next[pos] = local;
+  }
+  shard->slots = std::move(next);
+  shard->slot_mask = mask;
+}
+
+size_t ShardedStateStore::CommitStaged(std::vector<Staging>* chunks,
+                                       size_t num_chunks, ThreadPool* pool,
+                                       bool dedupe) {
+  // Staging sequence of chunk c's ordinal o is chunk_base[c] + o: exactly
+  // the order a serial loop over chunks (= parents in id order) would
+  // have called Intern.
+  size_t total = 0;
+  std::vector<size_t> chunk_base(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    chunk_base[c] = total;
+    total += (*chunks)[c].count_;
+  }
+  if (total == 0) return 0;
+  fresh_marks_.assign(total, kDuplicate);
+
+  // Phase 1 (parallel over shards): per-shard dedup in staging order.
+  // Shard s touches only its own arenas/table and disjoint fresh_marks_
+  // entries, so shards are embarrassingly parallel.
+  auto commit_shard = [&](size_t shard_begin, size_t shard_end,
+                          int /*worker*/) {
+    const size_t kTupleWords = static_cast<size_t>(key_words_) + aux_words_;
+    for (size_t s = shard_begin; s < shard_end; ++s) {
+      Shard& shard = shards_[s];
+      for (size_t c = 0; c < num_chunks; ++c) {
+        const Staging& staging = (*chunks)[c];
+        const std::vector<uint64_t>& words = staging.words_[s];
+        const std::vector<Staging::Pending>& pending = staging.pending_[s];
+        for (size_t t = 0; t < pending.size(); ++t) {
+          const Staging::Pending& p = pending[t];
+          const uint64_t* key_aux = words.data() + t * kTupleWords;
+          if (dedupe) {
+            if ((shard.parents.size() + 1) * 2 > shard.slots.size()) {
+              GrowShard(&shard);
+            }
+            size_t pos = p.hash & shard.slot_mask;
+            bool hit = false;
+            while (true) {
+              uint32_t local = shard.slots[pos];
+              if (local == kNoId) break;
+              const uint64_t* existing =
+                  shard.keys.data() +
+                  static_cast<size_t>(local) * key_words_;
+              if (std::memcmp(existing, key_aux,
+                              key_words_ * sizeof(uint64_t)) == 0) {
+                hit = true;
+                break;
+              }
+              pos = (pos + 1) & shard.slot_mask;
+            }
+            if (hit) continue;
+            const uint32_t local = AppendToShard(&shard, key_aux, p);
+            shard.slots[pos] = local;
+            fresh_marks_[chunk_base[c] + p.ordinal] =
+                Pack(static_cast<uint32_t>(s), local);
+          } else {
+            const uint32_t local = AppendToShard(&shard, key_aux, p);
+            fresh_marks_[chunk_base[c] + p.ordinal] =
+                Pack(static_cast<uint32_t>(s), local);
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shards_.size(), 1, commit_shard);
+  } else {
+    commit_shard(0, shards_.size(), 0);
+  }
+
+  // Phase 2 (serial rank): allocate dense global ids to the fresh states
+  // in staging order — the step that pins down the serial-identical id
+  // sequence. One word read per staged tuple.
+  const size_t before = index_.size();
+  for (size_t seq = 0; seq < total; ++seq) {
+    if (fresh_marks_[seq] != kDuplicate) index_.push_back(fresh_marks_[seq]);
+  }
+  return index_.size() - before;
+}
+
+std::vector<GlobalNode> ShardedStateStore::PathFromRoot(uint32_t id) const {
+  std::vector<GlobalNode> path;
+  uint32_t cur = id;
+  while (true) {
+    const Slot s = Unpack(index_[cur]);
+    const ParentLink& link = shards_[s.shard].parents[s.local];
+    if (link.parent == kNoId) break;
+    path.push_back(GlobalNode{link.move_txn, link.move_node});
+    cur = link.parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t ShardedStateStore::MemoryBytes() const {
+  size_t bytes = index_.capacity() * sizeof(uint64_t) +
+                 fresh_marks_.capacity() * sizeof(uint64_t);
+  for (const Shard& shard : shards_) {
+    bytes += shard.keys.capacity() * sizeof(uint64_t) +
+             shard.aux.capacity() * sizeof(uint64_t) +
+             shard.parents.capacity() * sizeof(ParentLink) +
+             shard.slots.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
 }  // namespace wydb

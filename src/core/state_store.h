@@ -1,4 +1,4 @@
-// Arena-backed intern table for packed search states.
+// Arena-backed intern tables for packed search states.
 //
 // The exact checkers explore exponentially many states, so every constant
 // factor per expansion matters (the cost story of Theorems 1-2). The seed
@@ -18,6 +18,15 @@
 // Ids are stable for the lifetime of the store; pointers returned by
 // KeyOf/AuxOf are invalidated by the next Intern/Append (the arenas are
 // std::vectors), so re-fetch them after every insertion.
+//
+// ShardedStateStore is the multi-core variant (DESIGN.md §7): the intern
+// table is split by key-hash into power-of-two shards, each with its own
+// arenas and probe table, and deduplication of a whole BFS level runs as
+// one batched commit — stage children in parent order, dedup every shard
+// in parallel, then assign dense global ids in staging order. The id
+// sequence, parent links, and first-visit semantics are bit-identical to
+// a serial StateStore fed the same insertions, for any shard count,
+// thread count, or chunk size.
 #ifndef WYDB_CORE_STATE_STORE_H_
 #define WYDB_CORE_STATE_STORE_H_
 
@@ -27,6 +36,8 @@
 #include "core/system.h"
 
 namespace wydb {
+
+class ThreadPool;
 
 class StateStore {
  public:
@@ -91,7 +102,6 @@ class StateStore {
     int32_t move_node;
   };
 
-  uint64_t HashKey(const uint64_t* key) const;
   void Grow();
 
   const int key_words_;
@@ -101,6 +111,162 @@ class StateStore {
   std::vector<ParentLink> parents_;  ///< One per id.
   std::vector<uint32_t> slots_;      ///< Open-addressing table of ids.
   size_t slot_mask_ = 0;             ///< slots_.size() - 1 (power of two).
+};
+
+/// \brief Key-hash-sharded intern table with a deterministic batched
+/// commit: the substrate of the kParallelSharded search engine.
+///
+/// Global ids are dense and allocated in *staging order* — the order
+/// Stage() calls would reach a serial StateStore::Intern when chunks are
+/// filled in parent order — so verdicts, witnesses, and state counts of a
+/// level-synchronous parallel BFS match the serial engines bit for bit.
+///
+/// Usage per BFS level:
+///   1. Split the level's states into chunks (chunk c = states
+///      [c*chunk_size, ...)); one Staging buffer per chunk.
+///   2. In parallel (any worker<->chunk assignment): for each state of
+///      chunk c in id order, Stage() each child into staging[c]. Stage
+///      routes the child to a shard by key hash and records the staging
+///      ordinal.
+///   3. CommitStaged(): dedups every shard in parallel against both the
+///      table and the batch itself (first staged occurrence wins the
+///      parent link, as with serial Intern), then assigns global ids to
+///      the fresh states by a serial rank scan in staging order.
+///
+/// Between commits the store is read-only and safe to read from any
+/// thread; Stage() writes only to the caller's Staging buffer.
+class ShardedStateStore {
+ public:
+  static constexpr uint32_t kNoId = 0xFFFFFFFFu;
+
+  /// `num_shards` is rounded up to a power of two (minimum 1). Shard
+  /// choice never affects ids — only contention and per-shard table size.
+  ShardedStateStore(int key_words, int aux_words, int num_shards);
+
+  int key_words() const { return key_words_; }
+  int aux_words() const { return aux_words_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t size() const { return index_.size(); }
+
+  /// Serial insertion (the search root, before any batches).
+  uint32_t InternRoot(const uint64_t* key);
+
+  const uint64_t* KeyOf(uint32_t id) const {
+    const Slot s = Unpack(index_[id]);
+    return shards_[s.shard].keys.data() +
+           static_cast<size_t>(s.local) * key_words_;
+  }
+  const uint64_t* AuxOf(uint32_t id) const {
+    const Slot s = Unpack(index_[id]);
+    return shards_[s.shard].aux.data() +
+           static_cast<size_t>(s.local) * aux_words_;
+  }
+  uint64_t* MutableAuxOf(uint32_t id) {
+    const Slot s = Unpack(index_[id]);
+    return shards_[s.shard].aux.data() +
+           static_cast<size_t>(s.local) * aux_words_;
+  }
+  uint32_t ParentOf(uint32_t id) const {
+    const Slot s = Unpack(index_[id]);
+    return shards_[s.shard].parents[s.local].parent;
+  }
+  GlobalNode MoveOf(uint32_t id) const {
+    const Slot s = Unpack(index_[id]);
+    const ParentLink& p = shards_[s.shard].parents[s.local];
+    return GlobalNode{p.move_txn, p.move_node};
+  }
+
+  /// The move sequence from the root to `id`, in execution order.
+  std::vector<GlobalNode> PathFromRoot(uint32_t id) const;
+
+  /// Bytes held by the shard arenas, tables, and the global index.
+  size_t MemoryBytes() const;
+
+  /// Per-chunk staging buffer. Reusable across levels (Reset keeps the
+  /// allocated capacity).
+  class Staging {
+   public:
+    size_t staged() const { return count_; }
+
+   private:
+    friend class ShardedStateStore;
+    struct Pending {
+      uint64_t hash;
+      uint32_t ordinal;  ///< Staging order within the chunk.
+      uint32_t parent;
+      int32_t move_txn;
+      int32_t move_node;
+    };
+    std::vector<std::vector<uint64_t>> words_;  ///< [shard] key|aux runs.
+    std::vector<std::vector<Pending>> pending_;  ///< [shard] metadata.
+    uint32_t count_ = 0;
+  };
+
+  /// Prepares `staging` for a new chunk of this store's batch.
+  void ResetStaging(Staging* staging) const;
+
+  /// Stages one candidate child (key_words + aux_words words) with its
+  /// parent link. Writes only into `staging`; safe to call concurrently
+  /// on distinct Staging objects.
+  void Stage(Staging* staging, const uint64_t* key, const uint64_t* aux,
+             uint32_t parent, GlobalNode move) const;
+
+  /// Commits `num_chunks` staged chunks, in chunk order. With `dedupe`,
+  /// keys already present (in the store or earlier in the batch) are
+  /// dropped; without it every staged tuple becomes a fresh state (the
+  /// memoization ablation). Shard dedup runs on `pool` (may be null =
+  /// serial). Returns the number of fresh states; their ids are
+  /// [old size(), new size()), in staging order.
+  size_t CommitStaged(std::vector<Staging>* chunks, size_t num_chunks,
+                      ThreadPool* pool, bool dedupe = true);
+
+ private:
+  struct ParentLink {
+    uint32_t parent;
+    int32_t move_txn;
+    int32_t move_node;
+  };
+  struct Slot {
+    uint32_t shard;
+    uint32_t local;
+  };
+  struct Shard {
+    std::vector<uint64_t> keys;       ///< local size * key_words.
+    std::vector<uint64_t> aux;        ///< local size * aux_words.
+    std::vector<ParentLink> parents;  ///< One per local id.
+    std::vector<uint32_t> slots;      ///< Open addressing -> local id.
+    size_t slot_mask = 0;
+  };
+
+  static Slot Unpack(uint64_t packed) {
+    return Slot{static_cast<uint32_t>(packed >> 32),
+                static_cast<uint32_t>(packed)};
+  }
+  static uint64_t Pack(uint32_t shard, uint32_t local) {
+    return (static_cast<uint64_t>(shard) << 32) | local;
+  }
+
+  uint32_t ShardOf(uint64_t hash) const {
+    // High bits pick the shard; Find/insert probe with the low bits, so
+    // the two choices stay independent.
+    return static_cast<uint32_t>(hash >> (64 - shard_bits_)) &
+           (static_cast<uint32_t>(shards_.size()) - 1);
+  }
+
+  /// Appends a tuple to `shard` (no table insertion); returns local id.
+  uint32_t AppendToShard(Shard* shard, const uint64_t* key_aux,
+                         const Staging::Pending& p);
+  void GrowShard(Shard* shard);
+
+  const int key_words_;
+  const int aux_words_;
+  int shard_bits_ = 0;
+  std::vector<Shard> shards_;
+  /// Global id -> packed (shard, local), in allocation order.
+  std::vector<uint64_t> index_;
+  /// Scratch for CommitStaged: staging-seq -> packed slot of the fresh
+  /// insertion, or ~0 for duplicates. Sized to the batch, reused.
+  std::vector<uint64_t> fresh_marks_;
 };
 
 }  // namespace wydb

@@ -27,6 +27,12 @@ void LockManager::FreeWaiter(int32_t idx) {
   free_head_ = idx;
 }
 
+size_t LockManager::free_waiter_count() const {
+  size_t count = 0;
+  for (int32_t idx = free_head_; idx != -1; idx = pool_[idx].next) ++count;
+  return count;
+}
+
 void LockManager::EmitGrant(EntityId entity, const Waiter& w) {
   ++grants_;
   out_->push_back(LockEvent{LockEvent::Kind::kGrant, site_, w.txn, entity,

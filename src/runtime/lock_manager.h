@@ -87,6 +87,14 @@ class LockManager {
 
   uint64_t grants() const { return grants_; }
 
+  /// Waiter-pool introspection (tests): the pool must plateau at the
+  /// high-water mark of simultaneous waiters — churn recycles slots
+  /// through the free list instead of growing the vector.
+  size_t waiter_pool_size() const { return pool_.size(); }
+  /// Free-listed (recyclable) slots; equals waiter_pool_size() when no
+  /// transaction is queued anywhere.
+  size_t free_waiter_count() const;
+
  private:
   struct Waiter {
     int32_t txn;

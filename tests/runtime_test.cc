@@ -12,6 +12,7 @@
 #include "runtime/sim/network.h"
 #include "runtime/simulation.h"
 #include "runtime/txn_runtime.h"
+#include "runtime/workload.h"
 #include "tests/test_util.h"
 
 namespace wydb {
@@ -299,6 +300,85 @@ TEST(LockManagerTest, WaiterPoolRecyclesAcrossChurn) {
   }
 }
 
+// MPL-1 churn shape: one holder, one waiter that aborts and retries back
+// to back. The free list must recycle the single waiter slot instead of
+// growing the pool, and the retry's grant must echo the *fresh* attempt
+// payload, never a recycled stale one — that echo is what lets the
+// engine detect stale grants via the attempt epoch (PR 2 invariants).
+TEST(LockManagerTest, BackToBackAbortRetryReusesOneWaiterSlot) {
+  LockHarness h;
+  h.lm.Request(1, 5);  // Holder for the whole churn phase.
+  h.events.clear();
+  for (int attempt = 1; attempt <= 100; ++attempt) {
+    h.lm.Request(2, 5, /*node=*/0, attempt);
+    EXPECT_TRUE(h.lm.IsWaitingOn(2, 5));
+    h.lm.Abort(2);  // The retry's prior attempt dies before being served.
+    EXPECT_FALSE(h.lm.IsWaiting(2));
+    h.events.clear();
+  }
+  EXPECT_EQ(h.lm.waiter_pool_size(), 1u);   // One slot, recycled 100x.
+  EXPECT_EQ(h.lm.free_waiter_count(), 1u);  // And free again after churn.
+
+  // The 101st retry is eventually served with its own payload.
+  h.lm.Request(2, 5, /*node=*/3, /*attempt=*/101);
+  h.events.clear();
+  h.lm.Release(1, 5);
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].kind, LockEvent::Kind::kGrant);
+  EXPECT_EQ(h.events[0].txn, 2);
+  EXPECT_EQ(h.events[0].node, 3);
+  EXPECT_EQ(h.events[0].attempt, 101);
+  EXPECT_EQ(h.lm.waiter_pool_size(), 1u);
+  EXPECT_EQ(h.lm.free_waiter_count(), 1u);
+}
+
+// A grant buffered for an attempt that aborted before the engine drained
+// it: the record must keep the old attempt number (the engine's staleness
+// test), and the abort must free the just-granted lock for the next
+// requester even though the grant record is still sitting in the buffer.
+TEST(LockManagerTest, BufferedGrantKeepsStaleAttemptAfterAbort) {
+  LockHarness h;
+  h.lm.Request(1, 5);
+  h.events.clear();
+  h.lm.Request(2, 5, /*node=*/1, /*attempt=*/4);
+  h.events.clear();
+  h.lm.Release(1, 5);  // Grants 2 (attempt 4); record now "in flight".
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].attempt, 4);
+  // Txn 2 aborts (its executor bumps to attempt 5) before processing the
+  // grant. The manager releases the lock; the stale record still says 4.
+  h.lm.Abort(2);
+  EXPECT_EQ(h.lm.HolderOf(5), -1);
+  EXPECT_EQ(h.events[0].attempt, 4);
+  // Fresh attempt re-requests and is granted immediately with payload 5.
+  h.events.clear();
+  h.lm.Request(2, 5, /*node=*/1, /*attempt=*/5);
+  ASSERT_EQ(h.events.size(), 1u);
+  EXPECT_EQ(h.events[0].kind, LockEvent::Kind::kGrant);
+  EXPECT_EQ(h.events[0].attempt, 5);
+  EXPECT_EQ(h.lm.waiter_pool_size(), 1u);
+}
+
+// The pool plateaus at the high-water mark of *simultaneous* waiters,
+// no matter how much churn follows.
+TEST(LockManagerTest, WaiterPoolPlateausAtHighWaterMark) {
+  LockHarness h;
+  h.lm.Request(1, 0);
+  for (int t = 2; t <= 5; ++t) h.lm.Request(t, 0);  // 4 waiters queued.
+  EXPECT_EQ(h.lm.waiter_pool_size(), 4u);
+  EXPECT_EQ(h.lm.free_waiter_count(), 0u);
+  h.events.clear();
+  for (int round = 0; round < 200; ++round) {
+    // Never more than 4 queued at once; the pool must not grow past 4.
+    for (int t = 2; t <= 5; ++t) h.lm.Abort(t);
+    for (int t = 2; t <= 5; ++t) h.lm.Request(t, 0);
+    h.events.clear();
+  }
+  EXPECT_EQ(h.lm.waiter_pool_size(), 4u);
+  for (int t = 1; t <= 5; ++t) h.lm.Abort(t);
+  EXPECT_EQ(h.lm.free_waiter_count(), 4u);
+}
+
 TEST(ConflictPolicyTest, Names) {
   EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kBlock), "block");
   EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kWoundWait), "wound-wait");
@@ -510,6 +590,55 @@ TEST(ReplicatedStalenessTest, WoundDuringFanOutReleasesAllCopies) {
     total_aborts += res->aborts;
   }
   EXPECT_GT(total_aborts, 0u);
+}
+
+// Closed-loop traffic at MPL 1: rounds serialize through the admission
+// FIFO, but in-flight unlocks of the just-committed round make the next
+// admitted transaction block on a "holder" that is already thinking —
+// the aborting policies then wound/die through attempts back to back.
+// If any stale grant (old attempt epoch) were honoured, or a recycled
+// waiter slot misdirected a grant, the session would wedge (budget
+// exhaustion / give-up) or lose determinism.
+TEST(AttemptEpochTest, Mpl1AbortRetryChurnDrainsDeterministically) {
+  auto db = testutil::MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(testutil::MakeSeq(db.get(), "T1", {"Lx", "Ly", "Ux", "Uy"}));
+  txns.push_back(testutil::MakeSeq(db.get(), "T2", {"Ly", "Lx", "Ux", "Uy"}));
+  txns.push_back(testutil::MakeSeq(db.get(), "T3", {"Lx", "Ux"}));
+  TransactionSystem sys = testutil::MakeSystem(db.get(), std::move(txns));
+
+  for (ConflictPolicy policy :
+       {ConflictPolicy::kWoundWait, ConflictPolicy::kWaitDie,
+        ConflictPolicy::kBlock}) {
+    uint64_t total_commits = 0;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      WorkloadOptions opts;
+      opts.sim.policy = policy;
+      opts.sim.seed = seed;
+      opts.sim.latency.base = 5;
+      opts.sim.latency.jitter = 30;  // Wide in-flight unlock windows.
+      opts.mpl = 1;
+      opts.think_time = 4;  // Re-issue almost immediately.
+      opts.duration = 30'000;
+      auto res = RunWorkload(sys, opts);
+      ASSERT_TRUE(res.ok());
+      EXPECT_FALSE(res->budget_exhausted)
+          << ConflictPolicyName(policy) << " seed " << seed;
+      EXPECT_FALSE(res->gave_up);
+      EXPECT_FALSE(res->deadlocked);  // MPL 1: no circular wait possible.
+      EXPECT_GT(res->commits, 0u);
+      total_commits += res->commits;
+
+      // Same seed, same session, bit for bit.
+      auto replay = RunWorkload(sys, opts);
+      ASSERT_TRUE(replay.ok());
+      EXPECT_EQ(replay->commits, res->commits);
+      EXPECT_EQ(replay->aborts, res->aborts);
+      EXPECT_EQ(replay->events, res->events);
+      EXPECT_EQ(replay->makespan, res->makespan);
+    }
+    EXPECT_GT(total_commits, 0u) << ConflictPolicyName(policy);
+  }
 }
 
 TEST(TxnExecutorTest, StateNames) {

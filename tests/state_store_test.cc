@@ -12,6 +12,7 @@
 #include "analysis/deadlock_checker.h"
 #include "analysis/safety_checker.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/state_space.h"
 #include "gen/system_gen.h"
 #include "tests/test_util.h"
@@ -98,6 +99,142 @@ TEST(StateStoreTest, PathFromRootFollowsParentLinks) {
 }
 
 // ---------------------------------------------------------------------
+// ShardedStateStore: the staged batch commit must reproduce serial
+// Intern ids, parent links, and first-visit semantics bit for bit, for
+// any shard count, chunk split, and thread count.
+
+// Stages `keys` (key_words-word keys with aux = key ^ 5) into `chunk_size`
+// chunks and commits; returns nothing — asserts against a serial
+// StateStore fed the same sequence.
+void CheckStagedCommitMatchesSerial(int key_words, int shards,
+                                    size_t chunk_size, int threads,
+                                    const std::vector<uint64_t>& keys,
+                                    size_t num_keys) {
+  StateStore serial(key_words, key_words);
+  ShardedStateStore sharded(key_words, key_words, shards);
+  ThreadPool pool(threads);
+
+  // Root: the first key, interned serially in both stores.
+  std::vector<uint64_t> aux(key_words);
+  auto aux_of = [&](const uint64_t* key) {
+    for (int w = 0; w < key_words; ++w) aux[w] = key[w] ^ 5;
+    return aux.data();
+  };
+  uint32_t root_a = serial.Intern(keys.data()).id;
+  std::memcpy(serial.MutableAuxOf(root_a), aux_of(keys.data()),
+              key_words * sizeof(uint64_t));
+  uint32_t root_b = sharded.InternRoot(keys.data());
+  std::memcpy(sharded.MutableAuxOf(root_b), aux_of(keys.data()),
+              key_words * sizeof(uint64_t));
+  ASSERT_EQ(root_a, root_b);
+
+  // Remaining keys: one batch, chunked; parent varies with the serial
+  // store's growth (the serial side interns as we stage, so its size is
+  // a live, varied id bound) and move = staging index — together they
+  // make the first-visit winner for duplicate keys observable in both
+  // the parent and move fields.
+  std::vector<ShardedStateStore::Staging> chunks;
+  size_t staged = 0;
+  for (size_t i = 1; i < num_keys;) {
+    chunks.emplace_back();
+    sharded.ResetStaging(&chunks.back());
+    for (size_t c = 0; c < chunk_size && i < num_keys; ++c, ++i) {
+      const uint64_t* key = keys.data() + i * key_words;
+      uint32_t parent = static_cast<uint32_t>(staged % serial.size());
+      GlobalNode move{static_cast<int>(staged), 0};
+      sharded.Stage(&chunks.back(), key, aux_of(key), parent, move);
+      auto r = serial.Intern(key, parent, move);
+      if (r.inserted) {
+        std::memcpy(serial.MutableAuxOf(r.id), aux_of(key),
+                    key_words * sizeof(uint64_t));
+      }
+      ++staged;
+    }
+  }
+  sharded.CommitStaged(&chunks, chunks.size(), &pool);
+
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (uint32_t id = 0; id < serial.size(); ++id) {
+    ASSERT_EQ(std::memcmp(serial.KeyOf(id), sharded.KeyOf(id),
+                          key_words * sizeof(uint64_t)),
+              0)
+        << "id " << id;
+    ASSERT_EQ(std::memcmp(serial.AuxOf(id), sharded.AuxOf(id),
+                          key_words * sizeof(uint64_t)),
+              0)
+        << "id " << id;
+    ASSERT_EQ(serial.ParentOf(id), sharded.ParentOf(id)) << "id " << id;
+    ASSERT_EQ(serial.MoveOf(id), sharded.MoveOf(id)) << "id " << id;
+  }
+}
+
+TEST(ShardedStateStoreTest, StagedCommitMatchesSerialIntern) {
+  const int kKeyWords = 3;
+  Rng rng(2024);
+  const size_t kNumKeys = 4000;
+  std::vector<uint64_t> keys(kNumKeys * kKeyWords);
+  // ~50% duplicate keys, scattered through the sequence.
+  for (size_t i = 0; i < kNumKeys; ++i) {
+    uint64_t v = rng.NextBelow(kNumKeys / 2);
+    for (int w = 0; w < kKeyWords; ++w) {
+      keys[i * kKeyWords + w] =
+          (v + 1) * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(w) * 17;
+    }
+  }
+  for (int shards : {1, 4, 16}) {
+    for (size_t chunk : {7u, 64u, 4096u}) {
+      for (int threads : {1, 4}) {
+        SCOPED_TRACE(testing::Message() << "shards " << shards << " chunk "
+                                        << chunk << " threads " << threads);
+        CheckStagedCommitMatchesSerial(kKeyWords, shards, chunk, threads,
+                                       keys, kNumKeys);
+      }
+    }
+  }
+}
+
+TEST(ShardedStateStoreTest, CommitWithoutDedupeAppendsEverything) {
+  const int kw = 2;
+  ShardedStateStore store(kw, 0, 4);
+  ThreadPool pool(2);
+  uint64_t root[2] = {0, 0};
+  store.InternRoot(root);
+  std::vector<ShardedStateStore::Staging> chunks(1);
+  store.ResetStaging(&chunks[0]);
+  uint64_t key[2] = {1, 2};
+  for (int i = 0; i < 5; ++i) {
+    store.Stage(&chunks[0], key, nullptr, 0, GlobalNode{i, 0});
+  }
+  EXPECT_EQ(store.CommitStaged(&chunks, 1, &pool, /*dedupe=*/false), 5u);
+  EXPECT_EQ(store.size(), 6u);
+  for (uint32_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(store.MoveOf(id).txn, static_cast<int>(id) - 1);
+  }
+}
+
+TEST(ShardedStateStoreTest, PathFromRootFollowsParentLinks) {
+  ShardedStateStore store(1, 0, 8);
+  ThreadPool pool(1);
+  uint64_t k = 0;
+  uint32_t root = store.InternRoot(&k);
+  EXPECT_TRUE(store.PathFromRoot(root).empty());
+  std::vector<ShardedStateStore::Staging> chunks(1);
+  uint32_t parent = root;
+  for (int depth = 1; depth <= 40; ++depth) {
+    store.ResetStaging(&chunks[0]);
+    k = static_cast<uint64_t>(depth);
+    store.Stage(&chunks[0], &k, nullptr, parent, GlobalNode{depth, depth});
+    ASSERT_EQ(store.CommitStaged(&chunks, 1, &pool), 1u);
+    parent = static_cast<uint32_t>(store.size() - 1);
+  }
+  std::vector<GlobalNode> path = store.PathFromRoot(parent);
+  ASSERT_EQ(path.size(), 40u);
+  for (int depth = 1; depth <= 40; ++depth) {
+    EXPECT_EQ(path[depth - 1], (GlobalNode{depth, depth}));
+  }
+}
+
+// ---------------------------------------------------------------------
 // Incremental expansion vs the naive API, along random walks.
 
 TEST(IncrementalExpansionTest, MatchesNaiveAlongRandomWalks) {
@@ -176,51 +313,76 @@ TEST_P(EngineCrossval, DeadlockAndSafetyVerdictsAndCountsIdentical) {
     ASSERT_TRUE(sys.ok());
     const TransactionSystem& s = *sys->system;
 
+    // Every non-reference engine run must match the naive reference bit
+    // for bit; kParallelSharded runs at 1, 2, and 4 worker threads.
+    const std::vector<std::pair<SearchEngine, int>> kEngines = {
+        {SearchEngine::kIncremental, 0},
+        {SearchEngine::kParallelSharded, 1},
+        {SearchEngine::kParallelSharded, 2},
+        {SearchEngine::kParallelSharded, 4},
+    };
+
     for (auto mode : {DeadlockDetectionMode::kStuckState,
                       DeadlockDetectionMode::kReductionGraph}) {
-      DeadlockCheckOptions fast;
-      fast.mode = mode;
-      DeadlockCheckOptions ref = fast;
+      DeadlockCheckOptions ref;
+      ref.mode = mode;
       ref.engine = SearchEngine::kNaiveReference;
-      auto a = CheckDeadlockFreedom(s, fast);
       auto b = CheckDeadlockFreedom(s, ref);
-      ASSERT_TRUE(a.ok());
       ASSERT_TRUE(b.ok());
-      ASSERT_EQ(a->deadlock_free, b->deadlock_free) << "seed " << seed;
-      ASSERT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
-      ASSERT_EQ(a->witness.has_value(), b->witness.has_value());
-      if (a->witness.has_value()) {
-        EXPECT_EQ(a->witness->schedule, b->witness->schedule);
-        EXPECT_EQ(a->witness->prefix_nodes, b->witness->prefix_nodes);
-        EXPECT_EQ(a->witness->reduction_cycle, b->witness->reduction_cycle);
+      for (const auto& [engine, threads] : kEngines) {
+        SCOPED_TRACE(testing::Message()
+                     << "seed " << seed << " engine "
+                     << static_cast<int>(engine) << " threads " << threads);
+        DeadlockCheckOptions fast = ref;
+        fast.engine = engine;
+        fast.search_threads = threads;
+        auto a = CheckDeadlockFreedom(s, fast);
+        ASSERT_TRUE(a.ok());
+        ASSERT_EQ(a->deadlock_free, b->deadlock_free);
+        ASSERT_EQ(a->states_visited, b->states_visited);
+        ASSERT_EQ(a->witness.has_value(), b->witness.has_value());
+        if (a->witness.has_value()) {
+          EXPECT_EQ(a->witness->schedule, b->witness->schedule);
+          EXPECT_EQ(a->witness->prefix_nodes, b->witness->prefix_nodes);
+          EXPECT_EQ(a->witness->reduction_cycle,
+                    b->witness->reduction_cycle);
+        }
       }
     }
 
     {
-      SafetyCheckOptions fast;
       SafetyCheckOptions ref;
       ref.engine = SearchEngine::kNaiveReference;
-      auto a = CheckSafeAndDeadlockFree(s, fast);
       auto b = CheckSafeAndDeadlockFree(s, ref);
-      ASSERT_TRUE(a.ok());
-      ASSERT_TRUE(b.ok());
-      ASSERT_EQ(a->holds, b->holds) << "seed " << seed;
-      ASSERT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
-      ASSERT_EQ(a->violation.has_value(), b->violation.has_value());
-      if (a->violation.has_value()) {
-        EXPECT_EQ(a->violation->schedule, b->violation->schedule);
-        EXPECT_EQ(a->violation->txn_cycle, b->violation->txn_cycle);
-      }
-
-      auto sa = CheckSafety(s, fast);
       auto sb = CheckSafety(s, ref);
-      ASSERT_TRUE(sa.ok());
+      ASSERT_TRUE(b.ok());
       ASSERT_TRUE(sb.ok());
-      ASSERT_EQ(sa->holds, sb->holds) << "seed " << seed;
-      ASSERT_EQ(sa->states_visited, sb->states_visited) << "seed " << seed;
-      if (sa->violation.has_value() && sb->violation.has_value()) {
-        EXPECT_EQ(sa->violation->schedule, sb->violation->schedule);
-        EXPECT_EQ(sa->violation->txn_cycle, sb->violation->txn_cycle);
+      for (const auto& [engine, threads] : kEngines) {
+        SCOPED_TRACE(testing::Message()
+                     << "seed " << seed << " engine "
+                     << static_cast<int>(engine) << " threads " << threads);
+        SafetyCheckOptions fast;
+        fast.engine = engine;
+        fast.search_threads = threads;
+        auto a = CheckSafeAndDeadlockFree(s, fast);
+        ASSERT_TRUE(a.ok());
+        ASSERT_EQ(a->holds, b->holds);
+        ASSERT_EQ(a->states_visited, b->states_visited);
+        ASSERT_EQ(a->violation.has_value(), b->violation.has_value());
+        if (a->violation.has_value()) {
+          EXPECT_EQ(a->violation->schedule, b->violation->schedule);
+          EXPECT_EQ(a->violation->txn_cycle, b->violation->txn_cycle);
+        }
+
+        auto sa = CheckSafety(s, fast);
+        ASSERT_TRUE(sa.ok());
+        ASSERT_EQ(sa->holds, sb->holds);
+        ASSERT_EQ(sa->states_visited, sb->states_visited);
+        ASSERT_EQ(sa->violation.has_value(), sb->violation.has_value());
+        if (sa->violation.has_value() && sb->violation.has_value()) {
+          EXPECT_EQ(sa->violation->schedule, sb->violation->schedule);
+          EXPECT_EQ(sa->violation->txn_cycle, sb->violation->txn_cycle);
+        }
       }
     }
   }
@@ -246,20 +408,25 @@ TEST(EngineCrossvalNoMemo, CountsIdenticalWithoutMemoization) {
     opts.seed = seed;
     auto sys = GenerateRandomSystem(opts);
     ASSERT_TRUE(sys.ok());
-    DeadlockCheckOptions fast;
-    fast.memoize = false;
-    fast.max_states = 2'000'000;
-    DeadlockCheckOptions ref = fast;
+    DeadlockCheckOptions ref;
+    ref.memoize = false;
+    ref.max_states = 2'000'000;
     ref.engine = SearchEngine::kNaiveReference;
-    auto a = CheckDeadlockFreedom(*sys->system, fast);
     auto b = CheckDeadlockFreedom(*sys->system, ref);
-    ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
-    if (!a.ok()) {
-      EXPECT_EQ(a.status().code(), b.status().code());
-      continue;
+    for (auto engine :
+         {SearchEngine::kIncremental, SearchEngine::kParallelSharded}) {
+      DeadlockCheckOptions fast = ref;
+      fast.engine = engine;
+      fast.search_threads = 2;
+      auto a = CheckDeadlockFreedom(*sys->system, fast);
+      ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().code(), b.status().code());
+        continue;
+      }
+      EXPECT_EQ(a->deadlock_free, b->deadlock_free) << "seed " << seed;
+      EXPECT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
     }
-    EXPECT_EQ(a->deadlock_free, b->deadlock_free) << "seed " << seed;
-    EXPECT_EQ(a->states_visited, b->states_visited) << "seed " << seed;
   }
 }
 
@@ -276,19 +443,29 @@ TEST(EngineCrossval, BenchWorkloadGeneratorsAgree) {
     auto da = CheckDeadlockFreedom(*s, dopts);
     dopts.engine = SearchEngine::kNaiveReference;
     auto db = CheckDeadlockFreedom(*s, dopts);
+    dopts.engine = SearchEngine::kParallelSharded;
+    dopts.search_threads = 4;
+    auto dp = CheckDeadlockFreedom(*s, dopts);
     ASSERT_TRUE(da.ok());
     ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(dp.ok());
     EXPECT_TRUE(da->deadlock_free);
     EXPECT_EQ(da->states_visited, db->states_visited);
+    EXPECT_EQ(dp->states_visited, db->states_visited);
 
     SafetyCheckOptions sopts;
     auto sa = CheckSafeAndDeadlockFree(*s, sopts);
     sopts.engine = SearchEngine::kNaiveReference;
     auto sb = CheckSafeAndDeadlockFree(*s, sopts);
+    sopts.engine = SearchEngine::kParallelSharded;
+    sopts.search_threads = 4;
+    auto sp = CheckSafeAndDeadlockFree(*s, sopts);
     ASSERT_TRUE(sa.ok());
     ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE(sp.ok());
     EXPECT_TRUE(sa->holds);
     EXPECT_EQ(sa->states_visited, sb->states_visited);
+    EXPECT_EQ(sp->states_visited, sb->states_visited);
   }
 }
 
@@ -296,14 +473,17 @@ TEST(EngineCrossval, BenchWorkloadGeneratorsAgree) {
 TEST(EngineCrossval, ResourceExhaustionMatches) {
   auto ring = GenerateRingSystem(4);
   ASSERT_TRUE(ring.ok());
-  DeadlockCheckOptions fast;
-  fast.max_states = 3;
-  DeadlockCheckOptions ref = fast;
-  ref.engine = SearchEngine::kNaiveReference;
-  auto a = CheckDeadlockFreedom(*ring->system, fast);
-  auto b = CheckDeadlockFreedom(*ring->system, ref);
-  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  DeadlockCheckOptions opts;
+  opts.max_states = 3;
+  for (auto engine :
+       {SearchEngine::kIncremental, SearchEngine::kNaiveReference,
+        SearchEngine::kParallelSharded}) {
+    opts.engine = engine;
+    opts.search_threads = 2;
+    auto r = CheckDeadlockFreedom(*ring->system, opts);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << "engine " << static_cast<int>(engine);
+  }
 }
 
 }  // namespace

@@ -170,6 +170,61 @@ TEST(TextFormatTest, RejectsBadReplicationStanzas) {
   EXPECT_FALSE(ParseSystem("site s: x\nsite s: y\n").ok());
 }
 
+// Every malformed stanza class must surface as a Status that names the
+// failing line — no crash, no silent default. Table-driven so each new
+// stanza kind picks up a negative case alongside its parser.
+TEST(TextFormatTest, NegativeStanzasNameTheFailingLine) {
+  struct Case {
+    const char* label;
+    const char* text;
+    int line;
+  };
+  const Case kCases[] = {
+      {"sites with no names", "site s: x\nsites:\ntxn T: Lx Ux\n", 2},
+      {"site header missing colon", "site s x\ntxn T: Lx Ux\n", 1},
+      {"site with empty name", "site :\ntxn T: Lx Ux\n", 1},
+      {"duplicate entity at one site", "site s: x x\ntxn T: Lx Ux\n", 1},
+      {"duplicate entity across sites",
+       "site s: x\nsite t: x\ntxn T: Lx Ux\n", 2},
+      {"duplicate site header", "site s: x\nsite s: y\ntxn T: Lx Ux\n", 2},
+      {"copies missing colon", "site s: x\ncopies x s\ntxn T: Lx Ux\n", 2},
+      {"copies with no sites", "site s: x\ncopies x:\ntxn T: Lx Ux\n", 2},
+      {"copies with empty entity", "site s: x\ncopies :\ntxn T: Lx Ux\n",
+       2},
+      {"copies of unknown entity", "site s: x\ncopies z: s\ntxn T: Lx Ux\n",
+       2},
+      {"copies at out-of-range site",
+       "site s: x\ncopies x: s9\ntxn T: Lx Ux\n", 2},
+      {"copies repeating a site", "site s: x\ncopies x: s s\ntxn T: Lx Ux\n",
+       2},
+      {"duplicate copies stanza",
+       "sites: a\nsite s: x\ncopies x: s\ncopies x: a\ntxn T: Lx Ux\n", 4},
+      {"latency wrong arity", "site s: x\nlatency: 1 2\ntxn T: Lx Ux\n", 2},
+      {"latency non-numeric", "site s: x\nlatency: a b c\ntxn T: Lx Ux\n",
+       2},
+      {"latency negative", "site s: x\nlatency: -1 0 0\ntxn T: Lx Ux\n", 2},
+      {"latency overflow",
+       "site s: x\nlatency: 99999999999999999999999 0 0\ntxn T: Lx Ux\n",
+       2},
+      {"duplicate latency stanza",
+       "site s: x\nlatency: 1 2 3\nlatency: 1 2 3\ntxn T: Lx Ux\n", 3},
+      {"txn header missing colon", "site s: x\ntxn T Lx Ux\n", 2},
+      {"txn with empty name", "site s: x\ntxn : Lx Ux\n", 2},
+      {"txn with no steps", "site s: x\ntxn T:\n", 2},
+      {"bad step token", "site s: x\ntxn T: Qx\n", 2},
+      {"bare L step token", "site s: x\ntxn T: L\n", 2},
+      {"unknown directive", "site s: x\nfrobnicate: 1\ntxn T: Lx Ux\n", 2},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.label);
+    auto parsed = ParseWorkload(c.text);
+    ASSERT_FALSE(parsed.ok());
+    const std::string want = "line " + std::to_string(c.line);
+    EXPECT_NE(parsed.status().message().find(want), std::string::npos)
+        << "got: " << parsed.status().ToString();
+  }
+}
+
 TEST(TextFormatTest, ReplicatedRoundTripPreservesEverything) {
   auto spec = ParseWorkload(kReplicated);
   ASSERT_TRUE(spec.ok());

@@ -7,10 +7,15 @@
    every subcommand and every `--flag` the binary advertises appears in
    README.md, and every `--flag` the README documents is advertised by
    the binary.
+3. CLI smoke: misuse of the binary (no arguments, unknown subcommand or
+   file, subcommand without a workload, flag without its value, unknown
+   option) must exit nonzero and print usage to stderr — never crash or
+   silently succeed.
 
 Usage: tools/check_docs.py [path/to/wydb_analyze]
 Run from the repository root. The binary argument is optional; without
-it the help/README sync check is skipped (link checking still runs).
+it the help/README sync and CLI smoke checks are skipped (link checking
+still runs).
 """
 
 import re
@@ -85,12 +90,54 @@ def check_help_sync(binary: Path) -> list[str]:
     return errors
 
 
+def check_cli_smoke(binary: Path) -> list[str]:
+    """Misuse must exit nonzero with usage on stderr; --help must work."""
+    sample = REPO / "tools" / "sample_workload.wydb"
+    cases = [
+        (["--help"], 0, None),
+        ([], 2, "usage"),
+        (["definitely-not-a-subcommand"], 2, "usage"),
+        (["simulate"], 2, "usage"),
+        (["sweep"], 2, "usage"),
+        (["--exact"], 2, "usage"),  # Option where the workload should be.
+        ([str(sample), "--no-such-option"], 2, "usage"),
+        ([str(sample), "--simulate"], 2, "needs a value"),
+        ([str(sample), "--search-threads"], 2, "needs a value"),
+        ([str(sample), "--search-threads", "four"], 2,
+         "non-negative integer"),
+        ([str(sample), "--simulate", "-5"], 2, "non-negative integer"),
+        (["simulate", str(sample), "--policy"], 2, "needs a value"),
+    ]
+    errors = []
+    for args, want_code, want_stderr in cases:
+        label = "wydb_analyze " + " ".join(args)
+        try:
+            proc = subprocess.run(
+                [str(binary)] + args,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            errors.append(f"{label}: failed to run: {exc}")
+            continue
+        if proc.returncode != want_code:
+            errors.append(
+                f"{label}: exit {proc.returncode}, want {want_code}"
+            )
+        if want_stderr is not None and want_stderr not in proc.stderr:
+            errors.append(f"{label}: stderr lacks '{want_stderr}'")
+    return errors
+
+
 def main() -> int:
     errors = check_links()
     if len(sys.argv) > 1:
         errors += check_help_sync(Path(sys.argv[1]))
+        errors += check_cli_smoke(Path(sys.argv[1]))
     else:
-        print("note: no wydb_analyze binary given; skipping help sync check")
+        print("note: no wydb_analyze binary given; skipping help sync "
+              "and CLI smoke checks")
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if not errors:

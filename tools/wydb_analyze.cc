@@ -39,6 +39,10 @@ Usage:
 Analysis options:
   --pairs            also print the per-pair Theorem 3 verdicts
   --exact            also run the exact (exponential) checkers
+  --search-threads <k>  run the exact checkers on the sharded parallel
+                     engine with <k> worker threads (0 = hardware
+                     concurrency); verdicts, witnesses, and state counts
+                     are bit-identical to the serial engine
   --optimize         run the early-unlock optimizer and print the result
   --simulate <runs>  simulate the workload <runs> times per policy
   --dump             echo the parsed system back in text format
@@ -76,9 +80,50 @@ per cell (header first, to stdout or --out).
   --out <file>       write the CSV to a file instead of stdout
 )";
 
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage:\n"
+      "  wydb_analyze <workload.wydb> [analysis options]\n"
+      "  wydb_analyze simulate <workload.wydb> [simulate options]\n"
+      "  wydb_analyze sweep <workload.wydb> [sweep options]\n"
+      "  wydb_analyze --help\n",
+      out);
+}
+
 int Fail(const char* msg) {
   std::fprintf(stderr, "wydb_analyze: %s\n", msg);
+  PrintUsage(stderr);
   return 2;
+}
+
+/// Exit path for a value-taking flag with no value (simulate/sweep).
+[[noreturn]] void FailMissingValue(const char* opt) {
+  std::fprintf(stderr, "wydb_analyze: %s needs a value\n", opt);
+  PrintUsage(stderr);
+  std::exit(2);
+}
+
+/// Strict non-negative integer flag value; exits 2 on garbage (atoi
+/// would silently read "four" or "-5" as 0/-5).
+int ParseCountFlag(const char* opt, const char* value) {
+  int parsed = 0;
+  bool digits = false;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || parsed > 100'000'000) {
+      digits = false;
+      break;
+    }
+    parsed = parsed * 10 + (*p - '0');
+    digits = true;
+  }
+  if (!digits) {
+    std::fprintf(stderr,
+                 "wydb_analyze: %s wants a non-negative integer, got '%s'\n",
+                 opt, value);
+    PrintUsage(stderr);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 Result<WorkloadSpec> LoadWorkload(const char* path) {
@@ -114,10 +159,7 @@ int RunSimulateCommand(int argc, char** argv) {
   int rounds = 0, mpl = 0;
   for (int a = 3; a < argc; ++a) {
     auto next = [&](const char* opt) -> const char* {
-      if (a + 1 >= argc) {
-        std::fprintf(stderr, "wydb_analyze: %s needs a value\n", opt);
-        std::exit(2);
-      }
+      if (a + 1 >= argc) FailMissingValue(opt);
       return argv[++a];
     };
     if (!std::strcmp(argv[a], "--policy")) {
@@ -260,10 +302,7 @@ int RunSweepCommand(int argc, char** argv) {
   SimTime duration = 100'000, think = 100;
   for (int a = 3; a < argc; ++a) {
     auto next = [&](const char* opt) -> const char* {
-      if (a + 1 >= argc) {
-        std::fprintf(stderr, "wydb_analyze: %s needs a value\n", opt);
-        std::exit(2);
-      }
+      if (a + 1 >= argc) FailMissingValue(opt);
       return argv[++a];
     };
     if (!std::strcmp(argv[a], "--policy")) {
@@ -415,19 +454,29 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "sweep")) {
     return RunSweepCommand(argc, argv);
   }
+  if (argv[1][0] == '-') {
+    return Fail("expected a workload file or subcommand before options");
+  }
   bool pairs = false, exact = false, optimize = false, dump = false;
-  int simulate_runs = 0;
+  bool parallel_search = false;
+  int simulate_runs = 0, search_threads = 0;
   for (int a = 2; a < argc; ++a) {
     if (!std::strcmp(argv[a], "--pairs")) {
       pairs = true;
     } else if (!std::strcmp(argv[a], "--exact")) {
       exact = true;
+    } else if (!std::strcmp(argv[a], "--search-threads")) {
+      if (a + 1 >= argc) FailMissingValue("--search-threads");
+      exact = true;  // The engine choice only shows in the exact checks.
+      parallel_search = true;
+      search_threads = ParseCountFlag("--search-threads", argv[++a]);
     } else if (!std::strcmp(argv[a], "--optimize")) {
       optimize = true;
     } else if (!std::strcmp(argv[a], "--dump")) {
       dump = true;
-    } else if (!std::strcmp(argv[a], "--simulate") && a + 1 < argc) {
-      simulate_runs = std::atoi(argv[++a]);
+    } else if (!std::strcmp(argv[a], "--simulate")) {
+      if (a + 1 >= argc) FailMissingValue("--simulate");
+      simulate_runs = ParseCountFlag("--simulate", argv[++a]);
     } else {
       return Fail("unknown option");
     }
@@ -435,8 +484,10 @@ int main(int argc, char** argv) {
 
   auto parsed = LoadWorkload(argv[1]);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
+    // A missing file here is just as likely a mistyped subcommand.
+    std::fprintf(stderr, "parse error (workload '%s'): %s\n", argv[1],
                  parsed.status().ToString().c_str());
+    PrintUsage(stderr);
     return 2;
   }
   const TransactionSystem& sys = *parsed->owned.system;
@@ -478,8 +529,17 @@ int main(int argc, char** argv) {
   }
 
   if (exact) {
-    std::printf("\nexact checks (exponential; budgets apply):\n");
-    auto df = CheckDeadlockFreedom(sys);
+    std::printf("\nexact checks (exponential; budgets apply%s):\n",
+                parallel_search ? "; sharded parallel engine" : "");
+    DeadlockCheckOptions dopts;
+    SafetyCheckOptions sopts;
+    if (parallel_search) {
+      dopts.engine = SearchEngine::kParallelSharded;
+      dopts.search_threads = search_threads;
+      sopts.engine = SearchEngine::kParallelSharded;
+      sopts.search_threads = search_threads;
+    }
+    auto df = CheckDeadlockFreedom(sys, dopts);
     if (df.ok()) {
       std::printf("  deadlock-free: %s (%llu states)\n",
                   df->deadlock_free ? "yes" : "NO",
@@ -491,7 +551,7 @@ int main(int argc, char** argv) {
     } else {
       std::printf("  deadlock-free: %s\n", df.status().ToString().c_str());
     }
-    auto safe = CheckSafety(sys);
+    auto safe = CheckSafety(sys, sopts);
     if (safe.ok()) {
       std::printf("  safe: %s\n", safe->holds ? "yes" : "NO");
     } else {
