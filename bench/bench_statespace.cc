@@ -210,6 +210,91 @@ BENCHMARK(BM_GridDeadlock_ParallelSharded)
     ->Args({5, 4})
     ->UseRealTime();
 
+// Commutativity-reduced engine on the same grid (DESIGN.md §8): every
+// grid move is on a private entity, so the persistent singleton
+// collapses (2*entities+1)^k states to the single 2*entities*k path —
+// the `states` counter is the headline, not ns/state.
+void BM_GridDeadlock_Reduced(benchmark::State& state) {
+  RunGridDeadlockBench(state, SearchEngine::kReduced);
+}
+BENCHMARK(BM_GridDeadlock_Reduced)
+    ->Args({4, 1})
+    ->Args({5, 1})
+    ->Args({5, 4})
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------
+// Large-symmetric series (ISSUE 5 acceptance): k identical latch-ordered
+// workers over shared entities (the certified replicated-farm template,
+// degree 1). The exhaustive engines intern ~(2.5k+1)*2^k states — the
+// completed-worker *subsets* — while orbit canonicalization tracks only
+// completed-worker *counts* (~6k states). The 2M state budget is the
+// series' point: at k=16 (~2.69M reachable states) every exhaustive
+// engine dies with ResourceExhausted (recorded as an error row) and
+// only kReduced finishes.
+
+void RunFarmDeadlockBench(benchmark::State& state, SearchEngine engine) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = static_cast<int>(state.range(0));
+  fopts.entities = 3;
+  fopts.degree = 1;
+  fopts.certified = true;
+  auto sys = GenerateReplicatedFarm(fopts);
+  if (!sys.ok()) std::abort();
+  DeadlockCheckOptions opts;
+  opts.engine = engine;
+  opts.search_threads = static_cast<int>(state.range(1));
+  opts.max_states = 2'000'000;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*sys->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    if (!report->deadlock_free) {
+      // The certified farm is deadlock-free by construction — this is a
+      // soundness regression, not the series' expected budget error.
+      state.SkipWithError("wrong verdict");
+      break;
+    }
+    states = report->states_visited;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_FarmDeadlock_Incremental(benchmark::State& state) {
+  RunFarmDeadlockBench(state, SearchEngine::kIncremental);
+}
+BENCHMARK(BM_FarmDeadlock_Incremental)
+    ->Args({8, 0})
+    ->Args({12, 0})
+    ->Args({16, 0})
+    ->UseRealTime();
+
+void BM_FarmDeadlock_ParallelSharded(benchmark::State& state) {
+  RunFarmDeadlockBench(state, SearchEngine::kParallelSharded);
+}
+BENCHMARK(BM_FarmDeadlock_ParallelSharded)
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->UseRealTime();
+
+void BM_FarmDeadlock_Reduced(benchmark::State& state) {
+  RunFarmDeadlockBench(state, SearchEngine::kReduced);
+}
+BENCHMARK(BM_FarmDeadlock_Reduced)
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({12, 1})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->UseRealTime();
+
 void RunSafeDfBench(benchmark::State& state, SearchEngine engine) {
   OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
   SafetyCheckOptions opts;

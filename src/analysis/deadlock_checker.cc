@@ -1,6 +1,7 @@
 #include "analysis/deadlock_checker.h"
 
 #include <cstring>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,6 +10,7 @@
 #include "core/reduction_graph.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
+#include "core/symmetry.h"
 
 namespace wydb {
 namespace {
@@ -87,6 +89,7 @@ Result<DeadlockReport> CheckDeadlockFreedomNaive(
       if (moves.empty() && !space.IsComplete(s)) {
         report.deadlock_free = false;
         report.witness = make_witness(s, "");
+        report.states_interned = visited.size();
         return report;
       }
     } else {
@@ -95,6 +98,7 @@ Result<DeadlockReport> CheckDeadlockFreedomNaive(
         std::vector<GlobalNode> cycle = rg.FindGlobalCycle();
         report.deadlock_free = false;
         report.witness = make_witness(s, rg.CycleToString(sys, cycle));
+        report.states_interned = visited.size();
         return report;
       }
     }
@@ -110,6 +114,7 @@ Result<DeadlockReport> CheckDeadlockFreedomNaive(
   }
 
   report.deadlock_free = true;
+  report.states_interned = visited.size();
   return report;
 }
 
@@ -141,6 +146,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
   };
 
   std::vector<GlobalNode> moves;
+  moves.reserve(64);
   for (uint32_t head = 0; head < store.size(); ++head) {
     ++report.states_visited;
     if (options.max_states != 0 &&
@@ -157,6 +163,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
       if (moves.empty() && !space.IsComplete(store.KeyOf(head))) {
         report.deadlock_free = false;
         report.witness = make_witness(head, "");
+        report.states_interned = store.size();
         return report;
       }
     } else {
@@ -165,6 +172,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
         std::vector<GlobalNode> cycle = rg.FindGlobalCycle();
         report.deadlock_free = false;
         report.witness = make_witness(head, rg.CycleToString(sys, cycle));
+        report.states_interned = store.size();
         return report;
       }
     }
@@ -189,6 +197,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
   }
 
   report.deadlock_free = true;
+  report.states_interned = store.size();
   return report;
 }
 
@@ -252,6 +261,7 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
   for (WorkerScratch& s : scratch) {
     s.state.resize(kw);
     s.aux.resize(aw);
+    s.moves.reserve(64);
   }
 
   constexpr size_t kChunkStates = 64;
@@ -319,6 +329,7 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
       }
       report.states_visited = static_cast<uint64_t>(witness) + 1;
       report.deadlock_free = false;
+      report.states_interned = store.size();
       std::string cycle_text;
       if (options.mode == DeadlockDetectionMode::kReductionGraph) {
         ReductionGraph rg(space.ToPrefixSet(store.KeyOf(witness)));
@@ -337,6 +348,184 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
   }
 
   report.states_visited = store.size();
+  report.states_interned = store.size();
+  report.deadlock_free = true;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Reduced engine (DESIGN.md §8): persistent-move pruning + orbit
+// canonicalization on the level-synchronous sharded substrate.
+//
+// The search explores one representative per symmetry orbit and, per
+// state, only the persistent move subset of ExpandReducedInto. Verdicts
+// agree with the exhaustive engines (both reductions preserve the
+// reachability of terminal — stuck or complete — states, §8.4), but the
+// id sequence covers the *reduced* space, so states_visited is smaller,
+// not bit-identical. Results are still deterministic for every thread
+// count: pruning and canonicalization are per-state functions and the
+// staging-order rank fixes the ids.
+// ---------------------------------------------------------------------------
+
+// Rebuilds a concrete witness from a stored path of orbit
+// representatives via the shared ReplayReducedPath permutation
+// composition (core/symmetry, DESIGN.md §8.3): the concrete schedule is
+// legal from the empty state and ends in a genuine stuck / cyclic state.
+DeadlockWitness MakeReducedWitness(const StateSpace& space,
+                                   const OrbitCanonicalizer& canon,
+                                   bool canonical_active,
+                                   const ShardedStateStore& store,
+                                   uint32_t id, bool want_cycle_text) {
+  const int kw = space.words_per_state();
+  DeadlockWitness w;
+  std::vector<int> tau;
+  ReplayReducedPath(
+      store, id, canon, canonical_active, space, kw,
+      [&](const uint64_t* parent_key, GlobalNode g, uint64_t* child_key) {
+        // Pre-canonical child = parent representative + the move's bit.
+        std::memcpy(child_key, parent_key, kw * sizeof(uint64_t));
+        const int bit = space.txn_word_offset(g.txn) * 64 + g.node;
+        child_key[bit / 64] |= 1ULL << (bit % 64);
+      },
+      &w.schedule, &tau);
+
+  std::vector<uint64_t> concrete(kw, 0);
+  for (GlobalNode g : w.schedule) {
+    const int bit = space.txn_word_offset(g.txn) * 64 + g.node;
+    concrete[bit / 64] |= 1ULL << (bit % 64);
+  }
+  w.prefix_nodes = PrefixNodesOf(space, concrete.data());
+  if (want_cycle_text) {
+    ReductionGraph rg(space.ToPrefixSet(concrete.data()));
+    w.reduction_cycle = rg.CycleToString(space.system(),
+                                         rg.FindGlobalCycle());
+  }
+  return w;
+}
+
+Result<DeadlockReport> CheckDeadlockFreedomReduced(
+    const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  StateSpace space(&sys);
+  TransactionOrbits orbits(sys);
+  OrbitCanonicalizer canon(&space, &orbits, /*arc_row_words=*/0);
+  const bool canonical = orbits.HasNontrivialOrbit();
+  DeadlockReport report;
+
+  ThreadPool pool(options.search_threads);
+  const int kw = space.words_per_state();
+  const int aw = space.aux_words();
+  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads());
+  if (canonical) store.set_canonicalizer(&canon);
+
+  {
+    std::vector<uint64_t> state_buf(kw), aux_buf(aw);
+    space.InitRoot(state_buf.data(), aux_buf.data());
+    // The empty state is its own canonical form.
+    uint32_t root = store.InternRoot(state_buf.data());
+    std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+                aw * sizeof(uint64_t));
+  }
+
+  struct WorkerScratch {
+    std::vector<uint64_t> state;
+    std::vector<uint64_t> aux;
+    std::vector<GlobalNode> moves;
+    uint32_t witness = ShardedStateStore::kNoId;
+    uint64_t pruned = 0;
+  };
+  std::vector<WorkerScratch> scratch(pool.threads());
+  for (WorkerScratch& s : scratch) {
+    s.state.resize(kw);
+    s.aux.resize(aw);
+    s.moves.reserve(64);
+  }
+
+  constexpr size_t kChunkStates = 64;
+  std::vector<ShardedStateStore::Staging> chunks;
+
+  auto sum_pruned = [&] {
+    uint64_t total = 0;
+    for (const WorkerScratch& s : scratch) total += s.pruned;
+    return total;
+  };
+
+  size_t level_begin = 0;
+  while (level_begin < store.size()) {
+    const size_t level_end = store.size();
+    const size_t level_size = level_end - level_begin;
+    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+    for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
+    const bool budget_ends_here =
+        options.max_states != 0 && level_end > options.max_states;
+
+    pool.ParallelFor(
+        level_size, kChunkStates,
+        [&](size_t begin, size_t end, int worker) {
+          WorkerScratch& ws = scratch[worker];
+          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t id = static_cast<uint32_t>(level_begin + i);
+            ws.moves.clear();
+            ws.pruned += space.ExpandReducedInto(store.KeyOf(id),
+                                                 store.AuxOf(id), &ws.moves);
+            // ExpandReducedInto returns an empty set only for genuinely
+            // stuck states, so the witness predicates are unchanged.
+            bool is_witness;
+            if (options.mode == DeadlockDetectionMode::kStuckState) {
+              is_witness =
+                  ws.moves.empty() && !space.IsComplete(store.KeyOf(id));
+            } else {
+              ReductionGraph rg(space.ToPrefixSet(store.KeyOf(id)));
+              is_witness = rg.HasCycle();
+            }
+            if (is_witness) {
+              if (id < ws.witness) ws.witness = id;
+              continue;
+            }
+            if (budget_ends_here) continue;
+            for (GlobalNode g : ws.moves) {
+              space.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
+                              ws.state.data(), ws.aux.data());
+              store.StageCanonical(&staging, ws.state.data(), ws.aux.data(),
+                                   id, g);
+            }
+          }
+        });
+
+    uint32_t witness = ShardedStateStore::kNoId;
+    for (const WorkerScratch& s : scratch) {
+      witness = std::min(witness, s.witness);
+    }
+    if (witness != ShardedStateStore::kNoId) {
+      if (options.max_states != 0 &&
+          static_cast<uint64_t>(witness) + 1 > options.max_states) {
+        return Status::ResourceExhausted(StrFormat(
+            "deadlock check exceeded %llu states",
+            static_cast<unsigned long long>(options.max_states)));
+      }
+      report.states_visited = static_cast<uint64_t>(witness) + 1;
+      report.states_interned = store.size();
+      report.sleep_set_pruned = sum_pruned();
+      report.deadlock_free = false;
+      report.witness = MakeReducedWitness(
+          space, canon, canonical, store, witness,
+          options.mode == DeadlockDetectionMode::kReductionGraph);
+      return report;
+    }
+    if (options.max_states != 0 && level_end > options.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "deadlock check exceeded %llu states",
+          static_cast<unsigned long long>(options.max_states)));
+    }
+    store.CommitStaged(&chunks, num_chunks, &pool, options.memoize);
+    level_begin = level_end;
+  }
+
+  report.states_visited = store.size();
+  report.states_interned = store.size();
+  report.sleep_set_pruned = sum_pruned();
   report.deadlock_free = true;
   return report;
 }
@@ -350,6 +539,9 @@ Result<DeadlockReport> CheckDeadlockFreedom(
   }
   if (options.engine == SearchEngine::kParallelSharded) {
     return CheckDeadlockFreedomParallel(sys, options);
+  }
+  if (options.engine == SearchEngine::kReduced) {
+    return CheckDeadlockFreedomReduced(sys, options);
   }
   return CheckDeadlockFreedomIncremental(sys, options);
 }

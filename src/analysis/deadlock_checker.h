@@ -62,6 +62,16 @@ struct DeadlockReport {
   bool deadlock_free = false;
   std::optional<DeadlockWitness> witness;
   uint64_t states_visited = 0;
+  /// Distinct states held by the search store when the verdict was
+  /// reached — the memory-side cost metric behind `--stats`. On a
+  /// deadlock-free run this is the full reachable-state count for the
+  /// exhaustive engines and the orbit-representative count under
+  /// kReduced; on witness-bearing runs it is engine-dependent (how many
+  /// children of the final level were interned before returning).
+  uint64_t states_interned = 0;
+  /// Expansions skipped by kReduced's persistent-move (sleep-set)
+  /// pruning; 0 for the exhaustive engines.
+  uint64_t sleep_set_pruned = 0;
 };
 
 /// Decides deadlock-freedom of `sys` exactly.

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
+#include "core/symmetry.h"
 #include "graph/algorithms.h"
 
 namespace wydb {
@@ -54,19 +56,14 @@ inline void AddPackedArc(uint64_t* arcs, int row_words, int i, int j) {
   arcs[i * row_words + j / 64] |= 1ULL << (j % 64);
 }
 
-/// The one definition of the §5 child arc update shared by the
-/// incremental and parallel Lemma engines (their bit-identical contract
-/// rides on it): executing `g` from the parent state `parent_key` adds,
-/// for a Lock of x by Ti, the arc Tj -> Ti for every Tj whose Lx is
-/// already executed in S' and Ti -> Tj otherwise. All fresh arcs touch
-/// Ti and the parent is acyclic, so the child is cyclic iff Ti now
-/// reaches itself; returns that verdict (`reach`/`frontier` are caller
-/// scratch of row_words words).
-bool ApplyLockArcsAndTestCycle(const StateSpace& space,
-                               const uint64_t* parent_key, GlobalNode g,
-                               int row_words, uint64_t* arcs,
-                               std::vector<uint64_t>& reach,
-                               std::vector<uint64_t>& frontier) {
+/// The one definition of the §5 child arc update shared by every Lemma
+/// engine (the bit-identical contract of the exhaustive ones rides on
+/// it): executing `g` from the parent state `parent_key` adds, for a
+/// Lock of x by Ti, the arc Tj -> Ti for every Tj whose Lx is already
+/// executed in S' and Ti -> Tj otherwise. Returns false when `g` is not
+/// a Lock (no arcs added).
+bool ApplyLockArcs(const StateSpace& space, const uint64_t* parent_key,
+                   GlobalNode g, int row_words, uint64_t* arcs) {
   const Step& st = space.system().txn(g.txn).step(g.node);
   if (st.kind != StepKind::kLock) return false;
   const EntityId x = st.entity;
@@ -81,7 +78,20 @@ bool ApplyLockArcsAndTestCycle(const StateSpace& space,
                                             // of Tj never executes in S'.
     }
   }
-  return ArcsOnCycle(arcs, t, row_words, reach, frontier);
+  return true;
+}
+
+/// Arc update plus the incremental cycle test: all fresh arcs touch Ti
+/// and the parent is acyclic, so the child is cyclic iff Ti now reaches
+/// itself; returns that verdict (`reach`/`frontier` are caller scratch
+/// of row_words words).
+bool ApplyLockArcsAndTestCycle(const StateSpace& space,
+                               const uint64_t* parent_key, GlobalNode g,
+                               int row_words, uint64_t* arcs,
+                               std::vector<uint64_t>& reach,
+                               std::vector<uint64_t>& frontier) {
+  if (!ApplyLockArcs(space, parent_key, g, row_words, arcs)) return false;
+  return ArcsOnCycle(arcs, g.txn, row_words, reach, frontier);
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +239,7 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = visited.size();
         return report;
       }
       // Safety alone: the cyclic partial schedule only matters if it can
@@ -243,6 +254,7 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = visited.size();
         return report;
       }
       // Not completable: neither this state nor any descendant can reach a
@@ -260,6 +272,7 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
   }
 
   report.holds = true;
+  report.states_interned = visited.size();
   return report;
 }
 
@@ -365,6 +378,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
               lay_.aux_words_ * sizeof(uint64_t));
 
   std::vector<GlobalNode> moves;
+  moves.reserve(64);
   for (uint32_t head = 0; head < store.size(); ++head) {
     ++report.states_visited;
     if (options_.max_states != 0 &&
@@ -383,6 +397,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = store.size();
         return report;
       }
       auto completion =
@@ -395,6 +410,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = store.size();
         return report;
       }
       // Not completable: prune the subtree (descendants inherit the cycle).
@@ -425,6 +441,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
   }
 
   report.holds = true;
+  report.states_interned = store.size();
   return report;
 }
 
@@ -495,6 +512,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
     s.aux.resize(lay_.aux_words_);
     s.reach.resize(lay_.row_words_);
     s.frontier.resize(lay_.row_words_);
+    s.moves.reserve(64);
   }
 
   constexpr size_t kChunkStates = 64;
@@ -523,6 +541,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = store.size();
         return report;
       }
       auto completion =
@@ -535,6 +554,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
         report.holds = false;
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
+        report.states_interned = store.size();
         return report;
       }
       // Uncompletable: pruned, like the serial `continue`.
@@ -583,6 +603,214 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
   }
 
   report.states_visited = store.size();
+  report.states_interned = store.size();
+  report.holds = true;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Reduced engine (DESIGN.md §8): persistent-move pruning + orbit
+// canonicalization over the extended (state, arc-set) space, on the
+// level-synchronous sharded substrate. Both reductions preserve the
+// reachability of terminal extended states, and a cyclic arc set
+// persists to every descendant, so the Lemma 1 verdicts survive (§8.4).
+// The canonical permutation sorts orbit blocks by exec content and
+// permutes the arc matrix rows/columns along; exec-block ties are left
+// in place (stable sort), which merely merges fewer states — every merge
+// is through a genuine system automorphism.
+// ---------------------------------------------------------------------------
+
+class LemmaSearchReduced {
+ public:
+  LemmaSearchReduced(const TransactionSystem& sys,
+                     const SafetyCheckOptions& options, bool require_complete)
+      : options_(options),
+        require_complete_(require_complete),
+        space_(&sys),
+        lay_(space_),
+        orbits_(sys),
+        canon_(&space_, &orbits_, lay_.row_words_) {}
+
+  Result<SafetyReport> Run();
+
+ private:
+  const SafetyCheckOptions& options_;
+  const bool require_complete_;
+  StateSpace space_;
+  const LemmaKeyLayout lay_;
+  const TransactionOrbits orbits_;
+  const OrbitCanonicalizer canon_;
+};
+
+Result<SafetyReport> LemmaSearchReduced::Run() {
+  SafetyReport report;
+  ThreadPool pool(options_.search_threads);
+  ShardedStateStore store(lay_.key_words_, lay_.aux_words_,
+                          /*num_shards=*/4 * pool.threads());
+  if (orbits_.HasNontrivialOrbit()) store.set_canonicalizer(&canon_);
+
+  {
+    std::vector<uint64_t> key_buf(lay_.key_words_, 0);
+    std::vector<uint64_t> aux_buf(lay_.aux_words_, 0);
+    space_.InitRoot(key_buf.data(), aux_buf.data());
+    uint32_t root = store.InternRoot(key_buf.data());
+    std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
+                lay_.aux_words_ * sizeof(uint64_t));
+  }
+
+  // Builds the concrete violation for a flagged representative: replay
+  // the path via the shared permutation composition (core/symmetry,
+  // DESIGN.md §8.3), permute the stored arc matrix through the final
+  // tau, and report a cycle of the *concrete* digraph.
+  auto make_violation = [&](uint32_t id,
+                            const Schedule& extra) -> SafetyViolation {
+    Schedule sched;
+    std::vector<int> tau;
+    ReplayReducedPath(
+        store, id, canon_, orbits_.HasNontrivialOrbit(), space_,
+        lay_.key_words_,
+        [&](const uint64_t* parent_key, GlobalNode g, uint64_t* child_key) {
+          // Pre-canonical child = parent representative + move: the exec
+          // bit and the §5 lock arcs, exactly as the search staged it.
+          std::memcpy(child_key, parent_key,
+                      lay_.key_words_ * sizeof(uint64_t));
+          const int bit = space_.txn_word_offset(g.txn) * 64 + g.node;
+          child_key[bit / 64] |= 1ULL << (bit % 64);
+          ApplyLockArcs(space_, parent_key, g, lay_.row_words_,
+                        lay_.Arcs(child_key));
+        },
+        &sched, &tau);
+    for (GlobalNode g : extra) sched.push_back(GlobalNode{tau[g.txn], g.node});
+    Digraph concrete(lay_.n_);
+    const uint64_t* arcs = lay_.Arcs(store.KeyOf(id));
+    for (int i = 0; i < lay_.n_; ++i) {
+      for (int j = 0; j < lay_.n_; ++j) {
+        if (i != j &&
+            ((arcs[i * lay_.row_words_ + j / 64] >> (j % 64)) & 1) != 0) {
+          concrete.AddArc(tau[i], tau[j]);
+        }
+      }
+    }
+    std::vector<NodeId> cycle = FindCycle(concrete);
+    return SafetyViolation{std::move(sched),
+                           std::vector<int>(cycle.begin(), cycle.end())};
+  };
+
+  struct WorkerScratch {
+    std::vector<uint64_t> key;
+    std::vector<uint64_t> aux;
+    std::vector<uint64_t> reach;
+    std::vector<uint64_t> frontier;
+    std::vector<GlobalNode> moves;
+    uint64_t pruned = 0;
+  };
+  std::vector<WorkerScratch> scratch(pool.threads());
+  for (WorkerScratch& s : scratch) {
+    s.key.resize(lay_.key_words_);
+    s.aux.resize(lay_.aux_words_);
+    s.reach.resize(lay_.row_words_);
+    s.frontier.resize(lay_.row_words_);
+    s.moves.reserve(64);
+  }
+
+  constexpr size_t kChunkStates = 64;
+  std::vector<ShardedStateStore::Staging> chunks;
+
+  auto sum_pruned = [&] {
+    uint64_t total = 0;
+    for (const WorkerScratch& s : scratch) total += s.pruned;
+    return total;
+  };
+
+  size_t level_begin = 0;
+  while (level_begin < store.size()) {
+    const size_t level_end = store.size();
+    const size_t level_size = level_end - level_begin;
+
+    // Phase 1: flagged (cyclic) representatives, in id order. A cyclic
+    // state reports (safe+DF), or reports-if-completable and prunes
+    // otherwise (pure safety) — completability is permutation-invariant,
+    // so it is probed on the representative and only a reported
+    // violation pays for path reconstruction.
+    for (size_t i = 0; i < level_size; ++i) {
+      const uint32_t id = static_cast<uint32_t>(level_begin + i);
+      if ((store.AuxOf(id)[lay_.flag_word_] & 1) == 0) continue;
+      if (options_.max_states != 0 &&
+          static_cast<uint64_t>(id) + 1 > options_.max_states) {
+        return Status::ResourceExhausted(StrFormat(
+            "safety check exceeded %llu states",
+            static_cast<unsigned long long>(options_.max_states)));
+      }
+      if (!require_complete_) {
+        report.states_visited = static_cast<uint64_t>(id) + 1;
+        report.states_interned = store.size();
+        report.sleep_set_pruned = sum_pruned();
+        report.holds = false;
+        report.violation = make_violation(id, Schedule{});
+        return report;
+      }
+      auto completion = space_.FindCompletion(
+          lay_.ExecOf(store.KeyOf(id)), options_.max_states);
+      if (!completion.ok()) return completion.status();
+      if (completion->has_value()) {
+        report.states_visited = static_cast<uint64_t>(id) + 1;
+        report.states_interned = store.size();
+        report.sleep_set_pruned = sum_pruned();
+        report.holds = false;
+        report.violation = make_violation(id, **completion);
+        return report;
+      }
+      // Uncompletable: no descendant reaches a complete schedule, and
+      // they all inherit the cycle — prune the subtree.
+    }
+    if (options_.max_states != 0 && level_end > options_.max_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "safety check exceeded %llu states",
+          static_cast<unsigned long long>(options_.max_states)));
+    }
+
+    // Phase 2: reduced expansion of the acyclic representatives.
+    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+
+    pool.ParallelFor(
+        level_size, kChunkStates,
+        [&](size_t begin, size_t end, int worker) {
+          WorkerScratch& ws = scratch[worker];
+          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t id = static_cast<uint32_t>(level_begin + i);
+            if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) continue;
+            ws.moves.clear();
+            ws.pruned += space_.ExpandReducedInto(store.KeyOf(id),
+                                                  store.AuxOf(id), &ws.moves);
+            for (GlobalNode g : ws.moves) {
+              space_.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
+                               ws.key.data(), ws.aux.data());
+              std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(store.KeyOf(id)),
+                          lay_.arc_words_ * sizeof(uint64_t));
+              ws.aux[lay_.flag_word_] = 0;
+              if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(id), g,
+                                            lay_.row_words_,
+                                            lay_.Arcs(ws.key.data()), ws.reach,
+                                            ws.frontier)) {
+                ws.aux[lay_.flag_word_] |= 1;
+              }
+              store.StageCanonical(&staging, ws.key.data(), ws.aux.data(),
+                                   id, g);
+            }
+          }
+        });
+
+    // Phase 3: deterministic commit (canonical keys fed the shard hash).
+    store.CommitStaged(&chunks, num_chunks, &pool);
+    level_begin = level_end;
+  }
+
+  report.states_visited = store.size();
+  report.states_interned = store.size();
+  report.sleep_set_pruned = sum_pruned();
   report.holds = true;
   return report;
 }
@@ -596,6 +824,10 @@ Result<SafetyReport> RunSearch(const TransactionSystem& sys,
   }
   if (options.engine == SearchEngine::kParallelSharded) {
     LemmaSearchParallel search(sys, options, require_complete);
+    return search.Run();
+  }
+  if (options.engine == SearchEngine::kReduced) {
+    LemmaSearchReduced search(sys, options, require_complete);
     return search.Run();
   }
   LemmaSearchIncremental search(sys, options, require_complete);

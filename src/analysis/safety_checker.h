@@ -46,6 +46,15 @@ struct SafetyReport {
   bool holds = false;  ///< The checked property (see function) holds.
   std::optional<SafetyViolation> violation;
   uint64_t states_visited = 0;
+  /// Distinct (state, arc-set) pairs held by the search store when the
+  /// verdict was reached (orbit representatives only under kReduced) —
+  /// the memory-side cost metric behind `--stats`. Exact across engines
+  /// only when the property holds; on violation runs it depends on how
+  /// many children of the final level each engine interned first.
+  uint64_t states_interned = 0;
+  /// Expansions skipped by kReduced's persistent-move (sleep-set)
+  /// pruning; 0 for the exhaustive engines.
+  uint64_t sleep_set_pruned = 0;
 };
 
 /// Decides "safe and deadlock-free" exactly via Lemma 1.

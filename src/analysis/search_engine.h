@@ -21,6 +21,15 @@ enum class SearchEngine {
   /// bit-identical to the serial engines for any thread or shard count;
   /// the thread count comes from the checker options' `search_threads`.
   kParallelSharded,
+  /// Commutativity- and symmetry-reduced search (DESIGN.md §8): sleep-set
+  /// style persistent-move pruning (StateSpace::ExpandReducedInto) plus
+  /// transaction-orbit canonicalization of state keys (core/symmetry),
+  /// run on the same level-synchronous sharded substrate. Verdicts agree
+  /// with the exhaustive engines and every witness replays to a real
+  /// stuck/unsafe state, but states_visited counts the *reduced* space —
+  /// orders of magnitude smaller on symmetric workloads. Honors
+  /// `search_threads`; results are identical for every thread count.
+  kReduced,
 };
 
 }  // namespace wydb

@@ -43,6 +43,15 @@ StateSpace::StateSpace(const TransactionSystem* sys) : sys_(sys) {
       accessors_[e].push_back(i);
     }
   }
+  entity_unlock_bits_.resize(num_entities);
+  for (int e = 0; e < num_entities; ++e) {
+    entity_unlock_bits_[e].reserve(accessors_[e].size());
+    for (int j : accessors_[e]) {
+      const int bit = offset_[j] * 64 + unlock_node_[j][e];
+      entity_unlock_bits_[e].push_back(
+          UnlockBit{j, bit / 64, 1ULL << (bit % 64)});
+    }
+  }
   full_words_.assign(total_words_, 0);
   for (int i = 0; i < n; ++i) {
     for (NodeId v = 0; v < sys_->txn(i).num_steps(); ++v) {
@@ -219,6 +228,47 @@ void StateSpace::ExpandInto(const uint64_t* aux,
   }
 }
 
+int StateSpace::ExpandReducedInto(const uint64_t* state, const uint64_t* aux,
+                                  std::vector<GlobalNode>* moves) const {
+  const size_t base = moves->size();
+  const uint16_t* holders = Holders(aux);
+  // first_safe indexes into *moves; npos = no invisible move seen yet.
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t first_safe = kNone;
+  for (int i = 0; i < sys_->num_transactions(); ++i) {
+    const Transaction& t = sys_->txn(i);
+    for (int w = 0; w < words_[i]; ++w) {
+      uint64_t bits = aux[offset_[i] + w];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        NodeId v = static_cast<NodeId>(w * 64 + b);
+        const Step& st = t.step(v);
+        if (st.kind == StepKind::kLock && holders[st.entity] != kNoHolder) {
+          continue;
+        }
+        moves->push_back(GlobalNode{i, v});
+        if (first_safe == kNone) {
+          bool safe = true;
+          for (const UnlockBit& u : entity_unlock_bits_[st.entity]) {
+            if (u.txn != i && (state[u.word] & u.mask) == 0) {
+              safe = false;
+              break;
+            }
+          }
+          if (safe) first_safe = moves->size() - 1;
+        }
+      }
+    }
+  }
+  if (first_safe == kNone) return 0;
+  // One invisible move covers every sibling: keep it, drop the rest.
+  const int pruned = static_cast<int>(moves->size() - base) - 1;
+  (*moves)[base] = (*moves)[first_safe];
+  moves->resize(base + 1);
+  return pruned;
+}
+
 void StateSpace::ApplyInto(const uint64_t* state, const uint64_t* aux,
                            GlobalNode g, uint64_t* next_state,
                            uint64_t* next_aux) const {
@@ -281,11 +331,19 @@ StateSpace::FindScheduleBetween(const ExecState& from, const ExecState& target,
     size_t next = 0;
   };
 
-  auto moves_of = [&](uint32_t id) {
-    std::vector<GlobalNode> moves;
-    ExpandInto(store.AuxOf(id), &moves);
-    std::erase_if(moves, [&](GlobalNode g) { return !in_target(g); });
-    return moves;
+  // Frames are pooled by depth — popping keeps the slot (and its moves
+  // capacity) for the next push, so expansion allocates only while the
+  // search deepens past its previous maximum.
+  std::vector<Frame> frames;
+  size_t depth = 0;
+  auto push_frame = [&](uint32_t id) {
+    if (depth == frames.size()) frames.emplace_back();
+    Frame& f = frames[depth++];
+    f.id = id;
+    f.next = 0;
+    f.moves.clear();
+    ExpandInto(store.AuxOf(id), &f.moves);
+    std::erase_if(f.moves, [&](GlobalNode g) { return !in_target(g); });
   };
 
   std::vector<uint64_t> root_aux(aux_words());
@@ -302,16 +360,15 @@ StateSpace::FindScheduleBetween(const ExecState& from, const ExecState& target,
                   static_cast<unsigned long long>(max_states)));
   }
 
-  std::vector<Frame> stack;
   std::vector<GlobalNode> path;
-  stack.push_back(Frame{root, moves_of(root)});
+  push_frame(root);
 
-  while (!stack.empty()) {
-    Frame& top = stack.back();
+  while (depth > 0) {
+    Frame& top = frames[depth - 1];
     if (top.next >= top.moves.size()) {
       dead[top.id] = 1;
-      stack.pop_back();
-      if (!stack.empty()) path.pop_back();
+      --depth;
+      if (depth > 0) path.pop_back();
       continue;
     }
     GlobalNode g = top.moves[top.next++];
@@ -336,7 +393,7 @@ StateSpace::FindScheduleBetween(const ExecState& from, const ExecState& target,
                     static_cast<unsigned long long>(max_states)));
     }
     path.push_back(g);
-    stack.push_back(Frame{r.id, moves_of(r.id)});
+    push_frame(r.id);
   }
   return std::optional<std::vector<GlobalNode>>(std::nullopt);
 }

@@ -121,6 +121,20 @@ class StateSpace {
   /// in ascending (txn, node) order — the same order as LegalMoves.
   void ExpandInto(const uint64_t* aux, std::vector<GlobalNode>* moves) const;
 
+  /// Commutativity-reduced expansion (the sleep-set / persistent-move
+  /// half of SearchEngine::kReduced, DESIGN.md §8.1). A legal move is
+  /// *invisible* when every other accessor of its entity has already
+  /// executed its Unlock of that entity: no future step of any other
+  /// transaction can touch the entity, so the move commutes with every
+  /// interleaving that postpones it — and {move} is a singleton
+  /// persistent set. When the state has an invisible move, only the
+  /// first one (in ExpandInto order) is appended; otherwise all legal
+  /// moves are. Returns the number of expansions pruned. `*moves` is
+  /// empty on return iff the state has no legal move at all, so stuck
+  /// detection is unaffected by the pruning.
+  int ExpandReducedInto(const uint64_t* state, const uint64_t* aux,
+                        std::vector<GlobalNode>* moves) const;
+
   /// Applies legal move `g`: writes the child state and its incrementally
   /// updated aux cache. `next_state`/`next_aux` must not alias the inputs.
   void ApplyInto(const uint64_t* state, const uint64_t* aux, GlobalNode g,
@@ -135,6 +149,18 @@ class StateSpace {
   const std::vector<int>& AccessorsOf(EntityId e) const {
     return accessors_[e];
   }
+
+  // --- Packed-layout accessors (core/symmetry's canonicalizer) ----------
+
+  /// First word of transaction i's mask inside a packed state.
+  int txn_word_offset(int i) const { return offset_[i]; }
+  /// Number of mask words of transaction i.
+  int txn_word_count(int i) const { return words_[i]; }
+  /// The per-entity lock-holder table inside an aux buffer.
+  const uint16_t* HolderTable(const uint64_t* aux) const {
+    return Holders(aux);
+  }
+  uint16_t* HolderTable(uint64_t* aux) const { return Holders(aux); }
 
   /// Searches for a legal schedule from `from` that executes exactly the
   /// nodes of `target` (a superset state). Returns the move sequence, or
@@ -178,6 +204,15 @@ class StateSpace {
   std::vector<std::vector<NodeId>> unlock_node_;
   /// accessors_[e]: transactions accessing entity e.
   std::vector<std::vector<int>> accessors_;
+  /// Per-accessor Unlock-step bit positions of each entity, in state
+  /// coordinates: the invisibility test of ExpandReducedInto is "every
+  /// *other* listed bit is set".
+  struct UnlockBit {
+    int txn;
+    int word;
+    uint64_t mask;
+  };
+  std::vector<std::vector<UnlockBit>> entity_unlock_bits_;
   /// The full state's words (for IsComplete on raw buffers).
   std::vector<uint64_t> full_words_;
 };

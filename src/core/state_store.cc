@@ -55,6 +55,18 @@ StateStore::InternResult StateStore::Intern(const uint64_t* key,
   return InternResult{id, true};
 }
 
+StateStore::InternResult StateStore::InternCanonical(uint64_t* key,
+                                                     uint64_t* aux,
+                                                     uint32_t parent,
+                                                     GlobalNode move) {
+  if (canonicalizer_ != nullptr) canonicalizer_->Canonicalize(key, aux);
+  InternResult r = Intern(key, parent, move);
+  if (r.inserted && aux_words_ > 0) {
+    std::memcpy(MutableAuxOf(r.id), aux, aux_words_ * sizeof(uint64_t));
+  }
+  return r;
+}
+
 uint32_t StateStore::Append(const uint64_t* key, uint32_t parent,
                             GlobalNode move) {
   uint32_t id = static_cast<uint32_t>(parents_.size());
@@ -134,6 +146,9 @@ uint32_t ShardedStateStore::InternRoot(const uint64_t* key) {
 void ShardedStateStore::ResetStaging(Staging* staging) const {
   staging->words_.resize(shards_.size());
   staging->pending_.resize(shards_.size());
+  // clear() keeps each lane's capacity from earlier levels. No eager
+  // reserve: there are O(chunks x shards) lanes and most stay empty, so
+  // a speculative floor would dwarf the states it stages.
   for (size_t s = 0; s < shards_.size(); ++s) {
     staging->words_[s].clear();
     staging->pending_[s].clear();
@@ -151,6 +166,13 @@ void ShardedStateStore::Stage(Staging* staging, const uint64_t* key,
   words.insert(words.end(), aux, aux + aux_words_);
   staging->pending_[shard].push_back(Staging::Pending{
       hash, staging->count_++, parent, move.txn, move.node});
+}
+
+void ShardedStateStore::StageCanonical(Staging* staging, uint64_t* key,
+                                       uint64_t* aux, uint32_t parent,
+                                       GlobalNode move) const {
+  if (canonicalizer_ != nullptr) canonicalizer_->Canonicalize(key, aux);
+  Stage(staging, key, aux, parent, move);
 }
 
 uint32_t ShardedStateStore::AppendToShard(Shard* shard,

@@ -39,6 +39,23 @@ namespace wydb {
 
 class ThreadPool;
 
+/// \brief Optional canonical-key hook (the symmetry half of
+/// SearchEngine::kReduced, DESIGN.md §8.2).
+///
+/// Canonicalize rewrites a (key, aux) pair in place to the canonical
+/// representative of its symmetry class — e.g. OrbitCanonicalizer
+/// (core/symmetry.h) sorts the per-transaction key blocks by orbit —
+/// so equivalent states intern to one id. Implementations must be
+/// deterministic functions of the key and thread-safe: the sharded
+/// store invokes the hook from concurrent staging workers, and the
+/// canonical key is what feeds the shard hash.
+class KeyCanonicalizer {
+ public:
+  virtual ~KeyCanonicalizer() = default;
+  /// `aux` may be null when the caller only needs the key rewritten.
+  virtual void Canonicalize(uint64_t* key, uint64_t* aux) const = 0;
+};
+
 class StateStore {
  public:
   /// Sentinel id: "no such state" / "no parent" (the root).
@@ -60,6 +77,20 @@ class StateStore {
   /// parents).
   InternResult Intern(const uint64_t* key, uint32_t parent = kNoId,
                       GlobalNode move = GlobalNode{-1, -1});
+
+  /// Installs (or clears, with null) the canonical-key hook used by
+  /// InternCanonical. The store does not own the canonicalizer.
+  void set_canonicalizer(const KeyCanonicalizer* canonicalizer) {
+    canonicalizer_ = canonicalizer;
+  }
+
+  /// Canonicalizes `key`/`aux` in place through the installed hook (a
+  /// no-op without one), then interns the canonical key; on fresh
+  /// insertion the aux region is filled from `aux` (instead of the
+  /// zero-fill of plain Intern). `aux` must hold aux_words() words.
+  InternResult InternCanonical(uint64_t* key, uint64_t* aux,
+                               uint32_t parent = kNoId,
+                               GlobalNode move = GlobalNode{-1, -1});
 
   /// Appends without deduplication (memoization ablation); the hash table
   /// is bypassed entirely. Do not mix with Intern on the same store.
@@ -106,6 +137,7 @@ class StateStore {
 
   const int key_words_;
   const int aux_words_;
+  const KeyCanonicalizer* canonicalizer_ = nullptr;
   std::vector<uint64_t> keys_;       ///< size() * key_words_ words.
   std::vector<uint64_t> aux_;        ///< size() * aux_words_ words.
   std::vector<ParentLink> parents_;  ///< One per id.
@@ -211,6 +243,18 @@ class ShardedStateStore {
   void Stage(Staging* staging, const uint64_t* key, const uint64_t* aux,
              uint32_t parent, GlobalNode move) const;
 
+  /// Installs (or clears) the canonical-key hook used by StageCanonical.
+  void set_canonicalizer(const KeyCanonicalizer* canonicalizer) {
+    canonicalizer_ = canonicalizer;
+  }
+
+  /// Canonicalizes `key`/`aux` in place (no-op without a hook), then
+  /// stages the canonical tuple — the canonical key is what gets hashed,
+  /// so symmetric siblings land in one shard slot and dedup to one id.
+  /// Safe to call concurrently on distinct Staging objects.
+  void StageCanonical(Staging* staging, uint64_t* key, uint64_t* aux,
+                      uint32_t parent, GlobalNode move) const;
+
   /// Commits `num_chunks` staged chunks, in chunk order. With `dedupe`,
   /// keys already present (in the store or earlier in the batch) are
   /// dropped; without it every staged tuple becomes a fresh state (the
@@ -260,6 +304,7 @@ class ShardedStateStore {
 
   const int key_words_;
   const int aux_words_;
+  const KeyCanonicalizer* canonicalizer_ = nullptr;
   int shard_bits_ = 0;
   std::vector<Shard> shards_;
   /// Global id -> packed (shard, local), in allocation order.

@@ -1,11 +1,18 @@
 // Differential fuzz suite: on ~200 randomly generated systems per run,
 // every layer of the stack must tell one consistent story —
 //
-//   * the three search engines (naive reference, incremental, parallel
-//     sharded at >1 thread) agree on the exact deadlock verdict, witness,
-//     and states_visited, in both detection modes;
-//   * a deadlock witness actually replays: its schedule is legal from the
-//     empty state and ends in a stuck, incomplete state;
+//   * the three exhaustive search engines (naive reference, incremental,
+//     parallel sharded at >1 thread) agree on the exact deadlock verdict,
+//     witness, and states_visited, in both detection modes;
+//   * the reduced engine (kReduced, serial and 4-thread) agrees on every
+//     verdict — deadlock in both detection modes, safe+DF, and pure
+//     safety — and is deterministic across thread counts; its state
+//     counts are *not* compared (it explores a reduced space);
+//   * every witness actually replays: a stuck-state witness is legal from
+//     the empty state and ends stuck and incomplete; a reduction-graph
+//     witness ends in a cyclic-reduction-graph prefix; a safety violation
+//     rebuilds a cyclic conflict digraph D(S') containing the reported
+//     transaction cycle (and is complete for the pure-safety checker);
 //   * the traffic engine agrees with the static verdict: a system the
 //     exact checker certifies deadlock-free never deadlocks under the
 //     pure blocking policy, and conversely any observed traffic deadlock
@@ -24,6 +31,7 @@
 #include "analysis/deadlock_checker.h"
 #include "analysis/safety_checker.h"
 #include "common/random.h"
+#include "core/reduction_graph.h"
 #include "core/state_space.h"
 #include "gen/system_gen.h"
 #include "runtime/simulation.h"
@@ -69,6 +77,64 @@ void CheckWitnessReplays(const TransactionSystem& sys,
   EXPECT_TRUE(space.LegalMoves(s).empty())
       << "witness end state is not stuck";
   EXPECT_FALSE(space.IsComplete(s)) << "witness end state is complete";
+}
+
+/// Replays a kReductionGraph witness: legal from the empty state, ending
+/// in a prefix whose reduction graph is cyclic.
+void CheckCyclicPrefixWitnessReplays(const TransactionSystem& sys,
+                                     const DeadlockWitness& witness) {
+  StateSpace space(&sys);
+  ExecState s = space.EmptyState();
+  for (GlobalNode g : witness.schedule) {
+    ASSERT_TRUE(space.IsLegal(s, g))
+        << "RG witness schedule has an illegal move";
+    s = space.Apply(s, g);
+  }
+  ReductionGraph rg(space.ToPrefixSet(s));
+  EXPECT_TRUE(rg.HasCycle())
+      << "RG witness prefix has an acyclic reduction graph";
+  EXPECT_FALSE(witness.reduction_cycle.empty());
+}
+
+/// Replays a safety violation: legal from the empty state, rebuilding the
+/// §5 conflict digraph D(S') along the way; the reported transaction
+/// cycle must be edge-for-edge present in the rebuilt digraph. With
+/// `must_complete` the schedule must also execute every step.
+void CheckSafetyViolationReplays(const TransactionSystem& sys,
+                                 const SafetyViolation& violation,
+                                 bool must_complete) {
+  StateSpace space(&sys);
+  const int n = sys.num_transactions();
+  ExecState s = space.EmptyState();
+  std::vector<std::vector<bool>> arc(n, std::vector<bool>(n, false));
+  for (GlobalNode g : violation.schedule) {
+    ASSERT_TRUE(space.IsLegal(s, g))
+        << "violation schedule has an illegal move";
+    const Step& st = sys.txn(g.txn).step(g.node);
+    if (st.kind == StepKind::kLock) {
+      for (int j : sys.AccessorsOf(st.entity)) {
+        if (j == g.txn) continue;
+        if (space.IsExecuted(s, j, sys.txn(j).LockNode(st.entity))) {
+          arc[j][g.txn] = true;
+        } else {
+          arc[g.txn][j] = true;
+        }
+      }
+    }
+    s = space.Apply(s, g);
+  }
+  if (must_complete) {
+    EXPECT_TRUE(space.IsComplete(s))
+        << "pure-safety violation schedule is not complete";
+  }
+  ASSERT_FALSE(violation.txn_cycle.empty());
+  for (size_t i = 0; i < violation.txn_cycle.size(); ++i) {
+    const int a = violation.txn_cycle[i];
+    const int b = violation.txn_cycle[(i + 1) % violation.txn_cycle.size()];
+    EXPECT_TRUE(arc[a][b])
+        << "reported D(S') cycle edge T" << a << "->T" << b
+        << " is missing from the replayed digraph";
+  }
 }
 
 void RunCase(uint64_t seed) {
@@ -127,6 +193,42 @@ void RunCase(uint64_t seed) {
     CheckWitnessReplays(s, *stuck_report->witness);
   }
 
+  // --- Reduced engine: verdict agreement, witness replay, and serial /
+  //     4-thread determinism. states_visited is only compared between
+  //     reduced runs — the engine explores the reduced space.
+  for (auto mode : {DeadlockDetectionMode::kStuckState,
+                    DeadlockDetectionMode::kReductionGraph}) {
+    Result<DeadlockReport> serial = Status::Internal("unset");
+    for (int threads : {1, 4}) {
+      DeadlockCheckOptions opts;
+      opts.mode = mode;
+      opts.engine = SearchEngine::kReduced;
+      opts.search_threads = threads;
+      auto a = CheckDeadlockFreedom(s, opts);
+      ASSERT_TRUE(a.ok());
+      ASSERT_EQ(a->deadlock_free, stuck_report->deadlock_free)
+          << "kReduced verdict diverges from the reference";
+      ASSERT_EQ(a->witness.has_value(), !stuck_report->deadlock_free);
+      if (a->witness.has_value()) {
+        if (mode == DeadlockDetectionMode::kStuckState) {
+          CheckWitnessReplays(s, *a->witness);
+        } else {
+          CheckCyclicPrefixWitnessReplays(s, *a->witness);
+        }
+      }
+      if (threads == 1) {
+        serial = std::move(a);
+      } else {
+        ASSERT_TRUE(serial.ok());
+        ASSERT_EQ(a->states_visited, serial->states_visited)
+            << "kReduced is not deterministic across thread counts";
+        if (a->witness.has_value()) {
+          ASSERT_EQ(a->witness->schedule, serial->witness->schedule);
+        }
+      }
+    }
+  }
+
   // --- Safety engines agree too. ---------------------------------------
   {
     SafetyCheckOptions ref;
@@ -142,6 +244,32 @@ void RunCase(uint64_t seed) {
       ASSERT_TRUE(a.ok());
       ASSERT_EQ(a->holds, b->holds);
       ASSERT_EQ(a->states_visited, b->states_visited);
+    }
+
+    // kReduced: verdicts for both Lemma 1 properties, with violation
+    // replay (the reconstructed schedule must rebuild a cyclic D(S')).
+    auto safe_ref = CheckSafety(s, ref);
+    ASSERT_TRUE(safe_ref.ok());
+    for (int threads : {1, 4}) {
+      SafetyCheckOptions opts;
+      opts.engine = SearchEngine::kReduced;
+      opts.search_threads = threads;
+      auto a = CheckSafeAndDeadlockFree(s, opts);
+      ASSERT_TRUE(a.ok());
+      ASSERT_EQ(a->holds, b->holds)
+          << "kReduced safe+DF verdict diverges from the reference";
+      if (a->violation.has_value()) {
+        CheckSafetyViolationReplays(s, *a->violation,
+                                    /*must_complete=*/false);
+      }
+      auto p = CheckSafety(s, opts);
+      ASSERT_TRUE(p.ok());
+      ASSERT_EQ(p->holds, safe_ref->holds)
+          << "kReduced pure-safety verdict diverges from the reference";
+      if (p->violation.has_value()) {
+        CheckSafetyViolationReplays(s, *p->violation,
+                                    /*must_complete=*/true);
+      }
     }
   }
 

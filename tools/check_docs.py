@@ -32,12 +32,15 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z-]*")
 SUBCOMMAND_RE = re.compile(r"^  wydb_analyze (\w+)", re.MULTILINE)
 
-# Flags that are prose (cmake/ctest/benchmark), not wydb_analyze options.
+# Flags that are prose (cmake/ctest/benchmark/compare_bench), not
+# wydb_analyze options.
 FLAG_ALLOWLIST = {
     "--help",
     "--build",
     "--output-on-failure",
     "--benchmark_filter",
+    "--benchmark",  # FLAG_RE stops at '_': --benchmark_out etc.
+    "--threshold",
 }
 
 
@@ -90,26 +93,47 @@ def check_help_sync(binary: Path) -> list[str]:
     return errors
 
 
+# The `--stats` line printed under each exact check: one greppable
+# `stats:` token followed by fixed key=value fields (sweeps parse this).
+STATS_LINE_RE = re.compile(
+    r"^    stats: states_interned=\d+ sleep_set_pruned=\d+"
+    r" orbits=\d+ largest_orbit=\d+$",
+    re.MULTILINE,
+)
+
+
 def check_cli_smoke(binary: Path) -> list[str]:
-    """Misuse must exit nonzero with usage on stderr; --help must work."""
+    """Misuse must exit nonzero with usage on stderr; --help must work;
+    the --stats output format must hold (one stats line per exact check,
+    matching STATS_LINE_RE)."""
     sample = REPO / "tools" / "sample_workload.wydb"
+    # (args, want_code, want_stderr_substring, want_stdout_regex)
+    # The sample workload is REFUTED, so plain analysis exits 1.
     cases = [
-        (["--help"], 0, None),
-        ([], 2, "usage"),
-        (["definitely-not-a-subcommand"], 2, "usage"),
-        (["simulate"], 2, "usage"),
-        (["sweep"], 2, "usage"),
-        (["--exact"], 2, "usage"),  # Option where the workload should be.
-        ([str(sample), "--no-such-option"], 2, "usage"),
-        ([str(sample), "--simulate"], 2, "needs a value"),
-        ([str(sample), "--search-threads"], 2, "needs a value"),
+        (["--help"], 0, None, None),
+        ([], 2, "usage", None),
+        (["definitely-not-a-subcommand"], 2, "usage", None),
+        (["simulate"], 2, "usage", None),
+        (["sweep"], 2, "usage", None),
+        (["--exact"], 2, "usage", None),  # Option where the workload goes.
+        ([str(sample), "--no-such-option"], 2, "usage", None),
+        ([str(sample), "--simulate"], 2, "needs a value", None),
+        ([str(sample), "--search-threads"], 2, "needs a value", None),
         ([str(sample), "--search-threads", "four"], 2,
-         "non-negative integer"),
-        ([str(sample), "--simulate", "-5"], 2, "non-negative integer"),
-        (["simulate", str(sample), "--policy"], 2, "needs a value"),
+         "non-negative integer", None),
+        ([str(sample), "--simulate", "-5"], 2, "non-negative integer",
+         None),
+        (["simulate", str(sample), "--policy"], 2, "needs a value", None),
+        ([str(sample), "--engine"], 2, "needs a value", None),
+        ([str(sample), "--engine", "bogus"], 2,
+         "incremental, reference, parallel, or reduced", None),
+        # --stats implies --exact; both exact checks print a stats line.
+        ([str(sample), "--stats"], 1, None, STATS_LINE_RE),
+        ([str(sample), "--engine", "reduced", "--stats",
+          "--search-threads", "2"], 1, None, STATS_LINE_RE),
     ]
     errors = []
-    for args, want_code, want_stderr in cases:
+    for args, want_code, want_stderr, want_stdout_re in cases:
         label = "wydb_analyze " + " ".join(args)
         try:
             proc = subprocess.run(
@@ -127,6 +151,13 @@ def check_cli_smoke(binary: Path) -> list[str]:
             )
         if want_stderr is not None and want_stderr not in proc.stderr:
             errors.append(f"{label}: stderr lacks '{want_stderr}'")
+        if want_stdout_re is not None:
+            matches = want_stdout_re.findall(proc.stdout)
+            if len(matches) != 2:  # One per exact check (deadlock, safety).
+                errors.append(
+                    f"{label}: expected 2 stats lines matching "
+                    f"{want_stdout_re.pattern!r}, found {len(matches)}"
+                )
     return errors
 
 

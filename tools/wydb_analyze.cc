@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "analysis/pair_analyzer.h"
 #include "analysis/safety_checker.h"
 #include "core/schedule.h"
+#include "core/symmetry.h"
 #include "io/text_format.h"
 #include "runtime/simulation.h"
 #include "runtime/workload.h"
@@ -39,10 +41,21 @@ Usage:
 Analysis options:
   --pairs            also print the per-pair Theorem 3 verdicts
   --exact            also run the exact (exponential) checkers
-  --search-threads <k>  run the exact checkers on the sharded parallel
-                     engine with <k> worker threads (0 = hardware
-                     concurrency); verdicts, witnesses, and state counts
-                     are bit-identical to the serial engine
+  --engine <e>       exact-checker engine: incremental (default),
+                     reference (the naive seed implementation), parallel
+                     (sharded level-synchronous BFS), or reduced
+                     (commutativity pruning + transaction-symmetry
+                     canonicalization; verdict-equivalent, visits far
+                     fewer states on symmetric workloads); implies
+                     --exact and composes with --search-threads
+  --search-threads <k>  worker threads for the parallel and reduced
+                     engines (0 = hardware concurrency); without
+                     --engine this selects the parallel engine, whose
+                     verdicts, witnesses, and state counts are
+                     bit-identical to the serial engine; implies --exact
+  --stats            print a per-check stats line (states interned,
+                     sleep-set pruned expansions, symmetry orbits);
+                     implies --exact
   --optimize         run the early-unlock optimizer and print the result
   --simulate <runs>  simulate the workload <runs> times per policy
   --dump             echo the parsed system back in text format
@@ -458,18 +471,44 @@ int main(int argc, char** argv) {
     return Fail("expected a workload file or subcommand before options");
   }
   bool pairs = false, exact = false, optimize = false, dump = false;
-  bool parallel_search = false;
+  bool stats = false, engine_set = false;
+  SearchEngine engine = SearchEngine::kIncremental;
   int simulate_runs = 0, search_threads = 0;
   for (int a = 2; a < argc; ++a) {
     if (!std::strcmp(argv[a], "--pairs")) {
       pairs = true;
     } else if (!std::strcmp(argv[a], "--exact")) {
       exact = true;
+    } else if (!std::strcmp(argv[a], "--engine")) {
+      if (a + 1 >= argc) FailMissingValue("--engine");
+      const char* name = argv[++a];
+      exact = true;  // The engine choice only shows in the exact checks.
+      engine_set = true;
+      if (!std::strcmp(name, "incremental")) {
+        engine = SearchEngine::kIncremental;
+      } else if (!std::strcmp(name, "reference")) {
+        engine = SearchEngine::kNaiveReference;
+      } else if (!std::strcmp(name, "parallel")) {
+        engine = SearchEngine::kParallelSharded;
+      } else if (!std::strcmp(name, "reduced")) {
+        engine = SearchEngine::kReduced;
+      } else {
+        return Fail(
+            "--engine wants incremental, reference, parallel, or reduced");
+      }
     } else if (!std::strcmp(argv[a], "--search-threads")) {
       if (a + 1 >= argc) FailMissingValue("--search-threads");
-      exact = true;  // The engine choice only shows in the exact checks.
-      parallel_search = true;
+      exact = true;
+      // Without an explicit --engine, a thread count selects the
+      // bit-identical parallel engine (the pre---engine behavior).
+      if (!engine_set) {
+        engine = SearchEngine::kParallelSharded;
+        engine_set = true;
+      }
       search_threads = ParseCountFlag("--search-threads", argv[++a]);
+    } else if (!std::strcmp(argv[a], "--stats")) {
+      exact = true;
+      stats = true;
     } else if (!std::strcmp(argv[a], "--optimize")) {
       optimize = true;
     } else if (!std::strcmp(argv[a], "--dump")) {
@@ -529,16 +568,33 @@ int main(int argc, char** argv) {
   }
 
   if (exact) {
-    std::printf("\nexact checks (exponential; budgets apply%s):\n",
-                parallel_search ? "; sharded parallel engine" : "");
+    const char* engine_name =
+        engine == SearchEngine::kNaiveReference   ? "reference"
+        : engine == SearchEngine::kParallelSharded ? "parallel"
+        : engine == SearchEngine::kReduced         ? "reduced"
+                                                   : "incremental";
+    std::printf("\nexact checks (exponential; budgets apply; %s engine):\n",
+                engine_name);
     DeadlockCheckOptions dopts;
     SafetyCheckOptions sopts;
-    if (parallel_search) {
-      dopts.engine = SearchEngine::kParallelSharded;
-      dopts.search_threads = search_threads;
-      sopts.engine = SearchEngine::kParallelSharded;
-      sopts.search_threads = search_threads;
-    }
+    dopts.engine = engine;
+    dopts.search_threads = search_threads;
+    sopts.engine = engine;
+    sopts.search_threads = search_threads;
+    // The stats line is sweep-greppable: one `stats:` token, then fixed
+    // key=value fields (covered by the check_docs.py CLI smoke cases).
+    // Orbits are only computed when the line is actually printed.
+    std::optional<TransactionOrbits> orbits;
+    if (stats) orbits.emplace(sys);
+    auto print_stats = [&](uint64_t interned, uint64_t pruned) {
+      if (!stats) return;
+      std::printf(
+          "    stats: states_interned=%llu sleep_set_pruned=%llu "
+          "orbits=%d largest_orbit=%d\n",
+          static_cast<unsigned long long>(interned),
+          static_cast<unsigned long long>(pruned), orbits->num_orbits(),
+          orbits->largest_orbit());
+    };
     auto df = CheckDeadlockFreedom(sys, dopts);
     if (df.ok()) {
       std::printf("  deadlock-free: %s (%llu states)\n",
@@ -548,12 +604,14 @@ int main(int argc, char** argv) {
         std::printf("    witness: %s\n",
                     ScheduleToString(sys, df->witness->schedule).c_str());
       }
+      print_stats(df->states_interned, df->sleep_set_pruned);
     } else {
       std::printf("  deadlock-free: %s\n", df.status().ToString().c_str());
     }
     auto safe = CheckSafety(sys, sopts);
     if (safe.ok()) {
       std::printf("  safe: %s\n", safe->holds ? "yes" : "NO");
+      print_stats(safe->states_interned, safe->sleep_set_pruned);
     } else {
       std::printf("  safe: %s\n", safe.status().ToString().c_str());
     }
