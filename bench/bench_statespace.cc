@@ -295,6 +295,76 @@ BENCHMARK(BM_FarmDeadlock_Reduced)
     ->Args({16, 4})
     ->UseRealTime();
 
+// ---------------------------------------------------------------------
+// Memory-mode series (ISSUE 6 acceptance, DESIGN.md §9): the k=16 farm
+// (2,686,976 reachable states — beyond the 2M budget that kills the
+// exhaustive engines above) checked exhaustively under a fixed 64 MiB
+// `--mem-budget-mb`-style frontier budget, once per key encoding. The
+// headline counter is bytes_per_state: delta must be strictly below
+// plain, and compact (frontier-resident keys only; non-certified
+// verdict) far below both. spilled_levels > 0 records that the run was
+// disk-bounded, not RAM-bounded.
+
+void RunFarmMemoryBench(benchmark::State& state,
+                        StoreOptions::KeyEncoding encoding) {
+  ReplicatedFarmOptions fopts;
+  fopts.workers = static_cast<int>(state.range(0));
+  fopts.entities = 3;
+  fopts.degree = 1;
+  fopts.certified = true;
+  auto sys = GenerateReplicatedFarm(fopts);
+  if (!sys.ok()) std::abort();
+  DeadlockCheckOptions opts;
+  opts.engine = SearchEngine::kParallelSharded;
+  opts.search_threads = static_cast<int>(state.range(1));
+  opts.max_states = 4'000'000;
+  opts.store.encoding = encoding;
+  opts.store.mem_budget_mb = 64;
+  uint64_t states = 0;
+  uint64_t interned = 0;
+  uint64_t store_bytes = 0;
+  uint64_t spilled = 0;
+  for (auto _ : state) {
+    auto report = CheckDeadlockFreedom(*sys->system, opts);
+    if (!report.ok()) {
+      state.SkipWithError("budget");
+      break;
+    }
+    if (!report->deadlock_free) {
+      state.SkipWithError("wrong verdict");
+      break;
+    }
+    states = report->states_visited;
+    interned = report->states_interned;
+    store_bytes = report->store_bytes;
+    spilled = report->spilled_levels;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["ns_per_state"] = benchmark::Counter(
+      static_cast<double>(states) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["bytes_per_state"] =
+      static_cast<double>(store_bytes) /
+      static_cast<double>(interned > 0 ? interned : 1);
+  state.counters["spilled_levels"] = static_cast<double>(spilled);
+}
+
+void BM_FarmDeadlockMem_Plain(benchmark::State& state) {
+  RunFarmMemoryBench(state, StoreOptions::KeyEncoding::kPlain);
+}
+BENCHMARK(BM_FarmDeadlockMem_Plain)->Args({16, 2})->UseRealTime();
+
+void BM_FarmDeadlockMem_Delta(benchmark::State& state) {
+  RunFarmMemoryBench(state, StoreOptions::KeyEncoding::kDelta);
+}
+BENCHMARK(BM_FarmDeadlockMem_Delta)->Args({16, 2})->UseRealTime();
+
+void BM_FarmDeadlockMem_Compact(benchmark::State& state) {
+  RunFarmMemoryBench(state, StoreOptions::KeyEncoding::kCompact);
+}
+BENCHMARK(BM_FarmDeadlockMem_Compact)->Args({16, 2})->UseRealTime();
+
 void RunSafeDfBench(benchmark::State& state, SearchEngine engine) {
   OwnedSystem sys = SameOrderPair(static_cast<int>(state.range(0)));
   SafetyCheckOptions opts;

@@ -1,12 +1,15 @@
 #include "analysis/deadlock_checker.h"
 
+#include <cmath>
 #include <cstring>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/store_stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/frontier_spill.h"
 #include "core/reduction_graph.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
@@ -164,6 +167,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
         report.deadlock_free = false;
         report.witness = make_witness(head, "");
         report.states_interned = store.size();
+        FillMemoryStats(store, &report);
         return report;
       }
     } else {
@@ -173,6 +177,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
         report.deadlock_free = false;
         report.witness = make_witness(head, rg.CycleToString(sys, cycle));
         report.states_interned = store.size();
+        FillMemoryStats(store, &report);
         return report;
       }
     }
@@ -198,6 +203,7 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
 
   report.deadlock_free = true;
   report.states_interned = store.size();
+  FillMemoryStats(store, &report);
   return report;
 }
 
@@ -232,7 +238,13 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
   ThreadPool pool(options.search_threads);
   const int kw = space.words_per_state();
   const int aw = space.aux_words();
-  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads());
+  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads(),
+                          options.store);
+  const bool compact =
+      options.store.encoding == StoreOptions::KeyEncoding::kCompact;
+  constexpr size_t kChunkStates = 64;
+  FrontierStager stager(&store, &pool,
+                        options.store.mem_budget_mb << 20, kChunkStates);
 
   {
     std::vector<uint64_t> state_buf(kw), aux_buf(aw);
@@ -244,9 +256,10 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
 
   auto make_witness = [&](uint32_t id,
                           std::string cycle_text) -> DeadlockWitness {
+    ShardedStateStore::KeyDecodeCache decode;
     DeadlockWitness w;
     w.schedule = store.PathFromRoot(id);
-    w.prefix_nodes = PrefixNodesOf(space, store.KeyOf(id));
+    w.prefix_nodes = PrefixNodesOf(space, store.KeyView(id, &decode));
     w.reduction_cycle = std::move(cycle_text);
     return w;
   };
@@ -255,6 +268,7 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
     std::vector<uint64_t> state;
     std::vector<uint64_t> aux;
     std::vector<GlobalNode> moves;
+    ShardedStateStore::KeyDecodeCache decode;
     uint32_t witness = ShardedStateStore::kNoId;  ///< Min witness id seen.
   };
   std::vector<WorkerScratch> scratch(pool.threads());
@@ -264,16 +278,10 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
     s.moves.reserve(64);
   }
 
-  constexpr size_t kChunkStates = 64;
-  std::vector<ShardedStateStore::Staging> chunks;
-
   size_t level_begin = 0;
   while (level_begin < store.size()) {
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
-    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
-    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
-    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
     for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
     // Popping this whole level already exceeds the budget, so the serial
     // loop can only end inside it — with a witness whose id fits the
@@ -282,44 +290,66 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
     const bool budget_ends_here =
         options.max_states != 0 && level_end > options.max_states;
 
-    pool.ParallelFor(
-        level_size, kChunkStates,
-        [&](size_t begin, size_t end, int worker) {
-          WorkerScratch& ws = scratch[worker];
-          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t id = static_cast<uint32_t>(level_begin + i);
-            ws.moves.clear();
-            space.ExpandInto(store.AuxOf(id), &ws.moves);
-            bool is_witness;
-            if (options.mode == DeadlockDetectionMode::kStuckState) {
-              is_witness =
-                  ws.moves.empty() && !space.IsComplete(store.KeyOf(id));
-            } else {
-              ReductionGraph rg(space.ToPrefixSet(store.KeyOf(id)));
-              is_witness = rg.HasCycle();
-            }
-            if (is_witness) {
-              // The serial loop returns here without expanding; children
-              // of later states in this level are never observed, so
-              // skipping the staging is safe (and the whole level's
-              // staged children are discarded below).
-              if (id < ws.witness) ws.witness = id;
-              continue;
-            }
-            if (budget_ends_here) continue;
-            for (GlobalNode g : ws.moves) {
-              space.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
-                              ws.state.data(), ws.aux.data());
-              store.Stage(&staging, ws.state.data(), ws.aux.data(), id, g);
-            }
-          }
-        });
-
+    // The level is staged in bounded windows; between windows the stager
+    // may spill the staged chunks to disk (no-op without --mem-budget-mb,
+    // where the single window spans the level). Ids ascend across
+    // windows, so the first window containing a witness holds the
+    // level's minimum and later windows need not run.
     uint32_t witness = ShardedStateStore::kNoId;
-    for (const WorkerScratch& s : scratch) {
-      witness = std::min(witness, s.witness);
+    size_t done = 0;
+    while (done < level_size) {
+      const size_t wcount =
+          std::min(stager.window_states(), level_size - done);
+      ShardedStateStore::Staging* window = stager.PrepareWindow(wcount);
+      const size_t wbase = done;
+
+      pool.ParallelFor(
+          wcount, kChunkStates,
+          [&](size_t begin, size_t end, int worker) {
+            WorkerScratch& ws = scratch[worker];
+            ShardedStateStore::Staging& staging =
+                window[begin / kChunkStates];
+            for (size_t i = begin; i < end; ++i) {
+              const uint32_t id =
+                  static_cast<uint32_t>(level_begin + wbase + i);
+              const uint64_t* key = store.KeyView(id, &ws.decode);
+              ws.moves.clear();
+              space.ExpandInto(store.AuxOf(id), &ws.moves);
+              bool is_witness;
+              if (options.mode == DeadlockDetectionMode::kStuckState) {
+                is_witness = ws.moves.empty() && !space.IsComplete(key);
+              } else {
+                ReductionGraph rg(space.ToPrefixSet(key));
+                is_witness = rg.HasCycle();
+              }
+              if (is_witness) {
+                // The serial loop returns here without expanding;
+                // children of later states in this level are never
+                // observed, so skipping the staging is safe (and the
+                // whole level's staged children are discarded below).
+                if (id < ws.witness) ws.witness = id;
+                continue;
+              }
+              if (budget_ends_here) continue;
+              for (GlobalNode g : ws.moves) {
+                space.ApplyInto(key, store.AuxOf(id), g, ws.state.data(),
+                                ws.aux.data());
+                store.Stage(&staging, ws.state.data(), ws.aux.data(), id, g,
+                            key);
+              }
+            }
+          });
+
+      done += wcount;
+      for (const WorkerScratch& s : scratch) {
+        witness = std::min(witness, s.witness);
+      }
+      if (witness != ShardedStateStore::kNoId) break;
+      if (!budget_ends_here && !stager.EndWindow()) {
+        return Status::Internal("frontier spill write failed");
+      }
     }
+
     if (witness != ShardedStateStore::kNoId) {
       if (options.max_states != 0 &&
           static_cast<uint64_t>(witness) + 1 > options.max_states) {
@@ -332,10 +362,13 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
       report.states_interned = store.size();
       std::string cycle_text;
       if (options.mode == DeadlockDetectionMode::kReductionGraph) {
-        ReductionGraph rg(space.ToPrefixSet(store.KeyOf(witness)));
+        ShardedStateStore::KeyDecodeCache decode;
+        ReductionGraph rg(
+            space.ToPrefixSet(store.KeyView(witness, &decode)));
         cycle_text = rg.CycleToString(sys, rg.FindGlobalCycle());
       }
       report.witness = make_witness(witness, std::move(cycle_text));
+      FillMemoryStats(store, stager, &report);
       return report;
     }
     if (options.max_states != 0 && level_end > options.max_states) {
@@ -343,13 +376,20 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
           "deadlock check exceeded %llu states",
           static_cast<unsigned long long>(options.max_states)));
     }
-    store.CommitStaged(&chunks, num_chunks, &pool, options.memoize);
+    size_t fresh = 0;
+    if (!stager.Commit(options.memoize, &fresh)) {
+      return Status::Internal("frontier spill read-back failed");
+    }
+    // Hash compaction keeps only the frontier's key/aux words resident;
+    // everything below this level has been fully expanded.
+    if (compact) store.RetireExpanded();
     level_begin = level_end;
   }
 
   report.states_visited = store.size();
   report.states_interned = store.size();
   report.deadlock_free = true;
+  FillMemoryStats(store, stager, &report);
   return report;
 }
 
@@ -414,8 +454,12 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
   ThreadPool pool(options.search_threads);
   const int kw = space.words_per_state();
   const int aw = space.aux_words();
-  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads());
+  ShardedStateStore store(kw, aw, /*num_shards=*/4 * pool.threads(),
+                          options.store);
   if (canonical) store.set_canonicalizer(&canon);
+  constexpr size_t kChunkStates = 64;
+  FrontierStager stager(&store, &pool,
+                        options.store.mem_budget_mb << 20, kChunkStates);
 
   {
     std::vector<uint64_t> state_buf(kw), aux_buf(aw);
@@ -430,6 +474,7 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
     std::vector<uint64_t> state;
     std::vector<uint64_t> aux;
     std::vector<GlobalNode> moves;
+    ShardedStateStore::KeyDecodeCache decode;
     uint32_t witness = ShardedStateStore::kNoId;
     uint64_t pruned = 0;
   };
@@ -439,9 +484,6 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
     s.aux.resize(aw);
     s.moves.reserve(64);
   }
-
-  constexpr size_t kChunkStates = 64;
-  std::vector<ShardedStateStore::Staging> chunks;
 
   auto sum_pruned = [&] {
     uint64_t total = 0;
@@ -453,51 +495,66 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
   while (level_begin < store.size()) {
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
-    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
-    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
-    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
     for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
     const bool budget_ends_here =
         options.max_states != 0 && level_end > options.max_states;
 
-    pool.ParallelFor(
-        level_size, kChunkStates,
-        [&](size_t begin, size_t end, int worker) {
-          WorkerScratch& ws = scratch[worker];
-          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t id = static_cast<uint32_t>(level_begin + i);
-            ws.moves.clear();
-            ws.pruned += space.ExpandReducedInto(store.KeyOf(id),
-                                                 store.AuxOf(id), &ws.moves);
-            // ExpandReducedInto returns an empty set only for genuinely
-            // stuck states, so the witness predicates are unchanged.
-            bool is_witness;
-            if (options.mode == DeadlockDetectionMode::kStuckState) {
-              is_witness =
-                  ws.moves.empty() && !space.IsComplete(store.KeyOf(id));
-            } else {
-              ReductionGraph rg(space.ToPrefixSet(store.KeyOf(id)));
-              is_witness = rg.HasCycle();
-            }
-            if (is_witness) {
-              if (id < ws.witness) ws.witness = id;
-              continue;
-            }
-            if (budget_ends_here) continue;
-            for (GlobalNode g : ws.moves) {
-              space.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
-                              ws.state.data(), ws.aux.data());
-              store.StageCanonical(&staging, ws.state.data(), ws.aux.data(),
-                                   id, g);
-            }
-          }
-        });
-
     uint32_t witness = ShardedStateStore::kNoId;
-    for (const WorkerScratch& s : scratch) {
-      witness = std::min(witness, s.witness);
+    size_t done = 0;
+    while (done < level_size) {
+      const size_t wcount =
+          std::min(stager.window_states(), level_size - done);
+      ShardedStateStore::Staging* window = stager.PrepareWindow(wcount);
+      const size_t wbase = done;
+
+      pool.ParallelFor(
+          wcount, kChunkStates,
+          [&](size_t begin, size_t end, int worker) {
+            WorkerScratch& ws = scratch[worker];
+            ShardedStateStore::Staging& staging =
+                window[begin / kChunkStates];
+            for (size_t i = begin; i < end; ++i) {
+              const uint32_t id =
+                  static_cast<uint32_t>(level_begin + wbase + i);
+              const uint64_t* key = store.KeyView(id, &ws.decode);
+              ws.moves.clear();
+              ws.pruned +=
+                  space.ExpandReducedInto(key, store.AuxOf(id), &ws.moves);
+              // ExpandReducedInto returns an empty set only for genuinely
+              // stuck states, so the witness predicates are unchanged.
+              bool is_witness;
+              if (options.mode == DeadlockDetectionMode::kStuckState) {
+                is_witness = ws.moves.empty() && !space.IsComplete(key);
+              } else {
+                ReductionGraph rg(space.ToPrefixSet(key));
+                is_witness = rg.HasCycle();
+              }
+              if (is_witness) {
+                if (id < ws.witness) ws.witness = id;
+                continue;
+              }
+              if (budget_ends_here) continue;
+              for (GlobalNode g : ws.moves) {
+                space.ApplyInto(key, store.AuxOf(id), g, ws.state.data(),
+                                ws.aux.data());
+                // The parent's stored key is already canonical, so the
+                // xor-delta relates two canonical representatives.
+                store.StageCanonical(&staging, ws.state.data(),
+                                     ws.aux.data(), id, g, key);
+              }
+            }
+          });
+
+      done += wcount;
+      for (const WorkerScratch& s : scratch) {
+        witness = std::min(witness, s.witness);
+      }
+      if (witness != ShardedStateStore::kNoId) break;
+      if (!budget_ends_here && !stager.EndWindow()) {
+        return Status::Internal("frontier spill write failed");
+      }
     }
+
     if (witness != ShardedStateStore::kNoId) {
       if (options.max_states != 0 &&
           static_cast<uint64_t>(witness) + 1 > options.max_states) {
@@ -512,6 +569,7 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
       report.witness = MakeReducedWitness(
           space, canon, canonical, store, witness,
           options.mode == DeadlockDetectionMode::kReductionGraph);
+      FillMemoryStats(store, stager, &report);
       return report;
     }
     if (options.max_states != 0 && level_end > options.max_states) {
@@ -519,7 +577,10 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
           "deadlock check exceeded %llu states",
           static_cast<unsigned long long>(options.max_states)));
     }
-    store.CommitStaged(&chunks, num_chunks, &pool, options.memoize);
+    size_t fresh = 0;
+    if (!stager.Commit(options.memoize, &fresh)) {
+      return Status::Internal("frontier spill read-back failed");
+    }
     level_begin = level_end;
   }
 
@@ -527,6 +588,7 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
   report.states_interned = store.size();
   report.sleep_set_pruned = sum_pruned();
   report.deadlock_free = true;
+  FillMemoryStats(store, stager, &report);
   return report;
 }
 
@@ -534,6 +596,7 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
 
 Result<DeadlockReport> CheckDeadlockFreedom(
     const TransactionSystem& sys, const DeadlockCheckOptions& options) {
+  WYDB_RETURN_IF_ERROR(ValidateStoreOptions(options, options.engine));
   if (options.engine == SearchEngine::kNaiveReference) {
     return CheckDeadlockFreedomNaive(sys, options);
   }

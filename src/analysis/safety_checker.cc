@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/store_stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/frontier_spill.h"
 #include "core/state_space.h"
 #include "core/state_store.h"
 #include "core/symmetry.h"
@@ -398,6 +400,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
         report.states_interned = store.size();
+        FillMemoryStats(store, &report);
         return report;
       }
       auto completion =
@@ -411,6 +414,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
         report.states_interned = store.size();
+        FillMemoryStats(store, &report);
         return report;
       }
       // Not completable: prune the subtree (descendants inherit the cycle).
@@ -442,6 +446,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
 
   report.holds = true;
   report.states_interned = store.size();
+  FillMemoryStats(store, &report);
   return report;
 }
 
@@ -488,7 +493,12 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
   SafetyReport report;
   ThreadPool pool(options_.search_threads);
   ShardedStateStore store(lay_.key_words_, lay_.aux_words_,
-                          /*num_shards=*/4 * pool.threads());
+                          /*num_shards=*/4 * pool.threads(), options_.store);
+  const bool compact =
+      options_.store.encoding == StoreOptions::KeyEncoding::kCompact;
+  constexpr size_t kChunkStates = 64;
+  FrontierStager stager(&store, &pool, options_.store.mem_budget_mb << 20,
+                        kChunkStates);
 
   {
     std::vector<uint64_t> key_buf(lay_.key_words_, 0);
@@ -505,6 +515,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
     std::vector<uint64_t> reach;
     std::vector<uint64_t> frontier;
     std::vector<GlobalNode> moves;
+    ShardedStateStore::KeyDecodeCache decode;
   };
   std::vector<WorkerScratch> scratch(pool.threads());
   for (WorkerScratch& s : scratch) {
@@ -514,9 +525,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
     s.frontier.resize(lay_.row_words_);
     s.moves.reserve(64);
   }
-
-  constexpr size_t kChunkStates = 64;
-  std::vector<ShardedStateStore::Staging> chunks;
+  ShardedStateStore::KeyDecodeCache decode;  // Phase-1 (serial) cache.
 
   size_t level_begin = 0;
   while (level_begin < store.size()) {
@@ -534,7 +543,8 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
             "safety check exceeded %llu states",
             static_cast<unsigned long long>(options_.max_states)));
       }
-      std::vector<NodeId> cycle = FindCycle(lay_.ArcsDigraph(store.KeyOf(id)));
+      std::vector<NodeId> cycle =
+          FindCycle(lay_.ArcsDigraph(store.KeyView(id, &decode)));
       Schedule sched = store.PathFromRoot(id);
       if (!require_complete_) {
         report.states_visited = static_cast<uint64_t>(id) + 1;
@@ -542,10 +552,11 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
         report.states_interned = store.size();
+        FillMemoryStats(store, stager, &report);
         return report;
       }
-      auto completion =
-          space_.FindCompletion(lay_.ExecOf(store.KeyOf(id)), options_.max_states);
+      auto completion = space_.FindCompletion(
+          lay_.ExecOf(store.KeyView(id, &decode)), options_.max_states);
       if (!completion.ok()) return completion.status();
       if (completion->has_value()) {
         sched.insert(sched.end(), (*completion)->begin(),
@@ -555,6 +566,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
         report.violation = SafetyViolation{
             std::move(sched), std::vector<int>(cycle.begin(), cycle.end())};
         report.states_interned = store.size();
+        FillMemoryStats(store, stager, &report);
         return report;
       }
       // Uncompletable: pruned, like the serial `continue`.
@@ -565,46 +577,71 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
           static_cast<unsigned long long>(options_.max_states)));
     }
 
-    // Phase 2: expand the acyclic states of the level.
-    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
-    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
-    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+    // Phase 2: expand the acyclic states of the level, in bounded
+    // windows; between windows the stager may spill the staged chunks to
+    // disk (no-op without --mem-budget-mb, where the single window spans
+    // the level).
+    size_t done = 0;
+    while (done < level_size) {
+      const size_t wcount =
+          std::min(stager.window_states(), level_size - done);
+      ShardedStateStore::Staging* window = stager.PrepareWindow(wcount);
+      const size_t wbase = done;
 
-    pool.ParallelFor(
-        level_size, kChunkStates,
-        [&](size_t begin, size_t end, int worker) {
-          WorkerScratch& ws = scratch[worker];
-          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t id = static_cast<uint32_t>(level_begin + i);
-            if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) continue;  // Pruned.
-            ws.moves.clear();
-            space_.ExpandInto(store.AuxOf(id), &ws.moves);
-            for (GlobalNode g : ws.moves) {
-              space_.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
-                               ws.key.data(), ws.aux.data());
-              std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(store.KeyOf(id)),
-                          lay_.arc_words_ * sizeof(uint64_t));
-              ws.aux[lay_.flag_word_] = 0;
-              if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(id), g,
-                                            lay_.row_words_,
-                                            lay_.Arcs(ws.key.data()), ws.reach,
-                                            ws.frontier)) {
-                ws.aux[lay_.flag_word_] |= 1;
+      pool.ParallelFor(
+          wcount, kChunkStates,
+          [&](size_t begin, size_t end, int worker) {
+            WorkerScratch& ws = scratch[worker];
+            ShardedStateStore::Staging& staging =
+                window[begin / kChunkStates];
+            for (size_t i = begin; i < end; ++i) {
+              const uint32_t id =
+                  static_cast<uint32_t>(level_begin + wbase + i);
+              if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) {
+                continue;  // Pruned.
               }
-              store.Stage(&staging, ws.key.data(), ws.aux.data(), id, g);
+              const uint64_t* key = store.KeyView(id, &ws.decode);
+              ws.moves.clear();
+              space_.ExpandInto(store.AuxOf(id), &ws.moves);
+              for (GlobalNode g : ws.moves) {
+                space_.ApplyInto(key, store.AuxOf(id), g, ws.key.data(),
+                                 ws.aux.data());
+                std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(key),
+                            lay_.arc_words_ * sizeof(uint64_t));
+                ws.aux[lay_.flag_word_] = 0;
+                if (ApplyLockArcsAndTestCycle(space_, key, g,
+                                              lay_.row_words_,
+                                              lay_.Arcs(ws.key.data()),
+                                              ws.reach, ws.frontier)) {
+                  ws.aux[lay_.flag_word_] |= 1;
+                }
+                store.Stage(&staging, ws.key.data(), ws.aux.data(), id, g,
+                            key);
+              }
             }
-          }
-        });
+          });
 
-    // Phase 3: deterministic commit.
-    store.CommitStaged(&chunks, num_chunks, &pool);
+      done += wcount;
+      if (!stager.EndWindow()) {
+        return Status::Internal("frontier spill write failed");
+      }
+    }
+
+    // Phase 3: deterministic commit (replayed from disk if spilled).
+    size_t fresh = 0;
+    if (!stager.Commit(/*dedupe=*/true, &fresh)) {
+      return Status::Internal("frontier spill read-back failed");
+    }
+    // Hash compaction keeps only the frontier's key/aux words resident;
+    // everything below this level has been fully expanded.
+    if (compact) store.RetireExpanded();
     level_begin = level_end;
   }
 
   report.states_visited = store.size();
   report.states_interned = store.size();
   report.holds = true;
+  FillMemoryStats(store, stager, &report);
   return report;
 }
 
@@ -645,8 +682,13 @@ class LemmaSearchReduced {
 Result<SafetyReport> LemmaSearchReduced::Run() {
   SafetyReport report;
   ThreadPool pool(options_.search_threads);
+  // kCompact is rejected before dispatch (make_violation and the replay
+  // read ancestor keys); kDelta + spill compose with the reduction.
   ShardedStateStore store(lay_.key_words_, lay_.aux_words_,
-                          /*num_shards=*/4 * pool.threads());
+                          /*num_shards=*/4 * pool.threads(), options_.store);
+  constexpr size_t kChunkStates = 64;
+  FrontierStager stager(&store, &pool, options_.store.mem_budget_mb << 20,
+                        kChunkStates);
   if (orbits_.HasNontrivialOrbit()) store.set_canonicalizer(&canon_);
 
   {
@@ -682,7 +724,8 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
         &sched, &tau);
     for (GlobalNode g : extra) sched.push_back(GlobalNode{tau[g.txn], g.node});
     Digraph concrete(lay_.n_);
-    const uint64_t* arcs = lay_.Arcs(store.KeyOf(id));
+    ShardedStateStore::KeyDecodeCache vdecode;
+    const uint64_t* arcs = lay_.Arcs(store.KeyView(id, &vdecode));
     for (int i = 0; i < lay_.n_; ++i) {
       for (int j = 0; j < lay_.n_; ++j) {
         if (i != j &&
@@ -702,6 +745,7 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
     std::vector<uint64_t> reach;
     std::vector<uint64_t> frontier;
     std::vector<GlobalNode> moves;
+    ShardedStateStore::KeyDecodeCache decode;
     uint64_t pruned = 0;
   };
   std::vector<WorkerScratch> scratch(pool.threads());
@@ -713,14 +757,12 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
     s.moves.reserve(64);
   }
 
-  constexpr size_t kChunkStates = 64;
-  std::vector<ShardedStateStore::Staging> chunks;
-
   auto sum_pruned = [&] {
     uint64_t total = 0;
     for (const WorkerScratch& s : scratch) total += s.pruned;
     return total;
   };
+  ShardedStateStore::KeyDecodeCache decode;  // Phase-1 (serial) cache.
 
   size_t level_begin = 0;
   while (level_begin < store.size()) {
@@ -747,10 +789,11 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
         report.sleep_set_pruned = sum_pruned();
         report.holds = false;
         report.violation = make_violation(id, Schedule{});
+        FillMemoryStats(store, stager, &report);
         return report;
       }
       auto completion = space_.FindCompletion(
-          lay_.ExecOf(store.KeyOf(id)), options_.max_states);
+          lay_.ExecOf(store.KeyView(id, &decode)), options_.max_states);
       if (!completion.ok()) return completion.status();
       if (completion->has_value()) {
         report.states_visited = static_cast<uint64_t>(id) + 1;
@@ -758,6 +801,7 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
         report.sleep_set_pruned = sum_pruned();
         report.holds = false;
         report.violation = make_violation(id, **completion);
+        FillMemoryStats(store, stager, &report);
         return report;
       }
       // Uncompletable: no descendant reaches a complete schedule, and
@@ -769,42 +813,61 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
           static_cast<unsigned long long>(options_.max_states)));
     }
 
-    // Phase 2: reduced expansion of the acyclic representatives.
-    const size_t num_chunks = (level_size + kChunkStates - 1) / kChunkStates;
-    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
-    for (size_t c = 0; c < num_chunks; ++c) store.ResetStaging(&chunks[c]);
+    // Phase 2: reduced expansion of the acyclic representatives, in
+    // bounded windows (spilled between windows under --mem-budget-mb).
+    size_t done = 0;
+    while (done < level_size) {
+      const size_t wcount =
+          std::min(stager.window_states(), level_size - done);
+      ShardedStateStore::Staging* window = stager.PrepareWindow(wcount);
+      const size_t wbase = done;
 
-    pool.ParallelFor(
-        level_size, kChunkStates,
-        [&](size_t begin, size_t end, int worker) {
-          WorkerScratch& ws = scratch[worker];
-          ShardedStateStore::Staging& staging = chunks[begin / kChunkStates];
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t id = static_cast<uint32_t>(level_begin + i);
-            if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) continue;
-            ws.moves.clear();
-            ws.pruned += space_.ExpandReducedInto(store.KeyOf(id),
-                                                  store.AuxOf(id), &ws.moves);
-            for (GlobalNode g : ws.moves) {
-              space_.ApplyInto(store.KeyOf(id), store.AuxOf(id), g,
-                               ws.key.data(), ws.aux.data());
-              std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(store.KeyOf(id)),
-                          lay_.arc_words_ * sizeof(uint64_t));
-              ws.aux[lay_.flag_word_] = 0;
-              if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(id), g,
-                                            lay_.row_words_,
-                                            lay_.Arcs(ws.key.data()), ws.reach,
-                                            ws.frontier)) {
-                ws.aux[lay_.flag_word_] |= 1;
+      pool.ParallelFor(
+          wcount, kChunkStates,
+          [&](size_t begin, size_t end, int worker) {
+            WorkerScratch& ws = scratch[worker];
+            ShardedStateStore::Staging& staging =
+                window[begin / kChunkStates];
+            for (size_t i = begin; i < end; ++i) {
+              const uint32_t id =
+                  static_cast<uint32_t>(level_begin + wbase + i);
+              if ((store.AuxOf(id)[lay_.flag_word_] & 1) != 0) continue;
+              const uint64_t* key = store.KeyView(id, &ws.decode);
+              ws.moves.clear();
+              ws.pruned +=
+                  space_.ExpandReducedInto(key, store.AuxOf(id), &ws.moves);
+              for (GlobalNode g : ws.moves) {
+                space_.ApplyInto(key, store.AuxOf(id), g, ws.key.data(),
+                                 ws.aux.data());
+                std::memcpy(lay_.Arcs(ws.key.data()), lay_.Arcs(key),
+                            lay_.arc_words_ * sizeof(uint64_t));
+                ws.aux[lay_.flag_word_] = 0;
+                if (ApplyLockArcsAndTestCycle(space_, key, g,
+                                              lay_.row_words_,
+                                              lay_.Arcs(ws.key.data()),
+                                              ws.reach, ws.frontier)) {
+                  ws.aux[lay_.flag_word_] |= 1;
+                }
+                // The parent's stored key is already canonical, so the
+                // xor-delta record relates two canonical representatives.
+                store.StageCanonical(&staging, ws.key.data(), ws.aux.data(),
+                                     id, g, key);
               }
-              store.StageCanonical(&staging, ws.key.data(), ws.aux.data(),
-                                   id, g);
             }
-          }
-        });
+          });
 
-    // Phase 3: deterministic commit (canonical keys fed the shard hash).
-    store.CommitStaged(&chunks, num_chunks, &pool);
+      done += wcount;
+      if (!stager.EndWindow()) {
+        return Status::Internal("frontier spill write failed");
+      }
+    }
+
+    // Phase 3: deterministic commit (canonical keys fed the shard hash;
+    // replayed from disk if spilled).
+    size_t fresh = 0;
+    if (!stager.Commit(/*dedupe=*/true, &fresh)) {
+      return Status::Internal("frontier spill read-back failed");
+    }
     level_begin = level_end;
   }
 
@@ -812,12 +875,14 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
   report.states_interned = store.size();
   report.sleep_set_pruned = sum_pruned();
   report.holds = true;
+  FillMemoryStats(store, stager, &report);
   return report;
 }
 
 Result<SafetyReport> RunSearch(const TransactionSystem& sys,
                                const SafetyCheckOptions& options,
                                bool require_complete) {
+  WYDB_RETURN_IF_ERROR(ValidateStoreOptions(options, options.engine));
   if (options.engine == SearchEngine::kNaiveReference) {
     LemmaSearchNaive search(sys, options, require_complete);
     return search.Run();

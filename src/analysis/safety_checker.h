@@ -19,6 +19,7 @@
 #include "analysis/search_engine.h"
 #include "common/result.h"
 #include "core/schedule.h"
+#include "core/state_store.h"
 #include "core/system.h"
 
 namespace wydb {
@@ -32,6 +33,11 @@ struct SafetyCheckOptions {
   /// 0 = the WYDB_SEARCH_THREADS environment variable when set, else the
   /// hardware concurrency. Results are identical for every value.
   int search_threads = 0;
+  /// Store memory mode (DESIGN.md §9): key encoding + spill watermark.
+  /// Non-default values require the kParallelSharded or kReduced engine
+  /// (kCompact: kParallelSharded only — reduced witness replay reads
+  /// ancestor keys, which compaction discards).
+  StoreOptions store;
 };
 
 struct SafetyViolation {
@@ -55,6 +61,21 @@ struct SafetyReport {
   /// Expansions skipped by kReduced's persistent-move (sleep-set)
   /// pruning; 0 for the exhaustive engines.
   uint64_t sleep_set_pruned = 0;
+  /// Memory-side cost metrics (--stats; DESIGN.md §9). Total store
+  /// bytes, of which the key/aux/record arenas and the probe tables.
+  /// Zero for kNaiveReference (no instrumented store).
+  uint64_t store_bytes = 0;
+  uint64_t arena_bytes = 0;
+  uint64_t probe_table_bytes = 0;
+  /// BFS levels whose staged frontier hit the spill file.
+  uint64_t spilled_levels = 0;
+  /// False when the verdict came from a hash-compacted (fingerprint)
+  /// search: sound for refutation, not a certificate. Violations replay
+  /// concretely and stay trustworthy either way.
+  bool exact = true;
+  /// kCompact only: Stanford-bitstate-style expected collision
+  /// probability bound, n(n-1)/2^65 for n interned fingerprints.
+  double fingerprint_collision_bound = 0.0;
 };
 
 /// Decides "safe and deadlock-free" exactly via Lemma 1.

@@ -21,4 +21,26 @@
 #define WYDB_ASSIGN_OR_RETURN(lhs, rexpr) \
   WYDB_ASSIGN_OR_RETURN_IMPL(WYDB_CONCAT(_res_, __LINE__), lhs, rexpr)
 
+// Debug-build invariant check. Compiles to nothing under NDEBUG (the
+// condition is not evaluated, but stays syntax-checked via sizeof). Used
+// for invariants too hot or too internal for Status plumbing — e.g. the
+// arena-epoch stale-pointer checks in core/state_store.h.
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#define WYDB_DCHECK(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "WYDB_DCHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #cond);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+#else
+#define WYDB_DCHECK(cond) \
+  do {                    \
+    (void)sizeof(cond);   \
+  } while (false)
+#endif
+
 #endif  // WYDB_COMMON_MACROS_H_

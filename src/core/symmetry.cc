@@ -174,11 +174,15 @@ void ReplayReducedPath(
   std::iota(tau->begin(), tau->end(), 0);
   std::vector<int> sigma(n), next_tau(n);
   std::vector<uint64_t> child(key_words);
+  // KeyView covers the delta-encoded store too: ancestor keys are
+  // reconstructed through the decode cache (kCompact has no ancestor
+  // keys at all and is rejected before a reduced search starts).
+  ShardedStateStore::KeyDecodeCache decode;
   for (size_t k = 1; k < ids.size(); ++k) {
     const GlobalNode g = store.MoveOf(ids[k]);
     schedule->push_back(GlobalNode{(*tau)[g.txn], g.node});
     if (!canonical_active) continue;
-    build_child(store.KeyOf(ids[k - 1]), g, child.data());
+    build_child(store.KeyView(ids[k - 1], &decode), g, child.data());
     canon.CanonicalizeKey(child.data(), sigma.data());
     for (int i = 0; i < n; ++i) next_tau[i] = (*tau)[sigma[i]];
     tau->swap(next_tau);

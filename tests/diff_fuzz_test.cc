@@ -154,14 +154,27 @@ void RunCase(uint64_t seed) {
     ref.engine = SearchEngine::kNaiveReference;
     auto b = CheckDeadlockFreedom(s, ref);
     ASSERT_TRUE(b.ok());
-    for (auto [engine, threads] :
-         std::vector<std::pair<SearchEngine, int>>{
-             {SearchEngine::kIncremental, 0},
-             {SearchEngine::kParallelSharded, 2},
-             {SearchEngine::kParallelSharded, 3}}) {
+    // The last config reruns the parallel engine over the delta-encoded
+    // store (DESIGN.md §9.1): reconstruction through the decode cache
+    // must leave every verdict, witness, and count bit-identical.
+    struct EngineConfig {
+      SearchEngine engine;
+      int threads;
+      StoreOptions::KeyEncoding encoding;
+    };
+    for (auto [engine, threads, encoding] : std::vector<EngineConfig>{
+             {SearchEngine::kIncremental, 0,
+              StoreOptions::KeyEncoding::kPlain},
+             {SearchEngine::kParallelSharded, 2,
+              StoreOptions::KeyEncoding::kPlain},
+             {SearchEngine::kParallelSharded, 3,
+              StoreOptions::KeyEncoding::kPlain},
+             {SearchEngine::kParallelSharded, 2,
+              StoreOptions::KeyEncoding::kDelta}}) {
       DeadlockCheckOptions opts = ref;
       opts.engine = engine;
       opts.search_threads = threads;
+      opts.store.encoding = encoding;
       auto a = CheckDeadlockFreedom(s, opts);
       ASSERT_TRUE(a.ok());
       ASSERT_EQ(a->deadlock_free, b->deadlock_free);
@@ -204,6 +217,11 @@ void RunCase(uint64_t seed) {
       opts.mode = mode;
       opts.engine = SearchEngine::kReduced;
       opts.search_threads = threads;
+      // The 4-thread leg also runs delta-encoded: canonical-key deltas
+      // must not perturb the reduced search either.
+      if (threads == 4) {
+        opts.store.encoding = StoreOptions::KeyEncoding::kDelta;
+      }
       auto a = CheckDeadlockFreedom(s, opts);
       ASSERT_TRUE(a.ok());
       ASSERT_EQ(a->deadlock_free, stuck_report->deadlock_free)

@@ -97,7 +97,9 @@ def check_help_sync(binary: Path) -> list[str]:
 # `stats:` token followed by fixed key=value fields (sweeps parse this).
 STATS_LINE_RE = re.compile(
     r"^    stats: states_interned=\d+ sleep_set_pruned=\d+"
-    r" orbits=\d+ largest_orbit=\d+$",
+    r" orbits=\d+ largest_orbit=\d+ bytes_per_state=\d+(?:\.\d+)?"
+    r" arena_bytes=\d+ probe_table_bytes=\d+ spilled_levels=\d+"
+    r" fingerprint_collision_bound=[0-9.eE+-]+$",
     re.MULTILINE,
 )
 
@@ -131,6 +133,31 @@ def check_cli_smoke(binary: Path) -> list[str]:
         ([str(sample), "--stats"], 1, None, STATS_LINE_RE),
         ([str(sample), "--engine", "reduced", "--stats",
           "--search-threads", "2"], 1, None, STATS_LINE_RE),
+        # Store memory modes (DESIGN.md §9): misuse exits 2 before any
+        # search runs; well-formed runs keep the stats-line format.
+        ([str(sample), "--store-encoding"], 2, "needs a value", None),
+        ([str(sample), "--store-encoding", "bogus"], 2,
+         "plain, delta, or compact", None),
+        ([str(sample), "--mem-budget-mb"], 2, "needs a value", None),
+        ([str(sample), "--mem-budget-mb", "four"], 2,
+         "non-negative integer", None),
+        ([str(sample), "--max-states"], 2, "needs a value", None),
+        ([str(sample), "--max-states", "many"], 2,
+         "non-negative integer", None),
+        ([str(sample), "--store-encoding", "compact"], 2,
+         "--allow-compaction", None),
+        ([str(sample), "--store-encoding", "delta", "--engine",
+          "incremental"], 2, "parallel or reduced", None),
+        ([str(sample), "--store-encoding", "compact", "--allow-compaction",
+          "--engine", "reduced"], 2, "parallel engine", None),
+        ([str(sample), "--store-encoding", "delta", "--stats"], 1, None,
+         STATS_LINE_RE),
+        ([str(sample), "--store-encoding", "delta", "--engine", "reduced",
+          "--stats"], 1, None, STATS_LINE_RE),
+        ([str(sample), "--store-encoding", "compact", "--allow-compaction",
+          "--stats"], 1, None, STATS_LINE_RE),
+        ([str(sample), "--mem-budget-mb", "1", "--stats"], 1, None,
+         STATS_LINE_RE),
     ]
     errors = []
     for args, want_code, want_stderr, want_stdout_re in cases:

@@ -6,10 +6,12 @@ fails (exit 1) when the *geomean* ratio candidate/baseline over all
 matched benchmarks regresses by more than the threshold (default 15%)
 for either guarded metric:
 
-  * ns_per_state  — per-state cost of the search engines (falls back to
-                    real_time for rows without the counter), and
-  * states        — states interned/visited (the reduction engines'
-                    whole point is to shrink this).
+  * ns_per_state    — per-state cost of the search engines (falls back
+                      to real_time for rows without the counter),
+  * states          — states interned/visited (the reduction engines'
+                      whole point is to shrink this), and
+  * bytes_per_state — store bytes per interned state (the memory-mode
+                      series of DESIGN.md §9 exist to shrink this).
 
 Benchmarks are matched by exact `name`; rows present in only one file
 are reported but never fail the run (series come and go), and rows that
@@ -34,7 +36,7 @@ import math
 import sys
 
 
-METRICS = ("ns_per_state", "states")
+METRICS = ("ns_per_state", "states", "bytes_per_state")
 
 
 def load_rows(path: str) -> dict[str, dict]:
