@@ -1,0 +1,353 @@
+#include "runtime/striped_lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/macros.h"
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+
+namespace wydb {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StripedLockManager::StripedLockManager(int num_entities, int num_txns,
+                                       const Options& options)
+    : options_(options) {
+  WYDB_DCHECK(num_entities >= 0);
+  WYDB_DCHECK(num_txns > 0);
+  size_t stripes = options.num_stripes > 0
+                       ? RoundUpPow2(static_cast<size_t>(options.num_stripes))
+                       : RoundUpPow2(std::max<size_t>(
+                             8, 2 * std::thread::hardware_concurrency()));
+  stripes = std::min(stripes, RoundUpPow2(std::max(1, num_entities)));
+  stripe_shift_ = 64;
+  for (size_t p = stripes; p > 1; p >>= 1) --stripe_shift_;
+  stripes_ = std::vector<Stripe>(stripes);
+  entries_.resize(num_entities);
+  nodes_ = std::make_unique<WaitNode[]>(num_txns);
+  abort_flag_ = std::make_unique<std::atomic<uint8_t>[]>(num_txns);
+  for (int t = 0; t < num_txns; ++t)
+    abort_flag_[t].store(0, std::memory_order_relaxed);
+  timestamp_.assign(num_txns, 0);
+}
+
+void StripedLockManager::Enqueue(Entry& entry, int txn) {
+  WaitNode& node = nodes_[txn];
+  node.next = -1;
+  node.granted = 0;
+  if (entry.tail < 0) {
+    entry.head = entry.tail = txn;
+  } else {
+    nodes_[entry.tail].next = txn;
+    entry.tail = txn;
+  }
+}
+
+void StripedLockManager::Unlink(Entry& entry, int txn) {
+  int32_t prev = -1;
+  for (int32_t cur = entry.head; cur >= 0; cur = nodes_[cur].next) {
+    if (cur == txn) {
+      if (prev < 0) {
+        entry.head = nodes_[cur].next;
+      } else {
+        nodes_[prev].next = nodes_[cur].next;
+      }
+      if (entry.tail == txn) entry.tail = prev;
+      nodes_[cur].next = -1;
+      return;
+    }
+    prev = cur;
+  }
+}
+
+void StripedLockManager::GrantHead(EntityId entity, Entry& entry) {
+  WYDB_DCHECK(entry.holder < 0);
+  if (entry.head < 0) return;
+  int winner = entry.head;
+  entry.head = nodes_[winner].next;
+  if (entry.head < 0) entry.tail = -1;
+  nodes_[winner].next = -1;
+  entry.holder = winner;
+  nodes_[winner].granted = 1;
+  nodes_[winner].cv.notify_one();
+  // Holdership changed: the timestamp policies must be re-applied for the
+  // remaining waiters against the NEW holder (the flat LockManager's
+  // grant-echo idiom). An older wound-wait waiter wounds the fresh holder;
+  // a younger wait-die waiter dies now instead of waiting forever behind
+  // an older one. Everything stays inside this one stripe: flagging the
+  // just-granted holder is fine because it wakes, sees the flag together
+  // with the grant, and unwinds through the normal kAborted path.
+  if (options_.policy != ConflictPolicy::kWoundWait &&
+      options_.policy != ConflictPolicy::kWaitDie) {
+    return;
+  }
+  for (int32_t w = entry.head; w >= 0;) {
+    int32_t next = nodes_[w].next;
+    ConflictAction action =
+        ResolveConflict(options_.policy, timestamp_[w], timestamp_[winner]);
+    if (action == ConflictAction::kAbortHolder) {
+      if (abort_flag_[winner].exchange(1, std::memory_order_seq_cst) == 0)
+        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      nodes_[winner].cv.notify_all();
+    } else if (action == ConflictAction::kAbortRequester) {
+      if (abort_flag_[w].exchange(1, std::memory_order_seq_cst) == 0)
+        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      nodes_[w].cv.notify_all();
+    }
+    w = next;
+  }
+}
+
+StripedLockManager::AcquireStatus StripedLockManager::Acquire(int txn,
+                                                              EntityId entity) {
+  if (stop_.load(std::memory_order_acquire)) return AcquireStatus::kStopped;
+  if (AbortRequested(txn)) return AcquireStatus::kAborted;
+  Stripe& stripe = stripes_[StripeOf(entity)];
+  std::unique_lock<std::mutex> lk(stripe.mu);
+  Entry& entry = entries_[entity];
+  if (entry.holder == txn) {
+    // Re-grant of an already-held entity (the executor never does this,
+    // but the table stays consistent if a caller retries).
+    grants_.fetch_add(1, std::memory_order_relaxed);
+    return AcquireStatus::kGranted;
+  }
+  if (entry.holder < 0 && entry.head < 0) {
+    entry.holder = txn;
+    grants_.fetch_add(1, std::memory_order_relaxed);
+    return AcquireStatus::kGranted;
+  }
+
+  // Conflict. Timestamp policies resolve it before anyone parks; kBlock
+  // and kDetect go straight to the queue.
+  if (options_.policy == ConflictPolicy::kWoundWait ||
+      options_.policy == ConflictPolicy::kWaitDie) {
+    int holder = entry.holder;
+    // With a free entity but a non-empty queue (transient, between a
+    // release and the winner waking) FIFO order still applies: resolve
+    // against the queue head, the txn about to become holder.
+    if (holder < 0) holder = entry.head;
+    ConflictAction action =
+        ResolveConflict(options_.policy, timestamp_[txn], timestamp_[holder]);
+    if (action == ConflictAction::kAbortRequester) {
+      policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return AcquireStatus::kAborted;
+    }
+    if (action == ConflictAction::kAbortHolder) {
+      // Wound the holder, then wait our turn. The wound is delivered
+      // AFTER this stripe's latch is dropped: the holder may be parked on
+      // a different stripe, and waking it there while holding this latch
+      // would be a latch-order inversion. Enqueue first so the slot
+      // cannot be lost in the window.
+      Enqueue(entry, txn);
+      nodes_[txn].parked_on.store(entity, std::memory_order_seq_cst);
+      lk.unlock();
+      if (abort_flag_[holder].exchange(1, std::memory_order_seq_cst) == 0)
+        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      WakeIfParked(holder);
+      lk.lock();
+      return Park(txn, entity, lk);
+    }
+    // kWait: fall through to the queue.
+  }
+
+  Enqueue(entry, txn);
+  nodes_[txn].parked_on.store(entity, std::memory_order_seq_cst);
+  return Park(txn, entity, lk);
+}
+
+StripedLockManager::AcquireStatus StripedLockManager::Park(
+    int txn, EntityId entity, std::unique_lock<std::mutex>& lk) {
+  WaitNode& node = nodes_[txn];
+  const bool timed = options_.policy == ConflictPolicy::kDetect;
+  const auto interval =
+      std::chrono::microseconds(std::max<int64_t>(1, options_.detect_interval_us));
+  if (timed && !node.granted && !AbortRequested(txn) &&
+      !stop_.load(std::memory_order_acquire)) {
+    // Scan on block (the industrial baseline: InnoDB-style detection on
+    // every lock wait). A live system cannot observe quiescence the way
+    // the discrete-event engine does, so the detector runs the moment a
+    // waiter parks — that is detection's hot-path price — and then
+    // re-arms every detect_interval_us for cycles that form later. The
+    // scan latches every stripe, so ours drops first; the queue slot
+    // keeps the claim while unlatched.
+    lk.unlock();
+    RunDetector();
+    lk.lock();
+  }
+  for (;;) {
+    if (node.granted) {
+      // Granted — but a pending abort (wound delivered while parked, or
+      // delivered in the grant-echo) wins: give the entity straight back.
+      node.parked_on.store(kInvalidEntity, std::memory_order_seq_cst);
+      if (AbortRequested(txn) || stop_.load(std::memory_order_acquire)) {
+        Entry& entry = entries_[entity];
+        node.granted = 0;
+        WYDB_DCHECK(entry.holder == txn);
+        entry.holder = -1;
+        GrantHead(entity, entry);
+        return stop_.load(std::memory_order_acquire)
+                   ? AcquireStatus::kStopped
+                   : AcquireStatus::kAborted;
+      }
+      grants_.fetch_add(1, std::memory_order_relaxed);
+      return AcquireStatus::kGranted;
+    }
+    if (stop_.load(std::memory_order_acquire) || AbortRequested(txn)) {
+      Unlink(entries_[entity], txn);
+      node.parked_on.store(kInvalidEntity, std::memory_order_seq_cst);
+      return stop_.load(std::memory_order_acquire) ? AcquireStatus::kStopped
+                                                   : AcquireStatus::kAborted;
+    }
+    if (timed) {
+      if (node.cv.wait_for(lk, interval) == std::cv_status::timeout &&
+          !node.granted && !AbortRequested(txn) &&
+          !stop_.load(std::memory_order_acquire)) {
+        // Still stuck after a full interval: scan for a cycle. The scan
+        // latches every stripe, so ours must be dropped first; the queue
+        // slot keeps our claim while unlatched.
+        lk.unlock();
+        RunDetector();
+        lk.lock();
+      }
+    } else {
+      node.cv.wait(lk);
+    }
+  }
+}
+
+void StripedLockManager::ReleaseLocked(int txn, EntityId entity, Entry& entry) {
+  if (entry.holder != txn) return;  // Stale release: tolerated, a no-op.
+  entry.holder = -1;
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  GrantHead(entity, entry);
+}
+
+void StripedLockManager::Release(int txn, EntityId entity) {
+  Stripe& stripe = stripes_[StripeOf(entity)];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  ReleaseLocked(txn, entity, entries_[entity]);
+}
+
+void StripedLockManager::ReleaseAll(int txn,
+                                    const std::vector<EntityId>& held) {
+  for (EntityId e : held) Release(txn, e);
+}
+
+void StripedLockManager::BeginAttempt(int txn) {
+  abort_flag_[txn].store(0, std::memory_order_seq_cst);
+}
+
+void StripedLockManager::RequestAbort(int txn) {
+  abort_flag_[txn].store(1, std::memory_order_seq_cst);
+  WakeIfParked(txn);
+}
+
+void StripedLockManager::WakeIfParked(int txn) {
+  // The abort-flag store and the parked_on stores in Acquire/Park are
+  // all seq_cst, and the waiter re-checks the flag under the stripe
+  // latch before every wait: either we observe its parking spot here and
+  // notify under that latch, or the waiter's predicate check happens
+  // after the flag store and sees the flag itself. The loop handles the
+  // waiter migrating between the loads.
+  for (;;) {
+    EntityId e = nodes_[txn].parked_on.load(std::memory_order_seq_cst);
+    if (e == kInvalidEntity) return;
+    Stripe& stripe = stripes_[StripeOf(e)];
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    if (nodes_[txn].parked_on.load(std::memory_order_seq_cst) == e) {
+      nodes_[txn].cv.notify_all();
+      return;
+    }
+  }
+}
+
+void StripedLockManager::RequestStop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  // Notify every current waiter under its stripe latch: a waiter already
+  // parked when we latch its entity's stripe gets the notify; one that
+  // parks later re-checks stop_ under the latch first and never sleeps.
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    Stripe& stripe = stripes_[StripeOf(static_cast<EntityId>(e))];
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    for (int32_t w = entries_[e].head; w >= 0; w = nodes_[w].next) {
+      nodes_[w].cv.notify_all();
+    }
+  }
+}
+
+void StripedLockManager::RunDetector() {
+  std::lock_guard<std::mutex> detect_lk(detect_mu_);
+  if (stop_.load(std::memory_order_acquire)) return;
+  detector_runs_.fetch_add(1, std::memory_order_relaxed);
+  // Latch all stripes in index order (the one place two stripe latches
+  // are ever held together; ordered, so no latch cycle) for a consistent
+  // wait-for snapshot.
+  std::vector<std::unique_lock<std::mutex>> latches;
+  latches.reserve(stripes_.size());
+  for (Stripe& stripe : stripes_) latches.emplace_back(stripe.mu);
+
+  const int n = static_cast<int>(timestamp_.size());
+  Digraph wait_for(n);
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    const Entry& entry = entries_[e];
+    if (entry.holder < 0) continue;
+    for (int32_t w = entry.head; w >= 0; w = nodes_[w].next) {
+      wait_for.AddArc(w, entry.holder);
+    }
+  }
+  std::vector<NodeId> cycle = FindCycle(wait_for);
+  if (cycle.empty()) return;
+  // Abort the youngest (largest timestamp) transaction on the cycle.
+  int victim = cycle.front();
+  for (NodeId t : cycle) {
+    if (timestamp_[t] > timestamp_[victim]) victim = t;
+  }
+  if (abort_flag_[victim].exchange(1, std::memory_order_seq_cst) == 0)
+    policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+  nodes_[victim].cv.notify_all();  // Its stripe latch is held (all are).
+}
+
+int StripedLockManager::HolderOf(EntityId entity) const {
+  const Stripe& stripe = stripes_[StripeOf(entity)];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  return entries_[entity].holder;
+}
+
+size_t StripedLockManager::TotalWaiters() const {
+  size_t count = 0;
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    std::lock_guard<std::mutex> lk(stripes_[s].mu);
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      if (StripeOf(static_cast<EntityId>(e)) != s) continue;
+      for (int32_t w = entries_[e].head; w >= 0; w = nodes_[w].next) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<StripedLockManager::WaitEdge> StripedLockManager::WaitForEdges()
+    const {
+  std::vector<std::unique_lock<std::mutex>> latches;
+  latches.reserve(stripes_.size());
+  for (const Stripe& stripe : stripes_) latches.emplace_back(stripe.mu);
+  std::vector<WaitEdge> edges;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    const Entry& entry = entries_[e];
+    if (entry.holder < 0) continue;
+    for (int32_t w = entry.head; w >= 0; w = nodes_[w].next) {
+      edges.push_back(WaitEdge{w, entry.holder, static_cast<EntityId>(e)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace wydb

@@ -12,7 +12,9 @@
 #include "core/transaction_builder.h"
 #include "gen/system_gen.h"
 #include "gen/txn_gen.h"
+#include "runtime/live_engine.h"
 #include "runtime/simulation.h"
+#include "runtime/workload.h"
 
 namespace wydb {
 namespace {
@@ -255,6 +257,125 @@ TEST_P(CopySweep, SyntacticVerdictMatchesExactCheckerForAllD) {
 }
 
 INSTANTIATE_TEST_SUITE_P(D, CopySweep, ::testing::Range(2, 6));
+
+// ---------------------------------------------------------------------
+// Sweep 6: the live wall-clock engine against the static verdict and the
+// simulator. Certified systems never deadlock on real threads under the
+// detection-free fast path, and rounds-bounded sessions make the
+// live-vs-sim commit statistics EXACT (every round eventually commits),
+// so the agreement check needs no tolerance band.
+class LiveEngineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LiveEngineSweep, CertifiedSystemsMatchTheSimulatorOnRealThreads) {
+  const uint64_t seed = GetParam();
+  RandomSystemOptions opts;
+  opts.num_sites = 2;
+  opts.entities_per_site = 2;
+  opts.num_transactions = 3;
+  opts.entities_per_txn = 2;
+  opts.seed = seed;
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+  const TransactionSystem& s = *sys->system;
+
+  auto thm4 = CheckSystemSafeAndDeadlockFree(s);
+  ASSERT_TRUE(thm4.ok());
+  if (!thm4->safe_and_deadlock_free) return;
+
+  constexpr int kRounds = 5;
+  const uint64_t expected =
+      static_cast<uint64_t>(s.num_transactions()) * kRounds;
+
+  // Fast path: pure blocking, one thread per transaction. A certified
+  // system must commit every round with zero aborts and zero scans.
+  LiveOptions live;
+  live.policy = ConflictPolicy::kBlock;
+  live.seed = seed;
+  live.threads = s.num_transactions();
+  live.rounds = kRounds;
+  auto lr = RunLive(s, live);
+  ASSERT_TRUE(lr.ok());
+  EXPECT_TRUE(lr->completed);
+  EXPECT_FALSE(lr->deadlocked);
+  EXPECT_EQ(lr->commits, expected);
+  EXPECT_EQ(lr->aborts, 0u);
+  EXPECT_EQ(lr->detector_runs, 0u);
+
+  // The simulator on the same system and bound agrees exactly.
+  WorkloadOptions sim;
+  sim.sim.policy = ConflictPolicy::kBlock;
+  sim.sim.seed = seed;
+  sim.duration = 0;
+  sim.rounds = kRounds;
+  auto sr = RunWorkload(s, sim);
+  ASSERT_TRUE(sr.ok());
+  EXPECT_FALSE(sr->deadlocked);
+  EXPECT_EQ(sr->commits, lr->commits);
+  EXPECT_EQ(sr->aborts, lr->aborts);
+
+  // The timestamp baselines also drive every round home on certified
+  // systems — abort counts are timing-dependent, commit counts are not.
+  for (auto policy : {ConflictPolicy::kWoundWait, ConflictPolicy::kWaitDie,
+                      ConflictPolicy::kDetect}) {
+    LiveOptions o = live;
+    o.policy = policy;
+    o.backoff_us = 50;
+    auto r = RunLive(s, o);
+    ASSERT_TRUE(r.ok()) << ConflictPolicyName(policy);
+    EXPECT_TRUE(r->completed) << ConflictPolicyName(policy);
+    EXPECT_EQ(r->commits, expected) << ConflictPolicyName(policy);
+
+    WorkloadOptions w = sim;
+    w.sim.policy = policy;
+    auto sw = RunWorkload(s, w);
+    ASSERT_TRUE(sw.ok()) << ConflictPolicyName(policy);
+    EXPECT_EQ(sw->commits, r->commits) << ConflictPolicyName(policy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiveEngineSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Uncertified cyclic systems DO deadlock on real threads when detection
+// is disabled — the run is bounded by the watchdog, not by luck — while
+// the detection policies resolve the same system. The static refutation,
+// the live deadlock, and the live recovery all point the same way.
+class LiveRingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LiveRingSweep, UncertifiedRingDeadlocksLiveWithoutDetection) {
+  const int k = GetParam();
+  auto ring = GenerateRingSystem(k);
+  ASSERT_TRUE(ring.ok());
+  const TransactionSystem& s = *ring->system;
+
+  auto multi = CheckSystemSafeAndDeadlockFree(s);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_FALSE(multi->safe_and_deadlock_free);
+
+  LiveOptions o;
+  o.policy = ConflictPolicy::kBlock;
+  o.threads = k;
+  o.rounds = 100000;  // The watchdog ends the session, not the bound.
+  o.hold_us = 3000;   // Dwell inside the circular-wait window.
+  o.watchdog_interval_ms = 40;
+  auto blocked = RunLive(s, o);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_TRUE(blocked->deadlocked);
+  EXPECT_FALSE(blocked->blocked_txns.empty());
+
+  LiveOptions detect = o;
+  detect.policy = ConflictPolicy::kDetect;
+  detect.rounds = 10;
+  detect.hold_us = 500;
+  detect.backoff_us = 100;
+  detect.watchdog_interval_ms = 500;
+  auto resolved = RunLive(s, detect);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->completed);
+  EXPECT_EQ(resolved->commits, static_cast<uint64_t>(k) * 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, LiveRingSweep, ::testing::Values(3, 4));
 
 }  // namespace
 }  // namespace wydb

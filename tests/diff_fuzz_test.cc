@@ -16,7 +16,11 @@
 //   * the traffic engine agrees with the static verdict: a system the
 //     exact checker certifies deadlock-free never deadlocks under the
 //     pure blocking policy, and conversely any observed traffic deadlock
-//     implies the checker refuted deadlock-freedom.
+//     implies the checker refuted deadlock-freedom;
+//   * on every 8th certified deadlock-free case, the live engine (real
+//     threads, pure blocking, no detection machinery) commits every
+//     round without deadlocking or aborting, and the simulator's
+//     rounds-bounded session reproduces its exact commit/abort counts.
 //
 // Seeding is deterministic (kBaseSeed + case index) so a run is
 // reproducible; every failure message carries the case seed, and
@@ -34,7 +38,9 @@
 #include "core/reduction_graph.h"
 #include "core/state_space.h"
 #include "gen/system_gen.h"
+#include "runtime/live_engine.h"
 #include "runtime/simulation.h"
+#include "runtime/workload.h"
 
 namespace wydb {
 namespace {
@@ -309,6 +315,38 @@ void RunCase(uint64_t seed) {
     EXPECT_FALSE(stuck_report->deadlock_free)
         << "exact checker certified a system the traffic engine "
            "deadlocked";
+  }
+
+  // --- Live-engine consistency (every 8th case: real threads cost real
+  // wall time). An exactly certified deadlock-free system must survive
+  // the wall-clock blocking fast path on one thread per transaction —
+  // no deadlock, no abort, every round committed — and the simulator's
+  // rounds-bounded session must agree on the exact counts.
+  if (stuck_report->deadlock_free && seed % 8 == 0) {
+    LiveOptions live;
+    live.policy = ConflictPolicy::kBlock;
+    live.seed = seed;
+    live.threads = s.num_transactions();
+    live.rounds = 3;
+    auto lr = RunLive(s, live);
+    ASSERT_TRUE(lr.ok());
+    EXPECT_FALSE(lr->deadlocked)
+        << "live engine deadlocked on a certified deadlock-free system";
+    EXPECT_TRUE(lr->completed);
+    EXPECT_EQ(lr->aborts, 0u);
+    EXPECT_EQ(lr->commits,
+              static_cast<uint64_t>(s.num_transactions()) * 3u);
+
+    WorkloadOptions wl;
+    wl.sim.policy = ConflictPolicy::kBlock;
+    wl.sim.seed = seed;
+    wl.duration = 0;
+    wl.rounds = 3;
+    auto sr = RunWorkload(s, wl);
+    ASSERT_TRUE(sr.ok());
+    EXPECT_EQ(sr->commits, lr->commits)
+        << "live and simulated commit counts diverge";
+    EXPECT_EQ(sr->aborts, lr->aborts);
   }
 }
 

@@ -10,7 +10,11 @@
 3. CLI smoke: misuse of the binary (no arguments, unknown subcommand or
    file, subcommand without a workload, flag without its value, unknown
    option) must exit nonzero and print usage to stderr — never crash or
-   silently succeed.
+   silently succeed. The `run` subcommand additionally enforces the
+   fast-path gate: `--no-detection` on a workload that Theorem 4 does
+   not certify safe + deadlock-free is refused (exit 2, "not certified"
+   on stderr), while a certified workload runs it and prints exactly one
+   deterministic `result:` line at MPL 1.
 
 Usage: tools/check_docs.py [path/to/wydb_analyze]
 Run from the repository root. The binary argument is optional; without
@@ -103,13 +107,31 @@ STATS_LINE_RE = re.compile(
     re.MULTILINE,
 )
 
+# The deterministic `run` result line. The certified workload has 3
+# transactions, so --mpl 1 --rounds 5 commits exactly 15 times with no
+# aborts, on the live engine and the simulator alike (MPL-1 determinism
+# is part of the live engine's contract).
+LIVE_RESULT_RE = re.compile(
+    r"^result: engine=live policy=block commits=15 aborts=0"
+    r" abort_rate=0\.000 deadlocked=0 gave_up=0$",
+    re.MULTILINE,
+)
+SIM_RESULT_RE = re.compile(
+    r"^result: engine=sim policy=block commits=15 aborts=0"
+    r" abort_rate=0\.000 deadlocked=0 gave_up=0$",
+    re.MULTILINE,
+)
+
 
 def check_cli_smoke(binary: Path) -> list[str]:
     """Misuse must exit nonzero with usage on stderr; --help must work;
     the --stats output format must hold (one stats line per exact check,
-    matching STATS_LINE_RE)."""
+    matching STATS_LINE_RE); the run subcommand's certification gate and
+    deterministic result line must hold."""
     sample = REPO / "tools" / "sample_workload.wydb"
-    # (args, want_code, want_stderr_substring, want_stdout_regex)
+    certified = REPO / "tools" / "certified_workload.wydb"
+    # (args, want_code, want_stderr_substring, want_stdout_match)
+    # where want_stdout_match is None or a (regex, expected_count) pair.
     # The sample workload is REFUTED, so plain analysis exits 1.
     cases = [
         (["--help"], 0, None, None),
@@ -130,9 +152,9 @@ def check_cli_smoke(binary: Path) -> list[str]:
         ([str(sample), "--engine", "bogus"], 2,
          "incremental, reference, parallel, or reduced", None),
         # --stats implies --exact; both exact checks print a stats line.
-        ([str(sample), "--stats"], 1, None, STATS_LINE_RE),
+        ([str(sample), "--stats"], 1, None, (STATS_LINE_RE, 2)),
         ([str(sample), "--engine", "reduced", "--stats",
-          "--search-threads", "2"], 1, None, STATS_LINE_RE),
+          "--search-threads", "2"], 1, None, (STATS_LINE_RE, 2)),
         # Store memory modes (DESIGN.md §9): misuse exits 2 before any
         # search runs; well-formed runs keep the stats-line format.
         ([str(sample), "--store-encoding"], 2, "needs a value", None),
@@ -151,16 +173,37 @@ def check_cli_smoke(binary: Path) -> list[str]:
         ([str(sample), "--store-encoding", "compact", "--allow-compaction",
           "--engine", "reduced"], 2, "parallel engine", None),
         ([str(sample), "--store-encoding", "delta", "--stats"], 1, None,
-         STATS_LINE_RE),
+         (STATS_LINE_RE, 2)),
         ([str(sample), "--store-encoding", "delta", "--engine", "reduced",
-          "--stats"], 1, None, STATS_LINE_RE),
+          "--stats"], 1, None, (STATS_LINE_RE, 2)),
         ([str(sample), "--store-encoding", "compact", "--allow-compaction",
-          "--stats"], 1, None, STATS_LINE_RE),
+          "--stats"], 1, None, (STATS_LINE_RE, 2)),
         ([str(sample), "--mem-budget-mb", "1", "--stats"], 1, None,
-         STATS_LINE_RE),
+         (STATS_LINE_RE, 2)),
+        # Live-engine `run` misuse contract (DESIGN.md §10): bad flags
+        # exit 2 before any thread starts.
+        (["run"], 2, "usage", None),
+        (["run", str(sample), "--policy"], 2, "needs a value", None),
+        (["run", str(sample), "--policy", "bogus"], 2,
+         "block, detect, wound-wait, or wait-die", None),
+        (["run", str(sample), "--engine", "bogus"], 2, "live or sim",
+         None),
+        (["run", str(sample), "--no-such-option"], 2, "usage", None),
+        (["run", str(sample), "--rounds", "two"], 2,
+         "non-negative integer", None),
+        # The fast-path gate: the sample workload is refuted, so the
+        # detection-free run is refused outright...
+        (["run", str(sample), "--no-detection"], 2, "not certified",
+         None),
+        # ...while the certified workload runs it, deterministically at
+        # MPL 1, and the simulator reproduces the exact counts.
+        (["run", str(certified), "--no-detection", "--mpl", "1",
+          "--rounds", "5"], 0, None, (LIVE_RESULT_RE, 1)),
+        (["run", str(certified), "--engine", "sim", "--policy", "block",
+          "--rounds", "5"], 0, None, (SIM_RESULT_RE, 1)),
     ]
     errors = []
-    for args, want_code, want_stderr, want_stdout_re in cases:
+    for args, want_code, want_stderr, want_stdout in cases:
         label = "wydb_analyze " + " ".join(args)
         try:
             proc = subprocess.run(
@@ -178,12 +221,13 @@ def check_cli_smoke(binary: Path) -> list[str]:
             )
         if want_stderr is not None and want_stderr not in proc.stderr:
             errors.append(f"{label}: stderr lacks '{want_stderr}'")
-        if want_stdout_re is not None:
-            matches = want_stdout_re.findall(proc.stdout)
-            if len(matches) != 2:  # One per exact check (deadlock, safety).
+        if want_stdout is not None:
+            regex, want_count = want_stdout
+            matches = regex.findall(proc.stdout)
+            if len(matches) != want_count:
                 errors.append(
-                    f"{label}: expected 2 stats lines matching "
-                    f"{want_stdout_re.pattern!r}, found {len(matches)}"
+                    f"{label}: expected {want_count} stdout lines "
+                    f"matching {regex.pattern!r}, found {len(matches)}"
                 )
     return errors
 

@@ -6,12 +6,23 @@ fails (exit 1) when the *geomean* ratio candidate/baseline over all
 matched benchmarks regresses by more than the threshold (default 15%)
 for either guarded metric:
 
-  * ns_per_state    — per-state cost of the search engines (falls back
-                      to real_time for rows without the counter),
-  * states          — states interned/visited (the reduction engines'
-                      whole point is to shrink this), and
-  * bytes_per_state — store bytes per interned state (the memory-mode
-                      series of DESIGN.md §9 exist to shrink this).
+  * ns_per_state       — per-state cost of the search engines (falls
+                         back to real_time for rows without the
+                         counter),
+  * states             — states interned/visited (the reduction
+                         engines' whole point is to shrink this),
+  * bytes_per_state    — store bytes per interned state (the
+                         memory-mode series of DESIGN.md §9 exist to
+                         shrink this),
+  * lock_ops_per_sec   — live-engine lock-table throughput (HIGHER is
+                         better: the fast-path-vs-baseline series of
+                         DESIGN.md §10 exist to raise this), and
+  * commits_per_sec    — live-engine commit throughput (higher is
+                         better).
+
+For lower-is-better metrics a regression is geomean ratio
+candidate/baseline > 1 + threshold; for higher-is-better metrics it is
+geomean ratio < 1 - threshold.
 
 Benchmarks are matched by exact `name`; rows present in only one file
 are reported but never fail the run (series come and go), and rows that
@@ -36,14 +47,26 @@ import math
 import sys
 
 
-METRICS = ("ns_per_state", "states", "bytes_per_state")
+# metric name -> direction: +1 = lower is better (regression when the
+# geomean ratio rises past 1 + threshold), -1 = higher is better
+# (regression when it falls past 1 - threshold).
+METRICS = {
+    "ns_per_state": +1,
+    "states": +1,
+    "bytes_per_state": +1,
+    "lock_ops_per_sec": -1,
+    "commits_per_sec": -1,
+}
 
 
 def load_rows(path: str) -> dict[str, dict]:
     with open(path) as f:
         data = json.load(f)
     rows = {}
-    for row in data.get("benchmarks", []):
+    # Raw google-benchmark output keeps rows under "benchmarks"; the
+    # hand-curated BENCH_runtime.json baseline keeps its live-engine
+    # rows (google-benchmark shaped) under "live_series".
+    for row in data.get("benchmarks", []) + data.get("live_series", []):
         if row.get("run_type") == "aggregate":
             continue
         if row.get("error_occurred"):
@@ -96,7 +119,7 @@ def main() -> int:
         return 1
 
     failed = False
-    for metric in METRICS:
+    for metric, direction in METRICS.items():
         ratios = []
         worst = (1.0, None)
         for name in matched:
@@ -106,18 +129,24 @@ def main() -> int:
                 continue
             ratio = c / b
             ratios.append(ratio)
-            if ratio > worst[0]:
+            # "Worse" is a higher ratio for lower-is-better metrics and
+            # a lower ratio for higher-is-better ones.
+            if (ratio - worst[0]) * direction > 0:
                 worst = (ratio, name)
         if not ratios:
             print(f"{metric}: no comparable rows")
             continue
         gm = geomean(ratios)
         verdict = "OK"
-        if gm > 1.0 + args.threshold:
+        if direction > 0 and gm > 1.0 + args.threshold:
             verdict = f"REGRESSION (> +{args.threshold:.0%})"
             failed = True
+        elif direction < 0 and gm < 1.0 - args.threshold:
+            verdict = f"REGRESSION (< -{args.threshold:.0%})"
+            failed = True
+        better = "lower" if direction > 0 else "higher"
         print(f"{metric}: geomean ratio {gm:.3f} over {len(ratios)} "
-              f"series — {verdict}")
+              f"series ({better} is better) — {verdict}")
         if worst[1] is not None:
             print(f"  worst single series: {worst[1]} ({worst[0]:.3f}x)")
 

@@ -21,6 +21,7 @@
 #include "core/schedule.h"
 #include "core/symmetry.h"
 #include "io/text_format.h"
+#include "runtime/live_engine.h"
 #include "runtime/simulation.h"
 #include "runtime/workload.h"
 
@@ -36,6 +37,7 @@ Usage:
   wydb_analyze <workload.wydb> [analysis options]
   wydb_analyze simulate <workload.wydb> [simulate options]
   wydb_analyze sweep <workload.wydb> [sweep options]
+  wydb_analyze run <workload.wydb> [run options]
   wydb_analyze --help
 
 Analysis options:
@@ -114,6 +116,34 @@ per cell (header first, to stdout or --out).
   --duration <d>     session length in sim time (default 100000)
   --think <t>        mean think time (default 100)
   --out <file>       write the CSV to a file instead of stdout
+
+run: execute the workload on the wall-clock LiveEngine (real OS threads
+against the striped thread-safe lock table) or, for cross-checking, the
+deterministic simulator. Certified systems may run the paper's
+no-detection fast path (--policy block / --no-detection: pure blocking,
+no timestamps, no timeout scans); the subcommand REFUSES that fast path
+unless the Theorem 4 certification verdict is positive. Prints one
+greppable `result:` line (exact counts; deterministic at --mpl 1 or
+--threads 1) and one `perf:` line.
+  --engine <e>       live (default) or sim (the closed-loop simulator,
+                     for live-vs-sim cross-validation)
+  --policy <p>       block|detect|wound-wait|wait-die (default detect);
+                     block is the certified fast path and is gated on
+                     the certification verdict
+  --no-detection     alias for --policy block: run with deadlock
+                     handling compiled out entirely
+  --threads <k>      live worker threads (0 = hardware concurrency)
+  --mpl <m>          multi-programming level cap (0 = unlimited)
+  --rounds <r>       per-transaction round target (default 50 when no
+                     --duration-ms is given)
+  --duration-ms <d>  wall-clock session length in milliseconds (sim:
+                     mapped to d*1000 simulated time units)
+  --think-us <t>     mean think time between rounds, microseconds
+  --hold-us <t>      dwell while holding each granted lock (widens the
+                     live conflict window; useful to demonstrate
+                     deadlocks on uncertified systems)
+  --stripes <n>      lock-table latch stripes (0 = auto)
+  --seed <s>         base seed (default 1)
 )";
 
 void PrintUsage(std::FILE* out) {
@@ -122,6 +152,7 @@ void PrintUsage(std::FILE* out) {
       "  wydb_analyze <workload.wydb> [analysis options]\n"
       "  wydb_analyze simulate <workload.wydb> [simulate options]\n"
       "  wydb_analyze sweep <workload.wydb> [sweep options]\n"
+      "  wydb_analyze run <workload.wydb> [run options]\n"
       "  wydb_analyze --help\n",
       out);
 }
@@ -299,6 +330,162 @@ int RunSimulateCommand(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int RunRunCommand(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("usage: wydb_analyze run <workload.wydb> [options]");
+  }
+  const char* engine_arg = "live";
+  const char* policy_arg = "detect";
+  bool no_detection = false;
+  uint64_t seed = 1;
+  int threads = 0, mpl = 0, rounds = 0, stripes = 0;
+  int duration_ms = 0, think_us = 0, hold_us = 0;
+  for (int a = 3; a < argc; ++a) {
+    auto next = [&](const char* opt) -> const char* {
+      if (a + 1 >= argc) FailMissingValue(opt);
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--engine")) {
+      engine_arg = next("--engine");
+    } else if (!std::strcmp(argv[a], "--policy")) {
+      policy_arg = next("--policy");
+    } else if (!std::strcmp(argv[a], "--no-detection")) {
+      no_detection = true;
+    } else if (!std::strcmp(argv[a], "--threads")) {
+      threads = ParseCountFlag("--threads", next("--threads"));
+    } else if (!std::strcmp(argv[a], "--mpl")) {
+      mpl = ParseCountFlag("--mpl", next("--mpl"));
+    } else if (!std::strcmp(argv[a], "--rounds")) {
+      rounds = ParseCountFlag("--rounds", next("--rounds"));
+    } else if (!std::strcmp(argv[a], "--duration-ms")) {
+      duration_ms = ParseCountFlag("--duration-ms", next("--duration-ms"));
+    } else if (!std::strcmp(argv[a], "--think-us")) {
+      think_us = ParseCountFlag("--think-us", next("--think-us"));
+    } else if (!std::strcmp(argv[a], "--hold-us")) {
+      hold_us = ParseCountFlag("--hold-us", next("--hold-us"));
+    } else if (!std::strcmp(argv[a], "--stripes")) {
+      stripes = ParseCountFlag("--stripes", next("--stripes"));
+    } else if (!std::strcmp(argv[a], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else {
+      return Fail("unknown run option");
+    }
+  }
+  const bool live = !std::strcmp(engine_arg, "live");
+  if (!live && std::strcmp(engine_arg, "sim") != 0) {
+    return Fail("--engine wants live or sim");
+  }
+  ConflictPolicy policy;
+  if (!ParseConflictPolicy(policy_arg, &policy)) {
+    return Fail("--policy wants block, detect, wound-wait, or wait-die");
+  }
+  if (no_detection) policy = ConflictPolicy::kBlock;
+  if (rounds == 0 && duration_ms == 0) rounds = 50;
+
+  auto loaded = LoadWorkload(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 loaded.status().ToString().c_str());
+    return 2;
+  }
+  const TransactionSystem& sys = *loaded->owned.system;
+  std::printf("%d transactions, %d entities, %d sites; %s engine, %s "
+              "policy\n",
+              sys.num_transactions(), sys.db().num_entities(),
+              sys.db().num_sites(), live ? "live" : "sim",
+              ConflictPolicyName(policy));
+
+  // The fast-path gate: detection-free blocking is the paper's payoff,
+  // and it is only sound when the Theorem 4 verdict is positive. An
+  // uncertified system under pure blocking can deadlock, so the run is
+  // refused outright rather than left to the watchdog.
+  if (policy == ConflictPolicy::kBlock && live) {
+    auto report = CheckSystemSafeAndDeadlockFree(sys);
+    if (!report.ok() || !report->safe_and_deadlock_free) {
+      std::fprintf(
+          stderr,
+          "wydb_analyze: refusing the no-detection fast path: the system "
+          "is not certified safe + deadlock-free (Theorem 4)%s%s; run "
+          "under --policy detect, wound-wait, or wait-die instead\n",
+          report.ok() ? "" : " — static analysis failed: ",
+          report.ok() ? "" : report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "certified safe + deadlock-free: running with deadlock handling "
+        "compiled out\n");
+  }
+
+  if (live) {
+    LiveOptions o;
+    o.policy = policy;
+    o.seed = seed;
+    o.threads = threads;
+    o.mpl = mpl;
+    o.rounds = rounds;
+    o.duration_ms = duration_ms;
+    o.think_us = think_us;
+    o.hold_us = hold_us;
+    o.num_stripes = stripes;
+    auto r = RunLive(sys, o);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "result: engine=live policy=%s commits=%llu aborts=%llu "
+        "abort_rate=%.3f deadlocked=%d gave_up=%d\n",
+        ConflictPolicyName(policy),
+        static_cast<unsigned long long>(r->commits),
+        static_cast<unsigned long long>(r->aborts), r->abort_rate,
+        r->deadlocked ? 1 : 0, r->gave_up ? 1 : 0);
+    std::printf(
+        "perf: threads=%d stripes=%d wall_s=%.3f commits_per_sec=%.1f "
+        "lock_ops_per_sec=%.1f p50_us=%llu p95_us=%llu p99_us=%llu\n",
+        r->threads, r->stripes, r->wall_seconds, r->commits_per_sec,
+        r->lock_ops_per_sec,
+        static_cast<unsigned long long>(r->latency.p50),
+        static_cast<unsigned long long>(r->latency.p95),
+        static_cast<unsigned long long>(r->latency.p99));
+    if (r->deadlocked) {
+      std::printf("deadlocked transactions:");
+      for (int t : r->blocked_txns)
+        std::printf(" %s", sys.txn(t).name().c_str());
+      std::printf("\n");
+    }
+    return r->completed ? 0 : 1;
+  }
+
+  WorkloadOptions opts;
+  opts.sim.policy = policy;
+  opts.sim.seed = seed;
+  opts.sim.placement = loaded->owned.placement.get();
+  if (loaded->has_latency) opts.sim.latency = loaded->latency;
+  opts.think_time = static_cast<SimTime>(think_us);
+  opts.duration = static_cast<SimTime>(duration_ms) * 1000;
+  opts.rounds = rounds;
+  opts.mpl = mpl;
+  auto r = RunWorkload(sys, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "result: engine=sim policy=%s commits=%llu aborts=%llu "
+      "abort_rate=%.3f deadlocked=%d gave_up=%d\n",
+      ConflictPolicyName(policy), static_cast<unsigned long long>(r->commits),
+      static_cast<unsigned long long>(r->aborts), r->abort_rate,
+      r->deadlocked ? 1 : 0, r->gave_up ? 1 : 0);
+  std::printf(
+      "perf: makespan=%llu throughput=%.1f p50_us=%llu p95_us=%llu "
+      "p99_us=%llu\n",
+      static_cast<unsigned long long>(r->makespan), r->throughput,
+      static_cast<unsigned long long>(r->latency.p50),
+      static_cast<unsigned long long>(r->latency.p95),
+      static_cast<unsigned long long>(r->latency.p99));
+  return !r->deadlocked && !r->gave_up ? 0 : 1;
 }
 
 // Parses "1,2,8" into non-negative ints; empty on malformed input or
@@ -489,6 +676,9 @@ int main(int argc, char** argv) {
   }
   if (!std::strcmp(argv[1], "sweep")) {
     return RunSweepCommand(argc, argv);
+  }
+  if (!std::strcmp(argv[1], "run")) {
+    return RunRunCommand(argc, argv);
   }
   if (argv[1][0] == '-') {
     return Fail("expected a workload file or subcommand before options");
