@@ -19,13 +19,24 @@ std::vector<NodeId> PrefixExtension(const Transaction& t,
   return out;
 }
 
-// Union of accessed-entity sets of the given transactions.
-std::vector<EntityId> EntityUnion(const TransactionSystem& sys,
-                                  const std::vector<int>& txns) {
+// Entities of the given transactions whose access CONFLICTS with
+// `target`'s own access of them (at least one side exclusive). The
+// canonical-prefix construction only needs T* to avoid CONFLICTING
+// contact with the rest of the cycle: an entity both sides merely read
+// neither blocks nor draws an arc, so truncating T* at it would lose
+// violations. For X-only systems this is the paper's full entity union
+// (entities `target` never accesses are dropped too, which
+// MaximalPrefixAvoiding ignores anyway).
+std::vector<EntityId> ConflictingEntityUnion(const TransactionSystem& sys,
+                                             int target,
+                                             const std::vector<int>& txns) {
+  const Transaction& tt = sys.txn(target);
   std::vector<EntityId> out;
   for (int i : txns) {
-    const auto& e = sys.txn(i).entities();
-    out.insert(out.end(), e.begin(), e.end());
+    const Transaction& t = sys.txn(i);
+    for (EntityId e : t.entities()) {
+      if (tt.ConflictsOn(e, t.LockModeOf(e))) out.push_back(e);
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -97,28 +108,34 @@ Result<MultiReport> CheckSystemSafeAndDeadlockFree(
 
         // Canonical maximal prefixes.
         std::vector<std::vector<uint64_t>> prefix(k);
-        // T1*: avoid entities of every cycle transaction except T1, T2.
+        // T1*: avoid conflicting entities of every cycle transaction
+        // except T1, T2.
         {
           std::vector<int> others;
           for (int j = 2; j < k; ++j) others.push_back(order[j]);
-          prefix[0] =
-              MaximalPrefixAvoiding(sys.txn(order[0]), EntityUnion(sys, others));
+          prefix[0] = MaximalPrefixAvoiding(
+              sys.txn(order[0]), ConflictingEntityUnion(sys, order[0], others));
         }
-        // Ti*: avoid Y(T*_{i-1}) plus entities of non-adjacent cycle
-        // transactions.
+        // Ti*: avoid the conflicting part of Y(T*_{i-1}) plus conflicting
+        // entities of non-adjacent cycle transactions.
         for (int i = 1; i < k; ++i) {
           std::vector<int> others;
           for (int j = 0; j < k; ++j) {
             if (j == i - 1 || j == i || j == (i + 1) % k) continue;
             others.push_back(order[j]);
           }
-          std::vector<EntityId> avoid = EntityUnion(sys, others);
-          std::vector<EntityId> y = RemainingEntities(
-              sys.txn(order[i - 1]), prefix[i - 1]);
+          const Transaction& cur = sys.txn(order[i]);
+          const Transaction& prev = sys.txn(order[i - 1]);
+          std::vector<EntityId> avoid =
+              ConflictingEntityUnion(sys, order[i], others);
+          std::vector<EntityId> y = RemainingEntities(prev, prefix[i - 1]);
+          std::erase_if(y, [&](EntityId e) {
+            return !cur.ConflictsOn(e, prev.LockModeOf(e));
+          });
           avoid.insert(avoid.end(), y.begin(), y.end());
           std::sort(avoid.begin(), avoid.end());
           avoid.erase(std::unique(avoid.begin(), avoid.end()), avoid.end());
-          prefix[i] = MaximalPrefixAvoiding(sys.txn(order[i]), avoid);
+          prefix[i] = MaximalPrefixAvoiding(cur, avoid);
         }
 
         // Property (3): every Ti* keeps its Lx_i step.

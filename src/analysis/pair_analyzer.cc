@@ -16,11 +16,19 @@ Status CheckSameDb(const Transaction& t1, const Transaction& t2) {
   return Status::OK();
 }
 
+// The CONFLICTING shared entities of the pair. Inside an isolated pair an
+// entity both sides lock in S mode never blocks either transaction and
+// never draws a conflict arc — it behaves exactly as if it were renamed
+// apart — so the Theorem 3 / minimal-prefix machinery runs on the
+// conflicting subset (equal to the full intersection for X-only pairs).
 std::vector<EntityId> Shared(const Transaction& t1, const Transaction& t2) {
   std::vector<EntityId> r;
   std::set_intersection(t1.entities().begin(), t1.entities().end(),
                         t2.entities().begin(), t2.entities().end(),
                         std::back_inserter(r));
+  std::erase_if(r, [&](EntityId e) {
+    return !LockModesConflict(t1.LockModeOf(e), t2.LockModeOf(e));
+  });
   return r;
 }
 

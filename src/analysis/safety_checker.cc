@@ -61,9 +61,11 @@ inline void AddPackedArc(uint64_t* arcs, int row_words, int i, int j) {
 /// The one definition of the §5 child arc update shared by every Lemma
 /// engine (the bit-identical contract of the exhaustive ones rides on
 /// it): executing `g` from the parent state `parent_key` adds, for a
-/// Lock of x by Ti, the arc Tj -> Ti for every Tj whose Lx is already
-/// executed in S' and Ti -> Tj otherwise. Returns false when `g` is not
-/// a Lock (no arcs added).
+/// Lock of x by Ti, the arc Tj -> Ti for every CONFLICTING accessor Tj
+/// whose Lx is already executed in S' and Ti -> Tj otherwise. Two
+/// shared locks on x are compatible and draw no arc (X–X and X–S pairs
+/// do); with every lock exclusive this is exactly the paper's §5 rule.
+/// Returns false when `g` is not a Lock (no arcs added).
 bool ApplyLockArcs(const StateSpace& space, const uint64_t* parent_key,
                    GlobalNode g, int row_words, uint64_t* arcs) {
   const Step& st = space.system().txn(g.txn).step(g.node);
@@ -72,6 +74,9 @@ bool ApplyLockArcs(const StateSpace& space, const uint64_t* parent_key,
   const int t = g.txn;
   for (int j : space.AccessorsOf(x)) {
     if (j == t) continue;
+    if (!LockModesConflict(st.mode, space.system().txn(j).LockModeOf(x))) {
+      continue;  // S–S: compatible, no conflict arc.
+    }
     NodeId lj = space.LockNodeOf(j, x);
     if (space.IsExecuted(parent_key, j, lj)) {
       AddPackedArc(arcs, row_words, j, t);  // Tj locked x earlier in S'.
@@ -180,6 +185,9 @@ class LemmaSearchNaive {
       EntityId x = st.entity;
       for (int j : sys_.AccessorsOf(x)) {
         if (j == g.txn) continue;
+        if (!LockModesConflict(st.mode, sys_.txn(j).LockModeOf(x))) {
+          continue;  // S–S: compatible, no conflict arc.
+        }
         NodeId lj = sys_.txn(j).LockNode(x);
         if (space_.IsExecuted(exec, j, lj)) {
           AddArc(&next, j, g.txn);  // Tj locked x earlier in S'.

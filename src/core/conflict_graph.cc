@@ -30,14 +30,22 @@ Result<ConflictGraph> ConflictGraph::FromSchedule(
     cg.arcs_.push_back({from, to, e});
   };
 
+  // Two accesses of e conflict unless both lock it in shared mode.
+  auto conflicts = [&](int t1, int t2, EntityId e) {
+    return LockModesConflict(sys.txn(t1).LockModeOf(e),
+                             sys.txn(t2).LockModeOf(e));
+  };
+
   for (const auto& [e, lockers] : lock_order) {
     // Arcs among transactions that both locked e, in lock order.
     for (size_t i = 0; i < lockers.size(); ++i) {
       for (size_t j = i + 1; j < lockers.size(); ++j) {
-        add_arc(lockers[i], lockers[j], e);
+        if (conflicts(lockers[i], lockers[j], e)) {
+          add_arc(lockers[i], lockers[j], e);
+        }
       }
     }
-    // Arcs to accessors of e that have not locked it in S'.
+    // Arcs to conflicting accessors of e that have not locked it in S'.
     for (int t : sys.AccessorsOf(e)) {
       bool locked_in_s = false;
       for (int l : lockers) {
@@ -47,7 +55,9 @@ Result<ConflictGraph> ConflictGraph::FromSchedule(
         }
       }
       if (locked_in_s) continue;
-      for (int l : lockers) add_arc(l, t, e);
+      for (int l : lockers) {
+        if (conflicts(l, t, e)) add_arc(l, t, e);
+      }
     }
   }
   return cg;

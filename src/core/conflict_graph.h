@@ -1,10 +1,13 @@
 // The conflict digraph D(S) of a (partial) schedule (Sections 2 and 5).
 //
 // For a complete schedule S, D(S) has a node per transaction and an arc
-// Ti -> Tj labelled x when both access x and Ti acts on (locks) x first;
-// S is serializable iff D(S) is acyclic [EGLT]. For a partial schedule S'
-// the paper's Lemma 1 refinement also adds Ti -> Tj when Ti locked x in S'
-// and Tj accesses x but has not locked it yet in S'.
+// Ti -> Tj labelled x when their accesses of x CONFLICT (at least one
+// locks x exclusively; two shared locks are compatible) and Ti acts on
+// (locks) x first; S is serializable iff D(S) is acyclic [EGLT]. For a
+// partial schedule S' the paper's Lemma 1 refinement also adds Ti -> Tj
+// when Ti locked x in S' and Tj conflicts on x but has not locked it yet
+// in S'. With every lock exclusive (the paper's alphabet) this is exactly
+// the paper's construction.
 #ifndef WYDB_CORE_CONFLICT_GRAPH_H_
 #define WYDB_CORE_CONFLICT_GRAPH_H_
 

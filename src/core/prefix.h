@@ -76,7 +76,9 @@ class PrefixSet {
   std::vector<EntityId> LockedNotUnlocked(int txn) const;
 
   /// The transaction holding a lock on e (locked-but-not-unlocked), or -1.
-  /// In any prefix that admits a schedule, at most one holder exists.
+  /// In any schedulable prefix at most one EXCLUSIVE holder exists; with
+  /// shared locks several transactions may hold e at once, in which case
+  /// this returns the lowest-indexed one (diagnostics only).
   int HolderOf(EntityId e) const;
 
   /// Nodes of txn's *remaining* part with no predecessor in the remaining

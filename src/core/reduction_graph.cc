@@ -36,7 +36,9 @@ ReductionGraph::ReductionGraph(const PrefixSet& prefix) {
     }
   }
 
-  // Lock-release ordering arcs: Ti holds x => U_i x -> remaining L_j x.
+  // Lock-release ordering arcs: Ti holds x => U_i x -> remaining L_j x
+  // for every Tj whose lock mode on x conflicts with Ti's hold (a shared
+  // hold does not make another shared lock wait).
   for (int i = 0; i < n; ++i) {
     const Transaction& ti = sys.txn(i);
     for (EntityId x : prefix.LockedNotUnlocked(i)) {
@@ -47,6 +49,7 @@ ReductionGraph::ReductionGraph(const PrefixSet& prefix) {
         const Transaction& tj = sys.txn(j);
         NodeId lj_step = tj.LockNode(x);
         if (lj_step == kInvalidNode) continue;
+        if (!LockModesConflict(ti.LockModeOf(x), tj.LockModeOf(x))) continue;
         NodeId lj = local_[j][lj_step];
         if (lj != kInvalidNode) graph_.AddArc(ui, lj);
       }

@@ -3,7 +3,10 @@
 // Nodes: the remaining (unexecuted) steps of all transactions.
 // Arcs:   the transactions' own precedence arcs among remaining steps, plus
 //         for every entity x locked-but-not-unlocked by Ti in A', arcs from
-//         U_i x to the remaining L_j x of every other transaction.
+//         U_i x to the remaining L_j x of every other transaction whose
+//         lock mode on x conflicts with Ti's hold (all of them in the
+//         paper's exclusive-only alphabet; a shared hold does not make
+//         another shared lock wait).
 // A prefix with a schedule whose reduction graph is cyclic is a *deadlock
 // prefix*; Theorem 1 proves a system is deadlock-free iff it has none.
 #ifndef WYDB_CORE_REDUCTION_GRAPH_H_

@@ -48,8 +48,8 @@ StateSpace::StateSpace(const TransactionSystem* sys) : sys_(sys) {
     entity_unlock_bits_[e].reserve(accessors_[e].size());
     for (int j : accessors_[e]) {
       const int bit = offset_[j] * 64 + unlock_node_[j][e];
-      entity_unlock_bits_[e].push_back(
-          UnlockBit{j, bit / 64, 1ULL << (bit % 64)});
+      entity_unlock_bits_[e].push_back(UnlockBit{
+          j, bit / 64, 1ULL << (bit % 64), sys->txn(j).LockModeOf(e)});
     }
   }
   full_words_.assign(total_words_, 0);
@@ -120,12 +120,15 @@ bool StateSpace::IsLegal(const ExecState& s, GlobalNode g) const {
   }
   if (t.step(g.node).kind == StepKind::kLock) {
     EntityId e = t.step(g.node).entity;
-    // Some other transaction holding e (locked, not yet unlocked) blocks.
+    LockMode m = t.step(g.node).mode;
+    // Some other transaction holding e (locked, not yet unlocked) in a
+    // conflicting mode blocks; two shared holders coexist.
     for (int j = 0; j < sys_->num_transactions(); ++j) {
       if (j == g.txn) continue;
       const Transaction& tj = sys_->txn(j);
       NodeId lj = tj.LockNode(e);
       if (lj == kInvalidNode) continue;
+      if (!LockModesConflict(m, tj.LockModeOf(e))) continue;
       if (IsExecuted(s, j, lj) && !IsExecuted(s, j, tj.UnlockNode(e))) {
         return false;
       }
@@ -198,11 +201,31 @@ void StateSpace::InitAux(const uint64_t* state, uint64_t* aux) const {
     for (EntityId e : t.entities()) {
       if (IsExecuted(state, i, t.LockNode(e)) &&
           !IsExecuted(state, i, t.UnlockNode(e))) {
-        holders[e] = static_cast<uint16_t>(i);
+        if (t.LockModeOf(e) == LockMode::kExclusive) {
+          holders[e] = static_cast<uint16_t>(i);
+        } else {
+          holders[e] = IsSharedEntry(holders[e])
+                           ? static_cast<uint16_t>(holders[e] + 1)
+                           : static_cast<uint16_t>(kSharedFlag | 1);
+        }
       }
     }
   }
 }
+
+namespace {
+
+// A frontier Lock of mode `m` is blocked by the holder-table entry `h`
+// exactly when a conflicting hold exists: any entry blocks an exclusive
+// request, only an exclusive entry blocks a shared one. The holder can
+// never be the requester itself (its Lock is still unexecuted), so no
+// owner comparison is needed.
+inline bool LockBlocked(uint16_t h, LockMode m) {
+  if (h == StateSpace::kNoHolder) return false;
+  return m == LockMode::kExclusive || StateSpace::IsExclusiveEntry(h);
+}
+
+}  // namespace
 
 void StateSpace::ExpandInto(const uint64_t* aux,
                             std::vector<GlobalNode>* moves) const {
@@ -216,10 +239,8 @@ void StateSpace::ExpandInto(const uint64_t* aux,
         bits &= bits - 1;
         NodeId v = static_cast<NodeId>(w * 64 + b);
         const Step& st = t.step(v);
-        // A frontier Lock is blocked exactly when some transaction holds
-        // the entity; the holder can never be i itself (i's Lock is still
-        // unexecuted), so no owner comparison is needed.
-        if (st.kind == StepKind::kLock && holders[st.entity] != kNoHolder) {
+        if (st.kind == StepKind::kLock &&
+            LockBlocked(holders[st.entity], st.mode)) {
           continue;
         }
         moves->push_back(GlobalNode{i, v});
@@ -244,14 +265,19 @@ int StateSpace::ExpandReducedInto(const uint64_t* state, const uint64_t* aux,
         bits &= bits - 1;
         NodeId v = static_cast<NodeId>(w * 64 + b);
         const Step& st = t.step(v);
-        if (st.kind == StepKind::kLock && holders[st.entity] != kNoHolder) {
+        if (st.kind == StepKind::kLock &&
+            LockBlocked(holders[st.entity], st.mode)) {
           continue;
         }
         moves->push_back(GlobalNode{i, v});
         if (first_safe == kNone) {
+          // Unlock steps carry the mode of the matching Lock (normalized
+          // by Transaction::Create), so st.mode is the move's mode for
+          // both kinds: only conflicting accessors must be done.
           bool safe = true;
           for (const UnlockBit& u : entity_unlock_bits_[st.entity]) {
-            if (u.txn != i && (state[u.word] & u.mask) == 0) {
+            if (u.txn == i || !LockModesConflict(st.mode, u.mode)) continue;
+            if ((state[u.word] & u.mask) == 0) {
               safe = false;
               break;
             }
@@ -294,10 +320,23 @@ void StateSpace::ApplyInto(const uint64_t* state, const uint64_t* aux,
   }
   const Step& st = sys_->txn(g.txn).step(g.node);
   uint16_t* holders = Holders(next_aux);
+  uint16_t& h = holders[st.entity];
   if (st.kind == StepKind::kLock) {
-    holders[st.entity] = static_cast<uint16_t>(g.txn);
+    if (st.mode == LockMode::kExclusive) {
+      h = static_cast<uint16_t>(g.txn);
+    } else {
+      // Join (or found) the shared-holder set.
+      h = IsSharedEntry(h) ? static_cast<uint16_t>(h + 1)
+                           : static_cast<uint16_t>(kSharedFlag | 1);
+    }
   } else {
-    holders[st.entity] = kNoHolder;
+    // st.mode is the matching Lock's mode (normalized at Create time).
+    if (st.mode == LockMode::kShared && IsSharedEntry(h) &&
+        (h & ~kSharedFlag) > 1) {
+      h = static_cast<uint16_t>(h - 1);
+    } else {
+      h = kNoHolder;
+    }
   }
 }
 

@@ -59,6 +59,23 @@ class StateSpace {
  public:
   /// "No transaction" marker in the per-entity holder table.
   static constexpr uint16_t kNoHolder = 0xFFFF;
+  /// Holder-table entries are a holder SET, packed in 16 bits per entity
+  /// (DESIGN.md §11): kNoHolder = free; a value < kSharedFlag = the id of
+  /// the single exclusive holder; kSharedFlag|count = held shared by
+  /// `count` transactions. The count form is deliberately anonymous —
+  /// it is permutation-invariant, so the orbit canonicalizer only remaps
+  /// exclusive entries — and suffices for legality: an X request is
+  /// blocked by any entry, an S request only by an exclusive one.
+  /// X-only systems never produce shared entries, so their aux buffers
+  /// are bit-identical to the exclusive-only encoding.
+  static constexpr uint16_t kSharedFlag = 0x8000;
+
+  static bool IsSharedEntry(uint16_t h) {
+    return h != kNoHolder && (h & kSharedFlag) != 0;
+  }
+  static bool IsExclusiveEntry(uint16_t h) {
+    return h != kNoHolder && (h & kSharedFlag) == 0;
+  }
 
   explicit StateSpace(const TransactionSystem* sys);
 
@@ -94,7 +111,8 @@ class StateSpace {
   ExecState Apply(const ExecState& s, GlobalNode move) const;
 
   /// True iff the Lock/step `g` is permitted in `s` (predecessors executed
-  /// and, for a Lock, no other transaction currently holds the entity).
+  /// and, for a Lock, no other transaction holds the entity in a
+  /// conflicting mode — two shared holders coexist).
   bool IsLegal(const ExecState& s, GlobalNode g) const;
 
   /// Entity currently held (locked-not-unlocked) by txn `i` in `s`.
@@ -122,16 +140,20 @@ class StateSpace {
   void ExpandInto(const uint64_t* aux, std::vector<GlobalNode>* moves) const;
 
   /// Commutativity-reduced expansion (the sleep-set / persistent-move
-  /// half of SearchEngine::kReduced, DESIGN.md §8.1). A legal move is
-  /// *invisible* when every other accessor of its entity has already
-  /// executed its Unlock of that entity: no future step of any other
-  /// transaction can touch the entity, so the move commutes with every
+  /// half of SearchEngine::kReduced, DESIGN.md §8.1 and §11). A legal
+  /// move is *invisible* when every other accessor of its entity whose
+  /// lock mode CONFLICTS with the move's mode has already executed its
+  /// Unlock of that entity: no future step of any other transaction can
+  /// conflict on the entity, so the move commutes with every
   /// interleaving that postpones it — and {move} is a singleton
-  /// persistent set. When the state has an invisible move, only the
-  /// first one (in ExpandInto order) is appended; otherwise all legal
-  /// moves are. Returns the number of expansions pruned. `*moves` is
-  /// empty on return iff the state has no legal move at all, so stuck
-  /// detection is unaffected by the pruning.
+  /// persistent set. Shared locks commute with each other, so an S move
+  /// ignores the other S accessors entirely — strictly more pruning
+  /// than the exclusive-only rule, which needs every other accessor
+  /// done. When the state has an invisible move, only the first one (in
+  /// ExpandInto order) is appended; otherwise all legal moves are.
+  /// Returns the number of expansions pruned. `*moves` is empty on
+  /// return iff the state has no legal move at all, so stuck detection
+  /// is unaffected by the pruning.
   int ExpandReducedInto(const uint64_t* state, const uint64_t* aux,
                         std::vector<GlobalNode>* moves) const;
 
@@ -206,11 +228,12 @@ class StateSpace {
   std::vector<std::vector<int>> accessors_;
   /// Per-accessor Unlock-step bit positions of each entity, in state
   /// coordinates: the invisibility test of ExpandReducedInto is "every
-  /// *other* listed bit is set".
+  /// *other* listed bit whose mode conflicts with the move's is set".
   struct UnlockBit {
     int txn;
     int word;
     uint64_t mask;
+    LockMode mode;  ///< Mode of this accessor's lock on the entity.
   };
   std::vector<std::vector<UnlockBit>> entity_unlock_bits_;
   /// The full state's words (for IsComplete on raw buffers).

@@ -129,15 +129,19 @@ void OrbitCanonicalizer::Apply(const int* perm, uint64_t* key, uint64_t* aux,
   }
 
   if (aux != nullptr) {
-    // Holder entries are transaction indices: remap old -> new through
-    // the inverse permutation.
+    // Exclusive holder entries are transaction indices: remap old -> new
+    // through the inverse permutation. Shared entries are anonymous
+    // counts — permutation-invariant by construction — and free slots
+    // stay free.
     thread_local std::vector<uint16_t> inv;
     inv.resize(n_);
     for (int i = 0; i < n_; ++i) inv[perm[i]] = static_cast<uint16_t>(i);
     uint16_t* holders = space_->HolderTable(aux);
     const int num_entities = space_->system().db().num_entities();
     for (int e = 0; e < num_entities; ++e) {
-      if (holders[e] != StateSpace::kNoHolder) holders[e] = inv[holders[e]];
+      if (StateSpace::IsExclusiveEntry(holders[e])) {
+        holders[e] = inv[holders[e]];
+      }
     }
   }
 }

@@ -30,11 +30,21 @@ std::vector<EntityId> TransactionSystem::SharedEntities(int i, int j) const {
   return out;
 }
 
+std::vector<EntityId> TransactionSystem::ConflictingEntities(int i,
+                                                             int j) const {
+  std::vector<EntityId> out = SharedEntities(i, j);
+  std::erase_if(out, [&](EntityId e) {
+    return !LockModesConflict(txns_[i].LockModeOf(e),
+                              txns_[j].LockModeOf(e));
+  });
+  return out;
+}
+
 UndirectedGraph TransactionSystem::InteractionGraph() const {
   UndirectedGraph g(num_transactions());
   for (int i = 0; i < num_transactions(); ++i) {
     for (int j = i + 1; j < num_transactions(); ++j) {
-      if (!SharedEntities(i, j).empty()) g.AddEdge(i, j);
+      if (!ConflictingEntities(i, j).empty()) g.AddEdge(i, j);
     }
   }
   return g;

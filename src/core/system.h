@@ -36,8 +36,16 @@ class TransactionSystem {
   /// R(Ti) ∩ R(Tj), ascending.
   std::vector<EntityId> SharedEntities(int i, int j) const;
 
-  /// The interaction graph G(A) of Section 5: one node per transaction, an
-  /// edge whenever two transactions access a common entity.
+  /// The shared entities on which Ti and Tj CONFLICT: both access and at
+  /// least one locks exclusively (two shared locks are compatible).
+  /// Equal to SharedEntities for X-only systems.
+  std::vector<EntityId> ConflictingEntities(int i, int j) const;
+
+  /// The interaction graph G(A) of Section 5, generalized to lock modes:
+  /// one node per transaction, an edge whenever two transactions CONFLICT
+  /// on a common entity. Entities shared purely in S mode never block and
+  /// never draw conflict arcs, so they do not make an edge. For X-only
+  /// systems this is exactly the paper's shared-entity graph.
   UndirectedGraph InteractionGraph() const;
 
   /// Indices of transactions accessing entity e.

@@ -87,10 +87,31 @@ Result<Transaction> Transaction::Create(
     }
   }
 
+  // Normalize: an Unlock releases whatever mode its Lock took, so give
+  // every Ux the mode of the matching Lx. Keeps Step equality (and the
+  // structural-symmetry detection built on it) well-defined regardless of
+  // what the caller put on the unlock steps.
+  for (NodeId v = 0; v < n; ++v) {
+    Step& s = t.steps_[v];
+    if (s.kind == StepKind::kUnlock) {
+      s.mode = t.steps_[t.lock_node_.at(s.entity)].mode;
+    }
+  }
+
   t.entities_.reserve(t.lock_node_.size());
   for (const auto& [e, lv] : t.lock_node_) t.entities_.push_back(e);
   std::sort(t.entities_.begin(), t.entities_.end());
   return t;
+}
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "shared" : "exclusive";
+}
+
+LockMode Transaction::LockModeOf(EntityId e) const {
+  auto it = lock_node_.find(e);
+  return it == lock_node_.end() ? LockMode::kExclusive
+                                : steps_[it->second].mode;
 }
 
 NodeId Transaction::LockNode(EntityId e) const {
@@ -199,8 +220,10 @@ Digraph Transaction::HasseDiagram() const {
 
 std::string Transaction::StepLabel(NodeId v) const {
   const Step& s = steps_[v];
-  return StrFormat("%s%s", s.kind == StepKind::kLock ? "L" : "U",
-                   db_->EntityName(s.entity).c_str());
+  const char* op = s.kind == StepKind::kUnlock          ? "U"
+                   : s.mode == LockMode::kShared ? "S"
+                                                 : "L";
+  return StrFormat("%s%s", op, db_->EntityName(s.entity).c_str());
 }
 
 std::string Transaction::DebugString() const {

@@ -29,10 +29,28 @@ enum class StepKind : uint8_t {
   kUnlock,
 };
 
+/// Mode of a Lock step. The paper's alphabet is exclusive-only; shared
+/// (read) locks are the standard S/X extension: two S locks on the same
+/// entity are compatible, every other combination conflicts.
+enum class LockMode : uint8_t {
+  kShared,
+  kExclusive,
+};
+
+/// True iff locks of modes `a` and `b` on the same entity conflict
+/// (i.e. unless both are shared).
+inline bool LockModesConflict(LockMode a, LockMode b) {
+  return a == LockMode::kExclusive || b == LockMode::kExclusive;
+}
+
+const char* LockModeName(LockMode mode);
+
 /// One node of the transaction partial order.
 struct Step {
   StepKind kind;
   EntityId entity;
+  /// Meaningful on kLock steps; kUnlock releases whatever mode was taken.
+  LockMode mode = LockMode::kExclusive;
 
   bool operator==(const Step&) const = default;
 };
@@ -82,6 +100,17 @@ class Transaction {
   NodeId LockNode(EntityId e) const;
   NodeId UnlockNode(EntityId e) const;
 
+  /// Mode of this transaction's (unique) lock on e; kExclusive if e is
+  /// not accessed.
+  LockMode LockModeOf(EntityId e) const;
+
+  /// True iff this transaction's access of e conflicts with an access of
+  /// e in `other_mode` (i.e. unless both are shared). False if e is not
+  /// accessed at all.
+  bool ConflictsOn(EntityId e, LockMode other_mode) const {
+    return Accesses(e) && LockModesConflict(LockModeOf(e), other_mode);
+  }
+
   SiteId SiteOfStep(NodeId v) const { return db_->SiteOf(steps_[v].entity); }
 
   /// R_T(s): entities z whose Lz strictly precedes step s (paper §5).
@@ -113,7 +142,8 @@ class Transaction {
   /// The Hasse diagram (transitive reduction) of the precedence relation.
   Digraph HasseDiagram() const;
 
-  /// "L x" / "U x" with the entity name from the database.
+  /// "Lx" (exclusive lock) / "Sx" (shared lock) / "Ux" (unlock) with the
+  /// entity name from the database — the `.wydb` step-token syntax.
   std::string StepLabel(NodeId v) const;
 
   /// Multi-line dump: one line per step with its direct successors.

@@ -15,6 +15,17 @@ int TransactionBuilder::Lock(const std::string& entity) {
   return AddStep(StepKind::kLock, e);
 }
 
+int TransactionBuilder::LockShared(const std::string& entity) {
+  EntityId e = db_->FindEntity(entity);
+  if (e == kInvalidEntity) {
+    if (first_error_.ok()) {
+      first_error_ = Status::NotFound("unknown entity '" + entity + "'");
+    }
+    return -1;
+  }
+  return AddStep(StepKind::kLock, e, LockMode::kShared);
+}
+
 int TransactionBuilder::Unlock(const std::string& entity) {
   EntityId e = db_->FindEntity(entity);
   if (e == kInvalidEntity) {
@@ -26,8 +37,8 @@ int TransactionBuilder::Unlock(const std::string& entity) {
   return AddStep(StepKind::kUnlock, e);
 }
 
-int TransactionBuilder::AddStep(StepKind kind, EntityId e) {
-  steps_.push_back(Step{kind, e});
+int TransactionBuilder::AddStep(StepKind kind, EntityId e, LockMode mode) {
+  steps_.push_back(Step{kind, e, mode});
   return static_cast<int>(steps_.size()) - 1;
 }
 

@@ -43,13 +43,20 @@ class TransactionBuilder {
     return *this;
   }
 
-  /// Appends a Lock step on the named entity; returns its step index.
+  /// Appends an exclusive Lock step on the named entity; returns its
+  /// step index.
   int Lock(const std::string& entity);
+  /// Appends a shared Lock step on the named entity; returns its step
+  /// index.
+  int LockShared(const std::string& entity);
   /// Appends an Unlock step on the named entity; returns its step index.
   int Unlock(const std::string& entity);
 
   /// Id-based variants.
-  int LockId(EntityId e) { return AddStep(StepKind::kLock, e); }
+  int LockId(EntityId e, LockMode mode = LockMode::kExclusive) {
+    return AddStep(StepKind::kLock, e, mode);
+  }
+  int LockSharedId(EntityId e) { return LockId(e, LockMode::kShared); }
   int UnlockId(EntityId e) { return AddStep(StepKind::kUnlock, e); }
 
   /// Adds precedence arc from -> to (step indices as returned above).
@@ -68,7 +75,8 @@ class TransactionBuilder {
       const std::vector<std::pair<StepKind, std::string>>& seq);
 
  private:
-  int AddStep(StepKind kind, EntityId e);
+  int AddStep(StepKind kind, EntityId e,
+              LockMode mode = LockMode::kExclusive);
 
   const Database* db_;
   std::string name_;

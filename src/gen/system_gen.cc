@@ -32,6 +32,8 @@ Result<OwnedSystem> GenerateRandomSystem(const RandomSystemOptions& options) {
     topts.entities = SampleEntities(*db, options.entities_per_txn, &rng);
     topts.extra_arc_prob = options.extra_arc_prob;
     topts.two_phase = options.two_phase;
+    topts.shared_fraction = options.shared_fraction;
+    topts.shared_point_reads = options.shared_point_reads;
     WYDB_ASSIGN_OR_RETURN(
         Transaction t,
         GenerateTransaction(db.get(), StrFormat("T%d", i + 1), topts, &rng));
@@ -253,6 +255,66 @@ Result<OwnedSystem> GenerateReplicatedFarm(
   out.db = std::move(db);
   out.system = std::make_unique<TransactionSystem>(std::move(sys));
   WYDB_RETURN_IF_ERROR(ReplicateRoundRobin(&out, opts.degree));
+  return out;
+}
+
+Result<OwnedSystem> GenerateReadMostlyFarm(const ReadMostlyFarmOptions& opts) {
+  if (opts.workers < 1 || opts.read_entities < 1 || opts.sites < 1) {
+    return Status::InvalidArgument(
+        "read-mostly farm needs workers >= 1, read_entities >= 1, sites >= 1");
+  }
+  auto db = std::make_unique<Database>();
+  for (int s = 0; s < opts.sites; ++s) {
+    db->AddSite(StrFormat("s%d", s));
+  }
+  std::vector<EntityId> reads(opts.read_entities);
+  for (int i = 0; i < opts.read_entities; ++i) {
+    WYDB_ASSIGN_OR_RETURN(
+        reads[i], db->AddEntityAtSite(StrFormat("r%d", i),
+                                      StrFormat("s%d", i % opts.sites)));
+  }
+  // Per-worker template: X-lock the worker's PRIVATE entity p<w>, then
+  // the shared read set in index order (the first shared_fraction of it
+  // in S mode, the rest demoted to X), release in reverse — two-phase
+  // and totally ordered. The private entity conflicts with nobody; the
+  // S reads conflict with nobody either, so the pure farm is
+  // conflict-free, while any X-demoted read becomes a lock chain every
+  // pair contends on. The chain is certified for every fraction: the
+  // first X read is locked first among the conflicting entities and
+  // (reverse release) held until all the others are gone — a dominating
+  // entity in the Theorem 3 sense.
+  int num_shared =
+      static_cast<int>(opts.shared_fraction *
+                           static_cast<double>(opts.read_entities) +
+                       0.5);
+  if (num_shared < 0) num_shared = 0;
+  if (num_shared > opts.read_entities) num_shared = opts.read_entities;
+  std::vector<Transaction> txns;
+  txns.reserve(opts.workers);
+  for (int w = 0; w < opts.workers; ++w) {
+    WYDB_ASSIGN_OR_RETURN(
+        EntityId priv, db->AddEntityAtSite(StrFormat("p%d", w),
+                                           StrFormat("s%d", w % opts.sites)));
+    TransactionBuilder b(db.get(), StrFormat("reader%d", w));
+    std::vector<int> seq;
+    seq.push_back(b.LockId(priv));
+    for (int i = 0; i < opts.read_entities; ++i) {
+      seq.push_back(i < num_shared ? b.LockSharedId(reads[i])
+                                   : b.LockId(reads[i]));
+    }
+    for (int i = opts.read_entities - 1; i >= 0; --i) {
+      seq.push_back(b.UnlockId(reads[i]));
+    }
+    seq.push_back(b.UnlockId(priv));
+    for (size_t i = 1; i < seq.size(); ++i) b.Arc(seq[i - 1], seq[i]);
+    WYDB_ASSIGN_OR_RETURN(Transaction t, b.Build());
+    txns.push_back(std::move(t));
+  }
+  WYDB_ASSIGN_OR_RETURN(TransactionSystem sys,
+                        TransactionSystem::Create(db.get(), std::move(txns)));
+  OwnedSystem out;
+  out.db = std::move(db);
+  out.system = std::make_unique<TransactionSystem>(std::move(sys));
   return out;
 }
 

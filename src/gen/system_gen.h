@@ -30,6 +30,12 @@ struct RandomSystemOptions {
   int entities_per_txn = 3;
   double extra_arc_prob = 0.15;
   bool two_phase = false;
+  /// Probability that an entity access is SHARED (S-mode); see
+  /// TxnGenOptions::shared_fraction.
+  double shared_fraction = 0.0;
+  /// Emit shared accesses as adjacent (LS, US) point reads; see
+  /// TxnGenOptions::shared_point_reads.
+  bool shared_point_reads = false;
   uint64_t seed = 1;
 };
 
@@ -119,6 +125,40 @@ struct ReplicatedFarmOptions {
 /// cross-validation bridge between `copies_analyzer` and the replicated
 /// traffic engine.
 Result<OwnedSystem> GenerateReplicatedFarm(const ReplicatedFarmOptions& opts);
+
+struct ReadMostlyFarmOptions {
+  /// Number of identical workers executing the template.
+  int workers = 4;
+  /// Entities every worker only READS (S-mode, one per site round-robin).
+  int read_entities = 4;
+  /// Sites to spread the entities over.
+  int sites = 2;
+  /// Fraction of the read set actually locked in S mode (rounded to the
+  /// nearest entity count); the rest are demoted to X. 1.0 is the pure
+  /// read-mostly farm, 0.0 its all-X demotion — sweeping this knob shows
+  /// shared grants turning into lock-chain contention.
+  double shared_fraction = 1.0;
+};
+
+/// \brief Certified read-mostly farm (DESIGN.md §11): `workers`
+/// transactions that each X-lock a private working entity p<w>, then
+/// S-lock the `read_entities` shared read-only entities in index order,
+/// releasing in reverse (two-phase).
+///
+/// The pure farm (shared_fraction = 1) is conflict-FREE: the private
+/// entities have one accessor each and the read set is S-by-all, so no
+/// pair draws a conflict arc and Theorem 3/4 certify the system for any
+/// worker count. Demoting reads to X (lower shared_fraction, or the
+/// all-X demotion) turns the read set into a lock chain every pair
+/// contends on — still certified for every fraction, because the first
+/// X read is locked first among the conflicting entities and held until
+/// the rest are released (a dominating entity) — but the chain
+/// serializes the workers. At least half the LOCK steps are shared for
+/// read_entities >= 1. Because the S reads are shared by all their
+/// accessors, every S move is always-invisible to the reduced engine,
+/// which therefore interns strictly fewer states on the farm than on
+/// its all-X demotion.
+Result<OwnedSystem> GenerateReadMostlyFarm(const ReadMostlyFarmOptions& opts);
 
 }  // namespace wydb
 

@@ -73,8 +73,45 @@ Result<Transaction> GenerateTransaction(const Database* db,
     move_step(StepKind::kUnlock, /*to_front=*/false);
   }
 
+  // Pick the shared-mode entities. The first entity stays exclusive under
+  // the latch disciplines (a shared latch blocks no one and covers
+  // nothing).
+  std::vector<uint8_t> is_shared(db->num_entities(), 0);
+  for (int i = 0; i < m; ++i) {
+    if (i == 0 && (options.dominating_first || options.hold_first_to_end)) {
+      continue;
+    }
+    if (options.shared_fraction > 0 &&
+        rng->NextBernoulli(options.shared_fraction)) {
+      is_shared[options.entities[i]] = 1;
+    }
+  }
+  if (options.shared_point_reads && !options.two_phase) {
+    // Compact each shared access into an adjacent (LS, US) pair: the
+    // Unlock moves to directly follow its Lock. (Skipped under two_phase:
+    // the all-Locks-before-all-Unlocks arcs would cycle against the
+    // site chain through an early-placed Unlock.)
+    for (int i = 0; i < m; ++i) {
+      EntityId e = options.entities[i];
+      if (!is_shared[e]) continue;
+      auto u = std::find_if(order.begin(), order.end(), [&](const Slot& s) {
+        return s.kind == StepKind::kUnlock && s.entity == e;
+      });
+      Slot moved = *u;
+      order.erase(u);
+      auto l = std::find_if(order.begin(), order.end(), [&](const Slot& s) {
+        return s.kind == StepKind::kLock && s.entity == e;
+      });
+      order.insert(l + 1, moved);
+    }
+  }
+
   steps.reserve(order.size());
-  for (const Slot& s : order) steps.push_back(Step{s.kind, s.entity});
+  for (const Slot& s : order) {
+    steps.push_back(Step{s.kind, s.entity,
+                         is_shared[s.entity] ? LockMode::kShared
+                                             : LockMode::kExclusive});
+  }
 
   std::vector<std::pair<int, int>> arcs;
   const int total = static_cast<int>(steps.size());

@@ -23,6 +23,18 @@ struct TxnGenOptions {
   double extra_arc_prob = 0.15;
   /// Force two-phase locking: all Locks precede all Unlocks.
   bool two_phase = false;
+  /// Each entity independently becomes a SHARED (S-mode) access with this
+  /// probability; the rest stay exclusive. With dominating_first the first
+  /// entity always stays exclusive (a shared latch covers nothing).
+  double shared_fraction = 0.0;
+  /// Emit every shared access as an adjacent (LS, US) "point read": the
+  /// Unlock is placed immediately after the Lock in the global order, so
+  /// (with extra_arc_prob = 0 and two_phase = false) the Unlock's only
+  /// predecessor is its own Lock. The S->X demotion-monotonicity property
+  /// tested by the fuzz battery is only sound for such point reads
+  /// (DESIGN.md §11): a long-held S lock can act as a latch when demoted
+  /// to X and turn an unsafe system into a certified one.
+  bool shared_point_reads = false;
   /// Force a *dominating first entity*: the first chosen entity's Lock
   /// precedes every other step (Corollary 3 condition 1).
   bool dominating_first = false;

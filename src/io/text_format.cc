@@ -180,12 +180,16 @@ Result<WorkloadSpec> ParseWorkload(const std::string& text) {
     for (const auto& segment : p.segments) {
       int prev = -1;
       for (const std::string& tok : segment) {
-        if (tok.size() < 2 || (tok[0] != 'L' && tok[0] != 'U')) {
-          return LineError(p.line, "bad step token '" + tok +
-                                       "' (want L<entity> or U<entity>)");
+        if (tok.size() < 2 ||
+            (tok[0] != 'L' && tok[0] != 'S' && tok[0] != 'U')) {
+          return LineError(p.line,
+                           "bad step token '" + tok +
+                               "' (want L<entity>, S<entity> or U<entity>)");
         }
         std::string entity = tok.substr(1);
-        int cur = tok[0] == 'L' ? b.Lock(entity) : b.Unlock(entity);
+        int cur = tok[0] == 'L'   ? b.Lock(entity)
+                  : tok[0] == 'S' ? b.LockShared(entity)
+                                  : b.Unlock(entity);
         if (prev >= 0) b.Arc(prev, cur);
         prev = cur;
         any = true;

@@ -165,7 +165,7 @@ class LiveEngine {
         ex->MarkIssued(v);
         const Step& step = ex->txn().step(v);
         if (step.kind == StepKind::kLock) {
-          switch (mgr_.Acquire(txn, step.entity)) {
+          switch (mgr_.Acquire(txn, step.entity, step.mode)) {
             case StripedLockManager::AcquireStatus::kGranted:
               ex->MarkCompleted(v);
               if (options_.hold_us > 0) {
@@ -290,6 +290,9 @@ class LiveEngine {
     r.commits = commits_.load(std::memory_order_relaxed);
     r.aborts = aborts_.load(std::memory_order_relaxed);
     r.lock_ops = mgr_.lock_ops();
+    r.shared_grants = mgr_.shared_grants();
+    r.upgrades = mgr_.upgrades();
+    r.upgrade_aborts = mgr_.upgrade_aborts();
     r.detector_runs = mgr_.detector_runs();
     r.blocked_txns = blocked_txns_;
     r.wall_seconds = static_cast<double>(ElapsedUs(start_)) * 1e-6;

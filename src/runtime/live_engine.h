@@ -88,6 +88,12 @@ struct LiveResult {
   uint64_t aborts = 0;
   /// Completed lock-table operations (grants + releases).
   uint64_t lock_ops = 0;
+  /// Shared-mode lock grants (0 for X-only workloads).
+  uint64_t shared_grants = 0;
+  /// Completed S->X upgrades.
+  uint64_t upgrades = 0;
+  /// Upgrade attempts that ended in an abort.
+  uint64_t upgrade_aborts = 0;
   /// kDetect wait-for scans.
   uint64_t detector_runs = 0;
 

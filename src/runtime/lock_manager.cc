@@ -9,7 +9,15 @@ LockManager::LockManager(SiteId site, int num_entities,
       is_touched_(num_entities, 0),
       out_(out) {}
 
-int32_t LockManager::AllocWaiter(int txn, int32_t node, int32_t attempt) {
+void LockManager::Touch(EntityId entity) {
+  if (!is_touched_[entity]) {
+    is_touched_[entity] = 1;
+    touched_.push_back(entity);
+  }
+}
+
+int32_t LockManager::AllocWaiter(int txn, int32_t node, int32_t attempt,
+                                 LockMode mode, bool upgrade) {
   int32_t idx;
   if (free_head_ != -1) {
     idx = free_head_;
@@ -18,7 +26,7 @@ int32_t LockManager::AllocWaiter(int txn, int32_t node, int32_t attempt) {
     idx = static_cast<int32_t>(pool_.size());
     pool_.emplace_back();
   }
-  pool_[idx] = Waiter{txn, node, attempt, -1};
+  pool_[idx] = Waiter{txn, node, attempt, -1, mode, upgrade};
   return idx;
 }
 
@@ -33,6 +41,41 @@ size_t LockManager::free_waiter_count() const {
   return count;
 }
 
+void LockManager::AddSharer(LockState& state, int txn) {
+  int32_t idx = AllocWaiter(txn, -1, 0, LockMode::kShared, false);
+  pool_[idx].next = state.sharer_head;
+  state.sharer_head = idx;
+}
+
+bool LockManager::RemoveSharer(LockState& state, int txn) {
+  int32_t prev = -1;
+  for (int32_t s = state.sharer_head; s != -1; s = pool_[s].next) {
+    if (pool_[s].txn == txn) {
+      if (prev == -1) {
+        state.sharer_head = pool_[s].next;
+      } else {
+        pool_[prev].next = pool_[s].next;
+      }
+      FreeWaiter(s);
+      return true;
+    }
+    prev = s;
+  }
+  return false;
+}
+
+bool LockManager::IsSharer(const LockState& state, int txn) const {
+  for (int32_t s = state.sharer_head; s != -1; s = pool_[s].next) {
+    if (pool_[s].txn == txn) return true;
+  }
+  return false;
+}
+
+bool LockManager::SoleSharerIs(const LockState& state, int txn) const {
+  return state.sharer_head != -1 && pool_[state.sharer_head].txn == txn &&
+         pool_[state.sharer_head].next == -1;
+}
+
 void LockManager::EmitGrant(EntityId entity, const Waiter& w) {
   ++grants_;
   out_->push_back(LockEvent{LockEvent::Kind::kGrant, site_, w.txn, entity,
@@ -44,61 +87,137 @@ void LockManager::EmitBlock(EntityId entity, int32_t txn, int32_t holder) {
       LockEvent{LockEvent::Kind::kBlock, site_, txn, entity, -1, 0, holder});
 }
 
-void LockManager::Request(int txn, EntityId entity, int32_t node,
-                          int32_t attempt) {
-  if (!is_touched_[entity]) {
-    is_touched_[entity] = 1;
-    touched_.push_back(entity);
-  }
-  LockState& state = table_[entity];
-  if (state.holder == -1 && state.head == -1) {
-    state.holder = txn;
-    EmitGrant(entity, Waiter{txn, node, attempt, -1});
+void LockManager::EmitBlocksAgainstHolders(EntityId entity, int32_t txn) {
+  const LockState& state = table_[entity];
+  if (state.holder != -1) {
+    if (state.holder != txn) EmitBlock(entity, txn, state.holder);
     return;
   }
-  int32_t idx = AllocWaiter(txn, node, attempt);
+  for (int32_t s = state.sharer_head; s != -1; s = pool_[s].next) {
+    if (pool_[s].txn != txn) EmitBlock(entity, txn, pool_[s].txn);
+  }
+}
+
+void LockManager::Request(int txn, EntityId entity, LockMode mode,
+                          int32_t node, int32_t attempt) {
+  Touch(entity);
+  LockState& state = table_[entity];
+
+  if (mode == LockMode::kExclusive && IsSharer(state, txn)) {
+    // S->X upgrade. Immediate if txn is the only sharer; otherwise it
+    // keeps its shared hold and queues at the HEAD: granting any later
+    // waiter first could never let the upgrade through, and two queued
+    // upgrades on one entity are a genuine deadlock the caller resolves.
+    if (state.holder == -1 && SoleSharerIs(state, txn)) {
+      RemoveSharer(state, txn);
+      state.holder = txn;
+      ++upgrades_;
+      EmitGrant(entity, Waiter{txn, node, attempt, -1, mode, false});
+      return;
+    }
+    int32_t idx = AllocWaiter(txn, node, attempt, mode, /*upgrade=*/true);
+    pool_[idx].next = state.head;
+    state.head = idx;
+    if (state.tail == -1) state.tail = idx;
+    EmitBlocksAgainstHolders(entity, txn);
+    return;
+  }
+
+  // FIFO fairness: even a compatible shared request queues behind queued
+  // waiters, so a stream of readers cannot starve a writer.
+  const bool grantable =
+      state.head == -1 && state.holder == -1 &&
+      (mode == LockMode::kShared || state.sharer_head == -1);
+  if (grantable) {
+    if (mode == LockMode::kShared) {
+      AddSharer(state, txn);
+      ++shared_grants_;
+    } else {
+      state.holder = txn;
+    }
+    EmitGrant(entity, Waiter{txn, node, attempt, -1, mode, false});
+    return;
+  }
+  int32_t idx = AllocWaiter(txn, node, attempt, mode, /*upgrade=*/false);
   if (state.tail == -1) {
     state.head = state.tail = idx;
   } else {
     pool_[state.tail].next = idx;
     state.tail = idx;
   }
-  if (state.holder != -1) EmitBlock(entity, txn, state.holder);
+  EmitBlocksAgainstHolders(entity, txn);
 }
 
 void LockManager::Release(int txn, EntityId entity) {
   LockState& state = table_[entity];
-  if (state.holder != txn) return;
-  state.holder = -1;
-  GrantHead(entity);
+  if (state.holder == txn) {
+    state.holder = -1;
+    GrantHead(entity);
+    return;
+  }
+  if (RemoveSharer(state, txn)) GrantHead(entity);
 }
 
 void LockManager::GrantHead(EntityId entity) {
   LockState& state = table_[entity];
-  if (state.head == -1) return;
-  int32_t idx = state.head;
-  state.head = pool_[idx].next;
-  if (state.head == -1) state.tail = -1;
-  state.holder = pool_[idx].txn;
-  EmitGrant(entity, pool_[idx]);
-  FreeWaiter(idx);
+  bool granted_any = false;
+  while (state.head != -1) {
+    const int32_t idx = state.head;
+    const Waiter& w = pool_[idx];
+    if (w.upgrade) {
+      // Promotable only once every other sharer is gone.
+      if (state.holder != -1 || !SoleSharerIs(state, w.txn)) break;
+      state.head = w.next;
+      if (state.head == -1) state.tail = -1;
+      RemoveSharer(state, pool_[idx].txn);
+      state.holder = pool_[idx].txn;
+      ++upgrades_;
+      EmitGrant(entity, pool_[idx]);
+      FreeWaiter(idx);
+      granted_any = true;
+      break;  // Exclusive now: nothing further is grantable.
+    }
+    if (w.mode == LockMode::kExclusive) {
+      if (state.holder != -1 || state.sharer_head != -1) break;
+      state.head = w.next;
+      if (state.head == -1) state.tail = -1;
+      state.holder = pool_[idx].txn;
+      EmitGrant(entity, pool_[idx]);
+      FreeWaiter(idx);
+      granted_any = true;
+      break;
+    }
+    // Shared: compatible with existing sharers; batch the consecutive
+    // shared prefix of the queue in one go.
+    if (state.holder != -1) break;
+    state.head = w.next;
+    if (state.head == -1) state.tail = -1;
+    AddSharer(state, pool_[idx].txn);
+    ++shared_grants_;
+    EmitGrant(entity, pool_[idx]);
+    FreeWaiter(idx);
+    granted_any = true;
+  }
+  if (!granted_any) return;
   // Holdership changed: re-emit block records for the remaining waiters so
-  // the caller re-applies the conflict policy against the NEW holder.
+  // the caller re-applies the conflict policy against the NEW holders.
   // Without this, wound-wait admits wait cycles: an old transaction queued
   // behind a young one inherits an old->young wait edge when the young
   // waiter is granted first.
   for (int32_t w = state.head; w != -1; w = pool_[w].next) {
-    EmitBlock(entity, pool_[w].txn, state.holder);
+    EmitBlocksAgainstHolders(entity, pool_[w].txn);
   }
 }
 
 void LockManager::Abort(int txn) {
   for (EntityId entity : touched_) {
     LockState& state = table_[entity];
+    bool changed = false;
     int32_t prev = -1;
     for (int32_t w = state.head; w != -1;) {
       int32_t next = pool_[w].next;
       if (pool_[w].txn == txn) {
+        if (pool_[w].upgrade) ++upgrade_aborts_;
         if (prev == -1) {
           state.head = next;
         } else {
@@ -106,16 +225,35 @@ void LockManager::Abort(int txn) {
         }
         if (state.tail == w) state.tail = prev;
         FreeWaiter(w);
+        changed = true;
       } else {
         prev = w;
       }
       w = next;
     }
+    if (RemoveSharer(state, txn)) changed = true;
     if (state.holder == txn) {
       state.holder = -1;
-      GrantHead(entity);
+      changed = true;
     }
+    // Any removal can unblock the head (e.g. dropping a queued X exposes
+    // a grantable shared batch, or dropping a sharer promotes an
+    // upgrade). GrantHead is a no-op when nothing is grantable.
+    if (changed) GrantHead(entity);
   }
+}
+
+bool LockManager::IsHolding(int txn, EntityId entity) const {
+  const LockState& state = table_[entity];
+  return state.holder == txn || IsSharer(state, txn);
+}
+
+int LockManager::SharerCountOf(EntityId entity) const {
+  int count = 0;
+  for (int32_t s = table_[entity].sharer_head; s != -1; s = pool_[s].next) {
+    ++count;
+  }
+  return count;
 }
 
 bool LockManager::IsWaiting(int txn) const {
@@ -143,9 +281,18 @@ std::vector<LockManager::WaitEdge> LockManager::WaitForEdges() const {
 void LockManager::AppendWaitForEdges(std::vector<WaitEdge>* out) const {
   for (EntityId entity : touched_) {
     const LockState& state = table_[entity];
-    if (state.holder == -1) continue;
     for (int32_t w = state.head; w != -1; w = pool_[w].next) {
-      out->push_back(WaitEdge{pool_[w].txn, state.holder, entity});
+      if (state.holder != -1) {
+        if (state.holder != pool_[w].txn) {
+          out->push_back(WaitEdge{pool_[w].txn, state.holder, entity});
+        }
+        continue;
+      }
+      for (int32_t s = state.sharer_head; s != -1; s = pool_[s].next) {
+        if (pool_[s].txn != pool_[w].txn) {
+          out->push_back(WaitEdge{pool_[w].txn, pool_[s].txn, entity});
+        }
+      }
     }
   }
 }

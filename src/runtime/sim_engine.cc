@@ -112,8 +112,9 @@ void SimEngine::Dispatch(const SimEvent& ev) {
     }
     case EventKind::kLockArrive: {
       if (executors_[ev.txn].attempt() != ev.attempt) break;  // Stale.
-      const EntityId e = executors_[ev.txn].txn().step(ev.node).entity;
-      sites_[ev.site].Request(ev.txn, e, ev.node, ev.attempt);
+      const Step st = executors_[ev.txn].txn().step(ev.node);
+      sites_[ev.site].Request(ev.txn, st.entity, st.mode, ev.node,
+                              ev.attempt);
       break;  // Grants/blocks pumped by the main loop.
     }
     case EventKind::kUnlockArrive: {
@@ -192,8 +193,10 @@ void SimEngine::HandleGrant(const LockEvent& le) {
 
 void SimEngine::HandleBlock(const LockEvent& le) {
   // The record may be stale: re-validate the wait edge against the table.
+  // With shared holders the named holder need not be THE holder — it must
+  // merely still hold the entity in some mode.
   const LockManager& lm = sites_[le.site];
-  if (lm.HolderOf(le.entity) != le.holder) return;
+  if (!lm.IsHolding(le.holder, le.entity)) return;
   if (!lm.IsWaitingOn(le.txn, le.entity)) return;
   ConflictAction action = ResolveConflict(options_.policy, timestamp_[le.txn],
                                           timestamp_[le.holder]);
@@ -410,6 +413,11 @@ void SimEngine::FinalizeMetrics() {
   result_.events = queue_.processed();
   result_.messages = network_.messages_sent();
   result_.makespan = queue_.now();
+  for (const LockManager& site : sites_) {
+    result_.shared_grants += site.shared_grants();
+    result_.upgrades += site.upgrades();
+    result_.upgrade_aborts += site.upgrade_aborts();
+  }
   const uint64_t attempts = result_.aborts + result_.commits;
   result_.abort_rate =
       attempts == 0 ? 0.0

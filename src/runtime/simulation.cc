@@ -18,6 +18,9 @@ void Accumulate(AggregateResult* agg, const SimResult& res,
   if (res.gave_up) ++agg->gave_up_runs;
   agg->total_aborts += res.aborts;
   agg->total_messages += res.messages;
+  agg->total_shared_grants += res.shared_grants;
+  agg->total_upgrades += res.upgrades;
+  agg->total_upgrade_aborts += res.upgrade_aborts;
   *makespan_sum += static_cast<double>(res.makespan);
 }
 

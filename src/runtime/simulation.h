@@ -64,6 +64,12 @@ struct SimResult {
   uint64_t detector_runs = 0;
   uint64_t messages = 0;
   uint64_t events = 0;
+  /// Shared-mode lock grants across all sites (0 for X-only workloads).
+  uint64_t shared_grants = 0;
+  /// Completed S->X upgrades across all sites.
+  uint64_t upgrades = 0;
+  /// Queued upgrades abandoned by aborts.
+  uint64_t upgrade_aborts = 0;
   SimTime makespan = 0;
 
   /// Committed rounds. One-shot: the number of committed transactions.
@@ -99,6 +105,11 @@ struct AggregateResult {
   int gave_up_runs = 0;
   uint64_t total_aborts = 0;
   uint64_t total_messages = 0;
+  /// Lock-mode traffic totals across the seeded runs (all 0 for X-only
+  /// workloads; see the SimResult fields of the same names).
+  uint64_t total_shared_grants = 0;
+  uint64_t total_upgrades = 0;
+  uint64_t total_upgrade_aborts = 0;
   double avg_makespan = 0.0;
   bool all_histories_serializable = true;
 };

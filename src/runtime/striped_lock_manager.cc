@@ -40,16 +40,30 @@ StripedLockManager::StripedLockManager(int num_entities, int num_txns,
   timestamp_.assign(num_txns, 0);
 }
 
-void StripedLockManager::Enqueue(Entry& entry, int txn) {
+void StripedLockManager::Enqueue(Entry& entry, int txn, LockMode mode,
+                                 bool upgrading) {
   WaitNode& node = nodes_[txn];
   node.next = -1;
   node.granted = 0;
+  node.mode = mode;
+  node.upgrading = upgrading ? 1 : 0;
   if (entry.tail < 0) {
     entry.head = entry.tail = txn;
   } else {
     nodes_[entry.tail].next = txn;
     entry.tail = txn;
   }
+}
+
+void StripedLockManager::EnqueueFront(Entry& entry, int txn, LockMode mode,
+                                      bool upgrading) {
+  WaitNode& node = nodes_[txn];
+  node.granted = 0;
+  node.mode = mode;
+  node.upgrading = upgrading ? 1 : 0;
+  node.next = entry.head;
+  entry.head = txn;
+  if (entry.tail < 0) entry.tail = txn;
 }
 
 void StripedLockManager::Unlink(Entry& entry, int txn) {
@@ -69,104 +83,221 @@ void StripedLockManager::Unlink(Entry& entry, int txn) {
   }
 }
 
-void StripedLockManager::GrantHead(EntityId entity, Entry& entry) {
+bool StripedLockManager::IsSharer(const Entry& entry, int txn) const {
+  return std::find(entry.sharers.begin(), entry.sharers.end(), txn) !=
+         entry.sharers.end();
+}
+
+bool StripedLockManager::RemoveSharer(Entry& entry, int txn) {
+  auto it = std::find(entry.sharers.begin(), entry.sharers.end(), txn);
+  if (it == entry.sharers.end()) return false;
+  entry.sharers.erase(it);
+  return true;
+}
+
+void StripedLockManager::FlagPolicyAbort(int txn) {
+  if (abort_flag_[txn].exchange(1, std::memory_order_seq_cst) == 0)
+    policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+  nodes_[txn].cv.notify_all();
+}
+
+void StripedLockManager::GrantHead(Entry& entry,
+                                   std::vector<int>* wounds) {
   WYDB_DCHECK(entry.holder < 0);
-  if (entry.head < 0) return;
-  int winner = entry.head;
-  entry.head = nodes_[winner].next;
-  if (entry.head < 0) entry.tail = -1;
-  nodes_[winner].next = -1;
-  entry.holder = winner;
-  nodes_[winner].granted = 1;
-  nodes_[winner].cv.notify_one();
+  bool granted_any = false;
+  while (entry.head >= 0) {
+    const int winner = entry.head;
+    WaitNode& node = nodes_[winner];
+    if (node.upgrading) {
+      // Promotable only once the upgrader is the sole remaining sharer.
+      if (entry.sharers.size() != 1 || entry.sharers[0] != winner) break;
+      entry.head = node.next;
+      if (entry.head < 0) entry.tail = -1;
+      node.next = -1;
+      entry.sharers.clear();
+      entry.holder = winner;
+      node.granted = 1;
+      node.cv.notify_one();
+      granted_any = true;
+      break;  // Exclusive now: nothing further is grantable.
+    }
+    if (node.mode == LockMode::kExclusive) {
+      if (!entry.sharers.empty()) break;
+      entry.head = node.next;
+      if (entry.head < 0) entry.tail = -1;
+      node.next = -1;
+      entry.holder = winner;
+      node.granted = 1;
+      node.cv.notify_one();
+      granted_any = true;
+      break;
+    }
+    // Shared: compatible with existing sharers; grant the whole
+    // consecutive shared prefix of the queue in one batch.
+    entry.head = node.next;
+    if (entry.head < 0) entry.tail = -1;
+    node.next = -1;
+    entry.sharers.push_back(winner);
+    node.granted = 1;
+    node.cv.notify_one();
+    granted_any = true;
+  }
+  if (!granted_any) return;
   // Holdership changed: the timestamp policies must be re-applied for the
-  // remaining waiters against the NEW holder (the flat LockManager's
-  // grant-echo idiom). An older wound-wait waiter wounds the fresh holder;
-  // a younger wait-die waiter dies now instead of waiting forever behind
-  // an older one. Everything stays inside this one stripe: flagging the
-  // just-granted holder is fine because it wakes, sees the flag together
-  // with the grant, and unwinds through the normal kAborted path.
+  // remaining waiters against the NEW holders (the flat LockManager's
+  // grant-echo idiom). An older wound-wait waiter wounds the fresh
+  // holders; a younger wait-die waiter dies now instead of waiting
+  // forever behind older ones. Just-granted holders are woken on THIS
+  // stripe, so flagging them here is safe — they observe the flag
+  // together with the grant and unwind through the kAborted give-back.
+  // A PRE-EXISTING sharer may be parked on another stripe: its flag is
+  // set here but the wake is deferred to the caller via *wounds
+  // (WakeIfParked latches that stripe; doing so under this latch would
+  // invert the latch order).
   if (options_.policy != ConflictPolicy::kWoundWait &&
       options_.policy != ConflictPolicy::kWaitDie) {
     return;
   }
   for (int32_t w = entry.head; w >= 0;) {
     int32_t next = nodes_[w].next;
-    ConflictAction action =
-        ResolveConflict(options_.policy, timestamp_[w], timestamp_[winner]);
-    if (action == ConflictAction::kAbortHolder) {
-      if (abort_flag_[winner].exchange(1, std::memory_order_seq_cst) == 0)
-        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
-      nodes_[winner].cv.notify_all();
-    } else if (action == ConflictAction::kAbortRequester) {
-      if (abort_flag_[w].exchange(1, std::memory_order_seq_cst) == 0)
-        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
-      nodes_[w].cv.notify_all();
+    if (entry.holder >= 0) {
+      ConflictAction action = ResolveConflict(options_.policy, timestamp_[w],
+                                              timestamp_[entry.holder]);
+      if (action == ConflictAction::kAbortHolder) {
+        FlagPolicyAbort(entry.holder);
+      } else if (action == ConflictAction::kAbortRequester) {
+        FlagPolicyAbort(w);
+      }
+    } else {
+      for (int s : entry.sharers) {
+        if (s == w) continue;  // An upgrader never waits on itself.
+        ConflictAction action =
+            ResolveConflict(options_.policy, timestamp_[w], timestamp_[s]);
+        if (action == ConflictAction::kAbortHolder) {
+          FlagPolicyAbort(s);
+          if (wounds != nullptr) wounds->push_back(s);
+        } else if (action == ConflictAction::kAbortRequester) {
+          FlagPolicyAbort(w);
+        }
+      }
     }
     w = next;
   }
 }
 
 StripedLockManager::AcquireStatus StripedLockManager::Acquire(int txn,
-                                                              EntityId entity) {
+                                                              EntityId entity,
+                                                              LockMode mode) {
   if (stop_.load(std::memory_order_acquire)) return AcquireStatus::kStopped;
   if (AbortRequested(txn)) return AcquireStatus::kAborted;
   Stripe& stripe = stripes_[StripeOf(entity)];
   std::unique_lock<std::mutex> lk(stripe.mu);
   Entry& entry = entries_[entity];
-  if (entry.holder == txn) {
+  if (entry.holder == txn || (mode == LockMode::kShared && IsSharer(entry, txn))) {
     // Re-grant of an already-held entity (the executor never does this,
-    // but the table stays consistent if a caller retries).
+    // but the table stays consistent if a caller retries). An exclusive
+    // hold subsumes a shared request.
     grants_.fetch_add(1, std::memory_order_relaxed);
     return AcquireStatus::kGranted;
   }
-  if (entry.holder < 0 && entry.head < 0) {
+
+  const bool upgrading =
+      mode == LockMode::kExclusive && IsSharer(entry, txn);
+  if (upgrading && entry.holder < 0 && entry.sharers.size() == 1) {
+    // Sole sharer: promote in place.
+    entry.sharers.clear();
     entry.holder = txn;
     grants_.fetch_add(1, std::memory_order_relaxed);
+    upgrades_.fetch_add(1, std::memory_order_relaxed);
     return AcquireStatus::kGranted;
   }
-
-  // Conflict. Timestamp policies resolve it before anyone parks; kBlock
-  // and kDetect go straight to the queue.
-  if (options_.policy == ConflictPolicy::kWoundWait ||
-      options_.policy == ConflictPolicy::kWaitDie) {
-    int holder = entry.holder;
-    // With a free entity but a non-empty queue (transient, between a
-    // release and the winner waking) FIFO order still applies: resolve
-    // against the queue head, the txn about to become holder.
-    if (holder < 0) holder = entry.head;
-    ConflictAction action =
-        ResolveConflict(options_.policy, timestamp_[txn], timestamp_[holder]);
-    if (action == ConflictAction::kAbortRequester) {
-      policy_aborts_.fetch_add(1, std::memory_order_relaxed);
-      return AcquireStatus::kAborted;
+  if (!upgrading) {
+    // FIFO fairness: even a compatible shared request queues behind
+    // queued waiters, so a stream of readers cannot starve a writer.
+    const bool grantable =
+        entry.holder < 0 && entry.head < 0 &&
+        (mode == LockMode::kShared || entry.sharers.empty());
+    if (grantable) {
+      if (mode == LockMode::kShared) {
+        entry.sharers.push_back(txn);
+        shared_grants_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        entry.holder = txn;
+      }
+      grants_.fetch_add(1, std::memory_order_relaxed);
+      return AcquireStatus::kGranted;
     }
-    if (action == ConflictAction::kAbortHolder) {
-      // Wound the holder, then wait our turn. The wound is delivered
-      // AFTER this stripe's latch is dropped: the holder may be parked on
-      // a different stripe, and waking it there while holding this latch
-      // would be a latch-order inversion. Enqueue first so the slot
-      // cannot be lost in the window.
-      Enqueue(entry, txn);
-      nodes_[txn].parked_on.store(entity, std::memory_order_seq_cst);
-      lk.unlock();
-      if (abort_flag_[holder].exchange(1, std::memory_order_seq_cst) == 0)
-        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
-      WakeIfParked(holder);
-      lk.lock();
-      return Park(txn, entity, lk);
-    }
-    // kWait: fall through to the queue.
   }
 
-  Enqueue(entry, txn);
+  // Conflict. Timestamp policies resolve it against EACH conflicting
+  // holder before anyone parks; kBlock and kDetect go straight to the
+  // queue.
+  std::vector<int> wounds;
+  if (options_.policy == ConflictPolicy::kWoundWait ||
+      options_.policy == ConflictPolicy::kWaitDie) {
+    std::vector<int> blockers;
+    if (upgrading) {
+      for (int s : entry.sharers) {
+        if (s != txn) blockers.push_back(s);
+      }
+    } else if (entry.holder >= 0) {
+      blockers.push_back(entry.holder);
+    } else if (mode == LockMode::kExclusive && !entry.sharers.empty()) {
+      blockers = entry.sharers;
+    } else {
+      // Free entity but a non-empty queue (transient, between a release
+      // and the winner waking, or an S request behind a queued X): FIFO
+      // order still applies — resolve against the queue head, the txn
+      // about to become holder.
+      blockers.push_back(entry.head);
+    }
+    bool requester_dies = false;
+    for (int b : blockers) {
+      ConflictAction action =
+          ResolveConflict(options_.policy, timestamp_[txn], timestamp_[b]);
+      if (action == ConflictAction::kAbortRequester) {
+        requester_dies = true;
+        break;
+      }
+      if (action == ConflictAction::kAbortHolder) wounds.push_back(b);
+    }
+    if (requester_dies) {
+      policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      if (upgrading) upgrade_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return AcquireStatus::kAborted;
+    }
+  }
+
+  // An upgrade queues at the HEAD keeping its shared hold: granting any
+  // later waiter first could never let the upgrade through, and two
+  // queued upgrades on one entity are a genuine deadlock the policy (or
+  // detector) resolves.
+  if (upgrading) {
+    EnqueueFront(entry, txn, mode, /*upgrading=*/true);
+  } else {
+    Enqueue(entry, txn, mode, /*upgrading=*/false);
+  }
   nodes_[txn].parked_on.store(entity, std::memory_order_seq_cst);
+  if (!wounds.empty()) {
+    // Wounds are delivered AFTER this stripe's latch is dropped: a
+    // wounded holder may be parked on a different stripe, and waking it
+    // there while holding this latch would be a latch-order inversion.
+    // The queue slot keeps our claim in the window.
+    lk.unlock();
+    for (int b : wounds) {
+      if (abort_flag_[b].exchange(1, std::memory_order_seq_cst) == 0)
+        policy_aborts_.fetch_add(1, std::memory_order_relaxed);
+      WakeIfParked(b);
+    }
+    lk.lock();
+  }
   return Park(txn, entity, lk);
 }
 
 StripedLockManager::AcquireStatus StripedLockManager::Park(
     int txn, EntityId entity, std::unique_lock<std::mutex>& lk) {
   WaitNode& node = nodes_[txn];
+  const bool was_upgrading = node.upgrading != 0;
   const bool timed = options_.policy == ConflictPolicy::kDetect;
   const auto interval =
       std::chrono::microseconds(std::max<int64_t>(1, options_.detect_interval_us));
@@ -186,26 +317,42 @@ StripedLockManager::AcquireStatus StripedLockManager::Park(
   for (;;) {
     if (node.granted) {
       // Granted — but a pending abort (wound delivered while parked, or
-      // delivered in the grant-echo) wins: give the entity straight back.
+      // delivered in the grant-echo) wins: give the hold straight back.
       node.parked_on.store(kInvalidEntity, std::memory_order_seq_cst);
       if (AbortRequested(txn) || stop_.load(std::memory_order_acquire)) {
         Entry& entry = entries_[entity];
         node.granted = 0;
-        WYDB_DCHECK(entry.holder == txn);
-        entry.holder = -1;
-        GrantHead(entity, entry);
-        return stop_.load(std::memory_order_acquire)
-                   ? AcquireStatus::kStopped
-                   : AcquireStatus::kAborted;
+        if (entry.holder == txn) {
+          entry.holder = -1;
+        } else {
+          RemoveSharer(entry, txn);  // A shared grant being returned.
+        }
+        std::vector<int> wounds;
+        if (entry.holder < 0) GrantHead(entry, &wounds);
+        const bool stopped = stop_.load(std::memory_order_acquire);
+        if (!stopped && was_upgrading)
+          upgrade_aborts_.fetch_add(1, std::memory_order_relaxed);
+        if (!wounds.empty()) {
+          lk.unlock();
+          for (int b : wounds) WakeIfParked(b);
+        }
+        return stopped ? AcquireStatus::kStopped : AcquireStatus::kAborted;
       }
       grants_.fetch_add(1, std::memory_order_relaxed);
+      if (was_upgrading) {
+        upgrades_.fetch_add(1, std::memory_order_relaxed);
+      } else if (node.mode == LockMode::kShared) {
+        shared_grants_.fetch_add(1, std::memory_order_relaxed);
+      }
       return AcquireStatus::kGranted;
     }
     if (stop_.load(std::memory_order_acquire) || AbortRequested(txn)) {
       Unlink(entries_[entity], txn);
       node.parked_on.store(kInvalidEntity, std::memory_order_seq_cst);
-      return stop_.load(std::memory_order_acquire) ? AcquireStatus::kStopped
-                                                   : AcquireStatus::kAborted;
+      if (stop_.load(std::memory_order_acquire)) return AcquireStatus::kStopped;
+      if (was_upgrading)
+        upgrade_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return AcquireStatus::kAborted;
     }
     if (timed) {
       if (node.cv.wait_for(lk, interval) == std::cv_status::timeout &&
@@ -224,17 +371,27 @@ StripedLockManager::AcquireStatus StripedLockManager::Park(
   }
 }
 
-void StripedLockManager::ReleaseLocked(int txn, EntityId entity, Entry& entry) {
-  if (entry.holder != txn) return;  // Stale release: tolerated, a no-op.
-  entry.holder = -1;
+void StripedLockManager::ReleaseLocked(int txn, Entry& entry,
+                                       std::vector<int>* wounds) {
+  if (entry.holder == txn) {
+    entry.holder = -1;
+    releases_.fetch_add(1, std::memory_order_relaxed);
+    GrantHead(entry, wounds);
+    return;
+  }
+  if (!RemoveSharer(entry, txn)) return;  // Stale release: tolerated.
   releases_.fetch_add(1, std::memory_order_relaxed);
-  GrantHead(entity, entry);
+  if (entry.holder < 0) GrantHead(entry, wounds);
 }
 
 void StripedLockManager::Release(int txn, EntityId entity) {
-  Stripe& stripe = stripes_[StripeOf(entity)];
-  std::lock_guard<std::mutex> lk(stripe.mu);
-  ReleaseLocked(txn, entity, entries_[entity]);
+  std::vector<int> wounds;
+  {
+    Stripe& stripe = stripes_[StripeOf(entity)];
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    ReleaseLocked(txn, entries_[entity], &wounds);
+  }
+  for (int b : wounds) WakeIfParked(b);
 }
 
 void StripedLockManager::ReleaseAll(int txn,
@@ -299,9 +456,18 @@ void StripedLockManager::RunDetector() {
   Digraph wait_for(n);
   for (size_t e = 0; e < entries_.size(); ++e) {
     const Entry& entry = entries_[e];
-    if (entry.holder < 0) continue;
     for (int32_t w = entry.head; w >= 0; w = nodes_[w].next) {
-      wait_for.AddArc(w, entry.holder);
+      if (entry.holder >= 0) {
+        wait_for.AddArc(w, entry.holder);
+      } else {
+        // Blocked by shared holders: one edge per sharer. An upgrader is
+        // itself a sharer — skip the self-edge, keep the edges to the
+        // OTHER sharers (this is what makes an upgrade-deadlock between
+        // two sharers a visible 2-cycle).
+        for (int s : entry.sharers) {
+          if (s != w) wait_for.AddArc(w, s);
+        }
+      }
     }
   }
   std::vector<NodeId> cycle = FindCycle(wait_for);
@@ -319,7 +485,22 @@ void StripedLockManager::RunDetector() {
 int StripedLockManager::HolderOf(EntityId entity) const {
   const Stripe& stripe = stripes_[StripeOf(entity)];
   std::lock_guard<std::mutex> lk(stripe.mu);
-  return entries_[entity].holder;
+  const Entry& entry = entries_[entity];
+  if (entry.holder >= 0) return entry.holder;
+  return entry.sharers.empty() ? -1 : entry.sharers.front();
+}
+
+bool StripedLockManager::IsHolding(int txn, EntityId entity) const {
+  const Stripe& stripe = stripes_[StripeOf(entity)];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  const Entry& entry = entries_[entity];
+  return entry.holder == txn || IsSharer(entry, txn);
+}
+
+int StripedLockManager::SharerCountOf(EntityId entity) const {
+  const Stripe& stripe = stripes_[StripeOf(entity)];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  return static_cast<int>(entries_[entity].sharers.size());
 }
 
 size_t StripedLockManager::TotalWaiters() const {
@@ -342,9 +523,16 @@ std::vector<StripedLockManager::WaitEdge> StripedLockManager::WaitForEdges()
   std::vector<WaitEdge> edges;
   for (size_t e = 0; e < entries_.size(); ++e) {
     const Entry& entry = entries_[e];
-    if (entry.holder < 0) continue;
     for (int32_t w = entry.head; w >= 0; w = nodes_[w].next) {
-      edges.push_back(WaitEdge{w, entry.holder, static_cast<EntityId>(e)});
+      if (entry.holder >= 0) {
+        edges.push_back(WaitEdge{w, entry.holder, static_cast<EntityId>(e)});
+      } else {
+        for (int s : entry.sharers) {
+          if (s != w) {
+            edges.push_back(WaitEdge{w, s, static_cast<EntityId>(e)});
+          }
+        }
+      }
     }
   }
   return edges;

@@ -1,5 +1,5 @@
-// Thread-safe exclusive lock table for the live (wall-clock) engine: the
-// flat per-site LockManager rebuilt for real concurrency.
+// Thread-safe shared/exclusive lock table for the live (wall-clock)
+// engine: the flat per-site LockManager rebuilt for real concurrency.
 //
 // Architecture (the pthread lock tables of real storage engines):
 //   * the grant/waiter state of every entity lives in a dense table, but
@@ -13,7 +13,18 @@
 //     allocates;
 //   * blocked requesters park on a per-transaction condition variable
 //     paired with the stripe latch, so a release wakes exactly the
-//     transaction it grants (no thundering herd).
+//     transactions it grants (no thundering herd).
+//
+// Lock modes (DESIGN.md §11): any number of shared holders OR one
+// exclusive holder per entity. Queueing is FIFO-fair — a shared request
+// behind a queued exclusive waiter queues too (no reader starvation) —
+// and a freed entity grants the maximal consecutive shared prefix of its
+// queue in one batch. An S->X upgrade keeps its shared hold and jumps to
+// the queue HEAD; it is promoted the moment it is the sole remaining
+// sharer. Two sharers upgrading the same entity deadlock on each other:
+// the timestamp policies resolve it by aborting one side up front, and
+// kDetect sees the cycle because wait-for edges run to EVERY conflicting
+// holder (an upgrader never waits on itself).
 //
 // Conflict policies:
 //   * kBlock is the paper's certified fast path: a conflicting request
@@ -21,9 +32,10 @@
 //     fires, no wait-for graph is ever built. The only extra wake source
 //     is RequestStop(), used by the engine's shutdown/watchdog path.
 //   * kWoundWait / kWaitDie are the Rosenkrantz-Stearns-Lewis timestamp
-//     baselines: conflicts consult timestamps and resolve by aborting the
-//     younger party (Acquire returns kAborted; the caller must release
-//     its locks and retry with the same timestamp).
+//     baselines: conflicts consult timestamps against EACH conflicting
+//     holder and resolve by aborting the younger party (Acquire returns
+//     kAborted; the caller must release its locks and retry with the
+//     same timestamp).
 //   * kDetect scans on block (InnoDB-style): a parking waiter snapshots
 //     the global wait-for graph (all stripes latched in index order) and
 //     aborts the youngest transaction on a cycle, then re-scans every
@@ -43,6 +55,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/transaction.h"
 #include "runtime/scheduler.h"
 
 namespace wydb {
@@ -50,7 +63,7 @@ namespace wydb {
 class StripedLockManager {
  public:
   enum class AcquireStatus : uint8_t {
-    kGranted,  ///< The caller now holds the entity exclusively.
+    kGranted,  ///< The caller now holds the entity in the requested mode.
     kAborted,  ///< Policy decided against the caller (wound / die / victim)
                ///< or RequestAbort was called: release everything, retry.
     kStopped,  ///< RequestStop happened: unwind without retrying.
@@ -71,15 +84,18 @@ class StripedLockManager {
   /// per-transaction wait-node pool. Transaction ids are 0..num_txns-1.
   StripedLockManager(int num_entities, int num_txns, const Options& options);
 
-  /// Blocking exclusive acquire. Returns kGranted once the caller holds
+  /// Blocking acquire in `mode`. Returns kGranted once the caller holds
   /// `entity`, kAborted if the conflict policy (or RequestAbort) turned
-  /// the caller into a victim, kStopped after RequestStop. Must not be
-  /// called while the caller already waits elsewhere (one outstanding
-  /// Acquire per transaction).
-  AcquireStatus Acquire(int txn, EntityId entity);
+  /// the caller into a victim, kStopped after RequestStop. An exclusive
+  /// request by a current sharer is an UPGRADE (granted at once if sole
+  /// sharer, else queued at the head while the shared hold is kept). Must
+  /// not be called while the caller already waits elsewhere (one
+  /// outstanding Acquire per transaction).
+  AcquireStatus Acquire(int txn, EntityId entity,
+                        LockMode mode = LockMode::kExclusive);
 
-  /// Releases `entity` if `txn` holds it (stale releases tolerated) and
-  /// grants the next waiter.
+  /// Releases `entity` if `txn` holds it in either mode (stale releases
+  /// tolerated) and grants the next waiter batch.
   void Release(int txn, EntityId entity);
 
   /// Abort/commit cleanup: releases every entity in `held` that `txn`
@@ -114,6 +130,18 @@ class StripedLockManager {
            releases_.load(std::memory_order_relaxed);
   }
   uint64_t grants() const { return grants_.load(std::memory_order_relaxed); }
+  /// Shared-mode grants returned to callers (subset of grants()).
+  uint64_t shared_grants() const {
+    return shared_grants_.load(std::memory_order_relaxed);
+  }
+  /// Completed S->X upgrades (subset of grants()).
+  uint64_t upgrades() const {
+    return upgrades_.load(std::memory_order_relaxed);
+  }
+  /// Upgrade attempts that ended in kAborted.
+  uint64_t upgrade_aborts() const {
+    return upgrade_aborts_.load(std::memory_order_relaxed);
+  }
   /// kDetect: wait-for scans run by timed-out waiters.
   uint64_t detector_runs() const {
     return detector_runs_.load(std::memory_order_relaxed);
@@ -125,8 +153,13 @@ class StripedLockManager {
 
   // --- Introspection (latches stripes; not for hot paths). ---------------
 
-  /// The transaction holding `entity`, or -1.
+  /// The exclusive holder if there is one, else an arbitrary shared
+  /// holder, else -1. Use IsHolding for membership under shared modes.
   int HolderOf(EntityId entity) const;
+  /// True iff `txn` holds `entity` in either mode.
+  bool IsHolding(int txn, EntityId entity) const;
+  /// Number of shared holders of `entity` (0 when exclusively held/free).
+  int SharerCountOf(EntityId entity) const;
   /// Parked transactions over all entities.
   size_t TotalWaiters() const;
 
@@ -136,14 +169,16 @@ class StripedLockManager {
     EntityId entity;
   };
   /// Consistent snapshot of the wait-for relation (latches every stripe
-  /// in index order).
+  /// in index order): one edge per conflicting holder — all sharers for a
+  /// queued exclusive request; an upgrader never waits on itself.
   std::vector<WaitEdge> WaitForEdges() const;
 
  private:
   /// Queue/grant state of one entity. Guarded by its stripe's latch.
   struct Entry {
-    int32_t holder = -1;
-    int32_t head = -1;  ///< Waiting transaction index, or -1.
+    int32_t holder = -1;            ///< Exclusive holder, or -1.
+    std::vector<int32_t> sharers;   ///< Shared holders (empty when X-held).
+    int32_t head = -1;              ///< Waiting transaction index, or -1.
     int32_t tail = -1;
   };
 
@@ -153,6 +188,8 @@ class StripedLockManager {
     std::condition_variable cv;
     int32_t next = -1;
     uint8_t granted = 0;
+    LockMode mode = LockMode::kExclusive;  ///< Mode of the queued request.
+    uint8_t upgrading = 0;  ///< Queued S->X upgrade: still holds S.
     /// Entity this transaction is parked on (set under the stripe latch
     /// before the first predicate check, cleared under it on wake).
     /// Atomic so RequestAbort can chase the parking spot latch-free.
@@ -174,21 +211,36 @@ class StripedLockManager {
   }
 
   /// Appends txn to entity's waiter queue. Stripe latch held.
-  void Enqueue(Entry& entry, int txn);
+  void Enqueue(Entry& entry, int txn, LockMode mode, bool upgrading);
+  /// Prepends txn (upgrades). Stripe latch held.
+  void EnqueueFront(Entry& entry, int txn, LockMode mode, bool upgrading);
   /// Removes txn from entity's waiter queue if present. Stripe latch held.
   void Unlink(Entry& entry, int txn);
-  /// Grants the head waiter (holder must be -1), wakes it, and re-applies
-  /// the timestamp policy of the remaining waiters against the new
-  /// holder. Stripe latch held.
-  void GrantHead(EntityId entity, Entry& entry);
-  /// Releases under the latch; grants the next waiter.
-  void ReleaseLocked(int txn, EntityId entity, Entry& entry);
+  bool IsSharer(const Entry& entry, int txn) const;
+  bool RemoveSharer(Entry& entry, int txn);
+  /// Grants the maximal compatible prefix of the queue (one X, a
+  /// promotable upgrade, or a consecutive batch of S requests), wakes the
+  /// winners, and re-applies the timestamp policy of the remaining
+  /// waiters against the new holders. Holders parked on OTHER stripes
+  /// cannot be woken under this latch; their ids are appended to *wounds
+  /// (flag already set) and the caller must WakeIfParked each AFTER
+  /// dropping the latch. Stripe latch held; entry.holder must be -1.
+  void GrantHead(Entry& entry, std::vector<int>* wounds);
+  /// Releases under the latch; grants the next waiter batch.
+  void ReleaseLocked(int txn, Entry& entry,
+                     std::vector<int>* wounds);
 
   /// Parks txn on `entity` until granted/aborted/stopped. The caller has
   /// already enqueued it; `lk` holds the stripe latch. Returns the final
-  /// status with the node unlinked and parked_on cleared.
+  /// status with the node unlinked and parked_on cleared. May return with
+  /// `lk` unlocked (give-back wound delivery).
   AcquireStatus Park(int txn, EntityId entity,
                      std::unique_lock<std::mutex>& lk);
+
+  /// Sets txn's abort flag (counting the policy abort on the 0->1 edge)
+  /// and notifies its cv. Safe under any latch; pair with a latch-free
+  /// WakeIfParked when txn may be parked on another stripe.
+  void FlagPolicyAbort(int txn);
 
   /// kDetect: snapshot the wait-for graph and abort the youngest
   /// transaction on a cycle, if any. Caller holds no stripe latch.
@@ -211,6 +263,9 @@ class StripedLockManager {
   std::vector<uint64_t> timestamp_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> grants_{0};
+  std::atomic<uint64_t> shared_grants_{0};
+  std::atomic<uint64_t> upgrades_{0};
+  std::atomic<uint64_t> upgrade_aborts_{0};
   std::atomic<uint64_t> releases_{0};
   std::atomic<uint64_t> detector_runs_{0};
   std::atomic<uint64_t> policy_aborts_{0};

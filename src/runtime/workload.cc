@@ -51,6 +51,9 @@ Result<WorkloadAggregate> RunWorkloadMany(const TransactionSystem& sys,
     if (res->gave_up) ++agg.gave_up_runs;
     agg.total_commits += res->commits;
     agg.total_aborts += res->aborts;
+    agg.total_shared_grants += res->shared_grants;
+    agg.total_upgrades += res->upgrades;
+    agg.total_upgrade_aborts += res->upgrade_aborts;
     throughput_sum += res->throughput;
     abort_sum += res->abort_rate;
     p50_sum += static_cast<double>(res->latency.p50);

@@ -55,6 +55,11 @@ struct WorkloadAggregate {
   int gave_up_runs = 0;
   uint64_t total_commits = 0;
   uint64_t total_aborts = 0;
+  /// Lock-mode traffic totals across the sessions (all 0 for X-only
+  /// workloads; see the SimResult fields of the same names).
+  uint64_t total_shared_grants = 0;
+  uint64_t total_upgrades = 0;
+  uint64_t total_upgrade_aborts = 0;
   double avg_throughput = 0.0;
   double avg_abort_rate = 0.0;
   /// Means of the per-run percentiles.

@@ -15,6 +15,7 @@
 #include "runtime/live_engine.h"
 #include "runtime/simulation.h"
 #include "runtime/workload.h"
+#include "tests/test_util.h"
 
 namespace wydb {
 namespace {
@@ -376,6 +377,169 @@ TEST_P(LiveRingSweep, UncertifiedRingDeadlocksLiveWithoutDetection) {
 }
 
 INSTANTIATE_TEST_SUITE_P(K, LiveRingSweep, ::testing::Values(3, 4));
+
+// ---------------------------------------------------------------------
+// Sweep 7: X-only regression guard for the S/X machinery. On an X-only
+// system DemoteToX is the identity transform, so every engine at every
+// thread count must produce bit-identical verdicts, witness schedules and
+// states_visited counts on the original and the demoted copy — and the
+// simulator the same run — proving the mode plumbing cannot perturb
+// exclusive-only workloads.
+class XOnlyDemotionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XOnlyDemotionSweep, DemotionIsTheIdentityOnExclusiveOnlySystems) {
+  const uint64_t seed = GetParam();
+  RandomSystemOptions opts;
+  opts.num_sites = 2;
+  opts.entities_per_site = 2;
+  opts.num_transactions = 3;
+  opts.entities_per_txn = 2;
+  opts.seed = seed;
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+  const TransactionSystem& s = *sys->system;
+  TransactionSystem demoted = testutil::DemoteToX(s);
+
+  // Every step already exclusive: the copy is structurally identical.
+  for (int i = 0; i < s.num_transactions(); ++i) {
+    ASSERT_EQ(s.txn(i).num_steps(), demoted.txn(i).num_steps());
+    for (NodeId v = 0; v < s.txn(i).num_steps(); ++v) {
+      ASSERT_TRUE(s.txn(i).step(v) == demoted.txn(i).step(v));
+    }
+  }
+
+  auto thm4_a = CheckSystemSafeAndDeadlockFree(s);
+  auto thm4_b = CheckSystemSafeAndDeadlockFree(demoted);
+  ASSERT_TRUE(thm4_a.ok());
+  ASSERT_TRUE(thm4_b.ok());
+  EXPECT_EQ(thm4_a->safe_and_deadlock_free, thm4_b->safe_and_deadlock_free);
+
+  struct EngineCfg {
+    SearchEngine engine;
+    int threads;
+  };
+  const EngineCfg kGrid[] = {
+      {SearchEngine::kIncremental, 1},
+      {SearchEngine::kNaiveReference, 1},
+      {SearchEngine::kParallelSharded, 1},
+      {SearchEngine::kParallelSharded, 4},
+      {SearchEngine::kReduced, 1},
+      {SearchEngine::kReduced, 4},
+  };
+  for (const EngineCfg& cfg : kGrid) {
+    SafetyCheckOptions so;
+    so.engine = cfg.engine;
+    so.search_threads = cfg.threads;
+    auto ra = CheckSafeAndDeadlockFree(s, so);
+    auto rb = CheckSafeAndDeadlockFree(demoted, so);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra->holds, rb->holds);
+    EXPECT_EQ(ra->states_visited, rb->states_visited);
+    EXPECT_EQ(ra->sleep_set_pruned, rb->sleep_set_pruned);
+    ASSERT_EQ(ra->violation.has_value(), rb->violation.has_value());
+    if (ra->violation.has_value()) {
+      EXPECT_EQ(ra->violation->schedule, rb->violation->schedule);
+      EXPECT_EQ(ra->violation->txn_cycle, rb->violation->txn_cycle);
+    }
+
+    DeadlockCheckOptions dopts;
+    dopts.engine = cfg.engine;
+    dopts.search_threads = cfg.threads;
+    auto da = CheckDeadlockFreedom(s, dopts);
+    auto db = CheckDeadlockFreedom(demoted, dopts);
+    ASSERT_TRUE(da.ok());
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ(da->deadlock_free, db->deadlock_free);
+    EXPECT_EQ(da->states_visited, db->states_visited);
+    ASSERT_EQ(da->witness.has_value(), db->witness.has_value());
+    if (da->witness.has_value()) {
+      EXPECT_EQ(da->witness->schedule, db->witness->schedule);
+    }
+  }
+
+  // Same seed, same trajectory: the simulator cannot tell them apart,
+  // and an X-only run never touches the shared-mode counters.
+  SimOptions sim;
+  sim.policy = ConflictPolicy::kDetect;
+  sim.seed = seed * 13 + 5;
+  auto agg_a = RunMany(s, sim, 8);
+  auto agg_b = RunMany(demoted, sim, 8);
+  ASSERT_TRUE(agg_a.ok());
+  ASSERT_TRUE(agg_b.ok());
+  EXPECT_EQ(agg_a->committed_runs, agg_b->committed_runs);
+  EXPECT_EQ(agg_a->deadlocked_runs, agg_b->deadlocked_runs);
+  EXPECT_EQ(agg_a->total_aborts, agg_b->total_aborts);
+  EXPECT_EQ(agg_a->total_shared_grants, 0u);
+  EXPECT_EQ(agg_a->total_upgrades, 0u);
+  EXPECT_EQ(agg_a->total_upgrade_aborts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XOnlyDemotionSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Sweep 8: S->X demotion monotonicity fuzz. For systems whose shared
+// accesses are adjacent (LS, US) point reads, demoting every S to X only
+// ADDS conflicts — so a certified demotion implies the original is
+// certified too (equivalently, an unsafe or deadlocking original can
+// never have a certified demotion). The property is FALSE for general
+// S placements — a long-held S lock can act as a latch when demoted —
+// which is why the generator pins shared_point_reads (DESIGN.md §11).
+// ~150 random mixed-mode systems, checked against both the Theorem 4
+// analyzer and the exact Lemma 1 oracle.
+class SharedDemotionMonotonicitySweep
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedDemotionMonotonicitySweep, CertifiedDemotionCertifiesOriginal) {
+  const uint64_t seed = GetParam();
+  RandomSystemOptions opts;
+  opts.num_sites = 2;
+  opts.entities_per_site = 2;
+  opts.num_transactions = 3;
+  opts.entities_per_txn = 2;
+  opts.shared_fraction = 0.3 + 0.05 * static_cast<double>(seed % 9);
+  opts.shared_point_reads = true;
+  opts.extra_arc_prob = 0.1 * static_cast<double>(seed % 3);
+  opts.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  auto sys = GenerateRandomSystem(opts);
+  ASSERT_TRUE(sys.ok());
+  const TransactionSystem& s = *sys->system;
+  TransactionSystem demoted = testutil::DemoteToX(s);
+
+  auto thm4_orig = CheckSystemSafeAndDeadlockFree(s);
+  auto thm4_demo = CheckSystemSafeAndDeadlockFree(demoted);
+  ASSERT_TRUE(thm4_orig.ok());
+  ASSERT_TRUE(thm4_demo.ok());
+  if (thm4_demo->safe_and_deadlock_free) {
+    EXPECT_TRUE(thm4_orig->safe_and_deadlock_free)
+        << "demotion certified but the (less conflicting) original is not";
+  }
+
+  auto oracle_orig = CheckSafeAndDeadlockFree(s);
+  auto oracle_demo = CheckSafeAndDeadlockFree(demoted);
+  ASSERT_TRUE(oracle_orig.ok());
+  ASSERT_TRUE(oracle_demo.ok());
+  if (oracle_demo->holds) {
+    EXPECT_TRUE(oracle_orig->holds)
+        << "exact oracle: demotion safe+DF but the original is not";
+  }
+
+  auto df_orig = CheckDeadlockFreedom(s);
+  auto df_demo = CheckDeadlockFreedom(demoted);
+  ASSERT_TRUE(df_orig.ok());
+  ASSERT_TRUE(df_demo.ok());
+  if (df_demo->deadlock_free) {
+    EXPECT_TRUE(df_orig->deadlock_free)
+        << "demotion deadlock-free but the original is not";
+  }
+
+  // And the analyzers stay internally consistent on mixed-mode systems.
+  EXPECT_EQ(thm4_orig->safe_and_deadlock_free, oracle_orig->holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedDemotionMonotonicitySweep,
+                         ::testing::Range<uint64_t>(1, 151));
 
 }  // namespace
 }  // namespace wydb

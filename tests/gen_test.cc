@@ -1,7 +1,9 @@
 // Tests for the workload generators.
 #include <gtest/gtest.h>
 
+#include "analysis/multi_analyzer.h"
 #include "analysis/pair_analyzer.h"
+#include "analysis/safety_checker.h"
 #include "gen/system_gen.h"
 #include "gen/txn_gen.h"
 
@@ -147,6 +149,95 @@ TEST(SystemGenTest, ChordedCycleIncreasesCycleCount) {
   };
   EXPECT_EQ(cycles_of(*plain->system), 1u);
   EXPECT_GT(cycles_of(*chorded->system), 1u);
+}
+
+TEST(SystemGenTest, ReadMostlyFarmIsCertifiedAndMostlyShared) {
+  ReadMostlyFarmOptions opts;
+  opts.workers = 3;
+  opts.read_entities = 4;
+  auto farm = GenerateReadMostlyFarm(opts);
+  ASSERT_TRUE(farm.ok());
+  const TransactionSystem& s = *farm->system;
+  EXPECT_EQ(s.num_transactions(), 3);
+
+  // At least half the lock steps are shared (here: 4 of 5 per worker).
+  int locks = 0, shared = 0;
+  for (int i = 0; i < s.num_transactions(); ++i) {
+    const Transaction& t = s.txn(i);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (t.step(v).kind != StepKind::kLock) continue;
+      ++locks;
+      if (t.step(v).mode == LockMode::kShared) ++shared;
+    }
+  }
+  EXPECT_GE(2 * shared, locks);
+
+  // Certified by Theorem 4 for any worker count, and by the exact oracle.
+  auto thm4 = CheckSystemSafeAndDeadlockFree(s);
+  ASSERT_TRUE(thm4.ok());
+  EXPECT_TRUE(thm4->safe_and_deadlock_free);
+  auto oracle = CheckSafeAndDeadlockFree(s);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(oracle->holds);
+}
+
+TEST(SystemGenTest, ReadMostlyFarmSharedFractionKnob) {
+  // The knob converts S reads to X reads without changing the shape or
+  // the verdict: the chain is certified at every fraction.
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    ReadMostlyFarmOptions opts;
+    opts.workers = 2;
+    opts.read_entities = 4;
+    opts.shared_fraction = fraction;
+    auto farm = GenerateReadMostlyFarm(opts);
+    ASSERT_TRUE(farm.ok());
+    const TransactionSystem& s = *farm->system;
+    int shared = 0;
+    const Transaction& t = s.txn(0);
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      if (t.step(v).kind == StepKind::kLock &&
+          t.step(v).mode == LockMode::kShared) {
+        ++shared;
+      }
+    }
+    EXPECT_EQ(shared, static_cast<int>(fraction * 4 + 0.5))
+        << "fraction=" << fraction;
+    auto thm4 = CheckSystemSafeAndDeadlockFree(s);
+    ASSERT_TRUE(thm4.ok());
+    EXPECT_TRUE(thm4->safe_and_deadlock_free) << "fraction=" << fraction;
+  }
+  // Bad shapes are rejected.
+  ReadMostlyFarmOptions bad;
+  bad.workers = 0;
+  EXPECT_FALSE(GenerateReadMostlyFarm(bad).ok());
+}
+
+TEST(SystemGenTest, ReadMostlyFarmReducedSearchBeatsDemotion) {
+  // The acceptance bar for the S/X work: on the read-mostly farm the
+  // reduced engine interns STRICTLY fewer states than on the farm's
+  // all-X demotion (shared_fraction = 0 — the same system with every S
+  // demoted), because S moves on S-by-all entities are always-invisible.
+  ReadMostlyFarmOptions opts;
+  opts.workers = 3;
+  opts.read_entities = 3;
+  auto farm = GenerateReadMostlyFarm(opts);
+  ReadMostlyFarmOptions demoted_opts = opts;
+  demoted_opts.shared_fraction = 0.0;
+  auto demoted = GenerateReadMostlyFarm(demoted_opts);
+  ASSERT_TRUE(farm.ok());
+  ASSERT_TRUE(demoted.ok());
+
+  SafetyCheckOptions so;
+  so.engine = SearchEngine::kReduced;
+  so.search_threads = 1;
+  auto shared_run = CheckSafeAndDeadlockFree(*farm->system, so);
+  auto demoted_run = CheckSafeAndDeadlockFree(*demoted->system, so);
+  ASSERT_TRUE(shared_run.ok());
+  ASSERT_TRUE(demoted_run.ok());
+  EXPECT_TRUE(shared_run->holds);
+  EXPECT_TRUE(demoted_run->holds);
+  EXPECT_LT(shared_run->states_interned, demoted_run->states_interned);
+  EXPECT_LT(shared_run->states_visited, demoted_run->states_visited);
 }
 
 }  // namespace

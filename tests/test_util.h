@@ -45,16 +45,22 @@ inline std::unique_ptr<Database> MakeSpreadDb(
   return db;
 }
 
-/// Total-order transaction from tokens like {"Lx", "Ly", "Ux", "Uy"}.
-/// Token = 'L' or 'U' followed by the entity name.
+/// Total-order transaction from tokens like {"Lx", "Sy", "Uy", "Ux"}.
+/// Token = 'L' (exclusive lock), 'S' (shared lock) or 'U' (unlock)
+/// followed by the entity name — the .wydb step syntax.
 inline Transaction MakeSeq(const Database* db, const std::string& name,
                            const std::vector<std::string>& tokens) {
-  std::vector<std::pair<StepKind, std::string>> seq;
+  TransactionBuilder b(db, name);
+  int prev = -1;
   for (const auto& tok : tokens) {
-    StepKind kind = tok[0] == 'L' ? StepKind::kLock : StepKind::kUnlock;
-    seq.emplace_back(kind, tok.substr(1));
+    const std::string entity = tok.substr(1);
+    int cur = tok[0] == 'L'   ? b.Lock(entity)
+              : tok[0] == 'S' ? b.LockShared(entity)
+                              : b.Unlock(entity);
+    if (prev != -1) b.Arc(prev, cur);
+    prev = cur;
   }
-  auto t = TransactionBuilder::FromSequence(db, name, seq);
+  auto t = b.Build();
   if (!t.ok()) std::abort();
   return std::move(*t);
 }
@@ -65,6 +71,34 @@ inline TransactionSystem MakeSystem(const Database* db,
   auto sys = TransactionSystem::Create(db, std::move(txns));
   if (!sys.ok()) std::abort();
   return std::move(*sys);
+}
+
+/// The all-exclusive demotion of a system: identical transactions and
+/// precedence arcs, every shared lock demoted to exclusive. The identity
+/// transform on X-only systems; on mixed systems it only ADDS conflicts.
+/// The returned system borrows the same Database as `sys`.
+inline TransactionSystem DemoteToX(const TransactionSystem& sys) {
+  std::vector<Transaction> txns;
+  txns.reserve(sys.num_transactions());
+  for (int i = 0; i < sys.num_transactions(); ++i) {
+    const Transaction& t = sys.txn(i);
+    std::vector<Step> steps;
+    steps.reserve(t.num_steps());
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      Step s = t.step(v);
+      s.mode = LockMode::kExclusive;
+      steps.push_back(s);
+    }
+    std::vector<std::pair<int, int>> arcs;
+    for (NodeId v = 0; v < t.num_steps(); ++v) {
+      for (NodeId w : t.graph().OutNeighbors(v)) arcs.emplace_back(v, w);
+    }
+    auto nt = Transaction::Create(&sys.db(), t.name(), std::move(steps),
+                                  std::move(arcs));
+    if (!nt.ok()) std::abort();
+    txns.push_back(std::move(*nt));
+  }
+  return MakeSystem(&sys.db(), std::move(txns));
 }
 
 }  // namespace testutil

@@ -71,6 +71,57 @@ TEST(TextFormatTest, RejectsBadStepToken) {
   auto bad = ParseSystem("site s: x\ntxn T: Zx\n");
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("bad step"), std::string::npos);
+  // The misuse contract: the diagnostic names the failing line and spells
+  // out the accepted tokens, shared mode included.
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("S<entity>"), std::string::npos);
+}
+
+TEST(TextFormatTest, ParsesSharedSteps) {
+  auto sys = ParseSystem(
+      "site s1: g x\n"
+      "site s2: y\n"
+      "txn T: Lg Sx Sy Uy Ux Ug\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  const Transaction& t = sys->system->txn(0);
+  const Database& db = *sys->db;
+  EXPECT_EQ(t.LockModeOf(db.FindEntity("g")), LockMode::kExclusive);
+  EXPECT_EQ(t.LockModeOf(db.FindEntity("x")), LockMode::kShared);
+  EXPECT_EQ(t.LockModeOf(db.FindEntity("y")), LockMode::kShared);
+  // The Unlock steps carry their Lock's mode (Create normalization).
+  NodeId ux = t.UnlockNode(db.FindEntity("x"));
+  EXPECT_EQ(t.step(ux).mode, LockMode::kShared);
+  NodeId ug = t.UnlockNode(db.FindEntity("g"));
+  EXPECT_EQ(t.step(ug).mode, LockMode::kExclusive);
+}
+
+TEST(TextFormatTest, SharedStepsRoundTrip) {
+  auto sys = ParseSystem(
+      "site s1: g x\n"
+      "site s2: y\n"
+      "txn R: Lg Sx Sy Uy Ux Ug\n"
+      "txn W: Lg Lx Ux Ug\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  std::string text = SerializeSystem(*sys->system);
+  // S tokens survive serialization...
+  EXPECT_NE(text.find("Sx"), std::string::npos);
+  EXPECT_NE(text.find("Sy"), std::string::npos);
+  // ...and X steps are NOT rewritten as shared.
+  EXPECT_NE(text.find("Lg"), std::string::npos);
+  auto again = ParseSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  for (int i = 0; i < sys->system->num_transactions(); ++i) {
+    EXPECT_EQ(again->system->txn(i).DebugString(),
+              sys->system->txn(i).DebugString());
+  }
+}
+
+TEST(TextFormatTest, SharedAndExclusiveAccessOfOneEntityStillUnique) {
+  // S and L on the same entity are two locks of it — rejected like any
+  // duplicate access, with the line named.
+  auto bad = ParseSystem("site s: x\ntxn T: Sx Lx Ux\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(TextFormatTest, RejectsUnknownEntity) {

@@ -122,6 +122,24 @@ SIM_RESULT_RE = re.compile(
     re.MULTILINE,
 )
 
+# The shared workload (3 transactions, 2 S-locks per round) commits the
+# same 15 rounds at MPL 1 and grants exactly 30 shared locks; its perf
+# line must carry the shared-mode counters (the result line format is
+# mode-agnostic and shared by both workloads).
+SHARED_PERF_RE = re.compile(
+    r"^perf: .*shared_grants=30 upgrades=0 upgrade_aborts=0$",
+    re.MULTILINE,
+)
+
+# The sweep CSV header, shared-mode traffic columns included.
+SWEEP_CSV_HEADER_RE = re.compile(
+    r"^policy,degree,mpl,runs,total_commits,total_aborts,avg_throughput,"
+    r"avg_abort_rate,avg_p50,avg_p95,avg_p99,deadlocked_runs,"
+    r"budget_exhausted_runs,gave_up_runs,shared_grants,upgrades,"
+    r"upgrade_aborts$",
+    re.MULTILINE,
+)
+
 
 def check_cli_smoke(binary: Path) -> list[str]:
     """Misuse must exit nonzero with usage on stderr; --help must work;
@@ -130,6 +148,7 @@ def check_cli_smoke(binary: Path) -> list[str]:
     deterministic result line must hold."""
     sample = REPO / "tools" / "sample_workload.wydb"
     certified = REPO / "tools" / "certified_workload.wydb"
+    shared = REPO / "tools" / "shared_workload.wydb"
     # (args, want_code, want_stderr_substring, want_stdout_match)
     # where want_stdout_match is None or a (regex, expected_count) pair.
     # The sample workload is REFUTED, so plain analysis exits 1.
@@ -201,6 +220,37 @@ def check_cli_smoke(binary: Path) -> list[str]:
           "--rounds", "5"], 0, None, (LIVE_RESULT_RE, 1)),
         (["run", str(certified), "--engine", "sim", "--policy", "block",
           "--rounds", "5"], 0, None, (SIM_RESULT_RE, 1)),
+        # Shared/exclusive lock modes (DESIGN.md §11): the S-mode
+        # workload is certified, so plain analysis exits 0...
+        ([str(shared)], 0, None, None),
+        # ...the detection-free fast path accepts it with the same MPL-1
+        # determinism contract as the X-only workload, and the perf line
+        # carries the exact shared-mode counters on both engines.
+        (["run", str(shared), "--no-detection", "--mpl", "1",
+          "--rounds", "5"], 0, None, (LIVE_RESULT_RE, 1)),
+        (["run", str(shared), "--no-detection", "--mpl", "1",
+          "--rounds", "5"], 0, None, (SHARED_PERF_RE, 1)),
+        (["run", str(shared), "--engine", "sim", "--policy", "block",
+          "--rounds", "5"], 0, None, (SIM_RESULT_RE, 1)),
+        (["run", str(shared), "--engine", "sim", "--policy", "block",
+          "--rounds", "5"], 0, None, (SHARED_PERF_RE, 1)),
+        # The generated read-mostly farm: misuse of the sweep knobs exits
+        # 2 with a named complaint before any session runs...
+        (["sweep", "--gen"], 2, "needs a value", None),
+        (["sweep", "--gen", "bogus"], 2, "read-mostly", None),
+        (["sweep", "--gen", "read-mostly", "--shared-fraction", "200"], 2,
+         "0-100", None),
+        (["sweep", "--gen", "read-mostly", "--workers", "two"], 2,
+         "non-negative integer", None),
+        (["sweep", str(sample), "--workers", "2"], 2,
+         "need --gen read-mostly", None),
+        (["sweep", str(sample), "--gen", "read-mostly"], 2,
+         "give one or the other", None),
+        # ...and the happy path emits the CSV with the shared-mode
+        # traffic columns.
+        (["sweep", "--gen", "read-mostly", "--workers", "2",
+          "--read-entities", "2", "--runs", "1"], 0, None,
+         (SWEEP_CSV_HEADER_RE, 1)),
     ]
     errors = []
     for args, want_code, want_stderr, want_stdout in cases:

@@ -20,6 +20,7 @@
 #include "analysis/safety_checker.h"
 #include "core/schedule.h"
 #include "core/symmetry.h"
+#include "gen/system_gen.h"
 #include "io/text_format.h"
 #include "runtime/live_engine.h"
 #include "runtime/simulation.h"
@@ -104,7 +105,10 @@ mode; without them the subcommand runs the one-shot simulation sweep.
 
 sweep: run a policy x replication-degree x MPL grid of closed-loop
 traffic sessions through the threaded seed sweep and emit one CSV row
-per cell (header first, to stdout or --out).
+per cell (header first, to stdout or --out). The CSV includes the
+shared_grants / upgrades / upgrade_aborts lock-mode counters, so
+sweeping --shared-fraction shows S-mode batching turn into lock-chain
+contention.
   --policy <p>       as in simulate (default all)
   --degrees <list>   comma-separated replication degrees, e.g. 1,2,3
                      (round-robin placements; default: the file's own
@@ -116,6 +120,15 @@ per cell (header first, to stdout or --out).
   --duration <d>     session length in sim time (default 100000)
   --think <t>        mean think time (default 100)
   --out <file>       write the CSV to a file instead of stdout
+  --gen read-mostly  generate the workload instead of reading a file: a
+                     certified read-mostly farm (per-worker X-locked
+                     private entity, then an S-locked shared read set;
+                     DESIGN.md section 11) shaped by the knobs below
+  --workers <n>      generated farm: identical workers (default 4)
+  --read-entities <n>  generated farm: read-set entities (default 4)
+  --shared-fraction <pct>  generated farm: percent of the read set kept
+                     in S mode, 0-100 (default 100; 0 is the all-X
+                     demotion of the same system)
 
 run: execute the workload on the wall-clock LiveEngine (real OS threads
 against the striped thread-safe lock table) or, for cross-checking, the
@@ -301,12 +314,16 @@ int RunSimulateCommand(int argc, char** argv) {
       std::printf(
           "  %-10s throughput %.1f commits/Msim-us, commits %llu, "
           "abort rate %.3f, latency p50/p95/p99 %.0f/%.0f/%.0f, "
-          "deadlocked %d, budget %d, gave-up %d\n",
+          "deadlocked %d, budget %d, gave-up %d, shared grants %llu, "
+          "upgrades %llu, upgrade aborts %llu\n",
           ConflictPolicyName(policy), agg->avg_throughput,
           static_cast<unsigned long long>(agg->total_commits),
           agg->avg_abort_rate, agg->avg_p50, agg->avg_p95, agg->avg_p99,
           agg->deadlocked_runs, agg->budget_exhausted_runs,
-          agg->gave_up_runs);
+          agg->gave_up_runs,
+          static_cast<unsigned long long>(agg->total_shared_grants),
+          static_cast<unsigned long long>(agg->total_upgrades),
+          static_cast<unsigned long long>(agg->total_upgrade_aborts));
     } else {
       SimOptions opts;
       opts.policy = policy;
@@ -321,12 +338,16 @@ int RunSimulateCommand(int argc, char** argv) {
       }
       std::printf(
           "  %-10s committed %d/%d, deadlocked %d, budget %d, gave-up %d, "
-          "aborts %llu, avg makespan %.0f\n",
+          "aborts %llu, avg makespan %.0f, shared grants %llu, "
+          "upgrades %llu, upgrade aborts %llu\n",
           ConflictPolicyName(policy), agg->committed_runs, agg->runs,
           agg->deadlocked_runs, agg->budget_exhausted_runs,
           agg->gave_up_runs,
           static_cast<unsigned long long>(agg->total_aborts),
-          agg->avg_makespan);
+          agg->avg_makespan,
+          static_cast<unsigned long long>(agg->total_shared_grants),
+          static_cast<unsigned long long>(agg->total_upgrades),
+          static_cast<unsigned long long>(agg->total_upgrade_aborts));
     }
   }
   return 0;
@@ -443,12 +464,16 @@ int RunRunCommand(int argc, char** argv) {
         r->deadlocked ? 1 : 0, r->gave_up ? 1 : 0);
     std::printf(
         "perf: threads=%d stripes=%d wall_s=%.3f commits_per_sec=%.1f "
-        "lock_ops_per_sec=%.1f p50_us=%llu p95_us=%llu p99_us=%llu\n",
+        "lock_ops_per_sec=%.1f p50_us=%llu p95_us=%llu p99_us=%llu "
+        "shared_grants=%llu upgrades=%llu upgrade_aborts=%llu\n",
         r->threads, r->stripes, r->wall_seconds, r->commits_per_sec,
         r->lock_ops_per_sec,
         static_cast<unsigned long long>(r->latency.p50),
         static_cast<unsigned long long>(r->latency.p95),
-        static_cast<unsigned long long>(r->latency.p99));
+        static_cast<unsigned long long>(r->latency.p99),
+        static_cast<unsigned long long>(r->shared_grants),
+        static_cast<unsigned long long>(r->upgrades),
+        static_cast<unsigned long long>(r->upgrade_aborts));
     if (r->deadlocked) {
       std::printf("deadlocked transactions:");
       for (int t : r->blocked_txns)
@@ -480,11 +505,14 @@ int RunRunCommand(int argc, char** argv) {
       r->deadlocked ? 1 : 0, r->gave_up ? 1 : 0);
   std::printf(
       "perf: makespan=%llu throughput=%.1f p50_us=%llu p95_us=%llu "
-      "p99_us=%llu\n",
+      "p99_us=%llu shared_grants=%llu upgrades=%llu upgrade_aborts=%llu\n",
       static_cast<unsigned long long>(r->makespan), r->throughput,
       static_cast<unsigned long long>(r->latency.p50),
       static_cast<unsigned long long>(r->latency.p95),
-      static_cast<unsigned long long>(r->latency.p99));
+      static_cast<unsigned long long>(r->latency.p99),
+      static_cast<unsigned long long>(r->shared_grants),
+      static_cast<unsigned long long>(r->upgrades),
+      static_cast<unsigned long long>(r->upgrade_aborts));
   return !r->deadlocked && !r->gave_up ? 0 : 1;
 }
 
@@ -514,16 +542,29 @@ std::vector<int> ParseIntList(const char* arg) {
 
 int RunSweepCommand(int argc, char** argv) {
   if (argc < 3) {
-    return Fail("usage: wydb_analyze sweep <workload.wydb> [options]");
+    return Fail(
+        "usage: wydb_analyze sweep <workload.wydb | --gen read-mostly> "
+        "[options]");
   }
   const char* policy_arg = "all";
   const char* out_path = nullptr;
+  const char* workload_path = nullptr;
+  bool gen_read_mostly = false, farm_knob_set = false;
+  int workers = 4, read_entities = 4, shared_pct = 100;
   std::vector<int> degrees;  // Empty: use the file's own placement.
   std::vector<int> mpls = {0};
   int runs = 20, threads = 0;
   uint64_t seed = 1;
   SimTime duration = 100'000, think = 100;
-  for (int a = 3; a < argc; ++a) {
+  // `--gen read-mostly` replaces the workload-file argument, so the
+  // option scan starts at argv[2] when no file is given.
+  int a = 3;
+  if (argv[2][0] != '-') {
+    workload_path = argv[2];
+  } else {
+    a = 2;
+  }
+  for (; a < argc; ++a) {
     auto next = [&](const char* opt) -> const char* {
       if (a + 1 >= argc) FailMissingValue(opt);
       return argv[++a];
@@ -548,6 +589,25 @@ int RunSweepCommand(int argc, char** argv) {
       think = std::strtoull(next("--think"), nullptr, 10);
     } else if (!std::strcmp(argv[a], "--out")) {
       out_path = next("--out");
+    } else if (!std::strcmp(argv[a], "--gen")) {
+      if (std::strcmp(next("--gen"), "read-mostly") != 0) {
+        return Fail("--gen wants read-mostly");
+      }
+      gen_read_mostly = true;
+    } else if (!std::strcmp(argv[a], "--workers")) {
+      workers = ParseCountFlag("--workers", next("--workers"));
+      farm_knob_set = true;
+    } else if (!std::strcmp(argv[a], "--read-entities")) {
+      read_entities = ParseCountFlag("--read-entities",
+                                     next("--read-entities"));
+      farm_knob_set = true;
+    } else if (!std::strcmp(argv[a], "--shared-fraction")) {
+      shared_pct = ParseCountFlag("--shared-fraction",
+                                  next("--shared-fraction"));
+      if (shared_pct > 100) {
+        return Fail("--shared-fraction wants a percentage in 0-100");
+      }
+      farm_knob_set = true;
     } else {
       return Fail("unknown sweep option");
     }
@@ -556,14 +616,52 @@ int RunSweepCommand(int argc, char** argv) {
   if (policies.empty()) return Fail("unknown --policy");
   if (runs <= 0) return Fail("--runs must be positive");
   if (duration == 0) return Fail("--duration must be positive");
-
-  auto loaded = LoadWorkload(argv[2]);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 loaded.status().ToString().c_str());
-    return 2;
+  if (gen_read_mostly && workload_path != nullptr) {
+    return Fail("--gen read-mostly replaces the workload file; give one "
+                "or the other");
   }
-  const TransactionSystem& sys = *loaded->owned.system;
+  if (farm_knob_set && !gen_read_mostly) {
+    return Fail("--workers/--read-entities/--shared-fraction need "
+                "--gen read-mostly");
+  }
+  if (!gen_read_mostly && workload_path == nullptr) {
+    return Fail("sweep needs a workload file or --gen read-mostly");
+  }
+
+  std::optional<Result<WorkloadSpec>> loaded;
+  OwnedSystem generated_sys;
+  const TransactionSystem* sys_ptr = nullptr;
+  const CopyPlacement* file_placement = nullptr;
+  bool has_latency = false;
+  LatencyModel latency;
+  if (gen_read_mostly) {
+    ReadMostlyFarmOptions fopts;
+    fopts.workers = workers;
+    fopts.read_entities = read_entities;
+    fopts.shared_fraction = static_cast<double>(shared_pct) / 100.0;
+    auto farm = GenerateReadMostlyFarm(fopts);
+    if (!farm.ok()) {
+      std::fprintf(stderr, "wydb_analyze: generating the read-mostly "
+                   "farm failed: %s\n",
+                   farm.status().ToString().c_str());
+      return 2;
+    }
+    generated_sys = std::move(*farm);
+    sys_ptr = generated_sys.system.get();
+    file_placement = generated_sys.placement.get();
+  } else {
+    loaded.emplace(LoadWorkload(workload_path));
+    if (!loaded->ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   loaded->status().ToString().c_str());
+      return 2;
+    }
+    sys_ptr = (*loaded)->owned.system.get();
+    file_placement = (*loaded)->owned.placement.get();
+    has_latency = (*loaded)->has_latency;
+    if (has_latency) latency = (*loaded)->latency;
+  }
+  const TransactionSystem& sys = *sys_ptr;
 
   // Resolve the degree axis: explicit --degrees build round-robin
   // placements; otherwise the single cell uses the file's placement (or
@@ -575,7 +673,6 @@ int RunSweepCommand(int argc, char** argv) {
   std::vector<CopyPlacement> generated;
   std::vector<DegreeCell> degree_cells;
   if (degrees.empty()) {
-    const CopyPlacement* file_placement = loaded->owned.placement.get();
     degree_cells.push_back(
         {file_placement != nullptr ? file_placement->MaxDegree() : 1,
          file_placement});
@@ -603,7 +700,8 @@ int RunSweepCommand(int argc, char** argv) {
   std::fprintf(out,
                "policy,degree,mpl,runs,total_commits,total_aborts,"
                "avg_throughput,avg_abort_rate,avg_p50,avg_p95,avg_p99,"
-               "deadlocked_runs,budget_exhausted_runs,gave_up_runs\n");
+               "deadlocked_runs,budget_exhausted_runs,gave_up_runs,"
+               "shared_grants,upgrades,upgrade_aborts\n");
   for (ConflictPolicy policy : policies) {
     for (const DegreeCell& cell : degree_cells) {
       for (int mpl : mpls) {
@@ -611,7 +709,7 @@ int RunSweepCommand(int argc, char** argv) {
         opts.sim.policy = policy;
         opts.sim.seed = seed;
         opts.sim.placement = cell.placement;
-        if (loaded->has_latency) opts.sim.latency = loaded->latency;
+        if (has_latency) opts.sim.latency = latency;
         opts.duration = duration;
         opts.think_time = think;
         opts.mpl = mpl;
@@ -624,13 +722,17 @@ int RunSweepCommand(int argc, char** argv) {
         }
         std::fprintf(out,
                      "%s,%d,%d,%d,%llu,%llu,%.3f,%.4f,%.1f,%.1f,%.1f,%d,"
-                     "%d,%d\n",
+                     "%d,%d,%llu,%llu,%llu\n",
                      ConflictPolicyName(policy), cell.degree, mpl, agg->runs,
                      static_cast<unsigned long long>(agg->total_commits),
                      static_cast<unsigned long long>(agg->total_aborts),
                      agg->avg_throughput, agg->avg_abort_rate, agg->avg_p50,
                      agg->avg_p95, agg->avg_p99, agg->deadlocked_runs,
-                     agg->budget_exhausted_runs, agg->gave_up_runs);
+                     agg->budget_exhausted_runs, agg->gave_up_runs,
+                     static_cast<unsigned long long>(agg->total_shared_grants),
+                     static_cast<unsigned long long>(agg->total_upgrades),
+                     static_cast<unsigned long long>(
+                         agg->total_upgrade_aborts));
       }
     }
   }
@@ -947,12 +1049,16 @@ int main(int argc, char** argv) {
       if (!agg.ok()) continue;
       std::printf(
           "  %-10s committed %d/%d, deadlocked %d, budget %d, gave-up %d, "
-          "aborts %llu, avg makespan %.0f\n",
+          "aborts %llu, avg makespan %.0f, shared grants %llu, "
+          "upgrades %llu, upgrade aborts %llu\n",
           ConflictPolicyName(policy), agg->committed_runs, agg->runs,
           agg->deadlocked_runs, agg->budget_exhausted_runs,
           agg->gave_up_runs,
           static_cast<unsigned long long>(agg->total_aborts),
-          agg->avg_makespan);
+          agg->avg_makespan,
+          static_cast<unsigned long long>(agg->total_shared_grants),
+          static_cast<unsigned long long>(agg->total_upgrades),
+          static_cast<unsigned long long>(agg->total_upgrade_aborts));
     }
   }
   if (report.ok()) return report->safe_and_deadlock_free ? 0 : 1;
