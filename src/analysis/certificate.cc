@@ -1,0 +1,256 @@
+#include "analysis/certificate.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/hash_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "graph/algorithms.h"
+
+namespace wydb {
+namespace {
+
+uint64_t FnvBytes(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return MixHash64(h);
+}
+
+std::string Hex16(uint64_t v) { return StrFormat("%016llx", (unsigned long long)v); }
+
+bool ParseHex16(const std::string& s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 16);
+  return end == s.c_str() + 16;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+/// Replays the §5 conflict-arc rule over a schedule of `sys` and returns
+/// the resulting D(S') — an implementation independent of the search
+/// engines, so it can countersign their witnesses.
+Digraph ReplayConflictDigraph(const TransactionSystem& sys,
+                              const Schedule& sched) {
+  const int n = sys.num_transactions();
+  Digraph d(n);
+  std::vector<std::vector<bool>> executed(n);
+  for (int t = 0; t < n; ++t) executed[t].assign(sys.txn(t).num_steps(), false);
+  for (GlobalNode g : sched) {
+    const Step& st = sys.txn(g.txn).step(g.node);
+    if (st.kind == StepKind::kLock) {
+      for (int j : sys.AccessorsOf(st.entity)) {
+        if (j == g.txn) continue;
+        if (!LockModesConflict(st.mode, sys.txn(j).LockModeOf(st.entity))) {
+          continue;
+        }
+        NodeId lj = sys.txn(j).LockNode(st.entity);
+        if (executed[j][lj]) {
+          d.AddArc(j, g.txn);
+        } else {
+          d.AddArc(g.txn, j);
+        }
+      }
+    }
+    executed[g.txn][g.node] = true;
+  }
+  d.DeduplicateArcs();
+  return d;
+}
+
+}  // namespace
+
+CertificateBundle MakeCertificate(const SystemKey& key,
+                                  const SafetyReport& report) {
+  CertificateBundle b;
+  b.certified = report.holds;
+  b.canonical_text = key.text;
+  b.key_hash = key.hash;
+  b.key_complete = key.complete;
+  b.states_visited = report.states_visited;
+  b.states_interned = report.states_interned;
+  if (!report.holds && report.violation.has_value()) {
+    std::vector<int> slot_of(key.txn_perm.size());
+    for (size_t slot = 0; slot < key.txn_perm.size(); ++slot) {
+      slot_of[key.txn_perm[slot]] = static_cast<int>(slot);
+    }
+    for (GlobalNode g : report.violation->schedule) {
+      b.witness.emplace_back(slot_of[g.txn], g.node);
+    }
+    for (int t : report.violation->txn_cycle) b.cycle.push_back(slot_of[t]);
+  }
+  return b;
+}
+
+std::string SerializeCertificate(const CertificateBundle& bundle) {
+  std::string body = "wydb-certificate v1\n";
+  body += StrFormat("certified: %s\n", bundle.certified ? "yes" : "no");
+  body += "key-hash: " + Hex16(bundle.key_hash) + "\n";
+  body += StrFormat("key-complete: %s\n", bundle.key_complete ? "yes" : "no");
+  body += StrFormat("states-visited: %llu\n",
+                    (unsigned long long)bundle.states_visited);
+  body += StrFormat("states-interned: %llu\n",
+                    (unsigned long long)bundle.states_interned);
+  if (!bundle.witness.empty()) {
+    body += "witness:";
+    for (const auto& [slot, node] : bundle.witness) {
+      body += StrFormat(" %d.%d", slot, node);
+    }
+    body += "\n";
+  }
+  if (!bundle.cycle.empty()) {
+    body += "cycle:";
+    for (int slot : bundle.cycle) body += StrFormat(" %d", slot);
+    body += "\n";
+  }
+  body += "canonical-system-begin\n";
+  body += bundle.canonical_text;
+  body += "canonical-system-end\n";
+  return body + "fingerprint: " + Hex16(FnvBytes(body)) + "\n";
+}
+
+Result<CertificateBundle> ParseCertificate(const std::string& text) {
+  auto bad = [](const std::string& msg) {
+    return Status::InvalidArgument("certificate: " + msg);
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "wydb-certificate v1") {
+    return bad("missing 'wydb-certificate v1' header");
+  }
+  CertificateBundle b;
+  std::string body = line + "\n";
+  bool saw_certified = false;
+  bool saw_system = false;
+  bool saw_fingerprint = false;
+  uint64_t fingerprint = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("fingerprint: ", 0) == 0) {
+      if (!ParseHex16(line.substr(13), &fingerprint)) {
+        return bad("malformed fingerprint");
+      }
+      saw_fingerprint = true;
+      break;
+    }
+    body += line + "\n";
+    if (line.rfind("certified: ", 0) == 0) {
+      const std::string v = line.substr(11);
+      if (v != "yes" && v != "no") return bad("certified must be yes|no");
+      b.certified = v == "yes";
+      saw_certified = true;
+    } else if (line.rfind("key-hash: ", 0) == 0) {
+      if (!ParseHex16(line.substr(10), &b.key_hash)) {
+        return bad("malformed key-hash");
+      }
+    } else if (line.rfind("key-complete: ", 0) == 0) {
+      b.key_complete = line.substr(14) == "yes";
+    } else if (line.rfind("states-visited: ", 0) == 0) {
+      if (!ParseU64(line.substr(16), &b.states_visited)) {
+        return bad("malformed states-visited");
+      }
+    } else if (line.rfind("states-interned: ", 0) == 0) {
+      if (!ParseU64(line.substr(17), &b.states_interned)) {
+        return bad("malformed states-interned");
+      }
+    } else if (line.rfind("witness:", 0) == 0) {
+      std::istringstream toks(line.substr(8));
+      std::string tok;
+      while (toks >> tok) {
+        size_t dot = tok.find('.');
+        uint64_t slot = 0;
+        uint64_t node = 0;
+        if (dot == std::string::npos || !ParseU64(tok.substr(0, dot), &slot) ||
+            !ParseU64(tok.substr(dot + 1), &node)) {
+          return bad("malformed witness token '" + tok + "'");
+        }
+        b.witness.emplace_back(static_cast<int>(slot),
+                               static_cast<NodeId>(node));
+      }
+    } else if (line.rfind("cycle:", 0) == 0) {
+      std::istringstream toks(line.substr(6));
+      std::string tok;
+      while (toks >> tok) {
+        uint64_t slot = 0;
+        if (!ParseU64(tok, &slot)) {
+          return bad("malformed cycle token '" + tok + "'");
+        }
+        b.cycle.push_back(static_cast<int>(slot));
+      }
+    } else if (line == "canonical-system-begin") {
+      std::string sys_text;
+      bool closed = false;
+      while (std::getline(in, line)) {
+        body += line + "\n";
+        if (line == "canonical-system-end") {
+          closed = true;
+          break;
+        }
+        sys_text += line + "\n";
+      }
+      if (!closed) return bad("unterminated canonical system block");
+      b.canonical_text = std::move(sys_text);
+      saw_system = true;
+    } else {
+      return bad("unknown line '" + line + "'");
+    }
+  }
+  if (!saw_fingerprint) return bad("missing fingerprint line");
+  if (!saw_certified) return bad("missing certified line");
+  if (!saw_system) return bad("missing canonical system block");
+  if (FnvBytes(body) != fingerprint) {
+    return bad("fingerprint mismatch (corrupted or edited)");
+  }
+  return b;
+}
+
+Result<SafetyViolation> ValidateViolation(const TransactionSystem& sys,
+                                          Schedule sched) {
+  WYDB_RETURN_IF_ERROR(
+      ValidateSchedule(sys, sched, /*require_complete=*/false));
+  Digraph replayed = ReplayConflictDigraph(sys, sched);
+  std::vector<NodeId> cycle = FindCycle(replayed);
+  if (cycle.empty()) {
+    return Status::InvalidArgument(
+        "witness schedule replays to an acyclic conflict digraph");
+  }
+  return SafetyViolation{std::move(sched),
+                         std::vector<int>(cycle.begin(), cycle.end())};
+}
+
+Result<SafetyViolation> RealizeWitness(const CertificateBundle& bundle,
+                                       const SystemKey& key,
+                                       const TransactionSystem& sys) {
+  if (bundle.certified) {
+    return Status::FailedPrecondition(
+        "certificate is a certification, not a refutation");
+  }
+  if (key.text != bundle.canonical_text) {
+    return Status::InvalidArgument(
+        "certificate was issued for a different canonical system");
+  }
+  const int n = sys.num_transactions();
+  Schedule sched;
+  sched.reserve(bundle.witness.size());
+  for (const auto& [slot, node] : bundle.witness) {
+    if (slot < 0 || slot >= n) {
+      return Status::InvalidArgument("witness slot out of range");
+    }
+    const int txn = key.txn_perm[slot];
+    if (node < 0 || node >= sys.txn(txn).num_steps()) {
+      return Status::InvalidArgument("witness node out of range");
+    }
+    sched.push_back(GlobalNode{txn, node});
+  }
+  return ValidateViolation(sys, std::move(sched));
+}
+
+}  // namespace wydb

@@ -1,0 +1,74 @@
+// First-class, serializable analysis results (docs/SERVE.md).
+//
+// A CertificateBundle packages a safe+deadlock-freedom verdict with the
+// canonical form of the system it was decided for, the witness (when
+// refuted) in canonical coordinates, and enough search metadata to audit
+// the run. Bundles are produced by `wydb_analyze --certificate`, cached
+// and served by `wydb_serve`, and replayed in tests; because the witness
+// is stored against the canonical system, one bundle serves every
+// renamed/permuted resubmission of the same system.
+#ifndef WYDB_ANALYSIS_CERTIFICATE_H_
+#define WYDB_ANALYSIS_CERTIFICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/safety_checker.h"
+#include "common/result.h"
+#include "core/canonical.h"
+#include "core/schedule.h"
+#include "core/system.h"
+
+namespace wydb {
+
+struct CertificateBundle {
+  bool certified = false;  ///< Safe and deadlock-free.
+  /// Canonical .wydb text of the certified system (SystemKey::text).
+  std::string canonical_text;
+  uint64_t key_hash = 0;
+  bool key_complete = true;
+  uint64_t states_visited = 0;
+  uint64_t states_interned = 0;
+  /// Refuted only: the violating partial schedule, as (canonical
+  /// transaction slot, node id) pairs, and the D(S') cycle as canonical
+  /// slots. Empty when certified.
+  std::vector<std::pair<int, NodeId>> witness;
+  std::vector<int> cycle;
+};
+
+/// Packages a report decided for the system behind `key` (witness
+/// coordinates are translated through key.txn_perm into canonical slots).
+CertificateBundle MakeCertificate(const SystemKey& key,
+                                  const SafetyReport& report);
+
+/// Line format with a trailing `fingerprint:` integrity line.
+std::string SerializeCertificate(const CertificateBundle& bundle);
+
+/// Parses and verifies the fingerprint; InvalidArgument on tampering or
+/// syntax errors.
+Result<CertificateBundle> ParseCertificate(const std::string& text);
+
+/// Validates that `sched` is a legal partial schedule of `sys` whose
+/// replayed conflict digraph D(S') is cyclic, via an arc replay
+/// independent of the search engines. Returns the violation with the
+/// freshly found cycle; InvalidArgument otherwise. This is the
+/// countersignature every served witness passes through.
+Result<SafetyViolation> ValidateViolation(const TransactionSystem& sys,
+                                          Schedule sched);
+
+/// Maps the bundle's canonical witness onto concrete system `sys`, whose
+/// canonical key must be `key` (i.e. key.text == bundle.canonical_text),
+/// and *revalidates* it: the schedule must be legal for `sys` and its
+/// replayed conflict digraph cyclic. The returned violation is therefore
+/// trustworthy even if the bundle came from disk. FailedPrecondition when
+/// the bundle is not a refutation; InvalidArgument when validation fails
+/// (callers fall back to a fresh search).
+Result<SafetyViolation> RealizeWitness(const CertificateBundle& bundle,
+                                       const SystemKey& key,
+                                       const TransactionSystem& sys);
+
+}  // namespace wydb
+
+#endif  // WYDB_ANALYSIS_CERTIFICATE_H_

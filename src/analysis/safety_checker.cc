@@ -18,6 +18,19 @@
 namespace wydb {
 namespace {
 
+/// True once the (optional) wall-clock deadline has passed.
+bool DeadlineExpired(const SafetyCheckOptions& options) {
+  return options.deadline != std::chrono::steady_clock::time_point{} &&
+         std::chrono::steady_clock::now() >= options.deadline;
+}
+
+Status DeadlineError() {
+  return Status::ResourceExhausted("safety check deadline exceeded");
+}
+
+/// How often the serial engines poll the deadline, in popped states.
+constexpr uint64_t kDeadlineStride = 2048;
+
 /// True iff transaction `t` lies on a cycle of the packed row-major arc
 /// bitset (one row of `row_words` words per transaction): bitset BFS from
 /// t's successor row until it reaches t or stops growing. `reach` and
@@ -240,6 +253,10 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
           "safety check exceeded %llu states",
           static_cast<unsigned long long>(options_.max_states)));
     }
+    if (report.states_visited % kDeadlineStride == 1 &&
+        DeadlineExpired(options_)) {
+      return DeadlineError();
+    }
 
     Digraph arcs = ArcsDigraph(s);
     std::vector<NodeId> cycle = FindCycle(arcs);
@@ -387,6 +404,15 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
   std::memcpy(store.MutableAuxOf(root), aux_buf.data(),
               lay_.aux_words_ * sizeof(uint64_t));
 
+  // Delta gate (docs/SERVE.md): with the system minus txn `delta` known
+  // safe+DF, no reachable state with `delta` idle can be cyclic, so
+  // children of delta-idle parents reached by non-delta moves skip the
+  // cycle test. Idleness is one word-range scan of the parent's exec
+  // block for `delta`.
+  const int delta = options_.delta_txn;
+  const int delta_off = delta >= 0 ? space_.txn_word_offset(delta) : 0;
+  const int delta_cnt = delta >= 0 ? space_.txn_word_count(delta) : 0;
+
   std::vector<GlobalNode> moves;
   moves.reserve(64);
   for (uint32_t head = 0; head < store.size(); ++head) {
@@ -396,6 +422,10 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
       return Status::ResourceExhausted(StrFormat(
           "safety check exceeded %llu states",
           static_cast<unsigned long long>(options_.max_states)));
+    }
+    if (report.states_visited % kDeadlineStride == 1 &&
+        DeadlineExpired(options_)) {
+      return DeadlineError();
     }
 
     if ((store.AuxOf(head)[lay_.flag_word_] & 1) != 0) {
@@ -438,9 +468,27 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
       std::memcpy(lay_.Arcs(key_buf.data()), lay_.Arcs(store.KeyOf(head)),
                   lay_.arc_words_ * sizeof(uint64_t));
       aux_buf[lay_.flag_word_] = 0;
-      if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(head), g,
-                                    lay_.row_words_, lay_.Arcs(key_buf.data()),
-                                    reach_, frontier_)) {
+      bool skip_cycle_test = false;
+      if (delta >= 0 && g.txn != delta) {
+        skip_cycle_test = true;
+        const uint64_t* parent_key = store.KeyOf(head);
+        for (int w = 0; w < delta_cnt; ++w) {
+          if (parent_key[delta_off + w] != 0) {
+            skip_cycle_test = false;
+            break;
+          }
+        }
+      }
+      if (skip_cycle_test) {
+        // Child stays delta-idle, hence acyclic by the gate's
+        // precondition; the arcs must still accrue.
+        ApplyLockArcs(space_, store.KeyOf(head), g, lay_.row_words_,
+                      lay_.Arcs(key_buf.data()));
+        ++report.delta_skipped_tests;
+      } else if (ApplyLockArcsAndTestCycle(space_, store.KeyOf(head), g,
+                                           lay_.row_words_,
+                                           lay_.Arcs(key_buf.data()), reach_,
+                                           frontier_)) {
         aux_buf[lay_.flag_word_] |= 1;
       }
 
@@ -537,6 +585,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
 
   size_t level_begin = 0;
   while (level_begin < store.size()) {
+    if (DeadlineExpired(options_)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
 
@@ -774,6 +823,7 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
 
   size_t level_begin = 0;
   while (level_begin < store.size()) {
+    if (DeadlineExpired(options_)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
 
@@ -891,6 +941,21 @@ Result<SafetyReport> RunSearch(const TransactionSystem& sys,
                                const SafetyCheckOptions& options,
                                bool require_complete) {
   WYDB_RETURN_IF_ERROR(ValidateStoreOptions(options, options.engine));
+  if (options.delta_txn >= 0) {
+    if (options.delta_txn >= sys.num_transactions()) {
+      return Status::InvalidArgument(
+          StrFormat("delta_txn %d out of range (system has %d transactions)",
+                    options.delta_txn, sys.num_transactions()));
+    }
+    if (options.engine != SearchEngine::kIncremental) {
+      return Status::InvalidArgument(
+          "delta_txn requires the incremental engine");
+    }
+    if (require_complete) {
+      return Status::InvalidArgument(
+          "delta_txn applies to the safe+deadlock-free check only");
+    }
+  }
   if (options.engine == SearchEngine::kNaiveReference) {
     LemmaSearchNaive search(sys, options, require_complete);
     return search.Run();

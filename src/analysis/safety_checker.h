@@ -12,6 +12,7 @@
 #ifndef WYDB_ANALYSIS_SAFETY_CHECKER_H_
 #define WYDB_ANALYSIS_SAFETY_CHECKER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,6 +39,19 @@ struct SafetyCheckOptions {
   /// (kCompact: kParallelSharded only — reduced witness replay reads
   /// ancestor keys, which compaction discards).
   StoreOptions store;
+  /// Wall-clock abort point; default-constructed (epoch) = no deadline.
+  /// Overruns return ResourceExhausted, like max_states. Checked every
+  /// ~2048 popped states by the serial engines and once per BFS level by
+  /// the level-synchronous ones.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Incremental-recertification gate (docs/SERVE.md): when >= 0, names
+  /// a transaction T such that the system minus T is already known safe
+  /// and deadlock-free. Any reachable cyclic D(S') then has a step of T
+  /// executed, so cycle tests are skipped (and their cost saved) for
+  /// children of T-idle states reached by non-T moves. Sound ONLY under
+  /// that precondition; requires kIncremental and CheckSafeAndDeadlockFree
+  /// (rejected elsewhere). The verdict is bit-identical to a full run.
+  int delta_txn = -1;
 };
 
 struct SafetyViolation {
@@ -61,6 +75,8 @@ struct SafetyReport {
   /// Expansions skipped by kReduced's persistent-move (sleep-set)
   /// pruning; 0 for the exhaustive engines.
   uint64_t sleep_set_pruned = 0;
+  /// Cycle tests elided by the delta_txn gate; 0 unless delta_txn >= 0.
+  uint64_t delta_skipped_tests = 0;
   /// Memory-side cost metrics (--stats; DESIGN.md §9). Total store
   /// bytes, of which the key/aux/record arenas and the probe tables.
   /// Zero for kNaiveReference (no instrumented store).

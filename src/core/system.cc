@@ -15,6 +15,16 @@ Result<TransactionSystem> TransactionSystem::Create(
           "transaction '" + t.name() + "' is bound to a different database");
     }
   }
+  // Names identify transactions in witnesses, stats lines and cache keys;
+  // duplicates would make all three ambiguous.
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (size_t j = i + 1; j < txns.size(); ++j) {
+      if (txns[i].name() == txns[j].name()) {
+        return Status::InvalidArgument("duplicate transaction name '" +
+                                       txns[i].name() + "'");
+      }
+    }
+  }
   TransactionSystem sys;
   sys.db_ = db;
   sys.txns_ = std::move(txns);

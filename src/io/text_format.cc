@@ -1,7 +1,9 @@
 #include "io/text_format.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -23,19 +25,42 @@ std::vector<std::string> Tokens(const std::string& s) {
 }
 
 /// Parses a non-negative SimTime token; false on garbage or values large
-/// enough to wrap the accumulator.
+/// enough to wrap the accumulator. The guard must account for the incoming
+/// digit: at value == max/10 a final digit above max%10 still wraps.
 bool ParseSimTime(const std::string& tok, SimTime* out) {
   if (tok.empty()) return false;
   SimTime value = 0;
   for (char c : tok) {
     if (c < '0' || c > '9') return false;
-    if (value > std::numeric_limits<SimTime>::max() / 10) {
+    const SimTime digit = static_cast<SimTime>(c - '0');
+    if (value > (std::numeric_limits<SimTime>::max() - digit) / 10) {
       return false;  // Would wrap.
     }
-    value = value * 10 + static_cast<SimTime>(c - '0');
+    value = value * 10 + digit;
   }
   *out = value;
   return true;
+}
+
+/// Parses a 1-based step ordinal (capped well below INT_MAX so arithmetic
+/// on it can't overflow).
+bool ParseOrdinal(const std::string& s, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  int v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses an explicit precedence token '<i>-><j>' (1-based step ordinals).
+bool ParseArcToken(const std::string& tok, int* from, int* to) {
+  size_t pos = tok.find("->");
+  if (pos == std::string::npos) return false;
+  return ParseOrdinal(tok.substr(0, pos), from) &&
+         ParseOrdinal(tok.substr(pos + 2), to);
 }
 
 }  // namespace
@@ -137,6 +162,14 @@ Result<WorkloadSpec> ParseWorkload(const std::string& text) {
       t.name = toks[1].substr(0, toks[1].size() - 1);
       t.line = lineno;
       if (t.name.empty()) return LineError(lineno, "empty transaction name");
+      for (const PendingTxn& prev : pending) {
+        if (prev.name == t.name) {
+          return LineError(
+              lineno, StrFormat("duplicate transaction '%s' (first defined "
+                                "at line %d)",
+                                t.name.c_str(), prev.line));
+        }
+      }
       t.segments.emplace_back();
       for (size_t i = 2; i < toks.size(); ++i) {
         if (toks[i] == ";") {
@@ -177,9 +210,26 @@ Result<WorkloadSpec> ParseWorkload(const std::string& text) {
     TransactionBuilder b(out.db.get(), p.name);
     b.set_auto_site_chain(false);
     bool any = false;
+    // Explicit '<i>-><j>' precedence tokens, as 1-based ordinals over the
+    // step tokens of this txn line (in order of appearance, across
+    // segments). Collected first so arcs may reference later steps.
+    std::vector<std::pair<int, int>> arc_ordinals;
+    std::vector<int> ordinal_to_step;  // 1-based ordinal - 1 -> builder idx.
     for (const auto& segment : p.segments) {
       int prev = -1;
       for (const std::string& tok : segment) {
+        if (tok[0] >= '0' && tok[0] <= '9') {
+          int from = 0;
+          int to = 0;
+          if (!ParseArcToken(tok, &from, &to)) {
+            return LineError(p.line,
+                             "bad arc token '" + tok +
+                                 "' (want <i>-><j> with 1-based step "
+                                 "ordinals)");
+          }
+          arc_ordinals.emplace_back(from, to);
+          continue;  // Arc tokens do not participate in segment chaining.
+        }
         if (tok.size() < 2 ||
             (tok[0] != 'L' && tok[0] != 'S' && tok[0] != 'U')) {
           return LineError(p.line,
@@ -192,10 +242,25 @@ Result<WorkloadSpec> ParseWorkload(const std::string& text) {
                                   : b.Unlock(entity);
         if (prev >= 0) b.Arc(prev, cur);
         prev = cur;
+        ordinal_to_step.push_back(cur);
         any = true;
       }
     }
     if (!any) return LineError(p.line, "transaction with no steps");
+    const int num_steps = static_cast<int>(ordinal_to_step.size());
+    for (const auto& [from, to] : arc_ordinals) {
+      if (from < 1 || from > num_steps || to < 1 || to > num_steps) {
+        return LineError(
+            p.line, StrFormat("arc %d->%d out of range (transaction has %d "
+                              "steps)",
+                              from, to, num_steps));
+      }
+      if (from == to) {
+        return LineError(p.line,
+                         StrFormat("arc %d->%d is a self-loop", from, to));
+      }
+      b.Arc(ordinal_to_step[from - 1], ordinal_to_step[to - 1]);
+    }
     auto built = b.Build();
     if (!built.ok()) {
       return LineError(
@@ -258,7 +323,52 @@ std::string SerializeWorkload(const TransactionSystem& sys,
   for (int i = 0; i < sys.num_transactions(); ++i) {
     const Transaction& t = sys.txn(i);
     out += "txn " + t.name() + ":";
-    for (NodeId v : t.SomeLinearExtension()) out += " " + t.StepLabel(v);
+    // Decompose the Hasse diagram into chains: walk a fixed linear
+    // extension and append each node to the first chain whose tail has a
+    // Hasse arc to it. Within-chain adjacency then encodes exactly those
+    // Hasse arcs; the remaining (cross-chain) Hasse arcs are emitted as
+    // explicit '<i>-><j>' tokens so parse∘serialize is the identity on the
+    // step partial order. A totally ordered transaction is a single chain
+    // with no leftover arcs, so its serialization is unchanged.
+    const Digraph hasse = t.HasseDiagram();
+    std::vector<std::vector<NodeId>> chains;
+    for (NodeId v : t.SomeLinearExtension()) {
+      bool placed = false;
+      for (auto& chain : chains) {
+        if (hasse.HasArc(chain.back(), v)) {
+          chain.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) chains.push_back({v});
+    }
+    // 1-based ordinal of each node in the emitted token stream, and the
+    // chain successor covered by segment chaining.
+    std::vector<int> ordinal(t.num_steps(), 0);
+    std::vector<NodeId> chain_succ(t.num_steps(), kInvalidNode);
+    int next_ordinal = 1;
+    for (const auto& chain : chains) {
+      for (size_t k = 0; k < chain.size(); ++k) {
+        ordinal[chain[k]] = next_ordinal++;
+        if (k + 1 < chain.size()) chain_succ[chain[k]] = chain[k + 1];
+      }
+    }
+    for (size_t c = 0; c < chains.size(); ++c) {
+      if (c > 0) out += " ;";
+      for (NodeId v : chains[c]) out += " " + t.StepLabel(v);
+    }
+    for (const auto& chain : chains) {
+      for (NodeId v : chain) {
+        std::vector<NodeId> heads = hasse.OutNeighbors(v);
+        std::sort(heads.begin(), heads.end(),
+                  [&](NodeId a, NodeId b) { return ordinal[a] < ordinal[b]; });
+        for (NodeId w : heads) {
+          if (w == chain_succ[v]) continue;
+          out += StrFormat(" %d->%d", ordinal[v], ordinal[w]);
+        }
+      }
+    }
     out += "\n";
   }
   return out;

@@ -18,8 +18,16 @@
 //                                                within a segment are
 //                                                chained, segments are
 //                                                mutually unordered )
+//   txn <txn-name>: <step> ... <i>-><j> ...    ( '<i>-><j>' adds an explicit
+//                                                precedence arc between the
+//                                                i-th and j-th step tokens
+//                                                of the line, 1-based in
+//                                                order of appearance across
+//                                                segments; forward
+//                                                references are fine )
 //
-// A step is 'L<entity>' or 'U<entity>', e.g. "Lx" "Uaccount_7".
+// A step is 'L<entity>' or 'U<entity>', e.g. "Lx" "Uaccount_7". Transaction
+// names must be unique within a file.
 #ifndef WYDB_IO_TEXT_FORMAT_H_
 #define WYDB_IO_TEXT_FORMAT_H_
 
@@ -52,9 +60,11 @@ Result<WorkloadSpec> ParseWorkload(const std::string& text);
 /// placement, if any, rides along in OwnedSystem::placement).
 Result<OwnedSystem> ParseSystem(const std::string& text);
 
-/// Renders a system back into the text format (totally-ordered
-/// transactions round-trip exactly; partial orders are emitted as one
-/// segment per maximal chain of a topological order and may gain order).
+/// Renders a system back into the text format. parse∘serialize is the
+/// identity on the step partial order: each transaction is emitted as
+/// ';'-separated chains of its Hasse diagram plus explicit '<i>-><j>' arc
+/// tokens for the cross-chain Hasse arcs. Totally ordered transactions
+/// serialize as a single plain chain, exactly as before.
 std::string SerializeSystem(const TransactionSystem& sys);
 
 /// As SerializeSystem, but also emits `sites`, `copies` and `latency`

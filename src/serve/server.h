@@ -1,0 +1,98 @@
+// Long-running analysis server (docs/SERVE.md): certify / simulate /
+// stats / quit over a line protocol, with a canonical-key verdict cache,
+// single-transaction incremental recertification, per-request resource
+// budgets, and malformed-request isolation (one bad request never kills
+// the stream).
+#ifndef WYDB_SERVE_SERVER_H_
+#define WYDB_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/safety_checker.h"
+#include "common/status.h"
+#include "serve/verdict_cache.h"
+
+namespace wydb {
+
+struct ServerOptions {
+  /// Per-request state budget for certifications (0 = unbounded).
+  uint64_t max_states = 5'000'000;
+  /// Default per-request wall-clock timeout in ms (0 = none). A request
+  /// may lower or raise its own with `timeout_ms=N`.
+  int timeout_ms = 0;
+  /// Verdict-cache capacity, in systems.
+  int cache_entries = 128;
+  /// Engine for full certifications (incremental recertification always
+  /// uses kIncremental, where the delta gate lives).
+  SearchEngine engine = SearchEngine::kIncremental;
+  int search_threads = 0;
+  /// Store memory mode for full runs on the sharded engines (DESIGN.md
+  /// §9). kCompact is rejected at startup: compacted verdicts are not
+  /// exact, and a serving cache must never launder a probabilistic
+  /// refutation into a certificate.
+  StoreOptions store;
+};
+
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t certify_requests = 0;
+  uint64_t simulate_requests = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Certifications answered without a full search: monotone shortcuts,
+  /// witness reuses, and delta-gated searches.
+  uint64_t incremental_certifications = 0;
+  uint64_t full_certifications = 0;
+  uint64_t monotone_shortcuts = 0;
+  uint64_t witness_reuses = 0;
+  uint64_t delta_searches = 0;
+  /// Cycle tests elided by the delta gate, summed over delta searches.
+  uint64_t delta_skipped_tests = 0;
+};
+
+class Server {
+ public:
+  /// Validates options (e.g. rejects kCompact).
+  static Result<Server> Create(const ServerOptions& options);
+
+  /// Serves requests from `in` until EOF or `quit`. Every response —
+  /// including errors — is terminated by a lone '.' line, and no request
+  /// terminates the loop except `quit`/EOF.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Certifies `text` (a .wydb workload) and caches the result, as a
+  /// `certify` request would; used by --preload and tests.
+  Status Preload(const std::string& text);
+
+  /// The greppable one-line stats rendering served for `stats`.
+  std::string StatsLine() const;
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  explicit Server(const ServerOptions& options);
+
+  /// Appends the response lines for one certify request (never fails:
+  /// failures become `error:` lines and count in stats_.errors).
+  void HandleCertify(const std::vector<std::string>& params,
+                     const std::string& payload,
+                     std::vector<std::string>* response);
+  void HandleSimulate(const std::vector<std::string>& params,
+                      const std::string& payload,
+                      std::vector<std::string>* response);
+  void RecordLatency(uint64_t micros);
+
+  ServerOptions options_;
+  VerdictCache cache_;
+  ServerStats stats_;
+  std::vector<uint64_t> latencies_;  ///< Ring of recent request latencies.
+  size_t latency_next_ = 0;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_SERVE_SERVER_H_

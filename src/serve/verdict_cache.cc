@@ -1,0 +1,125 @@
+#include "serve/verdict_cache.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "io/text_format.h"
+
+namespace wydb {
+
+SystemProfile ProfileOf(const TransactionSystem& sys) {
+  SystemProfile p;
+  const std::string raw = SerializeSystem(sys);
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    size_t eol = raw.find('\n', pos);
+    std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("txn ", 0) == 0) {
+      p.bodies.push_back(line.substr(line.find(':') + 1));
+    } else {
+      p.header += line + "\n";
+    }
+  }
+  for (int t = 0; t < sys.num_transactions(); ++t) {
+    p.names.push_back(sys.txn(t).name());
+  }
+  return p;
+}
+
+namespace {
+
+std::optional<DeltaMatch> MatchOne(const CacheEntry& entry,
+                                   const SystemProfile& request) {
+  const SystemProfile& cached = entry.profile;
+  if (cached.header != request.header) return std::nullopt;
+  const int ne = static_cast<int>(cached.bodies.size());
+  const int nr = static_cast<int>(request.bodies.size());
+  if (nr - ne != 1 && ne - nr != 1) return std::nullopt;
+
+  std::map<std::string, std::vector<int>> by_body;
+  for (int i = 0; i < nr; ++i) by_body[request.bodies[i]].push_back(i);
+
+  DeltaMatch m;
+  m.entry = &entry;
+  m.request_txn_of_entry.assign(ne, -1);
+  std::vector<int> unmatched_entry;
+  int matched = 0;
+  for (int i = 0; i < ne; ++i) {
+    auto it = by_body.find(cached.bodies[i]);
+    if (it == by_body.end() || it->second.empty()) {
+      unmatched_entry.push_back(i);
+      continue;
+    }
+    m.request_txn_of_entry[i] = it->second.back();
+    it->second.pop_back();
+    ++matched;
+  }
+  if (nr == ne + 1) {
+    if (!unmatched_entry.empty() || matched != ne) return std::nullopt;
+    for (const auto& [body, left] : by_body) {
+      if (!left.empty()) m.delta_index = left.front();
+    }
+    m.added = true;
+  } else {
+    if (unmatched_entry.size() != 1 || matched != nr) return std::nullopt;
+    m.delta_index = unmatched_entry[0];
+    m.removed = true;
+  }
+  return m;
+}
+
+}  // namespace
+
+const CacheEntry* VerdictCache::Find(const SystemKey& key) {
+  for (CacheEntry& e : entries_) {
+    if (e.key.hash == key.hash && e.key.text == key.text) {
+      e.last_used = ++tick_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<DeltaMatch> VerdictCache::FindDelta(
+    const SystemProfile& request) {
+  const CacheEntry* best = nullptr;
+  std::optional<DeltaMatch> best_match;
+  for (const CacheEntry& e : entries_) {
+    if (best != nullptr && e.last_used < best->last_used) continue;
+    std::optional<DeltaMatch> m = MatchOne(e, request);
+    if (m.has_value()) {
+      best = &e;
+      best_match = std::move(m);
+    }
+  }
+  return best_match;
+}
+
+void VerdictCache::Insert(SystemKey key, CertificateBundle bundle,
+                          SystemProfile profile) {
+  for (CacheEntry& e : entries_) {
+    if (e.key.hash == key.hash && e.key.text == key.text) {
+      e.bundle = std::move(bundle);
+      e.profile = std::move(profile);
+      e.last_used = ++tick_;
+      return;
+    }
+  }
+  if (capacity_ > 0 && static_cast<int>(entries_.size()) >= capacity_) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const CacheEntry& a, const CacheEntry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    entries_.erase(lru);
+  }
+  CacheEntry e;
+  e.key = std::move(key);
+  e.bundle = std::move(bundle);
+  e.profile = std::move(profile);
+  e.last_used = ++tick_;
+  entries_.push_back(std::move(e));
+}
+
+}  // namespace wydb

@@ -1,0 +1,81 @@
+// Verdict cache of the analysis server (docs/SERVE.md): canonical-key
+// exact lookup plus single-transaction delta matching against cached
+// systems, so resubmissions — permuted, renamed, or one transaction away
+// — reuse prior certification work.
+#ifndef WYDB_SERVE_VERDICT_CACHE_H_
+#define WYDB_SERVE_VERDICT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.h"
+#include "core/canonical.h"
+#include "core/system.h"
+
+namespace wydb {
+
+/// The textual shape of a system under its *own* names: the serialized
+/// site/entity header plus each transaction's serialized body (name
+/// stripped). Used for delta matching, which is purely textual — it fires
+/// when a request keeps a cached system's entity names and moves by one
+/// transaction. Renamed resubmissions are the canonical key's job.
+struct SystemProfile {
+  std::string header;
+  std::vector<std::string> bodies;  ///< Indexed by transaction.
+  std::vector<std::string> names;   ///< Transaction names, same index.
+};
+
+SystemProfile ProfileOf(const TransactionSystem& sys);
+
+struct CacheEntry {
+  SystemKey key;
+  CertificateBundle bundle;
+  SystemProfile profile;
+  uint64_t last_used = 0;
+};
+
+/// A request exactly one transaction away from a cache entry.
+struct DeltaMatch {
+  const CacheEntry* entry = nullptr;
+  bool added = false;    ///< Request = entry plus one transaction.
+  bool removed = false;  ///< Request = entry minus one transaction.
+  /// added: request index of the extra transaction.
+  /// removed: entry index of the missing transaction.
+  int delta_index = -1;
+  /// Entry transaction index -> request transaction index with an equal
+  /// body (-1 for the removed one). Transactions with equal bodies are
+  /// structurally interchangeable, so any body-respecting matching maps
+  /// witnesses correctly.
+  std::vector<int> request_txn_of_entry;
+};
+
+class VerdictCache {
+ public:
+  explicit VerdictCache(int capacity) : capacity_(capacity) {}
+
+  /// Exact canonical lookup (hash, then text); bumps LRU on hit. The
+  /// returned pointer (like DeltaMatch::entry) is invalidated by the next
+  /// Insert — consume it before inserting.
+  const CacheEntry* Find(const SystemKey& key);
+
+  /// Most-recently-used entry exactly one transaction away from the
+  /// request, if any.
+  std::optional<DeltaMatch> FindDelta(const SystemProfile& request);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// one at capacity.
+  void Insert(SystemKey key, CertificateBundle bundle, SystemProfile profile);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  std::vector<CacheEntry> entries_;
+  uint64_t tick_ = 0;
+  int capacity_;
+};
+
+}  // namespace wydb
+
+#endif  // WYDB_SERVE_VERDICT_CACHE_H_

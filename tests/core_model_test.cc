@@ -322,5 +322,20 @@ TEST(SystemTest, ForeignTransactionRejected) {
   EXPECT_FALSE(TransactionSystem::Create(db2.get(), std::move(txns)).ok());
 }
 
+TEST(SystemTest, DuplicateTransactionNamesRejected) {
+  // Names address transactions in witnesses, the server protocol, and
+  // the text format; two transactions sharing one would be ambiguous
+  // everywhere downstream.
+  auto db = MakeDb({{"s1", {"x", "y"}}});
+  std::vector<Transaction> txns;
+  txns.push_back(MakeSeq(db.get(), "T", {"Lx", "Ux"}));
+  txns.push_back(MakeSeq(db.get(), "T", {"Ly", "Uy"}));
+  auto sys = TransactionSystem::Create(db.get(), std::move(txns));
+  ASSERT_FALSE(sys.ok());
+  EXPECT_NE(sys.status().message().find("duplicate transaction name 'T'"),
+            std::string::npos)
+      << sys.status().ToString();
+}
+
 }  // namespace
 }  // namespace wydb

@@ -1,8 +1,15 @@
 // Tests for the workload text format and its round-tripping, including
-// the replication stanzas (`sites`, `copies`, `latency`).
+// the replication stanzas (`sites`, `copies`, `latency`), the arc-token
+// partial-order syntax, and the parse∘serialize identity on the step
+// partial order.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+
 #include "analysis/multi_analyzer.h"
+#include "analysis/safety_checker.h"
 #include "common/random.h"
 #include "gen/system_gen.h"
 #include "io/text_format.h"
@@ -359,6 +366,238 @@ TEST(TextFormatTest, RandomReplicatedWorkloadsRoundTrip) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Partial-order round-tripping (the lossy-linearization fix) and the
+// `<i>-><j>` arc-token syntax.
+
+// A transaction's Hasse arcs as step-label pairs; node ids may be
+// renumbered across a round trip, but each entity is accessed once, so
+// labels identify steps.
+std::set<std::pair<std::string, std::string>> HasseArcLabels(
+    const Transaction& t) {
+  std::set<std::pair<std::string, std::string>> arcs;
+  Digraph hasse = t.HasseDiagram();
+  for (NodeId v = 0; v < hasse.num_nodes(); ++v) {
+    for (NodeId w : hasse.OutNeighbors(v)) {
+      arcs.emplace(t.StepLabel(v), t.StepLabel(w));
+    }
+  }
+  return arcs;
+}
+
+TEST(TextFormatTest, TwoSegmentTxnRoundTripsTheExactPartialOrder) {
+  // Regression for the lossy serializer: a two-segment transaction used
+  // to come back totally ordered. The round trip must preserve the arc
+  // set exactly.
+  auto sys = ParseSystem(
+      "site s1: x\n"
+      "site s2: y\n"
+      "txn T: Lx Ux ; Ly Uy\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  std::string text = SerializeSystem(*sys->system);
+  auto again = ParseSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  EXPECT_EQ(HasseArcLabels(again->system->txn(0)),
+            HasseArcLabels(sys->system->txn(0)))
+      << text;
+  // The reparse must keep Lx and Ly incomparable — the exact structure
+  // the old serializer destroyed.
+  const Transaction& t = again->system->txn(0);
+  EXPECT_FALSE(t.Comparable(t.LockNode(again->db->FindEntity("x")),
+                            t.LockNode(again->db->FindEntity("y"))));
+}
+
+TEST(TextFormatTest, ArcTokensBuildTheDiamond) {
+  // La/Lb incomparable, both before both unlocks: segments give the two
+  // chains, arc tokens (1-based step ordinals) add the cross arcs.
+  auto sys = ParseSystem(
+      "site s1: a\n"
+      "site s2: b\n"
+      "txn T: La Ua ; Lb Ub 3->2 1->4\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  const Transaction& t = sys->system->txn(0);
+  const Database& db = *sys->db;
+  NodeId la = t.LockNode(db.FindEntity("a"));
+  NodeId lb = t.LockNode(db.FindEntity("b"));
+  NodeId ua = t.UnlockNode(db.FindEntity("a"));
+  NodeId ub = t.UnlockNode(db.FindEntity("b"));
+  EXPECT_FALSE(t.Comparable(la, lb));
+  EXPECT_FALSE(t.Comparable(ua, ub));
+  EXPECT_TRUE(t.Precedes(la, ub));
+  EXPECT_TRUE(t.Precedes(lb, ua));
+}
+
+TEST(TextFormatTest, DiamondRoundTripsWithIdenticalArcSet) {
+  auto sys = ParseSystem(
+      "site s1: a\n"
+      "site s2: b\n"
+      "txn T: La Ua ; Lb Ub 3->2 1->4\n");
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  std::string text = SerializeSystem(*sys->system);
+  auto again = ParseSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  EXPECT_EQ(HasseArcLabels(again->system->txn(0)),
+            HasseArcLabels(sys->system->txn(0)))
+      << text;
+}
+
+TEST(TextFormatTest, RandomPartialOrdersRoundTripExactly) {
+  // Random three-segment transactions (one per site) with random forward
+  // cross-segment arcs: arcs from a lower to a higher step ordinal in a
+  // different segment keep the order acyclic and the per-site chains
+  // intact, so every generated text is a valid partial order.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 6151);
+    std::string text =
+        "site s1: a\nsite s2: b\nsite s3: c\ntxn T: La Ua ; Lb Ub ; Lc Uc";
+    const auto segment_of = [](int ordinal) { return (ordinal - 1) / 2; };
+    for (int from = 1; from <= 6; ++from) {
+      for (int to = from + 1; to <= 6; ++to) {
+        if (segment_of(from) == segment_of(to)) continue;
+        if (rng.NextBelow(3) == 0) {
+          text += " " + std::to_string(from) + "->" + std::to_string(to);
+        }
+      }
+    }
+    text += "\n";
+    auto sys = ParseSystem(text);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString() << "\n" << text;
+    std::string rendered = SerializeSystem(*sys->system);
+    auto again = ParseSystem(rendered);
+    ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << rendered;
+    EXPECT_EQ(HasseArcLabels(again->system->txn(0)),
+              HasseArcLabels(sys->system->txn(0)))
+        << "seed " << seed << "\nsource:\n"
+        << text << "rendered:\n"
+        << rendered;
+  }
+}
+
+TEST(TextFormatTest, PreFixLinearizationPinned) {
+  // Pins what the lossy serializer used to do — and why it mattered.
+  // T1 is the 2PL diamond (locks a and b in either order, unlocks only
+  // after both); T2 locks a then b. The true system deadlocks (T1 grabs
+  // b first, T2 grabs a), so the exact checker refutes it.
+  const char* kTrue =
+      "site s1: a\n"
+      "site s2: b\n"
+      "txn T1: La Ua ; Lb Ub 3->2 1->4\n"
+      "txn T2: La Lb Ua Ub\n";
+  auto sys = ParseSystem(kTrue);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  auto verdict = CheckSafeAndDeadlockFree(*sys->system);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_FALSE(verdict->holds);
+
+  // The old serializer flattened T1 into one of its linear extensions.
+  // Under the reading "La Lb Ua Ub", both transactions acquire a before
+  // b and are 2PL — the flattened system is CERTIFIED. A round trip
+  // through the old format silently turned a refuted system into a
+  // certified one; that is the bug the arc tokens fix.
+  const char* kLossy =
+      "site s1: a\n"
+      "site s2: b\n"
+      "txn T1: La Lb Ua Ub\n"
+      "txn T2: La Lb Ua Ub\n";
+  auto lossy = ParseSystem(kLossy);
+  ASSERT_TRUE(lossy.ok()) << lossy.status().ToString();
+  auto lossy_verdict = CheckSafeAndDeadlockFree(*lossy->system);
+  ASSERT_TRUE(lossy_verdict.ok()) << lossy_verdict.status().ToString();
+  EXPECT_TRUE(lossy_verdict->holds);
+
+  // And the old rendering really was lossy: joining SomeLinearExtension
+  // labels (the pre-fix serializer) yields a totally ordered reparse,
+  // while the true T1 keeps its incomparable pairs.
+  const Transaction& t1 = sys->system->txn(0);
+  std::string flat = "site s1: a\nsite s2: b\ntxn T1:";
+  for (NodeId v : t1.SomeLinearExtension()) flat += " " + t1.StepLabel(v);
+  flat += "\n";
+  auto flat_sys = ParseSystem(flat);
+  ASSERT_TRUE(flat_sys.ok()) << flat_sys.status().ToString();
+  const Transaction& flat_t1 = flat_sys->system->txn(0);
+  int incomparable_true = 0;
+  int incomparable_flat = 0;
+  for (NodeId u = 0; u < t1.num_steps(); ++u) {
+    for (NodeId v = u + 1; v < t1.num_steps(); ++v) {
+      incomparable_true += t1.Comparable(u, v) ? 0 : 1;
+      incomparable_flat += flat_t1.Comparable(u, v) ? 0 : 1;
+    }
+  }
+  EXPECT_GT(incomparable_true, 0);
+  EXPECT_EQ(incomparable_flat, 0);
+}
+
+TEST(TextFormatTest, ArcTokenNegativeCases) {
+  struct Case {
+    const char* label;
+    const char* text;
+    const char* want;
+  };
+  const Case kCases[] = {
+      {"malformed arc token", "site s: x\ntxn T: Lx Ux 1-2\n",
+       "bad arc token"},
+      {"arc missing target", "site s: x\ntxn T: Lx Ux 1->\n",
+       "bad arc token"},
+      {"arc with garbage target", "site s: x\ntxn T: Lx Ux 1->y\n",
+       "bad arc token"},
+      {"arc out of range", "site s: x\ntxn T: Lx Ux 1->3\n",
+       "out of range"},
+      {"arc from ordinal zero", "site s: x\ntxn T: Lx Ux 0->1\n",
+       "out of range"},
+      {"arc self-loop", "site s: x\ntxn T: Lx Ux 2->2\n", "self-loop"},
+      {"arc creating a cycle", "site s: x\ntxn T: Lx Ux 2->1\n",
+       "transaction 'T'"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.label);
+    auto parsed = ParseSystem(c.text);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+        << "got: " << parsed.status().ToString();
+    EXPECT_NE(parsed.status().message().find(c.want), std::string::npos)
+        << "got: " << parsed.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Duplicate transaction names.
+
+TEST(TextFormatTest, DuplicateTxnNamesRejectedNamingBothLines) {
+  auto bad = ParseSystem(
+      "site s: x y\n"
+      "txn T: Lx Ux\n"
+      "txn U: Ly Uy\n"
+      "txn T: Ly Uy\n");
+  ASSERT_FALSE(bad.ok());
+  // The diagnostic names the duplicate's line AND the first definition.
+  EXPECT_NE(bad.status().message().find("line 4"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("duplicate transaction 'T'"),
+            std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+      << bad.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// SimTime parsing at the 64-bit boundary.
+
+TEST(TextFormatTest, LatencyParsesUpToExactly64Bits) {
+  // 2^64 - 1 is representable...
+  auto ok = ParseWorkload(
+      "site s: x\nlatency: 18446744073709551615 0 1\ntxn T: Lx Ux\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->latency.base, 18446744073709551615ull);
+  // ...2^64 is not. The old check accepted it and wrapped to 0: with
+  // value == max/10 before the final digit, `value > max/10` was false
+  // even though appending the digit overflows.
+  auto over = ParseWorkload(
+      "site s: x\nlatency: 18446744073709551616 0 1\ntxn T: Lx Ux\n");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("line 2"), std::string::npos)
+      << over.status().ToString();
 }
 
 }  // namespace

@@ -3,10 +3,11 @@
 
 1. Every relative markdown link in README.md, DESIGN.md and docs/*.md
    must resolve to an existing file or directory.
-2. The `wydb_analyze --help` text and the README CLI tour must agree:
-   every subcommand and every `--flag` the binary advertises appears in
+2. The `--help` texts and the README CLI tour must agree: every
+   subcommand and every `--flag` the binaries advertise appears in
    README.md, and every `--flag` the README documents is advertised by
-   the binary.
+   one of the binaries. The README documents both `wydb_analyze` and
+   `wydb_serve`, so this check needs both binaries to run.
 3. CLI smoke: misuse of the binary (no arguments, unknown subcommand or
    file, subcommand without a workload, flag without its value, unknown
    option) must exit nonzero and print usage to stderr — never crash or
@@ -15,11 +16,16 @@
    not certify safe + deadlock-free is refused (exit 2, "not certified"
    on stderr), while a certified workload runs it and prints exactly one
    deterministic `result:` line at MPL 1.
+4. Server smoke: `wydb_serve` flag misuse exits 2 with usage on stderr
+   (including the compact-encoding refusal), and a short scripted
+   stdin/stdout session exercises the line protocol: certify, exact
+   cache hit on resubmission, error isolation, stats, quit.
 
-Usage: tools/check_docs.py [path/to/wydb_analyze]
-Run from the repository root. The binary argument is optional; without
-it the help/README sync and CLI smoke checks are skipped (link checking
-still runs).
+Usage: tools/check_docs.py [path/to/wydb_analyze [path/to/wydb_serve]]
+Run from the repository root. The binary arguments are optional;
+without them the corresponding checks are skipped (link checking still
+runs), and help/README sync is skipped unless BOTH are given, since
+README flags are the union of the two binaries' flags.
 """
 
 import re
@@ -70,30 +76,38 @@ def check_links() -> list[str]:
     return errors
 
 
-def check_help_sync(binary: Path) -> list[str]:
+def check_help_sync(analyze: Path, serve: Path) -> list[str]:
     errors = []
     readme = (REPO / "README.md").read_text()
-    try:
-        help_text = subprocess.run(
-            [str(binary), "--help"],
-            capture_output=True,
-            text=True,
-            check=True,
-            timeout=30,
-        ).stdout
-    except (OSError, subprocess.SubprocessError) as exc:
-        return [f"cannot run {binary} --help: {exc}"]
+    help_texts = {}
+    for binary in (analyze, serve):
+        try:
+            help_texts[binary] = subprocess.run(
+                [str(binary), "--help"],
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            ).stdout
+        except (OSError, subprocess.SubprocessError) as exc:
+            return [f"cannot run {binary} --help: {exc}"]
 
-    for sub in set(SUBCOMMAND_RE.findall(help_text)):
+    for sub in set(SUBCOMMAND_RE.findall(help_texts[analyze])):
         if not re.search(rf"`{sub}`|wydb_analyze {sub}", readme):
             errors.append(f"subcommand '{sub}' in --help but not README.md")
 
-    help_flags = set(FLAG_RE.findall(help_text)) - {"--help"}
+    # README flags are the union over both binaries: the tours document
+    # each binary's own flags, and several (--engine, --max-states, ...)
+    # are deliberately shared.
+    help_flags = set()
+    for text in help_texts.values():
+        help_flags |= set(FLAG_RE.findall(text))
+    help_flags -= {"--help"}
     readme_flags = set(FLAG_RE.findall(readme)) - FLAG_ALLOWLIST
     for flag in sorted(help_flags - readme_flags):
         errors.append(f"flag '{flag}' in --help but not README.md")
     for flag in sorted(readme_flags - help_flags):
-        errors.append(f"flag '{flag}' in README.md but not --help")
+        errors.append(f"flag '{flag}' in README.md but not any --help")
     return errors
 
 
@@ -282,14 +296,108 @@ def check_cli_smoke(binary: Path) -> list[str]:
     return errors
 
 
+def check_serve_smoke(binary: Path) -> list[str]:
+    """wydb_serve misuse exits 2 with usage on stderr; a scripted
+    stdin/stdout session exercises the protocol end to end."""
+    certified = REPO / "tools" / "certified_workload.wydb"
+    misuse = [
+        (["--port"], "needs a value"),
+        (["--port", "0"], "1-65535"),
+        (["--max-states", "many"], "non-negative integer"),
+        (["--cache-entries", "0"], "at least 1"),
+        (["--engine", "bogus"],
+         "incremental, reference, parallel, or reduced"),
+        (["--store-encoding", "bogus"], "plain or delta"),
+        (["--store-encoding", "compact"], "refused"),
+        (["--preload"], "needs a value"),
+        # I/O failure, not flag misuse: exits 2 but without usage.
+        (["--preload", "/no/such/file.wydb", "--no-usage"], "cannot open"),
+        (["--no-such-option"], "unknown option"),
+    ]
+    errors = []
+    for args, want_stderr in misuse:
+        want_usage = "--no-usage" not in args
+        args = [a for a in args if a != "--no-usage"]
+        label = "wydb_serve " + " ".join(args)
+        try:
+            proc = subprocess.run(
+                [str(binary)] + args,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                stdin=subprocess.DEVNULL,
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            errors.append(f"{label}: failed to run: {exc}")
+            continue
+        if proc.returncode != 2:
+            errors.append(f"{label}: exit {proc.returncode}, want 2")
+        if want_stderr not in proc.stderr:
+            errors.append(f"{label}: stderr lacks '{want_stderr}'")
+        if want_usage and "usage" not in proc.stderr:
+            errors.append(f"{label}: stderr lacks usage")
+
+    # Protocol drive: certify the certified workload twice (the second
+    # must be an exact cache hit), interleave a malformed request that
+    # must not end the stream, and read the counters back.
+    workload = certified.read_text()
+    session = (
+        "certify\n" + workload + "end\n"
+        "certify\nsite s1: x\ntxn T: Lx Ux\ntxn T: Lx Ux\nend\n"
+        "certify\n" + workload + "end\n"
+        "stats\n"
+        "quit\n"
+    )
+    label = "wydb_serve <protocol session>"
+    try:
+        proc = subprocess.run(
+            [str(binary), "--preload", str(certified)],
+            input=session,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        return errors + [f"{label}: failed to run: {exc}"]
+    if proc.returncode != 0:
+        errors.append(f"{label}: exit {proc.returncode}, want 0")
+    out = proc.stdout
+    for want in [
+        "verdict: certified=yes source=cache",  # preloaded, so both hit
+        "error: line 3: duplicate transaction 'T' (first defined at "
+        "line 2)",
+        "echo: txn T: Lx Ux",
+        "cache_hits=2",
+        "errors=1",
+        "bye",
+    ]:
+        if want not in out:
+            errors.append(f"{label}: stdout lacks '{want}'")
+    dots = sum(1 for line in out.splitlines() if line == ".")
+    if dots != 5:
+        errors.append(
+            f"{label}: expected 5 '.'-terminated responses, saw {dots}"
+        )
+    return errors
+
+
 def main() -> int:
     errors = check_links()
-    if len(sys.argv) > 1:
-        errors += check_help_sync(Path(sys.argv[1]))
-        errors += check_cli_smoke(Path(sys.argv[1]))
+    analyze = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    serve = Path(sys.argv[2]) if len(sys.argv) > 2 else None
+    if analyze and serve:
+        errors += check_help_sync(analyze, serve)
     else:
-        print("note: no wydb_analyze binary given; skipping help sync "
-              "and CLI smoke checks")
+        print("note: need both wydb_analyze and wydb_serve for help "
+              "sync; skipping")
+    if analyze:
+        errors += check_cli_smoke(analyze)
+    else:
+        print("note: no wydb_analyze binary given; skipping CLI smoke")
+    if serve:
+        errors += check_serve_smoke(serve)
+    else:
+        print("note: no wydb_serve binary given; skipping server smoke")
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     if not errors:

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""CI smoke for wydb_serve: drive a live server end to end.
+
+Legs:
+1. certify a deadlocking workload (full search, refuted, witness);
+2. resubmit it with sites/entities/transactions renamed and reordered —
+   must be an exact cache hit, observable in the stats counters, with
+   the witness remapped onto the resubmission's own names;
+3. certify a certified base, then the base plus one transaction
+   (delta-gated incremental search) and a subset of a larger cached
+   system (monotone removal) — incremental counters must move;
+4. a malformed request (duplicate transaction name) mid-stream — the
+   server must answer an error with the offending line echoed and keep
+   serving;
+5. every certify verdict is cross-checked against `wydb_analyze
+   --exact` on the same workload (exit 0 = certified, 1 = refuted);
+6. a TCP leg: `--port` serves the same protocol over a socket.
+
+Usage: tools/serve_smoke.py path/to/wydb_serve path/to/wydb_analyze
+Exits nonzero with a named complaint on any mismatch.
+"""
+
+import random
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+DEADLOCK = (
+    "site s1: x\n"
+    "site s2: y\n"
+    "txn T1: Lx Ly Ux Uy\n"
+    "txn T2: Ly Lx Uy Ux\n"
+)
+
+# DEADLOCK with everything renamed and the transactions reordered:
+# isomorphic, so it must hit the cache.
+DEADLOCK_PERMUTED = (
+    "site a2: beta\n"
+    "site a1: alpha\n"
+    "txn B: Lbeta Lalpha Ubeta Ualpha\n"
+    "txn A: Lalpha Lbeta Ualpha Ubeta\n"
+)
+
+CERTIFIED_BASE = (
+    "site s1: x\n"
+    "site s2: y\n"
+    "txn T1: Lx Ly Ux Uy\n"
+    "txn T2: Lx Ly Ux Uy\n"
+)
+
+CERTIFIED_PLUS_ONE = CERTIFIED_BASE + "txn T3: Lx Ux\n"
+
+DUPLICATE = "site s1: x\ntxn T: Lx Ux\ntxn T: Lx Ux\n"
+
+ERRORS: list[str] = []
+
+
+def complain(msg: str) -> None:
+    ERRORS.append(msg)
+    print(f"serve_smoke: {msg}", file=sys.stderr)
+
+
+def analyze_verdict(analyze: Path, workload: str) -> bool:
+    """True iff `wydb_analyze --exact` certifies the workload."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".wydb", delete=False
+    ) as tmp:
+        tmp.write(workload)
+        path = tmp.name
+    proc = subprocess.run(
+        [str(analyze), path, "--exact"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode not in (0, 1):
+        complain(
+            f"wydb_analyze --exact exited {proc.returncode} on\n{workload}"
+        )
+    return proc.returncode == 0
+
+
+def split_responses(output: str) -> list[list[str]]:
+    """Splits a server transcript into '.'-terminated responses."""
+    responses, current = [], []
+    for line in output.splitlines():
+        if line == ".":
+            responses.append(current)
+            current = []
+        else:
+            current.append(line)
+    if current:
+        complain(f"trailing unterminated output: {current}")
+    return responses
+
+
+def response_field(response: list[str], prefix: str) -> str:
+    for line in response:
+        if line.startswith(prefix):
+            return line
+    return ""
+
+
+def expect(cond: bool, msg: str) -> None:
+    if not cond:
+        complain(msg)
+
+
+def run_pipe_session(serve: Path, analyze: Path) -> None:
+    certifies = [DEADLOCK, DEADLOCK_PERMUTED, CERTIFIED_BASE,
+                 CERTIFIED_PLUS_ONE]
+    session = (
+        f"certify\n{DEADLOCK}end\n"
+        f"certify\n{DEADLOCK_PERMUTED}end\n"
+        "stats\n"
+        f"certify\n{CERTIFIED_BASE}end\n"
+        f"certify\n{CERTIFIED_PLUS_ONE}end\n"
+        f"certify\n{DUPLICATE}end\n"
+        # A fresh server would full-search this; here the larger cached
+        # system answers it by monotone removal.
+        "stats\n"
+        "quit\n"
+    )
+    # The removal leg needs the base absent from the cache while the
+    # larger system is present, so run it on a second server below.
+    proc = subprocess.run(
+        [str(serve)],
+        input=session,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    expect(proc.returncode == 0, f"server exited {proc.returncode}")
+    responses = split_responses(proc.stdout)
+    expect(len(responses) == 8, f"expected 8 responses, got {len(responses)}")
+    if len(responses) != 8:
+        return
+    (full, cached, stats1, base, plus_one, malformed, stats2,
+     bye) = responses
+
+    verdict = response_field(full, "verdict: ")
+    expect("certified=no source=full" in verdict,
+           f"leg 1: want full refutation, got '{verdict}'")
+    expect(bool(response_field(full, "witness: ")), "leg 1: no witness")
+    expect(bool(response_field(full, "cycle: ")), "leg 1: no cycle")
+
+    verdict = response_field(cached, "verdict: ")
+    expect("certified=no source=cache" in verdict,
+           f"leg 2: want cache hit, got '{verdict}'")
+    witness = response_field(cached, "witness: ")
+    expect("A." in witness and "B." in witness,
+           f"leg 2: witness not remapped onto request names: '{witness}'")
+    stats_line = response_field(stats1, "stats: ")
+    expect("cache_hits=1" in stats_line,
+           f"leg 2: cache_hits not bumped: '{stats_line}'")
+
+    verdict = response_field(plus_one, "verdict: ")
+    expect("source=incremental" in verdict,
+           f"leg 3: +1 txn not incremental: '{verdict}'")
+
+    error = response_field(malformed, "error: ")
+    expect("duplicate transaction 'T'" in error,
+           f"leg 4: want duplicate-name error, got '{error}'")
+    expect(response_field(malformed, "echo: ") == "echo: txn T: Lx Ux",
+           "leg 4: offending line not echoed")
+
+    stats_line = response_field(stats2, "stats: ")
+    expect("errors=1" in stats_line,
+           f"leg 4: errors counter: '{stats_line}'")
+    expect("delta_searches=1" in stats_line,
+           f"leg 3: delta_searches counter: '{stats_line}'")
+    expect(bye == ["bye"], f"quit: got {bye}")
+
+    # Leg 5: server verdicts must agree with wydb_analyze --exact.
+    served = [full, cached, base, plus_one]
+    for workload, response in zip(certifies, served):
+        v = response_field(response, "verdict: ")
+        server_says = "certified=yes" in v
+        analyzer_says = analyze_verdict(analyze, workload)
+        expect(
+            server_says == analyzer_says,
+            f"verdict mismatch (server {v!r} vs --exact "
+            f"{'certified' if analyzer_says else 'refuted'}) on\n{workload}",
+        )
+
+    # Monotone-removal leg on a fresh server: cache the 3-txn system,
+    # then certify its 2-txn subset.
+    session = (
+        f"certify\n{CERTIFIED_PLUS_ONE}end\n"
+        f"certify\n{CERTIFIED_BASE}end\n"
+        "stats\nquit\n"
+    )
+    proc = subprocess.run(
+        [str(serve)], input=session, capture_output=True, text=True,
+        timeout=300,
+    )
+    responses = split_responses(proc.stdout)
+    expect(len(responses) == 4, "removal leg: expected 4 responses")
+    if len(responses) == 4:
+        verdict = response_field(responses[1], "verdict: ")
+        expect("certified=yes source=incremental states=0" in verdict,
+               f"removal leg: want monotone shortcut, got '{verdict}'")
+        stats_line = response_field(responses[2], "stats: ")
+        expect("monotone=1" in stats_line,
+               f"removal leg: monotone counter: '{stats_line}'")
+
+
+def run_tcp_session(serve: Path) -> None:
+    for _ in range(5):
+        port = random.randint(20000, 60000)
+        proc = subprocess.Popen(
+            [str(serve), "--port", str(port)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 10
+            sock = None
+            while time.time() < deadline and proc.poll() is None:
+                try:
+                    sock = socket.create_connection(
+                        ("127.0.0.1", port), timeout=2
+                    )
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            if sock is None:
+                continue  # Port taken or server died; retry another.
+            with sock:
+                sock.sendall(
+                    f"certify\n{DEADLOCK}end\nstats\nquit\n".encode()
+                )
+                sock.settimeout(30)
+                data = b""
+                while b"bye" not in data:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            text = data.decode()
+            expect("certified=no source=full" in text,
+                   f"tcp leg: verdict missing in {text!r}")
+            expect("stats: requests=" in text,
+                   f"tcp leg: stats missing in {text!r}")
+            expect("bye" in text, f"tcp leg: bye missing in {text!r}")
+            return
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    complain("tcp leg: could not establish a connection on any port")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    serve, analyze = Path(sys.argv[1]), Path(sys.argv[2])
+    run_pipe_session(serve, analyze)
+    run_tcp_session(serve)
+    if not ERRORS:
+        print("serve_smoke: OK (pipe + tcp sessions, verdicts "
+              "cross-checked against wydb_analyze --exact)")
+    return 1 if ERRORS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/certificate.h"
 #include "analysis/deadlock_checker.h"
 #include "analysis/early_unlock.h"
 #include "analysis/multi_analyzer.h"
@@ -82,6 +83,12 @@ Analysis options:
                      --store-encoding compact (sound refutations and
                      witnesses; "yes" verdicts carry a collision
                      probability bound, see --stats)
+  --certificate <file>  write the safe+deadlock-free verdict as a
+                     wydb-certificate v1 bundle (docs/SERVE.md): the
+                     canonical form of the system, the verdict, and the
+                     witness in canonical coordinates, fingerprinted;
+                     implies --exact and refuses --store-encoding
+                     compact (compacted verdicts are probabilistic)
   --optimize         run the early-unlock optimizer and print the result
   --simulate <runs>  simulate the workload <runs> times per policy
   --dump             echo the parsed system back in text format
@@ -787,6 +794,7 @@ int main(int argc, char** argv) {
   }
   bool pairs = false, exact = false, optimize = false, dump = false;
   bool stats = false, engine_set = false, allow_compaction = false;
+  const char* cert_path = nullptr;
   int max_states = 0;
   SearchEngine engine = SearchEngine::kIncremental;
   StoreOptions store;
@@ -850,6 +858,10 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[a], "--allow-compaction")) {
       exact = true;
       allow_compaction = true;
+    } else if (!std::strcmp(argv[a], "--certificate")) {
+      if (a + 1 >= argc) FailMissingValue("--certificate");
+      exact = true;
+      cert_path = argv[++a];
     } else if (!std::strcmp(argv[a], "--optimize")) {
       optimize = true;
     } else if (!std::strcmp(argv[a], "--dump")) {
@@ -880,6 +892,11 @@ int main(int argc, char** argv) {
     }
   }
   if (store.encoding == StoreOptions::KeyEncoding::kCompact) {
+    if (cert_path != nullptr) {
+      return Fail(
+          "--certificate refuses --store-encoding compact: compacted "
+          "verdicts are probabilistic and cannot be certified");
+    }
     if (engine == SearchEngine::kReduced) {
       return Fail("--store-encoding compact needs the parallel engine");
     }
@@ -1016,6 +1033,34 @@ int main(int argc, char** argv) {
       print_stats(*safe);
     } else {
       std::printf("  safe: %s\n", safe.status().ToString().c_str());
+    }
+
+    if (cert_path != nullptr) {
+      auto full = CheckSafeAndDeadlockFree(sys, sopts);
+      if (!full.ok()) {
+        std::fprintf(stderr, "wydb_analyze: --certificate check failed: %s\n",
+                     full.status().ToString().c_str());
+        return 1;
+      }
+      auto key = CanonicalSystemKey(sys);
+      if (!key.ok()) {
+        std::fprintf(stderr, "wydb_analyze: canonicalization failed: %s\n",
+                     key.status().ToString().c_str());
+        return 1;
+      }
+      std::ofstream cert_out(cert_path);
+      if (!cert_out) {
+        std::fprintf(stderr,
+                     "wydb_analyze: cannot open --certificate file '%s'\n",
+                     cert_path);
+        return 1;
+      }
+      cert_out << SerializeCertificate(MakeCertificate(*key, *full));
+      std::printf("certificate: path=%s certified=%s states=%llu "
+                  "key=%016llx\n",
+                  cert_path, full->holds ? "yes" : "no",
+                  static_cast<unsigned long long>(full->states_visited),
+                  static_cast<unsigned long long>(key->hash));
     }
   }
 

@@ -1,0 +1,276 @@
+// wydb_serve: long-running analysis server (docs/SERVE.md). Speaks the
+// line protocol on stdin/stdout by default, or accepts TCP connections
+// one at a time with --port. Run `wydb_serve --help` for the flags; the
+// README serving section is kept in sync by the docs CI job
+// (tools/check_docs.py).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <streambuf>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/server.h"
+
+using namespace wydb;
+
+namespace {
+
+constexpr char kHelp[] =
+    R"(wydb_serve: analysis-as-a-service for locked distributed transaction
+systems (Wolfson-Yannakakis, PODS '85). Serves `certify`, `simulate`,
+`stats`, and `quit` requests over a line protocol (docs/SERVE.md), with
+a canonical-form verdict cache and single-transaction incremental
+recertification.
+
+Usage:
+  wydb_serve [options]             serve stdin/stdout until EOF or quit
+  wydb_serve --port <p> [options]  accept TCP connections, one at a time
+  wydb_serve --help
+
+Options:
+  --port <p>         listen on TCP port <p> instead of stdin/stdout;
+                     connections are served sequentially and the cache
+                     persists across them
+  --max-states <n>   default per-request state budget for certifications
+                     (default 5000000, 0 = unbounded; a request may
+                     override with max_states=N)
+  --timeout-ms <t>   default per-request wall-clock budget in ms
+                     (default 0 = none; a request may override with
+                     timeout_ms=N); overruns answer ResourceExhausted
+                     without killing the stream
+  --cache-entries <n>  verdict-cache capacity, in systems (default 128,
+                     LRU eviction)
+  --engine <e>       engine for full certifications: incremental
+                     (default), reference, parallel, or reduced;
+                     incremental recertification always runs on the
+                     incremental engine, where the delta gate lives
+  --search-threads <k>  worker threads for the parallel and reduced
+                     engines (0 = hardware concurrency)
+  --store-encoding <c>  state-store key encoding for full runs on the
+                     parallel/reduced engines: plain (default) or delta;
+                     compact is refused — a verdict cache must never
+                     hold a probabilistic refutation as a certificate
+  --mem-budget-mb <m>  spill search frontiers to disk past <m> MiB on
+                     the parallel/reduced engines (0 = never)
+  --preload <file>   certify <file> at startup and seed the cache with
+                     the result (repeatable)
+)";
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "usage:\n"
+      "  wydb_serve [options]\n"
+      "  wydb_serve --port <p> [options]\n"
+      "  wydb_serve --help\n",
+      out);
+}
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "wydb_serve: %s\n", msg);
+  PrintUsage(stderr);
+  return 2;
+}
+
+[[noreturn]] void FailMissingValue(const char* opt) {
+  std::fprintf(stderr, "wydb_serve: %s needs a value\n", opt);
+  PrintUsage(stderr);
+  std::exit(2);
+}
+
+/// Strict non-negative integer flag value; exits 2 on garbage.
+int ParseCountFlag(const char* opt, const char* value) {
+  int parsed = 0;
+  bool digits = false;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || parsed > 100'000'000) {
+      digits = false;
+      break;
+    }
+    parsed = parsed * 10 + (*p - '0');
+    digits = true;
+  }
+  if (!digits) {
+    std::fprintf(stderr,
+                 "wydb_serve: %s wants a non-negative integer, got '%s'\n",
+                 opt, value);
+    PrintUsage(stderr);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// Unbuffered-write std::streambuf over a POSIX fd, enough to hand a
+/// socket to Server::ServeStream as iostreams.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
+
+ protected:
+  int underflow() override {
+    ssize_t n = ::read(fd_, buf_, sizeof(buf_));
+    if (n <= 0) return traits_type::eof();
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(buf_[0]);
+  }
+  int overflow(int c) override {
+    if (c == traits_type::eof()) return traits_type::eof();
+    char ch = static_cast<char>(c);
+    return ::write(fd_, &ch, 1) == 1 ? c : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize done = 0;
+    while (done < n) {
+      ssize_t w = ::write(fd_, s + done, static_cast<size_t>(n - done));
+      if (w <= 0) break;
+      done += w;
+    }
+    return done;
+  }
+
+ private:
+  int fd_;
+  char buf_[4096];
+};
+
+int ServeSocket(Server& server, int port) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("wydb_serve: socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 4) < 0) {
+    std::perror("wydb_serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "wydb_serve: listening on 127.0.0.1:%d\n", port);
+  for (;;) {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      std::perror("wydb_serve: accept");
+      break;
+    }
+    FdStreamBuf buf(conn);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    server.ServeStream(in, out);
+    ::close(conn);
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 &&
+      (!std::strcmp(argv[1], "--help") || !std::strcmp(argv[1], "help"))) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
+  int port = 0;
+  ServerOptions options;
+  std::vector<const char*> preloads;
+  for (int a = 1; a < argc; ++a) {
+    auto next = [&](const char* opt) -> const char* {
+      if (a + 1 >= argc) FailMissingValue(opt);
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--port")) {
+      port = ParseCountFlag("--port", next("--port"));
+      if (port < 1 || port > 65535) return Fail("--port wants 1-65535");
+    } else if (!std::strcmp(argv[a], "--max-states")) {
+      options.max_states = static_cast<uint64_t>(
+          ParseCountFlag("--max-states", next("--max-states")));
+    } else if (!std::strcmp(argv[a], "--timeout-ms")) {
+      options.timeout_ms = ParseCountFlag("--timeout-ms", next("--timeout-ms"));
+    } else if (!std::strcmp(argv[a], "--cache-entries")) {
+      options.cache_entries =
+          ParseCountFlag("--cache-entries", next("--cache-entries"));
+      if (options.cache_entries < 1) {
+        return Fail("--cache-entries must be at least 1");
+      }
+    } else if (!std::strcmp(argv[a], "--engine")) {
+      const char* name = next("--engine");
+      if (!std::strcmp(name, "incremental")) {
+        options.engine = SearchEngine::kIncremental;
+      } else if (!std::strcmp(name, "reference")) {
+        options.engine = SearchEngine::kNaiveReference;
+      } else if (!std::strcmp(name, "parallel")) {
+        options.engine = SearchEngine::kParallelSharded;
+      } else if (!std::strcmp(name, "reduced")) {
+        options.engine = SearchEngine::kReduced;
+      } else {
+        return Fail(
+            "--engine wants incremental, reference, parallel, or reduced");
+      }
+    } else if (!std::strcmp(argv[a], "--search-threads")) {
+      options.search_threads =
+          ParseCountFlag("--search-threads", next("--search-threads"));
+    } else if (!std::strcmp(argv[a], "--store-encoding")) {
+      const char* name = next("--store-encoding");
+      if (!std::strcmp(name, "plain")) {
+        options.store.encoding = StoreOptions::KeyEncoding::kPlain;
+      } else if (!std::strcmp(name, "delta")) {
+        options.store.encoding = StoreOptions::KeyEncoding::kDelta;
+      } else if (!std::strcmp(name, "compact")) {
+        return Fail(
+            "--store-encoding compact is refused: compacted verdicts are "
+            "probabilistic and must not be cached as certificates");
+      } else {
+        return Fail("--store-encoding wants plain or delta");
+      }
+    } else if (!std::strcmp(argv[a], "--mem-budget-mb")) {
+      options.store.mem_budget_mb =
+          ParseCountFlag("--mem-budget-mb", next("--mem-budget-mb"));
+    } else if (!std::strcmp(argv[a], "--preload")) {
+      preloads.push_back(next("--preload"));
+    } else {
+      return Fail("unknown option");
+    }
+  }
+
+  auto server = Server::Create(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "wydb_serve: %s\n",
+                 server.status().ToString().c_str());
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  for (const char* path : preloads) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "wydb_serve: cannot open --preload file '%s'\n",
+                   path);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    Status st = server->Preload(buffer.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "wydb_serve: --preload '%s' failed: %s\n", path,
+                   st.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wydb_serve: preloaded %s\n", path);
+  }
+
+  if (port > 0) return ServeSocket(*server, port);
+  server->ServeStream(std::cin, std::cout);
+  return 0;
+}
