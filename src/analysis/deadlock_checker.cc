@@ -18,6 +18,25 @@
 namespace wydb {
 namespace {
 
+Status DeadlineError() {
+  return Status::ResourceExhausted("deadlock check deadline exceeded");
+}
+
+/// Polls the deadline, counting the wall-clock consult in the report;
+/// true when a configured deadline has passed. No-deadline runs cost one
+/// comparison and count nothing.
+bool PollDeadline(const DeadlockCheckOptions& options,
+                  DeadlockReport* report) {
+  if (options.deadline == std::chrono::steady_clock::time_point{}) {
+    return false;
+  }
+  ++report->deadline_polls;
+  return std::chrono::steady_clock::now() >= options.deadline;
+}
+
+/// How often the serial engines poll the deadline, in popped states.
+constexpr uint64_t kDeadlineStride = 2048;
+
 // Reconstructs the schedule leading to `state` by following parent links.
 Schedule PathTo(const ExecState& state,
                 const std::unordered_map<ExecState,
@@ -84,6 +103,10 @@ Result<DeadlockReport> CheckDeadlockFreedomNaive(
       return Status::ResourceExhausted(StrFormat(
           "deadlock check exceeded %llu states",
           static_cast<unsigned long long>(options.max_states)));
+    }
+    if (report.states_visited % kDeadlineStride == 1 &&
+        PollDeadline(options, &report)) {
+      return DeadlineError();
     }
 
     std::vector<GlobalNode> moves = space.LegalMoves(s);
@@ -157,6 +180,10 @@ Result<DeadlockReport> CheckDeadlockFreedomIncremental(
       return Status::ResourceExhausted(StrFormat(
           "deadlock check exceeded %llu states",
           static_cast<unsigned long long>(options.max_states)));
+    }
+    if (report.states_visited % kDeadlineStride == 1 &&
+        PollDeadline(options, &report)) {
+      return DeadlineError();
     }
 
     moves.clear();
@@ -278,8 +305,28 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
     s.moves.reserve(64);
   }
 
+  // In-level deadline machinery: a per-level check alone lets one
+  // oversized BFS level outrun the budget by that level's whole
+  // expansion time, so workers also poll the clock once per chunk and
+  // raise `deadline_hit` for everyone.
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point{};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<uint64_t> worker_polls{0};
+  auto chunk_expired = [&] {
+    if (!has_deadline) return false;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
+    worker_polls.fetch_add(1, std::memory_order_relaxed);
+    if (std::chrono::steady_clock::now() >= options.deadline) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   size_t level_begin = 0;
   while (level_begin < store.size()) {
+    if (PollDeadline(options, &report)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
     for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
@@ -306,6 +353,7 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
       pool.ParallelFor(
           wcount, kChunkStates,
           [&](size_t begin, size_t end, int worker) {
+            if (chunk_expired()) return;  // Level aborts below.
             WorkerScratch& ws = scratch[worker];
             ShardedStateStore::Staging& staging =
                 window[begin / kChunkStates];
@@ -348,6 +396,13 @@ Result<DeadlockReport> CheckDeadlockFreedomParallel(
       if (!budget_ends_here && !stager.EndWindow()) {
         return Status::Internal("frontier spill write failed");
       }
+    }
+    report.deadline_polls +=
+        worker_polls.exchange(0, std::memory_order_relaxed);
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      // Skipped chunks may hide the minimal witness, so an expired level
+      // reports the budget overrun, never a possibly-non-minimal witness.
+      return DeadlineError();
     }
 
     if (witness != ShardedStateStore::kNoId) {
@@ -491,8 +546,25 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
     return total;
   };
 
+  // In-level deadline machinery, as in CheckDeadlockFreedomParallel.
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point{};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<uint64_t> worker_polls{0};
+  auto chunk_expired = [&] {
+    if (!has_deadline) return false;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
+    worker_polls.fetch_add(1, std::memory_order_relaxed);
+    if (std::chrono::steady_clock::now() >= options.deadline) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   size_t level_begin = 0;
   while (level_begin < store.size()) {
+    if (PollDeadline(options, &report)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
     for (WorkerScratch& s : scratch) s.witness = ShardedStateStore::kNoId;
@@ -510,6 +582,7 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
       pool.ParallelFor(
           wcount, kChunkStates,
           [&](size_t begin, size_t end, int worker) {
+            if (chunk_expired()) return;  // Level aborts below.
             WorkerScratch& ws = scratch[worker];
             ShardedStateStore::Staging& staging =
                 window[begin / kChunkStates];
@@ -553,6 +626,13 @@ Result<DeadlockReport> CheckDeadlockFreedomReduced(
       if (!budget_ends_here && !stager.EndWindow()) {
         return Status::Internal("frontier spill write failed");
       }
+    }
+    report.deadline_polls +=
+        worker_polls.exchange(0, std::memory_order_relaxed);
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      // Skipped chunks may hide the minimal witness, so an expired level
+      // reports the budget overrun, never a possibly-non-minimal witness.
+      return DeadlineError();
     }
 
     if (witness != ShardedStateStore::kNoId) {

@@ -13,6 +13,7 @@
 #ifndef WYDB_ANALYSIS_DEADLOCK_CHECKER_H_
 #define WYDB_ANALYSIS_DEADLOCK_CHECKER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,6 +53,11 @@ struct DeadlockCheckOptions {
   /// (kCompact: kParallelSharded only — reduced witness replay reads
   /// ancestor keys, which compaction discards).
   StoreOptions store;
+  /// Wall-clock abort point; default-constructed (epoch) = no deadline.
+  /// Overruns return ResourceExhausted, like max_states. Checked every
+  /// ~2048 popped states by the serial engines and once per worker chunk
+  /// by the level-synchronous ones.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Evidence that a system can deadlock.
@@ -78,6 +84,10 @@ struct DeadlockReport {
   /// Expansions skipped by kReduced's persistent-move (sleep-set)
   /// pruning; 0 for the exhaustive engines.
   uint64_t sleep_set_pruned = 0;
+  /// Times the engine consulted the wall clock against `deadline`
+  /// (0 when no deadline was set): evidence that the budget was being
+  /// enforced, surfaced by `--stats` and the server's `stats` verb.
+  uint64_t deadline_polls = 0;
   /// Memory-side cost metrics (--stats; DESIGN.md §9). Total store
   /// bytes, of which the key/aux/record arenas and the probe tables.
   /// Zero for kNaiveReference (no instrumented store).

@@ -18,14 +18,19 @@
 namespace wydb {
 namespace {
 
-/// True once the (optional) wall-clock deadline has passed.
-bool DeadlineExpired(const SafetyCheckOptions& options) {
-  return options.deadline != std::chrono::steady_clock::time_point{} &&
-         std::chrono::steady_clock::now() >= options.deadline;
-}
-
 Status DeadlineError() {
   return Status::ResourceExhausted("safety check deadline exceeded");
+}
+
+/// Polls the deadline, counting the wall-clock consult in the report;
+/// true when a configured deadline has passed. No-deadline runs cost one
+/// comparison and count nothing.
+bool PollDeadline(const SafetyCheckOptions& options, SafetyReport* report) {
+  if (options.deadline == std::chrono::steady_clock::time_point{}) {
+    return false;
+  }
+  ++report->deadline_polls;
+  return std::chrono::steady_clock::now() >= options.deadline;
 }
 
 /// How often the serial engines poll the deadline, in popped states.
@@ -254,7 +259,7 @@ Result<SafetyReport> LemmaSearchNaive::Run() {
           static_cast<unsigned long long>(options_.max_states)));
     }
     if (report.states_visited % kDeadlineStride == 1 &&
-        DeadlineExpired(options_)) {
+        PollDeadline(options_, &report)) {
       return DeadlineError();
     }
 
@@ -424,7 +429,7 @@ Result<SafetyReport> LemmaSearchIncremental::Run() {
           static_cast<unsigned long long>(options_.max_states)));
     }
     if (report.states_visited % kDeadlineStride == 1 &&
-        DeadlineExpired(options_)) {
+        PollDeadline(options_, &report)) {
       return DeadlineError();
     }
 
@@ -583,9 +588,28 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
   }
   ShardedStateStore::KeyDecodeCache decode;  // Phase-1 (serial) cache.
 
+  // In-level deadline machinery: a per-level check alone lets one
+  // oversized BFS level outrun the budget by that level's whole
+  // expansion time, so workers also poll the clock once per chunk and
+  // raise `deadline_hit` for everyone.
+  const bool has_deadline =
+      options_.deadline != std::chrono::steady_clock::time_point{};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<uint64_t> worker_polls{0};
+  auto chunk_expired = [&] {
+    if (!has_deadline) return false;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
+    worker_polls.fetch_add(1, std::memory_order_relaxed);
+    if (std::chrono::steady_clock::now() >= options_.deadline) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   size_t level_begin = 0;
   while (level_begin < store.size()) {
-    if (DeadlineExpired(options_)) return DeadlineError();
+    if (PollDeadline(options_, &report)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
 
@@ -593,6 +617,10 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
     // pop loop: the budget check precedes the flag handling at each id.
     for (size_t i = 0; i < level_size; ++i) {
       const uint32_t id = static_cast<uint32_t>(level_begin + i);
+      if (i % kDeadlineStride == kDeadlineStride - 1 &&
+          PollDeadline(options_, &report)) {
+        return DeadlineError();
+      }
       if ((store.AuxOf(id)[lay_.flag_word_] & 1) == 0) continue;
       if (options_.max_states != 0 &&
           static_cast<uint64_t>(id) + 1 > options_.max_states) {
@@ -648,6 +676,7 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
       pool.ParallelFor(
           wcount, kChunkStates,
           [&](size_t begin, size_t end, int worker) {
+            if (chunk_expired()) return;  // Level aborts below.
             WorkerScratch& ws = scratch[worker];
             ShardedStateStore::Staging& staging =
                 window[begin / kChunkStates];
@@ -682,6 +711,11 @@ Result<SafetyReport> LemmaSearchParallel::Run() {
       if (!stager.EndWindow()) {
         return Status::Internal("frontier spill write failed");
       }
+    }
+    report.deadline_polls +=
+        worker_polls.exchange(0, std::memory_order_relaxed);
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return DeadlineError();  // A partial level is never committed.
     }
 
     // Phase 3: deterministic commit (replayed from disk if spilled).
@@ -821,9 +855,26 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
   };
   ShardedStateStore::KeyDecodeCache decode;  // Phase-1 (serial) cache.
 
+  // In-level deadline machinery, as in LemmaSearchParallel: workers
+  // poll once per chunk so one oversized level cannot outrun the budget.
+  const bool has_deadline =
+      options_.deadline != std::chrono::steady_clock::time_point{};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<uint64_t> worker_polls{0};
+  auto chunk_expired = [&] {
+    if (!has_deadline) return false;
+    if (deadline_hit.load(std::memory_order_relaxed)) return true;
+    worker_polls.fetch_add(1, std::memory_order_relaxed);
+    if (std::chrono::steady_clock::now() >= options_.deadline) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   size_t level_begin = 0;
   while (level_begin < store.size()) {
-    if (DeadlineExpired(options_)) return DeadlineError();
+    if (PollDeadline(options_, &report)) return DeadlineError();
     const size_t level_end = store.size();
     const size_t level_size = level_end - level_begin;
 
@@ -834,6 +885,10 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
     // violation pays for path reconstruction.
     for (size_t i = 0; i < level_size; ++i) {
       const uint32_t id = static_cast<uint32_t>(level_begin + i);
+      if (i % kDeadlineStride == kDeadlineStride - 1 &&
+          PollDeadline(options_, &report)) {
+        return DeadlineError();
+      }
       if ((store.AuxOf(id)[lay_.flag_word_] & 1) == 0) continue;
       if (options_.max_states != 0 &&
           static_cast<uint64_t>(id) + 1 > options_.max_states) {
@@ -883,6 +938,7 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
       pool.ParallelFor(
           wcount, kChunkStates,
           [&](size_t begin, size_t end, int worker) {
+            if (chunk_expired()) return;  // Level aborts below.
             WorkerScratch& ws = scratch[worker];
             ShardedStateStore::Staging& staging =
                 window[begin / kChunkStates];
@@ -918,6 +974,11 @@ Result<SafetyReport> LemmaSearchReduced::Run() {
       if (!stager.EndWindow()) {
         return Status::Internal("frontier spill write failed");
       }
+    }
+    report.deadline_polls +=
+        worker_polls.exchange(0, std::memory_order_relaxed);
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return DeadlineError();  // A partial level is never committed.
     }
 
     // Phase 3: deterministic commit (canonical keys fed the shard hash;

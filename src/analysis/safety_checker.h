@@ -77,6 +77,10 @@ struct SafetyReport {
   uint64_t sleep_set_pruned = 0;
   /// Cycle tests elided by the delta_txn gate; 0 unless delta_txn >= 0.
   uint64_t delta_skipped_tests = 0;
+  /// Times the engine consulted the wall clock against `deadline`
+  /// (0 when no deadline was set): evidence that the budget was being
+  /// enforced, surfaced by `--stats` and the server's `stats` verb.
+  uint64_t deadline_polls = 0;
   /// Memory-side cost metrics (--stats; DESIGN.md §9). Total store
   /// bytes, of which the key/aux/record arenas and the probe tables.
   /// Zero for kNaiveReference (no instrumented store).

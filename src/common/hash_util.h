@@ -9,6 +9,7 @@
 #ifndef WYDB_COMMON_HASH_UTIL_H_
 #define WYDB_COMMON_HASH_UTIL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace wydb {
@@ -33,6 +34,31 @@ inline uint64_t HashWords(const uint64_t* key, int words) {
     h *= 0x100000001B3ULL;
   }
   return MixHash64(h);
+}
+
+/// CRC-32 (the IEEE 802.3 polynomial, reflected form) over `len` bytes,
+/// continuing from `seed` (pass 0 for a fresh checksum). Used to frame
+/// verdict-journal records (src/serve/journal.h): unlike the avalanche
+/// hashes above, a CRC detects all burst errors shorter than 32 bits, the
+/// failure mode of a torn or bit-flipped append tail.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace wydb

@@ -95,6 +95,66 @@ void ThreadPool::WorkerLoop(int worker) {
   }
 }
 
+TaskPool::TaskPool(int workers, size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  if (workers < 1) workers = 1;
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back(&TaskPool::WorkerLoop, this);
+  }
+}
+
+TaskPool::~TaskPool() {
+  Drain();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool TaskPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (draining_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void TaskPool::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(m_);
+  drain_cv_.wait(lock, [&] {
+    return queue_.empty() && active_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+void TaskPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Draining and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      // Decrement under the lock so Drain's predicate can't observe an
+      // empty queue while this task still counts as active.
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      if (queue_.empty() && active_.load(std::memory_order_relaxed) == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
 void ThreadPool::RunChunks(int worker) {
   const std::function<void(size_t, size_t, int)>& fn = *fn_;
   const size_t count = count_;

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -88,6 +89,51 @@ class ThreadPool {
   /// workers exit as soon as the last chunk starts executing, instead of
   /// spinning through its execution.
   std::atomic<size_t> unclaimed_{0};
+};
+
+/// Fixed workers draining a bounded queue of independent, long-running
+/// tasks — the session executor of the analysis server (one task per
+/// client connection), as opposed to ThreadPool's fork-join chunks.
+///
+/// The bounded queue is the backpressure mechanism: TrySubmit never
+/// blocks, and a false return tells the caller to shed load (the server
+/// answers "at capacity" and closes the connection) instead of queueing
+/// unboundedly behind a slow session. Worker threads are spawned up
+/// front, so a stalled task can never prevent others from being picked
+/// up as long as a worker is free.
+class TaskPool {
+ public:
+  /// `workers` >= 1 threads; up to `queue_capacity` tasks may wait
+  /// beyond the ones currently executing.
+  TaskPool(int workers, size_t queue_capacity);
+  /// Drains: refuses new tasks, waits for queued and running ones.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// False when the queue is full or the pool is draining; the task is
+  /// then NOT queued and the caller must handle the rejection.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks and blocks until every queued and running
+  /// task has finished. Idempotent.
+  void Drain();
+
+  /// Tasks currently executing (racy snapshot, for stats lines).
+  int active() const { return active_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;   ///< Queue non-empty or draining.
+  std::condition_variable drain_cv_;  ///< Queue empty and nothing active.
+  std::deque<std::function<void()>> queue_;
+  std::atomic<int> active_{0};
+  bool draining_ = false;
 };
 
 }  // namespace wydb

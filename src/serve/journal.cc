@@ -1,0 +1,301 @@
+#include "serve/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/hash_util.h"
+
+namespace wydb {
+namespace {
+
+constexpr char kMagic[4] = {'W', 'Y', 'J', '1'};
+constexpr size_t kHeaderBytes = 12;  // magic + u32 len + u32 crc.
+/// A single serialized certificate is a few KiB; anything near this
+/// bound is a corrupt length field, not a record.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+/// CRC over the length field and the payload, so a flipped length bit
+/// is caught even when the (garbage) length still lands in bounds.
+uint32_t RecordCrc(uint32_t len, const char* payload) {
+  char len_le[4];
+  len_le[0] = static_cast<char>(len & 0xFF);
+  len_le[1] = static_cast<char>((len >> 8) & 0xFF);
+  len_le[2] = static_cast<char>((len >> 16) & 0xFF);
+  len_le[3] = static_cast<char>((len >> 24) & 0xFF);
+  uint32_t crc = Crc32(len_le, sizeof(len_le));
+  return Crc32(payload, len, crc);
+}
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string("journal ") + what + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+std::string FrameJournalRecord(const std::string& payload) {
+  std::string rec;
+  rec.reserve(kHeaderBytes + payload.size());
+  rec.append(kMagic, sizeof(kMagic));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  PutU32(&rec, len);
+  PutU32(&rec, RecordCrc(len, payload.data()));
+  rec += payload;
+  return rec;
+}
+
+JournalRecovery ScanJournalImage(const std::string& data) {
+  JournalRecovery out;
+  size_t pos = 0;
+  while (data.size() - pos >= kHeaderBytes) {
+    const char* p = data.data() + pos;
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) break;
+    const uint32_t len = GetU32(p + 4);
+    const uint32_t crc = GetU32(p + 8);
+    if (len > kMaxPayloadBytes || len > data.size() - pos - kHeaderBytes) {
+      break;  // Torn tail: the record's bytes never made it to disk.
+    }
+    if (RecordCrc(len, p + kHeaderBytes) != crc) break;
+    out.payloads.emplace_back(p + kHeaderBytes, len);
+    pos += kHeaderBytes + len;
+  }
+  out.valid_bytes = pos;
+  out.dropped_bytes = data.size() - pos;
+  return out;
+}
+
+Result<Journal> Journal::Open(std::string path, const JournalOptions& options,
+                              JournalRecovery* recovery) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("open");
+
+  std::string image;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read");
+    }
+    if (n == 0) break;
+    image.append(buf, static_cast<size_t>(n));
+  }
+
+  JournalRecovery rec = ScanJournalImage(image);
+  if (rec.dropped_bytes > 0) {
+    // Salvage: drop the torn/corrupt tail so appends extend a file whose
+    // every byte is part of a checksummed record.
+    if (::ftruncate(fd, static_cast<off_t>(rec.valid_bytes)) != 0) {
+      ::close(fd);
+      return Errno("ftruncate");
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(rec.valid_bytes), SEEK_SET) < 0) {
+    ::close(fd);
+    return Errno("lseek");
+  }
+
+  Journal j(std::move(path), options, fd, rec.valid_bytes,
+            rec.payloads.size());
+  if (recovery != nullptr) *recovery = std::move(rec);
+  return j;
+}
+
+Journal::Journal(std::string path, const JournalOptions& options, int fd,
+                 uint64_t valid_bytes, uint64_t records)
+    : path_(std::move(path)),
+      options_(options),
+      fd_(fd),
+      bytes_(valid_bytes),
+      records_(records) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    if (unsynced_appends_ > 0 && !failed_) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(other.options_),
+      fd_(other.fd_),
+      bytes_(other.bytes_),
+      records_(other.records_),
+      unsynced_appends_(other.unsynced_appends_),
+      failed_(other.failed_),
+      injector_(other.injector_) {
+  other.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    fd_ = other.fd_;
+    bytes_ = other.bytes_;
+    records_ = other.records_;
+    unsynced_appends_ = other.unsynced_appends_;
+    failed_ = other.failed_;
+    injector_ = other.injector_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Journal::WriteAll(int fd, const char* data, size_t len) {
+  size_t limit = len;
+  bool inject_fail = false;
+  if (injector_ != nullptr && injector_->Tick()) {
+    switch (injector_->fault) {
+      case FaultInjector::Fault::kFailWrite:
+        return Status::Internal("journal write: injected I/O error");
+      case FaultInjector::Fault::kShortWrite:
+        limit = len / 2;  // Persist a torn half, then report failure.
+        inject_fail = true;
+        break;
+      default:
+        break;
+    }
+  }
+  size_t done = 0;
+  while (done < limit) {
+    ssize_t n = ::write(fd, data + done, limit - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (inject_fail) {
+    return Status::Internal("journal write: injected short write");
+  }
+  return Status::OK();
+}
+
+Status Journal::FsyncFd(int fd) {
+  if (injector_ != nullptr && injector_->Tick() &&
+      injector_->fault == FaultInjector::Fault::kFailFsync) {
+    return Status::Internal("journal fsync: injected I/O error");
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("fsync");
+  return Status::OK();
+}
+
+Status Journal::Append(const std::string& payload) {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("journal is closed after an I/O error");
+  }
+  const std::string rec = FrameJournalRecord(payload);
+  Status write = WriteAll(fd_, rec.data(), rec.size());
+  if (!write.ok()) {
+    // Roll the file back to the last good record so a partial frame
+    // can't strand every later append behind an unparseable middle.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+      failed_ = true;
+    }
+    return write;
+  }
+  bytes_ += rec.size();
+  ++records_;
+  ++unsynced_appends_;
+  if (options_.fsync_every > 0 &&
+      unsynced_appends_ >= static_cast<uint64_t>(options_.fsync_every)) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("journal is closed after an I/O error");
+  }
+  if (unsynced_appends_ == 0) return Status::OK();
+  Status st = FsyncFd(fd_);
+  if (st.ok()) unsynced_appends_ = 0;
+  return st;
+}
+
+Status Journal::Compact(const std::vector<std::string>& payloads) {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("journal is closed after an I/O error");
+  }
+  const std::string tmp_path = path_ + ".tmp";
+  int tmp = -1;
+  do {
+    tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+  } while (tmp < 0 && errno == EINTR);
+  if (tmp < 0) return Errno("open tmp");
+
+  uint64_t tmp_bytes = 0;
+  for (const std::string& payload : payloads) {
+    const std::string rec = FrameJournalRecord(payload);
+    Status write = WriteAll(tmp, rec.data(), rec.size());
+    if (!write.ok()) {
+      ::close(tmp);
+      ::unlink(tmp_path.c_str());
+      return write;
+    }
+    tmp_bytes += rec.size();
+  }
+  Status sync = FsyncFd(tmp);
+  if (!sync.ok()) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return sync;
+  }
+  // rename() swaps the directory entry atomically: a crash leaves either
+  // the old journal or the complete snapshot, never a mix. The directory
+  // fsync makes the swap itself durable.
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return Errno("rename");
+  }
+  std::string dir = ".";
+  size_t slash = path_.find_last_of('/');
+  if (slash != std::string::npos) dir = path_.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // Best-effort: some filesystems refuse directory fsync.
+    ::close(dfd);
+  }
+  ::close(fd_);  // The old inode; tmp now *is* the journal.
+  fd_ = tmp;
+  bytes_ = tmp_bytes;
+  records_ = payloads.size();
+  unsynced_appends_ = 0;
+  return Status::OK();
+}
+
+}  // namespace wydb

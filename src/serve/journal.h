@@ -1,0 +1,146 @@
+// Crash-safe verdict journal of the analysis server (docs/SERVE.md,
+// DESIGN.md §13).
+//
+// An append-only log of serialized certificate bundles. Each record is
+// framed as
+//
+//   magic "WYJ1" | u32le payload_len | u32le crc | payload bytes
+//
+// where the CRC-32 covers the length field and the payload, so a
+// bit-flip anywhere in a record — including its length — is detected.
+// Recovery scans records from the front and stops at the first frame
+// that fails the magic, length-bounds, or CRC check: everything before
+// it is the salvaged valid prefix, everything after is discarded by
+// truncating the file. A torn tail (the failure mode of `kill -9`
+// mid-append or a short write) therefore costs at most the records
+// after the last fsync; it never refuses startup. The server replays
+// the salvaged payloads through the certificate parser — which has its
+// own fingerprint line — so a record must pass two independent
+// integrity checks before a verdict is re-served.
+//
+// Durability is a group-fsync policy: fsync after every Nth append
+// (1 = every append, 0 = leave it to the OS). Compaction rewrites the
+// live cache as a fresh journal via the standard crash-safe dance:
+// write a temp file, fsync it, rename over the journal, fsync the
+// directory.
+#ifndef WYDB_SERVE_JOURNAL_H_
+#define WYDB_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wydb {
+
+/// Test-only fault hook on the journal's I/O syscalls. The journal
+/// counts every write/fsync it issues; when the count reaches
+/// `trigger_op` (1-based) the configured fault fires once: the syscall
+/// is skipped (or truncated, for a short write) and an error is
+/// reported exactly as if the kernel had failed it. Non-owning — the
+/// test keeps the injector alive for the journal's lifetime.
+struct FaultInjector {
+  enum class Fault {
+    kNone,
+    kFailWrite,   ///< write() reports EIO without writing anything.
+    kShortWrite,  ///< write() persists only half the record, then fails.
+    kFailFsync,   ///< fsync() reports EIO (data may or may not be durable).
+  };
+  Fault fault = Fault::kNone;
+  uint64_t trigger_op = 0;  ///< Fire on the Nth counted op; 0 = never.
+  uint64_t ops = 0;         ///< Counted so far (owned by the journal).
+  bool fired = false;
+
+  /// Advances the op counter; true when the fault fires on this op.
+  bool Tick() {
+    if (fault == Fault::kNone || trigger_op == 0) return false;
+    if (++ops == trigger_op) {
+      fired = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// What recovery found in an existing journal file.
+struct JournalRecovery {
+  std::vector<std::string> payloads;  ///< Valid records, oldest first.
+  uint64_t valid_bytes = 0;           ///< Length of the salvaged prefix.
+  uint64_t dropped_bytes = 0;         ///< Torn/corrupt tail discarded.
+};
+
+struct JournalOptions {
+  /// Group-fsync policy: fsync after every N appends (1 = every append,
+  /// 0 = never — durability is left to the OS page cache).
+  int fsync_every = 8;
+};
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path`, recovers the
+  /// valid record prefix into `recovery`, and truncates any torn or
+  /// corrupt tail so subsequent appends extend a consistent file.
+  /// Corruption is never a startup failure — only real I/O errors
+  /// (open/ftruncate) are.
+  static Result<Journal> Open(std::string path, const JournalOptions& options,
+                              JournalRecovery* recovery);
+
+  ~Journal();
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one record. On any write failure the file is rolled back
+  /// (truncated) to the end of the last good record, so a failed append
+  /// never leaves a torn middle that would strand later records.
+  Status Append(const std::string& payload);
+
+  /// Forces everything appended so far to disk regardless of the group
+  /// policy (graceful-drain path).
+  Status Sync();
+
+  /// Atomically replaces the journal with a snapshot holding exactly
+  /// `payloads`: temp file + fsync + rename + directory fsync.
+  Status Compact(const std::vector<std::string>& payloads);
+
+  /// Records appended or compacted into the current file (recovered
+  /// records count too).
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// Installs a test-only fault hook (nullptr to clear).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+ private:
+  Journal(std::string path, const JournalOptions& options, int fd,
+          uint64_t valid_bytes, uint64_t records);
+
+  /// write() the whole buffer at the current offset, honoring the fault
+  /// injector and retrying EINTR.
+  Status WriteAll(int fd, const char* data, size_t len);
+  Status FsyncFd(int fd);
+
+  std::string path_;
+  JournalOptions options_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;    ///< End of the last fully appended record.
+  uint64_t records_ = 0;
+  uint64_t unsynced_appends_ = 0;
+  bool failed_ = false;   ///< Rollback failed: refuse further appends.
+  FaultInjector* injector_ = nullptr;
+};
+
+/// Frames one record (exposed for tests that hand-craft corrupt files).
+std::string FrameJournalRecord(const std::string& payload);
+
+/// Scans `data` (a journal file image) and returns the valid prefix —
+/// the pure core of recovery, exposed for fuzzing every truncation
+/// offset without touching the filesystem.
+JournalRecovery ScanJournalImage(const std::string& data);
+
+}  // namespace wydb
+
+#endif  // WYDB_SERVE_JOURNAL_H_

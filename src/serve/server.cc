@@ -95,8 +95,8 @@ Result<SafetyViolation> MapEntryWitness(const CertificateBundle& bundle,
 Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_entries),
-      latencies_() {
-  latencies_.reserve(512);
+      shared_(std::make_unique<Shared>()) {
+  shared_->latencies.reserve(512);
 }
 
 Result<Server> Server::Create(const ServerOptions& options) {
@@ -112,36 +112,118 @@ Result<Server> Server::Create(const ServerOptions& options) {
   if (options.cache_entries < 1) {
     return Status::InvalidArgument("cache capacity must be at least 1");
   }
-  return Server(options);
+  if (options.journal_fsync_every < 0 || options.journal_compact_slack < 0) {
+    return Status::InvalidArgument("journal policy values must be >= 0");
+  }
+
+  Server server(options);
+  if (!options.journal_path.empty()) {
+    JournalOptions jopts;
+    jopts.fsync_every = options.journal_fsync_every;
+    JournalRecovery recovery;
+    auto journal = Journal::Open(options.journal_path, jopts, &recovery);
+    if (!journal.ok()) return journal.status();
+    server.shared_->journal = std::make_unique<Journal>(std::move(*journal));
+    server.shared_->stats.journal_salvaged_bytes = recovery.dropped_bytes;
+    for (const std::string& payload : recovery.payloads) {
+      // A record that fails the certificate fingerprint or is not
+      // canonical-stable is skipped, never fatal: the journal already
+      // survived the frame CRC, so this is defense in depth.
+      if (server.LoadJournalRecord(payload).ok()) {
+        ++server.shared_->stats.journal_recovered;
+      } else {
+        ++server.shared_->stats.journal_errors;
+      }
+    }
+  }
+  return server;
+}
+
+Status Server::LoadJournalRecord(const std::string& payload) {
+  WYDB_ASSIGN_OR_RETURN(CertificateBundle bundle, ParseCertificate(payload));
+  WYDB_ASSIGN_OR_RETURN(WorkloadSpec spec,
+                        ParseWorkload(bundle.canonical_text));
+  const TransactionSystem& sys = *spec.owned.system;
+  WYDB_ASSIGN_OR_RETURN(SystemKey key, CanonicalSystemKey(sys));
+  if (key.text != bundle.canonical_text) {
+    // Witness realization requires key.text == canonical_text; an
+    // incomplete key whose text is not a reparse fixpoint cannot be
+    // re-served soundly, so it is dropped rather than mis-keyed.
+    return Status::FailedPrecondition(
+        "journaled certificate is not canonical-stable");
+  }
+  SystemProfile profile = ProfileOf(sys);
+  cache_.Insert(std::move(key), std::move(bundle), std::move(profile));
+  return Status::OK();
+}
+
+void Server::JournalVerdict(const CertificateBundle& bundle) {
+  Shared& sh = *shared_;
+  std::lock_guard<std::mutex> lock(sh.journal_mu);
+  if (sh.journal == nullptr) return;
+  Status st = sh.journal->Append(SerializeCertificate(bundle));
+  if (!st.ok()) {
+    // Persistence degrades, serving does not: the verdict is already in
+    // the in-memory cache and on its way to the client.
+    ++sh.stats.journal_errors;
+    return;
+  }
+  ++sh.stats.journal_appends;
+  if (sh.journal->records() >
+      static_cast<uint64_t>(cache_.size()) +
+          static_cast<uint64_t>(options_.journal_compact_slack)) {
+    Status compacted = sh.journal->Compact(cache_.SerializedSnapshot());
+    if (compacted.ok()) {
+      ++sh.stats.journal_compactions;
+    } else {
+      ++sh.stats.journal_errors;
+    }
+  }
+}
+
+Status Server::FlushJournal() {
+  Shared& sh = *shared_;
+  std::lock_guard<std::mutex> lock(sh.journal_mu);
+  if (sh.journal == nullptr) return Status::OK();
+  return sh.journal->Sync();
 }
 
 void Server::RecordLatency(uint64_t micros) {
   constexpr size_t kRing = 512;
-  if (latencies_.size() < kRing) {
-    latencies_.push_back(micros);
+  Shared& sh = *shared_;
+  std::lock_guard<std::mutex> lock(sh.latency_mu);
+  if (sh.latencies.size() < kRing) {
+    sh.latencies.push_back(micros);
   } else {
-    latencies_[latency_next_ % kRing] = micros;
+    sh.latencies[sh.latency_next % kRing] = micros;
   }
-  ++latency_next_;
+  ++sh.latency_next;
 }
 
 std::string Server::StatsLine() const {
   uint64_t p50 = 0;
   uint64_t p95 = 0;
-  if (!latencies_.empty()) {
-    std::vector<uint64_t> sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    p50 = sorted[sorted.size() / 2];
-    p95 = sorted[(sorted.size() * 95) / 100 == sorted.size()
-                     ? sorted.size() - 1
-                     : (sorted.size() * 95) / 100];
+  {
+    Shared& sh = *shared_;
+    std::lock_guard<std::mutex> lock(sh.latency_mu);
+    if (!sh.latencies.empty()) {
+      std::vector<uint64_t> sorted = sh.latencies;
+      std::sort(sorted.begin(), sorted.end());
+      p50 = sorted[sorted.size() / 2];
+      p95 = sorted[(sorted.size() * 95) / 100 == sorted.size()
+                       ? sorted.size() - 1
+                       : (sorted.size() * 95) / 100];
+    }
   }
-  const ServerStats& s = stats_;
+  const ServerStats& s = shared_->stats;
   return StrFormat(
       "stats: requests=%llu certify=%llu simulate=%llu errors=%llu "
       "cache_hits=%llu cache_misses=%llu incremental=%llu full=%llu "
       "monotone=%llu witness_reuse=%llu delta_searches=%llu "
-      "delta_skipped_tests=%llu cache_size=%d p50_us=%llu p95_us=%llu",
+      "delta_skipped_tests=%llu deadline_polls=%llu runaways=%llu "
+      "journal_appends=%llu journal_recovered=%llu "
+      "journal_salvaged_bytes=%llu journal_compactions=%llu "
+      "journal_errors=%llu cache_size=%d p50_us=%llu p95_us=%llu",
       (unsigned long long)s.requests, (unsigned long long)s.certify_requests,
       (unsigned long long)s.simulate_requests, (unsigned long long)s.errors,
       (unsigned long long)s.cache_hits, (unsigned long long)s.cache_misses,
@@ -150,7 +232,14 @@ std::string Server::StatsLine() const {
       (unsigned long long)s.monotone_shortcuts,
       (unsigned long long)s.witness_reuses,
       (unsigned long long)s.delta_searches,
-      (unsigned long long)s.delta_skipped_tests, cache_.size(),
+      (unsigned long long)s.delta_skipped_tests,
+      (unsigned long long)s.deadline_polls,
+      (unsigned long long)s.runaways_rejected,
+      (unsigned long long)s.journal_appends,
+      (unsigned long long)s.journal_recovered,
+      (unsigned long long)s.journal_salvaged_bytes,
+      (unsigned long long)s.journal_compactions,
+      (unsigned long long)s.journal_errors, cache_.size(),
       (unsigned long long)p50, (unsigned long long)p95);
 }
 
@@ -158,8 +247,9 @@ void Server::HandleCertify(const std::vector<std::string>& params,
                            const std::string& payload,
                            std::vector<std::string>* response) {
   const uint64_t start_us = NowMicros();
+  ServerStats& stats = shared_->stats;
   auto fail = [&](const std::string& message) {
-    ++stats_.errors;
+    ++stats.errors;
     response->push_back("error: " + message);
     const std::string echo = OffendingLine(message, payload);
     if (!echo.empty()) response->push_back("echo: " + echo);
@@ -184,6 +274,19 @@ void Server::HandleCertify(const std::vector<std::string>& params,
     } else {
       return fail("unknown certify parameter '" + key + "'");
     }
+  }
+
+  // Runaway rejection: with no wall-clock budget, the state budget is
+  // the only bound left, so a request may not disable it (max_states=0)
+  // or raise it past the server's configured budget. With a timeout the
+  // request is time-bounded regardless of states, so both are allowed.
+  if (timeout_ms == 0 &&
+      (max_states == 0 ||
+       (options_.max_states > 0 && max_states > options_.max_states))) {
+    ++stats.runaways_rejected;
+    return fail(
+        "runaway certify rejected: timeout_ms=0 leaves max_states as the "
+        "only bound, which may not be 0 or above the server budget");
   }
 
   auto parsed = ParseWorkload(payload);
@@ -221,43 +324,44 @@ void Server::HandleCertify(const std::vector<std::string>& params,
 
   // 1. Exact canonical hit: the cached verdict transfers through the
   // isomorphism; a refutation witness is remapped and countersigned.
-  if (const CacheEntry* hit = cache_.Find(*key)) {
-    if (hit->bundle.certified) {
-      ++stats_.cache_hits;
-      respond(hit->bundle, "cache", nullptr);
+  if (auto hit = cache_.Find(*key)) {
+    if (hit->certified) {
+      ++stats.cache_hits;
+      respond(*hit, "cache", nullptr);
       return;
     }
-    auto violation = RealizeWitness(hit->bundle, *key, sys);
+    auto violation = RealizeWitness(*hit, *key, sys);
     if (violation.ok()) {
-      ++stats_.cache_hits;
-      respond(hit->bundle, "cache", &*violation);
+      ++stats.cache_hits;
+      respond(*hit, "cache", &*violation);
       return;
     }
     // A cached witness that fails to countersign falls through to a
     // fresh search rather than being served.
   }
-  ++stats_.cache_misses;
+  ++stats.cache_misses;
 
   const SystemProfile profile = ProfileOf(sys);
   auto finish = [&](const SafetyReport& report, const char* source) {
+    stats.deadline_polls += report.deadline_polls;
     CertificateBundle bundle = MakeCertificate(*key, report);
     respond(bundle, source,
             report.violation.has_value() ? &*report.violation : nullptr);
-    cache_.Insert(std::move(*key), std::move(bundle), profile);
+    cache_.Insert(std::move(*key), bundle, profile);
+    JournalVerdict(bundle);
   };
 
   // 2. One transaction away from a cached system: incremental paths.
   if (auto match = cache_.FindDelta(profile)) {
-    // Consume the matched entry before any Insert invalidates it.
-    const CertificateBundle entry_bundle = match->entry->bundle;
-    const std::vector<int> entry_perm = match->entry->key.txn_perm;
+    const CertificateBundle& entry_bundle = match->bundle;
+    const std::vector<int>& entry_perm = match->entry_txn_perm;
 
     if (match->removed && entry_bundle.certified) {
       // Safety and deadlock-freedom are monotone under transaction
       // removal: every partial schedule of the subsystem is one of the
       // certified supersystem (docs/SERVE.md).
-      ++stats_.incremental_certifications;
-      ++stats_.monotone_shortcuts;
+      ++stats.incremental_certifications;
+      ++stats.monotone_shortcuts;
       SafetyReport derived;
       derived.holds = true;
       finish(derived, "incremental");
@@ -269,8 +373,8 @@ void Server::HandleCertify(const std::vector<std::string>& params,
       // (addition — a violation survives adding transactions).
       auto violation = MapEntryWitness(entry_bundle, entry_perm, *match, sys);
       if (violation.ok()) {
-        ++stats_.incremental_certifications;
-        ++stats_.witness_reuses;
+        ++stats.incremental_certifications;
+        ++stats.witness_reuses;
         SafetyReport derived;
         derived.holds = false;
         derived.violation = std::move(*violation);
@@ -288,9 +392,9 @@ void Server::HandleCertify(const std::vector<std::string>& params,
       opts.delta_txn = match->delta_index;
       auto report = CheckSafeAndDeadlockFree(sys, opts);
       if (!report.ok()) return fail(report.status().message());
-      ++stats_.incremental_certifications;
-      ++stats_.delta_searches;
-      stats_.delta_skipped_tests += report->delta_skipped_tests;
+      ++stats.incremental_certifications;
+      ++stats.delta_searches;
+      stats.delta_skipped_tests += report->delta_skipped_tests;
       finish(*report, "incremental");
       return;
     }
@@ -305,15 +409,16 @@ void Server::HandleCertify(const std::vector<std::string>& params,
   }
   auto report = CheckSafeAndDeadlockFree(sys, opts);
   if (!report.ok()) return fail(report.status().message());
-  ++stats_.full_certifications;
+  ++stats.full_certifications;
   finish(*report, "full");
 }
 
 void Server::HandleSimulate(const std::vector<std::string>& params,
                             const std::string& payload,
                             std::vector<std::string>* response) {
+  ServerStats& stats = shared_->stats;
   auto fail = [&](const std::string& message) {
-    ++stats_.errors;
+    ++stats.errors;
     response->push_back("error: " + message);
     const std::string echo = OffendingLine(message, payload);
     if (!echo.empty()) response->push_back("echo: " + echo);
@@ -371,7 +476,7 @@ Status Server::Preload(const std::string& text) {
   WYDB_ASSIGN_OR_RETURN(WorkloadSpec spec, ParseWorkload(text));
   const TransactionSystem& sys = *spec.owned.system;
   WYDB_ASSIGN_OR_RETURN(SystemKey key, CanonicalSystemKey(sys));
-  if (cache_.Find(key) != nullptr) return Status::OK();
+  if (cache_.Find(key).has_value()) return Status::OK();
   SafetyCheckOptions opts;
   opts.max_states = options_.max_states;
   opts.engine = options_.engine;
@@ -383,11 +488,13 @@ Status Server::Preload(const std::string& text) {
   WYDB_ASSIGN_OR_RETURN(SafetyReport report, CheckSafeAndDeadlockFree(sys, opts));
   CertificateBundle bundle = MakeCertificate(key, report);
   SystemProfile profile = ProfileOf(sys);
-  cache_.Insert(std::move(key), std::move(bundle), std::move(profile));
+  cache_.Insert(std::move(key), bundle, std::move(profile));
+  JournalVerdict(bundle);
   return Status::OK();
 }
 
 void Server::ServeStream(std::istream& in, std::ostream& out) {
+  ServerStats& stats = shared_->stats;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -397,12 +504,12 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
     const std::vector<std::string> params(toks.begin() + 1, toks.end());
 
     if (verb == "quit") {
-      ++stats_.requests;
+      ++stats.requests;
       out << "bye\n.\n" << std::flush;
       return;
     }
     if (verb == "stats") {
-      ++stats_.requests;
+      ++stats.requests;
       out << StatsLine() << "\n.\n" << std::flush;
       continue;
     }
@@ -418,19 +525,19 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
         }
         payload += pl + "\n";
       }
-      ++stats_.requests;
+      ++stats.requests;
       if (!terminated) {
-        ++stats_.errors;
+        ++stats.errors;
         out << "error: unexpected EOF before 'end'\n.\n" << std::flush;
         return;
       }
       const uint64_t start_us = NowMicros();
       std::vector<std::string> response;
       if (verb == "certify") {
-        ++stats_.certify_requests;
+        ++stats.certify_requests;
         HandleCertify(params, payload, &response);
       } else {
-        ++stats_.simulate_requests;
+        ++stats.simulate_requests;
         HandleSimulate(params, payload, &response);
       }
       RecordLatency(NowMicros() - start_us);
@@ -438,8 +545,8 @@ void Server::ServeStream(std::istream& in, std::ostream& out) {
       out << ".\n" << std::flush;
       continue;
     }
-    ++stats_.requests;
-    ++stats_.errors;
+    ++stats.requests;
+    ++stats.errors;
     out << "error: unknown verb '" << verb << "'\n.\n" << std::flush;
   }
 }

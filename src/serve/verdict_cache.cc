@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "io/text_format.h"
@@ -30,9 +31,17 @@ SystemProfile ProfileOf(const TransactionSystem& sys) {
 
 namespace {
 
-std::optional<DeltaMatch> MatchOne(const CacheEntry& entry,
-                                   const SystemProfile& request) {
-  const SystemProfile& cached = entry.profile;
+/// Match skeleton against one entry; the winning candidate's bundle and
+/// permutation are copied out after the scan.
+struct CandidateMatch {
+  bool added = false;
+  bool removed = false;
+  int delta_index = -1;
+  std::vector<int> request_txn_of_entry;
+};
+
+std::optional<CandidateMatch> MatchOne(const SystemProfile& cached,
+                                       const SystemProfile& request) {
   if (cached.header != request.header) return std::nullopt;
   const int ne = static_cast<int>(cached.bodies.size());
   const int nr = static_cast<int>(request.bodies.size());
@@ -41,8 +50,7 @@ std::optional<DeltaMatch> MatchOne(const CacheEntry& entry,
   std::map<std::string, std::vector<int>> by_body;
   for (int i = 0; i < nr; ++i) by_body[request.bodies[i]].push_back(i);
 
-  DeltaMatch m;
-  m.entry = &entry;
+  CandidateMatch m;
   m.request_txn_of_entry.assign(ne, -1);
   std::vector<int> unmatched_entry;
   int matched = 0;
@@ -72,54 +80,94 @@ std::optional<DeltaMatch> MatchOne(const CacheEntry& entry,
 
 }  // namespace
 
-const CacheEntry* VerdictCache::Find(const SystemKey& key) {
-  for (CacheEntry& e : entries_) {
+std::optional<CertificateBundle> VerdictCache::Find(const SystemKey& key) {
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  for (Entry& e : state_->entries) {
     if (e.key.hash == key.hash && e.key.text == key.text) {
-      e.last_used = ++tick_;
-      return &e;
+      e.last_used.store(
+          state_->tick.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      return e.bundle;
     }
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 std::optional<DeltaMatch> VerdictCache::FindDelta(
     const SystemProfile& request) {
-  const CacheEntry* best = nullptr;
-  std::optional<DeltaMatch> best_match;
-  for (const CacheEntry& e : entries_) {
-    if (best != nullptr && e.last_used < best->last_used) continue;
-    std::optional<DeltaMatch> m = MatchOne(e, request);
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  const Entry* best = nullptr;
+  uint64_t best_used = 0;
+  std::optional<CandidateMatch> best_match;
+  for (const Entry& e : state_->entries) {
+    const uint64_t used = e.last_used.load(std::memory_order_relaxed);
+    if (best != nullptr && used < best_used) continue;
+    std::optional<CandidateMatch> m = MatchOne(e.profile, request);
     if (m.has_value()) {
       best = &e;
+      best_used = used;
       best_match = std::move(m);
     }
   }
-  return best_match;
+  if (best == nullptr) return std::nullopt;
+  DeltaMatch out;
+  out.bundle = best->bundle;
+  out.entry_txn_perm = best->key.txn_perm;
+  out.added = best_match->added;
+  out.removed = best_match->removed;
+  out.delta_index = best_match->delta_index;
+  out.request_txn_of_entry = std::move(best_match->request_txn_of_entry);
+  return out;
 }
 
 void VerdictCache::Insert(SystemKey key, CertificateBundle bundle,
                           SystemProfile profile) {
-  for (CacheEntry& e : entries_) {
+  std::unique_lock<std::shared_mutex> lock(state_->mu);
+  const uint64_t now = state_->tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (Entry& e : state_->entries) {
     if (e.key.hash == key.hash && e.key.text == key.text) {
       e.bundle = std::move(bundle);
       e.profile = std::move(profile);
-      e.last_used = ++tick_;
+      e.last_used.store(now, std::memory_order_relaxed);
       return;
     }
   }
-  if (capacity_ > 0 && static_cast<int>(entries_.size()) >= capacity_) {
-    auto lru = std::min_element(entries_.begin(), entries_.end(),
-                                [](const CacheEntry& a, const CacheEntry& b) {
-                                  return a.last_used < b.last_used;
-                                });
-    entries_.erase(lru);
+  if (capacity_ > 0 &&
+      static_cast<int>(state_->entries.size()) >= capacity_) {
+    auto lru = std::min_element(
+        state_->entries.begin(), state_->entries.end(),
+        [](const Entry& a, const Entry& b) {
+          return a.last_used.load(std::memory_order_relaxed) <
+                 b.last_used.load(std::memory_order_relaxed);
+        });
+    state_->entries.erase(lru);
   }
-  CacheEntry e;
+  Entry e;
   e.key = std::move(key);
   e.bundle = std::move(bundle);
   e.profile = std::move(profile);
-  e.last_used = ++tick_;
-  entries_.push_back(std::move(e));
+  e.last_used.store(now, std::memory_order_relaxed);
+  state_->entries.push_back(std::move(e));
+}
+
+std::vector<std::string> VerdictCache::SerializedSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  std::vector<const Entry*> order;
+  order.reserve(state_->entries.size());
+  for (const Entry& e : state_->entries) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+    return a->last_used.load(std::memory_order_relaxed) <
+           b->last_used.load(std::memory_order_relaxed);
+  });
+  std::vector<std::string> out;
+  out.reserve(order.size());
+  for (const Entry* e : order) out.push_back(SerializeCertificate(e->bundle));
+  return out;
+}
+
+int VerdictCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  return static_cast<int>(state_->entries.size());
 }
 
 }  // namespace wydb

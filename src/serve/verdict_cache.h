@@ -2,11 +2,21 @@
 // exact lookup plus single-transaction delta matching against cached
 // systems, so resubmissions — permuted, renamed, or one transaction away
 // — reuse prior certification work.
+//
+// The cache is internally synchronized with a shared mutex: lookups
+// (Find/FindDelta/Snapshot) run concurrently under shared locks — LRU
+// bumps go through per-entry atomics — while Insert takes the lock
+// exclusively. Lookups therefore return self-contained copies rather
+// than pointers into the entry table, so a hit stays valid however many
+// sessions insert behind it.
 #ifndef WYDB_SERVE_VERDICT_CACHE_H_
 #define WYDB_SERVE_VERDICT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,16 +39,12 @@ struct SystemProfile {
 
 SystemProfile ProfileOf(const TransactionSystem& sys);
 
-struct CacheEntry {
-  SystemKey key;
-  CertificateBundle bundle;
-  SystemProfile profile;
-  uint64_t last_used = 0;
-};
-
-/// A request exactly one transaction away from a cache entry.
+/// A request exactly one transaction away from a cached system. Carries
+/// copies of the matched entry's bundle and transaction permutation, so
+/// it outlives any concurrent cache mutation.
 struct DeltaMatch {
-  const CacheEntry* entry = nullptr;
+  CertificateBundle bundle;        ///< The matched entry's verdict.
+  std::vector<int> entry_txn_perm; ///< The matched entry's key.txn_perm.
   bool added = false;    ///< Request = entry plus one transaction.
   bool removed = false;  ///< Request = entry minus one transaction.
   /// added: request index of the extra transaction.
@@ -53,12 +59,12 @@ struct DeltaMatch {
 
 class VerdictCache {
  public:
-  explicit VerdictCache(int capacity) : capacity_(capacity) {}
+  explicit VerdictCache(int capacity)
+      : state_(std::make_unique<State>()), capacity_(capacity) {}
 
-  /// Exact canonical lookup (hash, then text); bumps LRU on hit. The
-  /// returned pointer (like DeltaMatch::entry) is invalidated by the next
-  /// Insert — consume it before inserting.
-  const CacheEntry* Find(const SystemKey& key);
+  /// Exact canonical lookup (hash, then text); bumps LRU on hit.
+  /// Returns a copy of the cached bundle.
+  std::optional<CertificateBundle> Find(const SystemKey& key);
 
   /// Most-recently-used entry exactly one transaction away from the
   /// request, if any.
@@ -68,11 +74,46 @@ class VerdictCache {
   /// one at capacity.
   void Insert(SystemKey key, CertificateBundle bundle, SystemProfile profile);
 
-  int size() const { return static_cast<int>(entries_.size()); }
+  /// Serialized certificates of every entry, least recently used first
+  /// — the journal-compaction snapshot (replaying it in order leaves
+  /// the most recently used entries freshest).
+  std::vector<std::string> SerializedSnapshot() const;
+
+  int size() const;
 
  private:
-  std::vector<CacheEntry> entries_;
-  uint64_t tick_ = 0;
+  struct Entry {
+    SystemKey key;
+    CertificateBundle bundle;
+    SystemProfile profile;
+    /// Atomic so shared-lock readers may bump it; moves happen only
+    /// under the exclusive lock.
+    std::atomic<uint64_t> last_used{0};
+
+    Entry() = default;
+    Entry(Entry&& o) noexcept
+        : key(std::move(o.key)),
+          bundle(std::move(o.bundle)),
+          profile(std::move(o.profile)),
+          last_used(o.last_used.load(std::memory_order_relaxed)) {}
+    Entry& operator=(Entry&& o) noexcept {
+      key = std::move(o.key);
+      bundle = std::move(o.bundle);
+      profile = std::move(o.profile);
+      last_used.store(o.last_used.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  /// Heap-held so the cache (and the Server around it) stays movable.
+  struct State {
+    mutable std::shared_mutex mu;
+    std::vector<Entry> entries;
+    std::atomic<uint64_t> tick{0};
+  };
+
+  std::unique_ptr<State> state_;
   int capacity_;
 };
 

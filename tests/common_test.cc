@@ -1,13 +1,22 @@
-// Tests for common/: Status, Result, Rng, string utilities.
+// Tests for common/: Status, Result, Rng, string utilities, CRC32, and
+// the bounded TaskPool behind the server's concurrent sessions.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <string>
+#include <thread>
 
+#include "common/hash_util.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace wydb {
 namespace {
@@ -150,6 +159,76 @@ TEST(StringUtilTest, Join) {
 TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("x%d y%s", 3, "z"), "x3 yz");
   EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Crc32Test, MatchesTheIeeeCheckVector) {
+  // The canonical CRC-32/IEEE check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string data = "the quick brown fox";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  const uint32_t first = Crc32(data.data(), 7);
+  const uint32_t chained = Crc32(data.data() + 7, data.size() - 7, first);
+  EXPECT_EQ(chained, whole);
+  EXPECT_NE(Crc32(data.data(), data.size() - 1), whole);
+}
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(4, 64);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&] { ++ran; }));
+    }
+    pool.Drain();
+    EXPECT_EQ(ran.load(), 64);
+    // Drain is terminal: the pool sheds everything afterwards.
+    EXPECT_FALSE(pool.TrySubmit([&] { ++ran; }));
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskPoolTest, ShedsWhenTheQueueIsFull) {
+  // One worker, held at a barrier: the queue (capacity 2) fills, and
+  // the next submit must be refused rather than block the caller —
+  // the accept-loop backpressure contract.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+  TaskPool pool(1, 2);
+  auto blocker = [&] {
+    ++started;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_TRUE(pool.TrySubmit(blocker));  // Runs, blocks the worker.
+  while (started.load() == 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit(blocker));  // Queued (1/2).
+  ASSERT_TRUE(pool.TrySubmit(blocker));  // Queued (2/2).
+  EXPECT_FALSE(pool.TrySubmit(blocker));  // Full: shed.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Drain();
+  EXPECT_EQ(started.load(), 3);
+}
+
+TEST(TaskPoolTest, DrainWaitsForRunningTasks) {
+  std::atomic<bool> finished{false};
+  TaskPool pool(2, 8);
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished = true;
+  }));
+  pool.Drain();
+  // Drain must not return while the task is still running.
+  EXPECT_TRUE(finished.load());
 }
 
 }  // namespace

@@ -177,6 +177,42 @@ TEST(SafetyCheckerTest, GenerousDeadlineDoesNotChangeTheVerdict) {
   ASSERT_TRUE(without.ok());
   EXPECT_EQ(with->holds, without->holds);
   EXPECT_EQ(with->states_visited, without->states_visited);
+  // The poll counter is the evidence the budget was live: present when
+  // a deadline is set, zero when not.
+  EXPECT_GT(with->deadline_polls, 0u);
+  EXPECT_EQ(without->deadline_polls, 0u);
+}
+
+/// The acceptance bar for enforced deadlines: on a state space far too
+/// large to exhaust, the parallel engine must answer ResourceExhausted
+/// within 2x the wall-clock budget — in-level polling, not just
+/// per-level, so one long level cannot blow through the deadline.
+TEST(SafetyCheckerTest, ParallelEngineAnswersWithinTwiceTheBudget) {
+  // Ten identical same-order transactions over two entities: certified,
+  // so the search has no early witness out — it must be stopped by the
+  // clock (the reachable (state, arc-set) space is ~5^10).
+  auto db = MakeDb({{"s1", {"x"}}, {"s2", {"y"}}});
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 10; ++i) {
+    txns.push_back(
+        MakeSeq(db.get(), "T" + std::to_string(i), {"Lx", "Ly", "Ux", "Uy"}));
+  }
+  TransactionSystem sys = MakeSystem(db.get(), std::move(txns));
+  SafetyCheckOptions opts;
+  opts.engine = SearchEngine::kParallelSharded;
+  opts.max_states = 0;  // The deadline is the only bound.
+  const auto budget = std::chrono::milliseconds(500);
+  const auto start = std::chrono::steady_clock::now();
+  opts.deadline = start + budget;
+  auto report = CheckSafeAndDeadlockFree(sys, opts);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(report.status().message().find("deadline"), std::string::npos);
+  EXPECT_LT(elapsed, 2 * budget)
+      << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+             .count()
+      << " ms";
 }
 
 // ---------------------------------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/certificate.h"
@@ -47,6 +48,15 @@ std::string FirstLineWith(const std::vector<std::string>& lines,
     if (l.find(needle) != std::string::npos) return l;
   }
   return "";
+}
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
 }
 
 /// Two transactions locking {x, y} in opposite orders: deadlocks, so
@@ -206,6 +216,92 @@ TEST(ServeTest, GenerousTimeoutDoesNotChangeTheVerdict) {
   EXPECT_TRUE(AnyLineContains(out, "certified=no source=full"));
   auto bad = Drive(server, CertifyRequest(kDeadlockPair, "timeout_ms=abc"));
   EXPECT_TRUE(AnyLineContains(bad, "error: bad timeout_ms value"));
+  // A timed request proves the budget was live: the engines consulted
+  // the clock, and the counter surfaces in the stats verb.
+  EXPECT_GT(server.stats().deadline_polls, 0u);
+  auto stats = Drive(server, "stats\n");
+  const std::string line = FirstLineWith(stats, "stats: ");
+  EXPECT_NE(line.find("deadline_polls="), std::string::npos) << line;
+  EXPECT_EQ(line.find("deadline_polls=0 "), std::string::npos) << line;
+}
+
+TEST(ServeTest, RunawayRequestsAreRejectedConsistently) {
+  // Server defaults: timeout_ms=0, max_states=5M. A request that zeroes
+  // the state bound, or raises it past the server budget, while leaving
+  // the timeout at 0 has no bound left and must be refused.
+  Server server = MakeServer();
+  auto out = Drive(server, CertifyRequest(kCertifiedPair, "max_states=0"));
+  EXPECT_TRUE(AnyLineContains(out, "error: runaway certify rejected"))
+      << out[0];
+  EXPECT_FALSE(AnyLineContains(out, "verdict: "));
+  out = Drive(server, CertifyRequest(kCertifiedPair, "max_states=99999999"));
+  EXPECT_TRUE(AnyLineContains(out, "error: runaway certify rejected"));
+  EXPECT_EQ(server.stats().runaways_rejected, 2u);
+  EXPECT_EQ(server.stats().errors, 2u);
+
+  // Either bound on its own makes the same request acceptable.
+  out = Drive(server,
+              CertifyRequest(kCertifiedPair, "max_states=0 timeout_ms=60000"));
+  EXPECT_TRUE(AnyLineContains(out, "certified=yes")) << out[0];
+  out = Drive(server, CertifyRequest(kDeadlockPair, "max_states=1000"));
+  EXPECT_TRUE(AnyLineContains(out, "certified=no"));
+  EXPECT_EQ(server.stats().runaways_rejected, 2u);
+
+  // An unbounded-states *server* (operator opt-out) only rejects the
+  // truly bound-free request.
+  ServerOptions opts;
+  opts.max_states = 0;
+  auto unbounded = Server::Create(opts);
+  ASSERT_TRUE(unbounded.ok());
+  out = Drive(*unbounded, CertifyRequest(kCertifiedPair, "max_states=0"));
+  EXPECT_TRUE(AnyLineContains(out, "error: runaway certify rejected"));
+  out = Drive(*unbounded, CertifyRequest(kCertifiedPair, "max_states=500000"));
+  EXPECT_TRUE(AnyLineContains(out, "certified=yes"));
+}
+
+/// Concurrent sessions against one Server: every session drives the
+/// same mixed request script, sharing the verdict cache. Checked under
+/// TSan by the CI thread-sanitizer job.
+TEST(ServeTest, ConcurrentSessionsShareTheCacheSafely) {
+  Server server = MakeServer();
+  constexpr int kSessions = 8;
+  std::vector<std::string> outputs(kSessions);
+  {
+    std::vector<std::thread> sessions;
+    sessions.reserve(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      sessions.emplace_back([&server, &outputs, i] {
+        const std::string script = CertifyRequest(kDeadlockPair) +
+                                   CertifyRequest(kCertifiedPair) +
+                                   CertifyRequest(kDeadlockPairPermuted) +
+                                   "stats\n";
+        std::istringstream in(script);
+        std::ostringstream out;
+        server.ServeStream(in, out);
+        outputs[i] = out.str();
+      });
+    }
+    for (std::thread& t : sessions) t.join();
+  }
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string& out = outputs[i];
+    // Two refutations (the permuted one bit-identical in verdict), one
+    // certification, no errors, and a stats line — in every session.
+    EXPECT_EQ(CountOccurrences(out, "certified=no"), 2) << "session " << i;
+    EXPECT_EQ(CountOccurrences(out, "certified=yes"), 1) << "session " << i;
+    EXPECT_EQ(CountOccurrences(out, "error: "), 0) << out;
+    EXPECT_NE(out.find("stats: "), std::string::npos);
+  }
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.requests, 4u * kSessions);
+  EXPECT_EQ(stats.certify_requests, 3u * kSessions);
+  EXPECT_EQ(stats.errors, 0u);
+  // Every certify either hit or missed; racing sessions may each miss
+  // the same key before the first insert lands, but never more often
+  // than once per request.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 3u * kSessions);
+  EXPECT_GE(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.full_certifications, stats.cache_misses);
 }
 
 TEST(ServeTest, PreloadPrimesTheCache) {
@@ -330,12 +426,12 @@ TEST(VerdictCacheTest, EvictsTheLeastRecentlyUsedEntry) {
   VerdictCache cache(2);
   cache.Insert(ka, ea.first, ea.second);
   cache.Insert(kb, eb.first, eb.second);
-  ASSERT_NE(cache.Find(ka), nullptr);  // Bump A; B is now LRU.
+  ASSERT_TRUE(cache.Find(ka).has_value());  // Bump A; B is now LRU.
   cache.Insert(kc, ec.first, ec.second);
   EXPECT_EQ(cache.size(), 2);
-  EXPECT_NE(cache.Find(ka), nullptr);
-  EXPECT_EQ(cache.Find(kb), nullptr);
-  EXPECT_NE(cache.Find(kc), nullptr);
+  EXPECT_TRUE(cache.Find(ka).has_value());
+  EXPECT_FALSE(cache.Find(kb).has_value());
+  EXPECT_TRUE(cache.Find(kc).has_value());
 }
 
 TEST(CertificateTest, RoundTripsAndRejectsTampering) {

@@ -115,6 +115,7 @@ def check_help_sync(analyze: Path, serve: Path) -> list[str]:
 # `stats:` token followed by fixed key=value fields (sweeps parse this).
 STATS_LINE_RE = re.compile(
     r"^    stats: states_interned=\d+ sleep_set_pruned=\d+"
+    r" deadline_polls=\d+"
     r" orbits=\d+ largest_orbit=\d+ bytes_per_state=\d+(?:\.\d+)?"
     r" arena_bytes=\d+ probe_table_bytes=\d+ spilled_levels=\d+"
     r" fingerprint_collision_bound=[0-9.eE+-]+$",
@@ -313,6 +314,14 @@ def check_serve_smoke(binary: Path) -> list[str]:
         # I/O failure, not flag misuse: exits 2 but without usage.
         (["--preload", "/no/such/file.wydb", "--no-usage"], "cannot open"),
         (["--no-such-option"], "unknown option"),
+        # Fault-tolerant serving knobs (docs/SERVE.md): the session cap
+        # must admit at least one session, and the journal tuning flags
+        # are meaningless without a journal to tune.
+        (["--sessions"], "needs a value"),
+        (["--sessions", "0"], "at least 1"),
+        (["--journal"], "needs a value"),
+        (["--journal-fsync", "1"], "need --journal"),
+        (["--journal-compact", "0"], "need --journal"),
     ]
     errors = []
     for args, want_stderr in misuse:

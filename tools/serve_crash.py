@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""CI crash-recovery check for wydb_serve's verdict journal.
+
+The script drives the acceptance scenario end to end:
+
+1. start wydb_serve with --journal and --journal-fsync 1, certify a
+   batch of distinct workloads over TCP, and wait for every verdict;
+2. fire one more certify and SIGKILL (kill -9) the server without
+   waiting — the canonical mid-append crash;
+3. restart the server on the SAME journal: recovery must replay every
+   completed verdict (journal_recovered counter), losing at most the
+   in-flight one;
+4. resubmit a renamed/reordered (isomorphic) twin of every pre-kill
+   workload: each must be served `source=cache` with zero full
+   certifications — the recovered cache keys are canonical;
+5. corrupt the journal tail with garbage bytes and restart again: the
+   server must salvage the valid prefix (journal_salvaged_bytes > 0)
+   and keep serving rather than refuse startup.
+
+Usage: tools/serve_crash.py path/to/wydb_serve
+Exits nonzero with a named complaint on any failed expectation.
+"""
+
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ERRORS: list[str] = []
+
+
+def complain(msg: str) -> None:
+    ERRORS.append(msg)
+    print(f"serve_crash: {msg}", file=sys.stderr)
+
+
+def expect(cond: bool, msg: str) -> None:
+    if not cond:
+        complain(msg)
+
+
+DEADLOCK = (
+    "site s1: x\n"
+    "site s2: y\n"
+    "txn T1: Lx Ly Ux Uy\n"
+    "txn T2: Ly Lx Uy Ux\n"
+)
+
+DEADLOCK_PERMUTED = (
+    "site a2: beta\n"
+    "site a1: alpha\n"
+    "txn B: Lbeta Lalpha Ubeta Ualpha\n"
+    "txn A: Lalpha Lbeta Ualpha Ubeta\n"
+)
+
+
+def certified_family(k: int) -> tuple[str, str]:
+    """A k-transaction certified system and an isomorphic twin with
+    sites, entities, and transactions renamed and reordered."""
+    base = "site s1: x\nsite s2: y\n" + "".join(
+        f"txn T{i}: Lx Ly Ux Uy\n" for i in range(1, k + 1)
+    )
+    twin = "site b: q\nsite a: p\n" + "".join(
+        f"txn W{i}: Lp Lq Up Uq\n" for i in range(k, 0, -1)
+    )
+    return base, twin
+
+
+WORKLOADS = [(DEADLOCK, DEADLOCK_PERMUTED)] + [
+    certified_family(k) for k in (2, 3, 4, 5)
+]
+
+
+def start_server(serve: Path, extra_args: list[str]):
+    for _ in range(5):
+        port = random.randint(20000, 60000)
+        proc = subprocess.Popen(
+            [str(serve), "--port", str(port), *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.time() + 10
+        while time.time() < deadline and proc.poll() is None:
+            try:
+                with socket.create_connection(("127.0.0.1", port),
+                                              timeout=2):
+                    pass
+                return proc, port
+            except OSError:
+                time.sleep(0.1)
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return None
+
+
+def recv_responses(sock: socket.socket, count: int,
+                   timeout: float = 120.0) -> list[str]:
+    """Reads until `count` '.'-terminated responses have arrived."""
+    sock.settimeout(timeout)
+    data = b""
+    try:
+        while data.decode(errors="replace").count("\n.\n") < count:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+    except OSError as e:
+        complain(f"recv failed: {e}")
+    text = data.decode(errors="replace")
+    responses, current = [], []
+    for line in text.splitlines():
+        if line == ".":
+            responses.append("\n".join(current))
+            current = []
+        else:
+            current.append(line)
+    return responses
+
+
+def stats_value(stats_line: str, key: str) -> int:
+    for tok in stats_line.split():
+        if tok.startswith(key + "="):
+            try:
+                return int(tok[len(key) + 1:])
+            except ValueError:
+                return -1
+    return -1
+
+
+def kill_dash_nine(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGKILL)
+    try:
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        complain("server survived SIGKILL?!")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    serve = Path(sys.argv[1])
+    journal = Path(tempfile.mkdtemp(prefix="wydb_crash_")) / "verdicts.wyj"
+    args = ["--journal", str(journal), "--journal-fsync", "1"]
+
+    # --- Phase 1: load the journal, then kill -9 mid-append. ---
+    started = start_server(serve, args)
+    if started is None:
+        complain("phase 1: could not start the server")
+        return 1
+    proc, port = started
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        for base, _ in WORKLOADS:
+            sock.sendall(f"certify\n{base}end\n".encode())
+        responses = recv_responses(sock, len(WORKLOADS))
+        expect(len(responses) == len(WORKLOADS),
+               f"phase 1: {len(responses)}/{len(WORKLOADS)} verdicts")
+        for resp in responses:
+            expect("verdict: " in resp and "error: " not in resp,
+                   f"phase 1: bad response: {resp!r}")
+        # One more request in flight, then the axe — no waiting, so the
+        # kill lands during (or before) its append.
+        sock.sendall(f"certify\n{certified_family(6)[0]}end\n".encode())
+        kill_dash_nine(proc)
+    expect(journal.exists(), "phase 1: journal file never created")
+
+    # --- Phase 2: restart on the same journal; every completed verdict
+    # must be back, and isomorphic twins must all be cache hits. ---
+    started = start_server(serve, args)
+    if started is None:
+        complain("phase 2: could not restart on the journal")
+        return 1
+    proc, port = started
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(b"stats\n")
+        (stats,) = recv_responses(sock, 1)
+        recovered = stats_value(stats, "journal_recovered")
+        expect(recovered >= len(WORKLOADS),
+               f"phase 2: recovered {recovered} < {len(WORKLOADS)}: {stats}")
+        expect(stats_value(stats, "cache_size") >= len(WORKLOADS),
+               f"phase 2: cache not reseeded: {stats}")
+
+        for i, (_, twin) in enumerate(WORKLOADS):
+            sock.sendall(f"certify\n{twin}end\n".encode())
+            (resp,) = recv_responses(sock, 1)
+            expect("source=cache" in resp,
+                   f"phase 2: twin {i} not a cache hit: {resp!r}")
+
+        sock.sendall(b"stats\nquit\n")
+        stats, _bye = recv_responses(sock, 2)
+        expect(stats_value(stats, "cache_hits") == len(WORKLOADS),
+               f"phase 2: cache_hits: {stats}")
+        expect(stats_value(stats, "cache_misses") == 0,
+               f"phase 2: cache_misses: {stats}")
+        expect(stats_value(stats, "full") == 0,
+               f"phase 2: full certifications ran after recovery: {stats}")
+    proc.terminate()
+    try:
+        expect(proc.wait(timeout=30) == 0, "phase 2: drain exit nonzero")
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        complain("phase 2: server hung on SIGTERM")
+
+    # --- Phase 3: corrupt the tail; salvage, don't refuse. ---
+    with journal.open("ab") as f:
+        f.write(b"WYJ1\xff\xff\xff\x7fgarbage tail bytes")
+    started = start_server(serve, args)
+    if started is None:
+        complain("phase 3: server refused to start on a corrupt tail")
+        return 1
+    proc, port = started
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(f"certify\n{DEADLOCK_PERMUTED}end\nstats\nquit\n"
+                     .encode())
+        twin_resp, stats, _bye = recv_responses(sock, 3)
+        expect(stats_value(stats, "journal_salvaged_bytes") > 0,
+               f"phase 3: salvage not reported: {stats}")
+        expect("source=cache" in twin_resp,
+               f"phase 3: verdicts lost to the torn tail: {twin_resp!r}")
+    proc.terminate()
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+    if not ERRORS:
+        print("serve_crash: OK (kill -9, journal recovery, isomorphic "
+              "cache hits, torn-tail salvage)")
+    return 1 if ERRORS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,17 @@ Legs:
    serving;
 5. every certify verdict is cross-checked against `wydb_analyze
    --exact` on the same workload (exit 0 = certified, 1 = refuted);
-6. a TCP leg: `--port` serves the same protocol over a socket.
+6. a TCP leg: `--port` serves the same protocol over a socket;
+7. a concurrent fault-injection leg: 4 clients at once — one trickling
+   bytes at 1 byte/100 ms, one disconnecting mid-request, two normal —
+   the normal clients' verdicts must match `wydb_analyze --exact`,
+   arrive within a bounded latency, and the server must survive and
+   then drain cleanly on SIGTERM (exit 0);
+8. a malformed-flood leg: a burst of garbage requests over one session,
+   each answered with an isolated error, the server still serving after;
+9. a backpressure leg: with --sessions 1, a third simultaneous
+   connection is shed with an `at capacity` error while the occupied
+   session keeps its slot.
 
 Usage: tools/serve_smoke.py path/to/wydb_serve path/to/wydb_analyze
 Exits nonzero with a named complaint on any mismatch.
@@ -25,6 +35,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -257,6 +268,220 @@ def run_tcp_session(serve: Path) -> None:
     complain("tcp leg: could not establish a connection on any port")
 
 
+def start_server(serve: Path, extra_args: list[str]):
+    """Starts wydb_serve on a random port; returns (proc, port) or None."""
+    for _ in range(5):
+        port = random.randint(20000, 60000)
+        proc = subprocess.Popen(
+            [str(serve), "--port", str(port), *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.time() + 10
+        while time.time() < deadline and proc.poll() is None:
+            try:
+                with socket.create_connection(("127.0.0.1", port),
+                                              timeout=2):
+                    pass
+                return proc, port
+            except OSError:
+                time.sleep(0.1)
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return None
+
+
+def recv_until_bye(sock: socket.socket, timeout: float = 60.0) -> str:
+    sock.settimeout(timeout)
+    data = b""
+    try:
+        while b"bye" not in data:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+    except OSError as e:
+        complain(f"recv failed: {e}")
+    return data.decode(errors="replace")
+
+
+def run_concurrent_faults_session(serve: Path, analyze: Path) -> None:
+    """Leg 7: 4 concurrent clients — slow, disconnecting, two normal."""
+    started = start_server(serve, ["--sessions", "4"])
+    if started is None:
+        complain("concurrent leg: could not start the server")
+        return
+    proc, port = started
+    results: dict[str, str] = {}
+    latencies: dict[str, float] = {}
+
+    def normal_client(name: str, workload: str) -> None:
+        t0 = time.time()
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as sock:
+                sock.sendall(
+                    f"certify\n{workload}end\nstats\nquit\n".encode()
+                )
+                results[name] = recv_until_bye(sock)
+        except OSError as e:
+            complain(f"concurrent leg: {name} failed: {e}")
+        latencies[name] = time.time() - t0
+
+    def slow_client() -> None:
+        # One byte every 100 ms: a request that takes ~1.2 s to arrive
+        # must not stall anyone else's session.
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as sock:
+                for byte in b"stats\nquit\n":
+                    sock.sendall(bytes([byte]))
+                    time.sleep(0.1)
+                results["slow"] = recv_until_bye(sock)
+        except OSError as e:
+            complain(f"concurrent leg: slow client failed: {e}")
+
+    def disconnecting_client() -> None:
+        # Half a certify request, then a hard close mid-request: the
+        # server must treat it as that session's EOF and nothing more.
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+            sock.sendall(b"certify\nsite s1: x\ntxn T1:")
+            time.sleep(0.2)
+            sock.close()
+        except OSError as e:
+            complain(f"concurrent leg: disconnector failed: {e}")
+
+    threads = [
+        threading.Thread(target=slow_client),
+        threading.Thread(target=disconnecting_client),
+        threading.Thread(target=normal_client, args=("n1", DEADLOCK)),
+        threading.Thread(target=normal_client, args=("n2", CERTIFIED_BASE)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+
+    for name, workload, want in (("n1", DEADLOCK, False),
+                                 ("n2", CERTIFIED_BASE, True)):
+        text = results.get(name, "")
+        served = "certified=yes" in text
+        expect(("verdict: " in text) and not ("error: " in text),
+               f"concurrent leg: {name} got no clean verdict: {text!r}")
+        expect(served == want,
+               f"concurrent leg: {name} verdict flipped: {text!r}")
+        expect(served == analyze_verdict(analyze, workload),
+               f"concurrent leg: {name} disagrees with --exact")
+        # Bounded latency despite the 1.2 s slow-trickle neighbor: these
+        # tiny systems certify in milliseconds, so anything near the
+        # slow client's timescale means sessions serialized.
+        expect(latencies.get(name, 999) < 30,
+               f"concurrent leg: {name} took {latencies.get(name):.1f}s")
+    expect("stats: requests=" in results.get("slow", ""),
+           f"concurrent leg: slow client starved: {results.get('slow')!r}")
+    expect(proc.poll() is None,
+           "concurrent leg: server died during the fault mix")
+
+    # Graceful drain: SIGTERM must flush and exit 0, not be killed.
+    proc.terminate()
+    try:
+        code = proc.wait(timeout=30)
+        expect(code == 0, f"concurrent leg: drain exited {code}")
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        complain("concurrent leg: server hung on SIGTERM drain")
+
+
+def run_malformed_flood_session(serve: Path) -> None:
+    """Leg 8: a burst of garbage requests never kills the stream."""
+    started = start_server(serve, [])
+    if started is None:
+        complain("flood leg: could not start the server")
+        return
+    proc, port = started
+    try:
+        flood = []
+        for i in range(50):
+            flood.append(f"frobnicate {i}\n")
+            flood.append(f"certify\n{DUPLICATE}end\n")
+        flood.append(f"certify\n{CERTIFIED_BASE}end\n")
+        flood.append("stats\nquit\n")
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            s.sendall("".join(flood).encode())
+            text = recv_until_bye(s)
+        expect(text.count("error: ") == 100,
+               f"flood leg: want 100 isolated errors, got "
+               f"{text.count('error: ')}")
+        expect("certified=yes" in text,
+               "flood leg: good request after the flood not served")
+        expect("errors=100" in text, "flood leg: errors counter")
+        expect(proc.poll() is None, "flood leg: server died")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def run_backpressure_session(serve: Path) -> None:
+    """Leg 9: --sessions 1 sheds the connection past cap + queue."""
+    started = start_server(serve, ["--sessions", "1"])
+    if started is None:
+        complain("backpressure leg: could not start the server")
+        return
+    proc, port = started
+    try:
+        # Let the start_server probe connection's session finish first,
+        # or it would transiently hold the single slot.
+        time.sleep(0.3)
+        # Occupy the one session slot without finishing the request...
+        holder = socket.create_connection(("127.0.0.1", port), timeout=10)
+        holder.sendall(b"certify\n")  # Mid-request: the slot stays held.
+        time.sleep(0.3)
+        # ...fill the one queue slot...
+        waiter = socket.create_connection(("127.0.0.1", port), timeout=10)
+        time.sleep(0.3)
+        # ...and the next connection must be shed, immediately.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            s.settimeout(10)
+            data = b""
+            try:
+                while b"\n" not in data:
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            except OSError as e:
+                complain(f"backpressure leg: shed read failed: {e}")
+        expect(b"at capacity" in data,
+               f"backpressure leg: want shed error, got {data!r}")
+        # The held session is still alive: finish its request normally.
+        holder.sendall(f"{CERTIFIED_BASE}end\nquit\n".encode())
+        text = recv_until_bye(holder)
+        expect("certified=yes" in text,
+               f"backpressure leg: holder's request lost: {text!r}")
+        holder.close()
+        # The queued connection now gets the freed slot.
+        waiter.sendall(b"stats\nquit\n")
+        text = recv_until_bye(waiter)
+        expect("stats: requests=" in text,
+               f"backpressure leg: queued connection starved: {text!r}")
+        waiter.close()
+        expect(proc.poll() is None, "backpressure leg: server died")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
@@ -264,9 +489,13 @@ def main() -> int:
     serve, analyze = Path(sys.argv[1]), Path(sys.argv[2])
     run_pipe_session(serve, analyze)
     run_tcp_session(serve)
+    run_concurrent_faults_session(serve, analyze)
+    run_malformed_flood_session(serve)
+    run_backpressure_session(serve)
     if not ERRORS:
-        print("serve_smoke: OK (pipe + tcp sessions, verdicts "
-              "cross-checked against wydb_analyze --exact)")
+        print("serve_smoke: OK (pipe + tcp + concurrent-fault + flood + "
+              "backpressure sessions, verdicts cross-checked against "
+              "wydb_analyze --exact)")
     return 1 if ERRORS else 0
 
 

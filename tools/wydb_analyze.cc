@@ -5,6 +5,7 @@
 //
 // The workload format is documented in docs/FORMAT.md; see
 // tools/sample_workload.wydb for an example.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +80,11 @@ Analysis options:
                      (default 5000000; a search past it returns
                      ResourceExhausted; 0 keeps the default); implies
                      --exact
+  --timeout-ms <d>   per-check wall-clock budget for the exact oracles
+                     (0 = none, the default); a check past it returns
+                     ResourceExhausted, and the stats line reports how
+                     often the engine consulted the clock
+                     (deadline_polls); implies --exact
   --allow-compaction  accept the non-certified verdicts of
                      --store-encoding compact (sound refutations and
                      witnesses; "yes" verdicts carry a collision
@@ -796,6 +802,7 @@ int main(int argc, char** argv) {
   bool stats = false, engine_set = false, allow_compaction = false;
   const char* cert_path = nullptr;
   int max_states = 0;
+  int timeout_ms = 0;
   SearchEngine engine = SearchEngine::kIncremental;
   StoreOptions store;
   int simulate_runs = 0, search_threads = 0;
@@ -855,6 +862,10 @@ int main(int argc, char** argv) {
       if (a + 1 >= argc) FailMissingValue("--max-states");
       exact = true;
       max_states = ParseCountFlag("--max-states", argv[++a]);
+    } else if (!std::strcmp(argv[a], "--timeout-ms")) {
+      if (a + 1 >= argc) FailMissingValue("--timeout-ms");
+      exact = true;
+      timeout_ms = ParseCountFlag("--timeout-ms", argv[++a]);
     } else if (!std::strcmp(argv[a], "--allow-compaction")) {
       exact = true;
       allow_compaction = true;
@@ -988,6 +999,14 @@ int main(int argc, char** argv) {
       dopts.max_states = static_cast<uint64_t>(max_states);
       sopts.max_states = static_cast<uint64_t>(max_states);
     }
+    // Each check gets its own wall-clock budget, armed immediately
+    // before it runs so earlier checks don't eat a later one's time.
+    auto arm_deadline = [&](std::chrono::steady_clock::time_point* d) {
+      if (timeout_ms > 0) {
+        *d = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms);
+      }
+    };
     // The stats line is sweep-greppable: one `stats:` token, then fixed
     // key=value fields (covered by the check_docs.py CLI smoke cases).
     // Orbits are only computed when the line is actually printed.
@@ -998,11 +1017,12 @@ int main(int argc, char** argv) {
       const uint64_t denom = r.states_interned > 0 ? r.states_interned : 1;
       std::printf(
           "    stats: states_interned=%llu sleep_set_pruned=%llu "
-          "orbits=%d largest_orbit=%d bytes_per_state=%.1f "
-          "arena_bytes=%llu probe_table_bytes=%llu spilled_levels=%llu "
-          "fingerprint_collision_bound=%.3g\n",
+          "deadline_polls=%llu orbits=%d largest_orbit=%d "
+          "bytes_per_state=%.1f arena_bytes=%llu probe_table_bytes=%llu "
+          "spilled_levels=%llu fingerprint_collision_bound=%.3g\n",
           static_cast<unsigned long long>(r.states_interned),
           static_cast<unsigned long long>(r.sleep_set_pruned),
+          static_cast<unsigned long long>(r.deadline_polls),
           orbits->num_orbits(), orbits->largest_orbit(),
           static_cast<double>(r.store_bytes) / static_cast<double>(denom),
           static_cast<unsigned long long>(r.arena_bytes),
@@ -1010,6 +1030,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.spilled_levels),
           r.fingerprint_collision_bound);
     };
+    arm_deadline(&dopts.deadline);
     auto df = CheckDeadlockFreedom(sys, dopts);
     exact_deadlock_free = df.ok() && df->deadlock_free;
     if (df.ok()) {
@@ -1025,6 +1046,7 @@ int main(int argc, char** argv) {
     } else {
       std::printf("  deadlock-free: %s\n", df.status().ToString().c_str());
     }
+    arm_deadline(&sopts.deadline);
     auto safe = CheckSafety(sys, sopts);
     exact_safe = safe.ok() && safe->holds;
     if (safe.ok()) {
@@ -1036,6 +1058,7 @@ int main(int argc, char** argv) {
     }
 
     if (cert_path != nullptr) {
+      arm_deadline(&sopts.deadline);
       auto full = CheckSafeAndDeadlockFree(sys, sopts);
       if (!full.ok()) {
         std::fprintf(stderr, "wydb_analyze: --certificate check failed: %s\n",

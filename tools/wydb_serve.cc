@@ -1,13 +1,17 @@
 // wydb_serve: long-running analysis server (docs/SERVE.md). Speaks the
-// line protocol on stdin/stdout by default, or accepts TCP connections
-// one at a time with --port. Run `wydb_serve --help` for the flags; the
+// line protocol on stdin/stdout by default, or accepts concurrent TCP
+// connections with --port. Run `wydb_serve --help` for the flags; the
 // README serving section is kept in sync by the docs CI job
 // (tools/check_docs.py).
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <streambuf>
 
@@ -15,6 +19,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/thread_pool.h"
 #include "serve/server.h"
 
 using namespace wydb;
@@ -25,27 +30,43 @@ constexpr char kHelp[] =
     R"(wydb_serve: analysis-as-a-service for locked distributed transaction
 systems (Wolfson-Yannakakis, PODS '85). Serves `certify`, `simulate`,
 `stats`, and `quit` requests over a line protocol (docs/SERVE.md), with
-a canonical-form verdict cache and single-transaction incremental
-recertification.
+a canonical-form verdict cache, single-transaction incremental
+recertification, and an optional crash-safe verdict journal.
 
 Usage:
   wydb_serve [options]             serve stdin/stdout until EOF or quit
-  wydb_serve --port <p> [options]  accept TCP connections, one at a time
+  wydb_serve --port <p> [options]  accept TCP connections concurrently
   wydb_serve --help
 
 Options:
   --port <p>         listen on TCP port <p> instead of stdin/stdout;
-                     connections are served sequentially and the cache
-                     persists across them
+                     each connection gets its own session thread and the
+                     verdict cache is shared across all of them
+  --sessions <n>     concurrent TCP session cap (default 4); up to <n>
+                     more connections wait in an accept queue, and
+                     connections beyond that are shed immediately with
+                     an `error: server at capacity` line
   --max-states <n>   default per-request state budget for certifications
                      (default 5000000, 0 = unbounded; a request may
                      override with max_states=N)
   --timeout-ms <t>   default per-request wall-clock budget in ms
                      (default 0 = none; a request may override with
                      timeout_ms=N); overruns answer ResourceExhausted
-                     without killing the stream
+                     without killing the stream. A request whose
+                     effective budget is timeout_ms=0 with an unbounded
+                     or above-server max_states is rejected as a runaway
   --cache-entries <n>  verdict-cache capacity, in systems (default 128,
                      LRU eviction)
+  --journal <file>   append every verdict to a crash-safe journal and
+                     replay it into the cache at startup; a torn or
+                     corrupt tail is truncated to the last valid record,
+                     never a startup failure (docs/SERVE.md)
+  --journal-fsync <n>  fsync the journal every <n> appends (default 8;
+                     0 = only on compaction and shutdown; 1 = every
+                     verdict). kill -9 loses at most the unsynced tail
+  --journal-compact <n>  rewrite the journal from the live cache once it
+                     holds <n> more records than the cache has entries
+                     (default 256; 0 = compact eagerly)
   --engine <e>       engine for full certifications: incremental
                      (default), reference, parallel, or reduced;
                      incremental recertification always runs on the
@@ -60,6 +81,10 @@ Options:
                      the parallel/reduced engines (0 = never)
   --preload <file>   certify <file> at startup and seed the cache with
                      the result (repeatable)
+
+SIGTERM/SIGINT drain gracefully: the listener stops, in-flight sessions
+are unblocked, and the journal is flushed before exit. SIGPIPE is
+ignored; a disconnected client only ends its own session.
 )";
 
 void PrintUsage(std::FILE* out) {
@@ -105,15 +130,53 @@ int ParseCountFlag(const char* opt, const char* value) {
   return parsed;
 }
 
+/// Set by the SIGTERM/SIGINT handler (installed without SA_RESTART so
+/// the accept/read the main thread is blocked in returns EINTR).
+volatile std::sig_atomic_t g_stop = 0;
+
+void StopHandler(int) { g_stop = 1; }
+
+/// Connections currently owned by a session thread. The drain path
+/// shuts them down to unblock reads; entries are removed (under the
+/// mutex) before close so a recycled fd can never be shut down stale.
+std::mutex g_conns_mu;
+std::set<int> g_conns;
+
+void RegisterConn(int fd) {
+  std::lock_guard<std::mutex> lock(g_conns_mu);
+  g_conns.insert(fd);
+}
+
+void UnregisterAndClose(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(g_conns_mu);
+    g_conns.erase(fd);
+  }
+  ::close(fd);
+}
+
+/// Wakes every in-flight session's blocked read with EOF. Signals are
+/// delivered to one thread only, so worker reads never see EINTR; this
+/// is how the drain reaches them.
+void ShutdownActiveConns() {
+  std::lock_guard<std::mutex> lock(g_conns_mu);
+  for (int fd : g_conns) ::shutdown(fd, SHUT_RDWR);
+}
+
 /// Unbuffered-write std::streambuf over a POSIX fd, enough to hand a
-/// socket to Server::ServeStream as iostreams.
+/// socket to Server::ServeStream as iostreams. Retries EINTR (signal
+/// delivery must not drop request bytes); EPIPE/ECONNRESET surface as
+/// eof, which ends this session's ServeStream loop and nothing else.
 class FdStreamBuf : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
 
  protected:
   int underflow() override {
-    ssize_t n = ::read(fd_, buf_, sizeof(buf_));
+    ssize_t n;
+    do {
+      n = ::read(fd_, buf_, sizeof(buf_));
+    } while (n < 0 && errno == EINTR && !g_stop);
     if (n <= 0) return traits_type::eof();
     setg(buf_, buf_, buf_ + n);
     return traits_type::to_int_type(buf_[0]);
@@ -121,24 +184,31 @@ class FdStreamBuf : public std::streambuf {
   int overflow(int c) override {
     if (c == traits_type::eof()) return traits_type::eof();
     char ch = static_cast<char>(c);
-    return ::write(fd_, &ch, 1) == 1 ? c : traits_type::eof();
+    return WriteAll(&ch, 1) ? c : traits_type::eof();
   }
   std::streamsize xsputn(const char* s, std::streamsize n) override {
-    std::streamsize done = 0;
-    while (done < n) {
-      ssize_t w = ::write(fd_, s + done, static_cast<size_t>(n - done));
-      if (w <= 0) break;
-      done += w;
-    }
-    return done;
+    return WriteAll(s, static_cast<size_t>(n))
+               ? n
+               : 0;  // Short write = dead peer; eof the stream.
   }
 
  private:
+  bool WriteAll(const char* s, size_t n) {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::write(fd_, s + done, n - done);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      done += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
   int fd_;
   char buf_[4096];
 };
 
-int ServeSocket(Server& server, int port) {
+int ServeSocket(Server& server, int port, int sessions) {
   int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("wydb_serve: socket");
@@ -152,25 +222,59 @@ int ServeSocket(Server& server, int port) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(listen_fd, 4) < 0) {
+      ::listen(listen_fd, sessions + 4) < 0) {
     std::perror("wydb_serve: bind/listen");
     ::close(listen_fd);
     return 1;
   }
-  std::fprintf(stderr, "wydb_serve: listening on 127.0.0.1:%d\n", port);
+  std::fprintf(stderr,
+               "wydb_serve: listening on 127.0.0.1:%d (%d sessions)\n", port,
+               sessions);
+  // One session per connection; up to `sessions` more wait in the pool
+  // queue, and TrySubmit failing past that is the shed signal.
+  TaskPool pool(sessions, static_cast<size_t>(sessions));
   for (;;) {
     int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
+      if (errno == EINTR) {
+        if (g_stop) break;
+        continue;
+      }
       std::perror("wydb_serve: accept");
       break;
     }
-    FdStreamBuf buf(conn);
-    std::istream in(&buf);
-    std::ostream out(&buf);
-    server.ServeStream(in, out);
-    ::close(conn);
+    if (g_stop) {
+      ::close(conn);
+      break;
+    }
+    bool queued = pool.TrySubmit([&server, conn] {
+      RegisterConn(conn);
+      FdStreamBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      server.ServeStream(in, out);
+      UnregisterAndClose(conn);
+    });
+    if (!queued) {
+      // At capacity: shed this connection instead of stalling the ones
+      // already being served. Best-effort write; the peer may be gone.
+      const char kShed[] = "error: server at capacity, try again later\n";
+      ssize_t ignored = ::write(conn, kShed, sizeof(kShed) - 1);
+      (void)ignored;
+      ::close(conn);
+    }
   }
   ::close(listen_fd);
+  // Graceful drain: unblock in-flight reads, wait the sessions out,
+  // then make the journal durable before exiting.
+  ShutdownActiveConns();
+  pool.Drain();
+  Status flushed = server.FlushJournal();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "wydb_serve: journal flush failed: %s\n",
+                 flushed.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -183,6 +287,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   int port = 0;
+  int sessions = 4;
   ServerOptions options;
   std::vector<const char*> preloads;
   for (int a = 1; a < argc; ++a) {
@@ -193,6 +298,9 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[a], "--port")) {
       port = ParseCountFlag("--port", next("--port"));
       if (port < 1 || port > 65535) return Fail("--port wants 1-65535");
+    } else if (!std::strcmp(argv[a], "--sessions")) {
+      sessions = ParseCountFlag("--sessions", next("--sessions"));
+      if (sessions < 1) return Fail("--sessions must be at least 1");
     } else if (!std::strcmp(argv[a], "--max-states")) {
       options.max_states = static_cast<uint64_t>(
           ParseCountFlag("--max-states", next("--max-states")));
@@ -204,6 +312,14 @@ int main(int argc, char** argv) {
       if (options.cache_entries < 1) {
         return Fail("--cache-entries must be at least 1");
       }
+    } else if (!std::strcmp(argv[a], "--journal")) {
+      options.journal_path = next("--journal");
+    } else if (!std::strcmp(argv[a], "--journal-fsync")) {
+      options.journal_fsync_every =
+          ParseCountFlag("--journal-fsync", next("--journal-fsync"));
+    } else if (!std::strcmp(argv[a], "--journal-compact")) {
+      options.journal_compact_slack =
+          ParseCountFlag("--journal-compact", next("--journal-compact"));
     } else if (!std::strcmp(argv[a], "--engine")) {
       const char* name = next("--engine");
       if (!std::strcmp(name, "incremental")) {
@@ -243,6 +359,21 @@ int main(int argc, char** argv) {
       return Fail("unknown option");
     }
   }
+  if (options.journal_path.empty() &&
+      (options.journal_fsync_every != 8 ||
+       options.journal_compact_slack != 256)) {
+    return Fail("--journal-fsync/--journal-compact need --journal");
+  }
+
+  // A dead client must only end its own session, not the process: EPIPE
+  // from write() is handled per-stream, so the signal is unwanted.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa{};
+  sa.sa_handler = StopHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: accept/read must return EINTR.
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 
   auto server = Server::Create(options);
   if (!server.ok()) {
@@ -270,7 +401,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wydb_serve: preloaded %s\n", path);
   }
 
-  if (port > 0) return ServeSocket(*server, port);
+  if (port > 0) return ServeSocket(*server, port, sessions);
   server->ServeStream(std::cin, std::cout);
+  Status flushed = server->FlushJournal();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "wydb_serve: journal flush failed: %s\n",
+                 flushed.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
